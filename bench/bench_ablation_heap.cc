@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Ablation — semispace sizing. The classic copying-collector
+ * trade-off: a larger heap amortizes collection over more allocation
+ * (GC overhead falls) while each pause stays bounded by the live set
+ * regardless. Run on the ICD workload with exhaustion-only
+ * collection so the heap size is the only collection trigger.
+ */
+
+#include <cstdio>
+
+#include "ecg/synth.hh"
+#include "icd/zarf_icd.hh"
+#include "machine/machine.hh"
+#include "system/ports.hh"
+
+using namespace zarf;
+
+namespace
+{
+
+class BusyRig : public IoBus
+{
+  public:
+    explicit BusyRig(ecg::Heart &h) : heart(h) {}
+
+    SWord
+    getInt(SWord port) override
+    {
+        if (port == sys::kPortTimer)
+            return 1;
+        if (port == sys::kPortEcgIn)
+            return heart.nextSample();
+        return 0;
+    }
+
+    void
+    putInt(SWord port, SWord) override
+    {
+        if (port == sys::kPortCommOut)
+            ++iterations;
+    }
+
+    ecg::Heart &heart;
+    uint64_t iterations = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Ablation: semispace size (exhaustion-only "
+                "collection, 4000 ICD iterations) ===\n\n");
+    std::printf("  %10s %8s %12s %10s %10s %8s\n", "semispace",
+                "GC runs", "GC cycles", "max pause", "max live",
+                "GC %");
+
+    for (size_t shift : { 13u, 14u, 15u, 16u, 18u, 20u }) {
+        ecg::ScriptedHeart heart({ { 60.0, 75.0 } }, 42);
+        BusyRig rig(heart);
+        MachineConfig cfg;
+        cfg.semispaceWords = size_t(1) << shift;
+        Machine m(icd::buildKernelImage(false), rig, cfg);
+        while (rig.iterations < 4000 &&
+               m.advance(2'000'000) == MachineStatus::Running) {}
+        const MachineStats &s = m.stats();
+        std::printf("  %8zuKi %8llu %12llu %10llu %10llu %7.2f%%\n",
+                    (size_t(1) << shift) / 1024,
+                    (unsigned long long)s.gcRuns,
+                    (unsigned long long)s.gcCycles,
+                    (unsigned long long)s.gcMaxPauseCycles,
+                    (unsigned long long)s.gcMaxLiveWords,
+                    100.0 * double(s.gcCycles) /
+                        double(s.execCycles + s.gcCycles));
+    }
+
+    std::printf("\nreading: pause stays flat (live-set bound) while "
+                "total GC time falls inversely with heap size — the "
+                "paper's semispace design lets the 5 ms deadline "
+                "argument rest on the live set alone, with heap "
+                "capacity a pure throughput knob.\n");
+    return 0;
+}

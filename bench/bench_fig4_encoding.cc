@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Figure 4 — how high-level assembly lowers, one-to-one, into a Zarf
+ * binary, demonstrated on the paper's own example: the list
+ * constructors and the map function.
+ *
+ * Prints (a) the named assembly, (b) the machine assembly with
+ * source/index operands and skip fields, and (c) the binary words
+ * with a decode annotation per word, then verifies the round trip.
+ */
+
+#include <cstdio>
+
+#include "isa/binary.hh"
+#include "isa/encoding.hh"
+#include "zasm/zasm.hh"
+
+using namespace zarf;
+
+namespace
+{
+
+const char *kMapText = R"(
+con Nil
+con Cons head tail
+
+fun main =
+  result 0
+
+fun map f list =
+  case list of
+    Nil =>
+      let e = Nil
+      result e
+    Cons head tail =>
+      let head' = f head
+      let tail' = map f tail
+      let list' = Cons head' tail'
+      result list'
+  else
+    let err = Error 0
+    result err
+)";
+
+const char *
+srcName(Src s)
+{
+    switch (s) {
+      case Src::Local: return "local";
+      case Src::Arg: return "arg";
+      case Src::Imm: return "imm";
+    }
+    return "?";
+}
+
+void
+annotate(Word w)
+{
+    switch (opOf(w)) {
+      case Op::Info: {
+        InfoWord i = unpackInfo(w);
+        std::printf("%s  arity=%u locals=%u",
+                    i.isCons ? "INFO cons" : "INFO fun", i.arity,
+                    i.numLocals);
+        return;
+      }
+      case Op::Let: {
+        LetWord l = unpackLet(w);
+        std::printf("LET   callee=%s 0x%x nargs=%u",
+                    l.kind == CalleeKind::Func
+                        ? "func"
+                        : (l.kind == CalleeKind::Local ? "local"
+                                                       : "arg"),
+                    l.id, l.nargs);
+        return;
+      }
+      case Op::Arg: {
+        Operand o = unpackOperand(w);
+        std::printf("ARG   %s %d", srcName(o.src), o.val);
+        return;
+      }
+      case Op::Case: {
+        Operand o = unpackCaseScrut(w);
+        std::printf("CASE  %s %d", srcName(o.src), o.val);
+        return;
+      }
+      case Op::PatLit: {
+        PatWord p = unpackPat(w);
+        std::printf("PAT   lit=%d skip=%u", p.lit, p.skip);
+        return;
+      }
+      case Op::PatCons: {
+        PatWord p = unpackPat(w);
+        std::printf("PAT   cons=0x%x skip=%u", p.consId, p.skip);
+        return;
+      }
+      case Op::PatElse:
+        std::printf("PAT   else");
+        return;
+      case Op::Result: {
+        Operand o = unpackResult(w);
+        std::printf("RES   %s %d", srcName(o.src), o.val);
+        return;
+      }
+    }
+    std::printf("raw");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Figure 4: map, from assembly to binary ===\n");
+
+    std::printf("\n--- (a) high-level assembly ---\n%s", kMapText);
+
+    Program prog = assembleOrDie(kMapText);
+    std::printf("\n--- (b) machine assembly (lowered) ---\n%s",
+                disassemble(prog).c_str());
+
+    Image img = encodeProgram(prog);
+    std::printf("--- (c) binary (%zu words) ---\n", img.size());
+    for (size_t i = 0; i < img.size(); ++i) {
+        std::printf("  %3zu: %08x  ", i, img[i]);
+        if (i == 0)
+            std::printf("MAGIC");
+        else if (i == 1)
+            std::printf("declaration count = %u", img[i]);
+        else if (opOf(img[i]) == Op::Info || i >= 2)
+            annotate(img[i]);
+        std::printf("\n");
+        // Raw length words follow info words; annotate them too.
+        if (i >= 2 && opOf(img[i]) == Op::Info && i + 1 < img.size()) {
+            std::printf("  %3zu: %08x  body length = %u words\n",
+                        i + 1, img[i + 1], img[i + 1]);
+            ++i;
+        }
+    }
+
+    DecodeResult d = decodeProgram(img);
+    std::printf("\nround trip: decode %s; re-encode %s\n",
+                d.ok ? "ok" : "FAILED",
+                d.ok && encodeProgram(d.program) == img
+                    ? "byte-identical"
+                    : "MISMATCH");
+    std::printf("paper: \"each piece of the variable length "
+                "instruction is word-aligned and trivial to "
+                "decode\"\n");
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Figure 5 — the ECG processing pipeline: 200 Hz input filtered
+ * through the Pan-Tompkins cascade, peaks classified, heart rate
+ * determined, and the result fed to the ATP procedure.
+ *
+ * Reproduces the figure as (1) a per-stage signal table around one
+ * QRS complex, and (2) detection/ATP behaviour across a normal
+ * rhythm and a ventricular-tachycardia episode with ground truth
+ * from the synthetic heart.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "ecg/synth.hh"
+#include "icd/spec.hh"
+
+using namespace zarf;
+
+int
+main()
+{
+    std::printf("=== Figure 5: ECG pipeline stages and ATP ===\n\n");
+
+    // ---- Stage-by-stage view around a beat ----
+    ecg::ScriptedHeart heart({ { 30.0, 75.0 } }, 42);
+    icd::IcdSpec spec;
+    std::vector<icd::StageTrace> trace;
+    for (int i = 0; i < 1200; ++i)
+        trace.push_back(spec.stepTraced(heart.nextSample()));
+
+    std::printf("signals around the beat near sample 1030 "
+                "(200 Hz, 5 ms/sample):\n");
+    std::printf("  sample   input  lowpass highpass  deriv  "
+                "squared      MWI   thresh  QRS\n");
+    for (int i = 1000; i < 1080; i += 4) {
+        const icd::StageTrace &t = trace[size_t(i)];
+        std::printf("  %6d  %6d  %7d  %7d  %5d  %7d  %7d  %7d  %s\n",
+                    i, t.input, t.lowpass, t.highpass, t.derivative,
+                    t.squared, t.mwi, t.threshold,
+                    t.qrs ? "*" : "");
+    }
+    std::printf("\nnormal rhythm, 30 s at 75 bpm: %llu beats "
+                "generated, %llu detected, rate estimate %d bpm, "
+                "therapies %llu\n",
+                (unsigned long long)heart.rPeaks().size(),
+                (unsigned long long)spec.qrsCount(),
+                spec.heartRateBpm(),
+                (unsigned long long)spec.therapyCount());
+    for (int i = 1200; i < 6000; ++i)
+        spec.step(heart.nextSample());
+    std::printf("  ... after the full 30 s: %llu/%zu beats "
+                "detected (sensitivity %.1f%%)\n",
+                (unsigned long long)spec.qrsCount(),
+                heart.rPeaks().size(),
+                100.0 * double(spec.qrsCount()) /
+                    double(heart.rPeaks().size()));
+
+    // ---- VT episode: detection and the ATP prescription ----
+    std::printf("\nVT episode (75 bpm -> 190 bpm at t=20 s):\n");
+    ecg::ScriptedHeart vt({ { 20.0, 75.0 }, { 60.0, 190.0 } }, 5);
+    icd::IcdSpec spec2;
+    std::vector<SWord> outs;
+    for (int i = 0; i < 60 * 200; ++i)
+        outs.push_back(spec2.step(vt.nextSample()));
+
+    std::printf("  therapies delivered: %llu\n",
+                (unsigned long long)spec2.therapyCount());
+    std::printf("  pulse train (sample indices, value 2 marks the "
+                "first pulse of a burst):\n    ");
+    int shown = 0;
+    long prev = -1;
+    for (size_t i = 0; i < outs.size() && shown < 24; ++i) {
+        if (outs[i] != icd::kOutNone) {
+            if (prev >= 0) {
+                std::printf("%zu(+%ld%s) ", i, long(i) - prev,
+                            outs[i] == 2 ? ",new burst" : "");
+            } else {
+                std::printf("%zu(start) ", i);
+            }
+            prev = long(i);
+            ++shown;
+        }
+    }
+    std::printf("\n  paper prescription: 3 sequences of 8 pulses at "
+                "88%% of the cycle length, 20 ms decrement between "
+                "sequences\n");
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 6 — extraction of verified application components: the
+ * low-level implementation (the analog of the paper's lower-level
+ * Coq code) maps line for line onto Zarf assembly, which encodes
+ * directly into the binary.
+ *
+ * Shows the low-pass-filter stage of the ICD through all three
+ * forms, then reports extraction statistics for the whole program.
+ */
+
+#include <cstdio>
+
+#include "icd/zarf_icd.hh"
+#include "isa/binary.hh"
+#include "lowlevel/extract.hh"
+#include "zasm/zasm.hh"
+
+using namespace zarf;
+
+int
+main()
+{
+    std::printf("=== Figure 6: extraction pipeline ===\n");
+
+    ll::LProgram lp = icd::buildIcdLowLevel();
+
+    // (b) the low-level form of one stage.
+    std::printf("\n--- (b) low-level implementation (lpStep) ---\n");
+    for (const ll::LFunc &f : lp.funcs) {
+        if (f.name == "lpStep") {
+            std::printf("Definition %s", f.name.c_str());
+            for (const auto &p : f.params)
+                std::printf(" %s", p.c_str());
+            std::printf(" :=\n  %s.\n",
+                        ll::printL(f.body, 1).c_str());
+        }
+    }
+
+    // (c) the extracted assembly for the same stage.
+    ll::ExtractResult ex = ll::extract(lp);
+    if (!ex.ok) {
+        std::printf("extraction failed: %s\n", ex.error.c_str());
+        return 1;
+    }
+    std::printf("\n--- (c) extracted Zarf assembly (lpStep) ---\n");
+    std::string all = printAssembly(ex.builder);
+    size_t at = all.find("fun lpStep");
+    size_t end = all.find("\nfun ", at + 1);
+    std::printf("%s\n",
+                all.substr(at, end == std::string::npos
+                                   ? std::string::npos
+                                   : end - at)
+                    .c_str());
+
+    // Whole-program statistics.
+    Program prog = ex.builder.build();
+    Image img = encodeProgram(prog);
+    size_t funcs = 0, conses = 0, nodes = 0;
+    for (const Decl &d : prog.decls) {
+        if (d.isCons) {
+            ++conses;
+        } else {
+            ++funcs;
+            nodes += exprNodeCount(*d.body);
+        }
+    }
+    std::printf("--- whole-program extraction ---\n");
+    std::printf("  %zu constructors, %zu functions, %zu "
+                "instructions, %zu binary words (%zu bytes)\n",
+                conses, funcs, nodes, img.size(), img.size() * 4);
+    std::printf("  round trip: %s\n",
+                encodeProgram(decodeProgramOrDie(img)) == img
+                    ? "binary -> AST -> binary byte-identical"
+                    : "MISMATCH");
+    std::printf("\npaper: \"The translation simply replaces Coq "
+                "keywords with lambda-execution layer assembly "
+                "keywords\" — here, the extractor is the ~300-line "
+                "ANF conversion in src/lowlevel/extract.cc, the only "
+                "trusted translation step.\n");
+    return 0;
+}

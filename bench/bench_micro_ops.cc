@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Microbenchmarks of the toolchain and execution engines (host
+ * performance, google-benchmark): assembling, encoding, decoding,
+ * and running the paper's map example on all three engines, plus
+ * collector throughput. These track simulator performance, not
+ * modelled hardware cycles.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common_progs.hh"
+#include "isa/binary.hh"
+#include "machine/machine.hh"
+#include "sem/bigstep.hh"
+#include "sem/smallstep.hh"
+#include "zasm/zasm.hh"
+
+namespace
+{
+
+using namespace zarf;
+
+void
+BM_AssembleMap(benchmark::State &state)
+{
+    std::string text = bench::mapProgramText();
+    for (auto _ : state) {
+        Program p = assembleOrDie(text);
+        benchmark::DoNotOptimize(p.decls.size());
+    }
+}
+BENCHMARK(BM_AssembleMap);
+
+void
+BM_EncodeDecode(benchmark::State &state)
+{
+    Program p = assembleOrDie(bench::mapProgramText());
+    for (auto _ : state) {
+        Image img = encodeProgram(p);
+        DecodeResult d = decodeProgram(img);
+        benchmark::DoNotOptimize(d.ok);
+    }
+}
+BENCHMARK(BM_EncodeDecode);
+
+void
+BM_BigStepMap(benchmark::State &state)
+{
+    Program p = assembleOrDie(bench::mapProgramText());
+    NullBus bus;
+    for (auto _ : state) {
+        BigStep bs(p, bus);
+        benchmark::DoNotOptimize(bs.runMain().ok());
+    }
+}
+BENCHMARK(BM_BigStepMap);
+
+void
+BM_SmallStepMap(benchmark::State &state)
+{
+    Program p = assembleOrDie(bench::mapProgramText());
+    NullBus bus;
+    for (auto _ : state) {
+        SmallStep ss(p, bus);
+        benchmark::DoNotOptimize(ss.runMain().ok());
+    }
+}
+BENCHMARK(BM_SmallStepMap);
+
+void
+BM_MachineMap(benchmark::State &state)
+{
+    Program p = assembleOrDie(bench::mapProgramText());
+    Image img = encodeProgram(p);
+    NullBus bus;
+    uint64_t simCycles = 0;
+    for (auto _ : state) {
+        Machine m(img, bus);
+        benchmark::DoNotOptimize(m.run().status);
+        simCycles += m.cycles();
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        double(simCycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MachineMap);
+
+void
+BM_MachineCountdown(benchmark::State &state)
+{
+    Program p = assembleOrDie(bench::countdownProgramText());
+    Image img = encodeProgram(p);
+    NullBus bus;
+    uint64_t simCycles = 0;
+    for (auto _ : state) {
+        MachineConfig cfg;
+        cfg.semispaceWords = 1 << 14; // force frequent collection
+        Machine m(img, bus, cfg);
+        benchmark::DoNotOptimize(m.run().status);
+        simCycles += m.cycles();
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        double(simCycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MachineCountdown);
+
+} // namespace
+
+BENCHMARK_MAIN();

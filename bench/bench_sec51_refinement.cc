@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Sec. 5.1 — correctness of the ICD's critical path, reproduced as
+ * lock-step refinement checking: for the same input stream, the
+ * stream specification, the extracted Zarf assembly, and the
+ * imperative baseline must emit bit-identical outputs at every
+ * sample, across normal rhythm, a therapy-triggering VT episode,
+ * and adversarial inputs.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "ecg/synth.hh"
+#include "icd/zarf_icd.hh"
+#include "support/random.hh"
+#include "verify/refine.hh"
+
+using namespace zarf;
+
+namespace
+{
+
+std::vector<SWord>
+fromHeart(ecg::Heart &h, int n)
+{
+    std::vector<SWord> v;
+    v.reserve(size_t(n));
+    for (int i = 0; i < n; ++i)
+        v.push_back(h.nextSample());
+    return v;
+}
+
+void
+report(const char *name, const verify::RefinementReport &r)
+{
+    if (r.ok) {
+        std::printf("  %-34s ok (%zu samples, outputs "
+                    "bit-identical)\n",
+                    name, r.samplesChecked);
+    } else {
+        std::printf("  %-34s FAILED at sample %zu: %s\n", name,
+                    r.firstMismatch, r.detail.c_str());
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Sec. 5.1: refinement of the critical path "
+                "===\n\n");
+    Program zarfIcd = icd::buildIcdStepProgram();
+
+    std::printf("spec == extracted Zarf assembly:\n");
+    {
+        ecg::ScriptedHeart h({ { 20.0, 75.0 } }, 42);
+        auto in = fromHeart(h, 4000);
+        report("normal sinus (20 s)",
+               verify::checkSpecVsZarf(zarfIcd, in));
+    }
+    {
+        ecg::ScriptedHeart h({ { 12.0, 75.0 }, { 40.0, 190.0 } }, 5);
+        auto in = fromHeart(h, 10400);
+        report("VT + full ATP therapy (52 s)",
+               verify::checkSpecVsZarf(zarfIcd, in));
+    }
+    {
+        Rng rng(77);
+        std::vector<SWord> in;
+        for (int i = 0; i < 2000; ++i)
+            in.push_back(SWord(rng.range(-4000, 4000)));
+        report("adversarial full-scale noise",
+               verify::checkSpecVsZarf(zarfIcd, in));
+    }
+
+    std::printf("\nspec == imperative baseline (mblaze):\n");
+    {
+        ecg::ScriptedHeart h({ { 20.0, 75.0 } }, 42);
+        report("normal sinus (20 s)",
+               verify::checkSpecVsBaseline(fromHeart(h, 4000)));
+    }
+    {
+        ecg::ScriptedHeart h({ { 12.0, 75.0 }, { 40.0, 190.0 } }, 5);
+        report("VT + full ATP therapy (52 s)",
+               verify::checkSpecVsBaseline(fromHeart(h, 10400)));
+    }
+
+    std::printf("\npaper: the Coq proof shows output equality for "
+                "all input streams by induction; this harness "
+                "checks the same refinement relation point-wise on "
+                "generated streams (TCB: the extractor and this "
+                "harness).\n");
+    return 0;
+}

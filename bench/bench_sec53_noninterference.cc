@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Sec. 5.3 — non-interference: the integrity type system run over
+ * the λ-layer assembly, plus dynamic validation of the soundness
+ * theorem by untrusted-input perturbation.
+ */
+
+#include <cstdio>
+
+#include "icd/zarf_icd.hh"
+#include "lowlevel/extract.hh"
+#include "verify/icd_types.hh"
+#include "verify/nidemo.hh"
+#include "verify/noninterference.hh"
+
+using namespace zarf;
+using namespace zarf::verify;
+
+int
+main()
+{
+    std::printf("=== Sec. 5.3: integrity / non-interference ===\n\n");
+
+    // ---- The ICD kernel itself ----
+    Program kernel = ll::extractOrDie(icd::buildKernelLowLevel());
+    TypeEnv kenv = icdKernelTypeEnv(kernel);
+    ITypeReport kr = checkIntegrity(kernel, kenv);
+    std::printf("ICD kernel program (%zu declarations): %s\n",
+                kernel.decls.size(),
+                kr.ok() ? "WELL-TYPED — untrusted values cannot "
+                          "affect the pacing output"
+                        : "REJECTED");
+    if (!kr.ok())
+        std::printf("%s", kr.summary().c_str());
+
+    TypeEnv bad = kenv;
+    bad.ports[0] = Label::U; // sensor relabelled untrusted
+    std::printf("same kernel, ECG port relabelled untrusted: %s\n",
+                checkIntegrity(kernel, bad).ok()
+                    ? "accepted (UNEXPECTED)"
+                    : "rejected, as required\n");
+
+    // ---- Demo application: checker verdict vs dynamic behaviour --
+    std::printf("\ndemo (trusted control loop + untrusted "
+                "telemetry):\n");
+    std::printf("  %-14s %12s %26s\n", "variant", "type check",
+                "perturbation experiment");
+
+    std::vector<SWord> sensor;
+    for (int i = 0; i < 64; ++i)
+        sensor.push_back(i * 13 % 97 - 40);
+
+    for (auto [variant, name] :
+         { std::pair{ NiVariant::Clean, "clean" },
+           std::pair{ NiVariant::ExplicitFlow, "explicit-flow" },
+           std::pair{ NiVariant::ImplicitFlow, "implicit-flow" } }) {
+        Program p = buildNiDemo(variant);
+        TypeEnv env = niDemoTypeEnv(p);
+        bool typed = checkIntegrity(p, env).ok();
+        NiReport ni = perturbUntrusted(p, env, sensor, 11, 23);
+        std::printf("  %-14s %12s %26s\n", name,
+                    typed ? "accepted" : "rejected",
+                    !ni.ran ? "did not run"
+                    : ni.interference
+                        ? "trusted outputs DIVERGED"
+                        : "trusted outputs identical");
+    }
+
+    std::printf("\nsoundness, sampled: well-typed => no trusted "
+                "divergence over 50 perturbation seeds... ");
+    Program clean = buildNiDemo(NiVariant::Clean, 40);
+    TypeEnv cenv = niDemoTypeEnv(clean);
+    int bad_runs = 0;
+    for (uint64_t s = 0; s < 50; ++s) {
+        NiReport ni = perturbUntrusted(clean, cenv, sensor,
+                                       s * 3 + 1, s * 5 + 2);
+        bad_runs += ni.interference ? 1 : 0;
+    }
+    std::printf("%d/50 diverged %s\n", bad_runs,
+                bad_runs == 0 ? "(theorem holds)" : "(VIOLATION)");
+
+    std::printf("\npaper: \"we show that arbitrarily changing "
+                "untrusted data cannot affect trusted data\" — the "
+                "checker reproduces the type system; the experiment "
+                "reproduces the theorem's observable content.\n");
+    return 0;
+}

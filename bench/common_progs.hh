@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared program texts for the microbenchmarks.
+ */
+
+#ifndef ZARF_BENCH_COMMON_PROGS_HH
+#define ZARF_BENCH_COMMON_PROGS_HH
+
+#include <string>
+
+namespace zarf::bench
+{
+
+inline std::string
+mapProgramText()
+{
+    return R"(
+con Nil
+con Cons head tail
+
+fun main =
+  let inc = addOne
+  let l0 = Nil
+  let l1 = Cons 3 l0
+  let l2 = Cons 2 l1
+  let l3 = Cons 1 l2
+  let out = map inc l3
+  let s = sumList out
+  result s
+
+fun addOne x =
+  let y = add x 1
+  result y
+
+fun map f list =
+  case list of
+    Nil =>
+      let e = Nil
+      result e
+    Cons head tail =>
+      let head' = f head
+      let tail' = map f tail
+      let list' = Cons head' tail'
+      result list'
+  else
+    let err = Error 0
+    result err
+
+fun sumList list =
+  case list of
+    Nil =>
+      result 0
+    Cons head tail =>
+      let rest = sumList tail
+      let s = add head rest
+      result s
+  else
+    let err = Error 0
+    result err
+)";
+}
+
+inline std::string
+countdownProgramText()
+{
+    return R"(
+fun main =
+  let n = loop 30000
+  result n
+
+fun loop n =
+  case n of
+    0 =>
+      result 42
+    else
+      let n' = sub n 1
+      let r = loop n'
+      result r
+)";
+}
+
+} // namespace zarf::bench
+
+#endif // ZARF_BENCH_COMMON_PROGS_HH

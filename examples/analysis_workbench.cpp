@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The three assembly-level analyses of Sec. 5 applied to the ICD
+ * kernel in one sitting: correctness by refinement, worst-case
+ * timing, and non-interference — the "formal and compositional
+ * binary analysis" of the title, exercised through the public API.
+ */
+
+#include <cstdio>
+
+#include "ecg/synth.hh"
+#include "icd/zarf_icd.hh"
+#include "lowlevel/extract.hh"
+#include "verify/icd_types.hh"
+#include "verify/refine.hh"
+#include "verify/wcet.hh"
+
+using namespace zarf;
+
+int
+main()
+{
+    std::printf("=== Analysis workbench: the ICD kernel under all "
+                "three analyses ===\n\n");
+
+    Program kernel = ll::extractOrDie(icd::buildKernelLowLevel());
+    std::printf("subject: %zu declarations, extracted from the "
+                "low-level IR\n\n", kernel.decls.size());
+
+    // ---- 1. Correctness (Sec. 5.1) ----
+    std::printf("[1/3] refinement: spec vs extracted assembly, "
+                "30 s with a therapy episode...\n");
+    ecg::ScriptedHeart heart({ { 10.0, 75.0 }, { 20.0, 190.0 } }, 5);
+    std::vector<SWord> inputs;
+    for (int i = 0; i < 6000; ++i)
+        inputs.push_back(heart.nextSample());
+    verify::RefinementReport rr =
+        verify::checkSpecVsZarf(icd::buildIcdStepProgram(), inputs);
+    std::printf("      %s (%zu samples)\n\n",
+                rr.ok ? "outputs bit-identical" : rr.detail.c_str(),
+                rr.samplesChecked);
+
+    // ---- 2. Timing (Sec. 5.2) ----
+    std::printf("[2/3] worst-case timing of one kernel "
+                "iteration...\n");
+    verify::WcetConfig wcfg;
+    wcfg.boundaryFunctions = { "kernelLoop", "waitTick" };
+    verify::WcetReport wr =
+        verify::analyzeWcet(kernel, "kernelLoop", wcfg);
+    if (wr.ok) {
+        std::printf("%s", wr.summary().c_str());
+        std::printf("      deadline: %.1f us of 5000 us used "
+                    "(%.0fx margin)\n\n",
+                    wr.totalBound() * 20.0 / 1000.0,
+                    5000.0 / (wr.totalBound() * 20.0 / 1000.0));
+    } else {
+        std::printf("      failed: %s\n\n", wr.error.c_str());
+    }
+
+    // ---- 3. Non-interference (Sec. 5.3) ----
+    std::printf("[3/3] integrity typing of the kernel assembly...\n");
+    verify::TypeEnv env = verify::icdKernelTypeEnv(kernel);
+    verify::ITypeReport ir = verify::checkIntegrity(kernel, env);
+    std::printf("      %s\n", ir.ok()
+                                  ? "well-typed: untrusted values "
+                                    "cannot reach the pacing output"
+                                  : ir.summary().c_str());
+
+    std::printf("\nall three analyses operate on the same "
+                "machine-level program a binary decodes to — no "
+                "compiler or runtime in the TCB.\n");
+    return rr.ok && wr.ok && ir.ok() ? 0 : 1;
+}

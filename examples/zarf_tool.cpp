@@ -1,0 +1,199 @@
+/**
+ * @file
+ * zarf_tool — a command-line assembler / disassembler / runner for
+ * the Zarf functional ISA.
+ *
+ *   zarf_tool asm <file.zasm> <out.zbin>    assemble to a binary
+ *   zarf_tool dis <file.zbin>               disassemble a binary
+ *   zarf_tool run <file.zasm|file.zbin>     run main (lazy machine)
+ *   zarf_tool cyc <file.zasm|file.zbin>     run on the cycle-level
+ *                                           machine, print stats
+ *   zarf_tool check <file.zasm|file.zbin>   validate + static info
+ *
+ * getint reads decimal integers from stdin; putint prints
+ * "port value" lines to stdout.
+ */
+
+#include <cstdio>
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "isa/binary.hh"
+#include "isa/encoding.hh"
+#include "isa/validate.hh"
+#include "machine/machine.hh"
+#include "sem/smallstep.hh"
+#include "support/logging.hh"
+#include "zasm/zasm.hh"
+
+using namespace zarf;
+
+namespace
+{
+
+/** stdin/stdout bus for interactive runs. */
+class StdioBus : public IoBus
+{
+  public:
+    SWord
+    getInt(SWord port) override
+    {
+        std::fprintf(stderr, "getint port %d> ", port);
+        long v = 0;
+        if (!(std::cin >> v))
+            return 0;
+        return SWord(v);
+    }
+
+    void
+    putInt(SWord port, SWord value) override
+    {
+        std::printf("%d %d\n", port, value);
+    }
+};
+
+bool
+readFile(const char *path, std::string &out)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+bool
+looksBinary(const std::string &data)
+{
+    if (data.size() < 4)
+        return false;
+    Word w;
+    std::memcpy(&w, data.data(), 4);
+    return w == kMagic;
+}
+
+Image
+bytesToImage(const std::string &data)
+{
+    Image img(data.size() / 4);
+    std::memcpy(img.data(), data.data(), img.size() * 4);
+    return img;
+}
+
+Program
+loadProgram(const char *path)
+{
+    std::string data;
+    if (!readFile(path, data))
+        fatal("cannot read %s", path);
+    if (looksBinary(data))
+        return decodeProgramOrDie(bytesToImage(data));
+    return assembleOrDie(data);
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: zarf_tool asm <in.zasm> <out.zbin>\n"
+                 "       zarf_tool dis <in.zbin|in.zasm>\n"
+                 "       zarf_tool run <in.zasm|in.zbin>\n"
+                 "       zarf_tool cyc <in.zasm|in.zbin>\n"
+                 "       zarf_tool check <in.zasm|in.zbin>\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const char *cmd = argv[1];
+
+    if (std::strcmp(cmd, "asm") == 0) {
+        if (argc != 4)
+            return usage();
+        std::string text;
+        if (!readFile(argv[2], text))
+            fatal("cannot read %s", argv[2]);
+        Image img = encodeProgram(assembleOrDie(text));
+        std::ofstream out(argv[3], std::ios::binary);
+        out.write(reinterpret_cast<const char *>(img.data()),
+                  std::streamsize(img.size() * 4));
+        std::fprintf(stderr, "wrote %zu words (%zu bytes)\n",
+                     img.size(), img.size() * 4);
+        return 0;
+    }
+
+    if (std::strcmp(cmd, "check") == 0) {
+        Program p = loadProgram(argv[2]);
+        ValidationReport r = validateProgram(p);
+        size_t funcs = 0, conses = 0, instrs = 0, maxLocals = 0;
+        for (const Decl &d : p.decls) {
+            if (d.isCons) {
+                ++conses;
+                continue;
+            }
+            ++funcs;
+            instrs += exprNodeCount(*d.body);
+            maxLocals = std::max(maxLocals, size_t(d.numLocals));
+        }
+        Image img = encodeProgram(p);
+        std::printf("declarations: %zu (%zu functions, %zu "
+                    "constructors)\n",
+                    p.decls.size(), funcs, conses);
+        std::printf("instructions: %zu; binary: %zu words (%zu "
+                    "bytes); max locals: %zu\n",
+                    instrs, img.size(), img.size() * 4, maxLocals);
+        if (r.ok()) {
+            std::printf("validation: ok\n");
+            return 0;
+        }
+        std::printf("validation FAILED:\n%s", r.summary().c_str());
+        return 1;
+    }
+
+    if (std::strcmp(cmd, "dis") == 0) {
+        std::printf("%s", disassemble(loadProgram(argv[2])).c_str());
+        return 0;
+    }
+
+    if (std::strcmp(cmd, "run") == 0) {
+        Program p = loadProgram(argv[2]);
+        StdioBus bus;
+        SmallStep engine(p, bus);
+        RunResult r = engine.runMain();
+        if (!r.ok()) {
+            std::fprintf(stderr, "error: %s\n", r.where.c_str());
+            return 1;
+        }
+        std::printf("=> %s\n", r.value->toString().c_str());
+        return 0;
+    }
+
+    if (std::strcmp(cmd, "cyc") == 0) {
+        Program p = loadProgram(argv[2]);
+        StdioBus bus;
+        Machine m(encodeProgram(p), bus);
+        Machine::Outcome o = m.run();
+        if (o.status != MachineStatus::Done) {
+            std::fprintf(stderr, "machine status %d: %s\n",
+                         int(o.status), o.diagnostic.c_str());
+            return 1;
+        }
+        std::printf("=> %s\n", o.value->toString().c_str());
+        std::printf("cycles: %llu\n%s",
+                    (unsigned long long)m.cycles(),
+                    m.stats().report().c_str());
+        return 0;
+    }
+
+    return usage();
+}

@@ -1,0 +1,170 @@
+#include "ecg/synth.hh"
+
+#include <cmath>
+
+namespace zarf::ecg
+{
+
+EcgSynth::EcgSynth(uint64_t seed, EcgParams params)
+    : params(std::move(params)), rng(seed)
+{
+    beatTimesMs.push_back(400.0); // first beat
+    lastScheduledMs = 400.0;
+}
+
+void
+EcgSynth::setBpm(double bpm)
+{
+    if (bpm < 20.0)
+        bpm = 20.0;
+    if (bpm > 300.0)
+        bpm = 300.0;
+    bpmNow = bpm;
+}
+
+void
+EcgSynth::scheduleBeats(double untilMs)
+{
+    while (lastScheduledMs < untilMs) {
+        double rr = 60000.0 / bpmNow;
+        // Small physiological variability (~2%).
+        rr *= 1.0 + 0.02 * rng.gaussian(1.0);
+        if (rr < 200.0)
+            rr = 200.0;
+        lastScheduledMs += rr;
+        beatTimesMs.push_back(lastScheduledMs);
+    }
+}
+
+SWord
+EcgSynth::nextSample()
+{
+    double tMs = double(n) * kSampleMs;
+    // Beats must be scheduled well past t so the P wave of the next
+    // beat (which precedes its R peak) contributes.
+    scheduleBeats(tMs + 600.0);
+
+    // Record annotations and drop beats too old to matter.
+    while (beatTimesMs.size() > 1 && beatTimesMs.front() < tMs - 600.0)
+        beatTimesMs.pop_front();
+
+    double y = 0.0;
+    for (double beat : beatTimesMs) {
+        double dt = tMs - beat;
+        if (dt < -600.0)
+            break;
+        if (dt > 600.0)
+            continue;
+        // Annotate the beat when we pass its R peak.
+        if (dt >= 0.0 && dt < kSampleMs) {
+            if (annotations.empty() ||
+                annotations.back() != n) {
+                annotations.push_back(n);
+            }
+        }
+        // At tachycardia rates the complex widens and P/T merge
+        // away; morph amplitude of non-QRS waves down.
+        double vtFactor = 1.0;
+        if (params.vtMorphology && bpmNow > 150.0) {
+            vtFactor = 150.0 / bpmNow;
+        }
+        for (size_t w = 0; w < params.waves.size(); ++w) {
+            const Wave &wv = params.waves[w];
+            double a = wv.ampl;
+            bool qrs = w >= 1 && w <= 3;
+            if (!qrs)
+                a *= vtFactor;
+            double widen = qrs && vtFactor < 1.0
+                               ? 1.0 + (1.0 - vtFactor)
+                               : 1.0;
+            double d = (dt - wv.centerMs) / (wv.widthMs * widen);
+            y += a * std::exp(-0.5 * d * d);
+        }
+    }
+
+    // Baseline wander + measurement noise.
+    y += params.baselineAmpl *
+         std::sin(2.0 * M_PI * params.baselineHz * tMs / 1000.0);
+    y += rng.gaussian(params.noiseSigma);
+
+    ++n;
+    double r = std::lround(y);
+    if (r > 4000)
+        r = 4000;
+    if (r < -4000)
+        r = -4000;
+    return static_cast<SWord>(r);
+}
+
+ScriptedHeart::ScriptedHeart(std::vector<Segment> schedule,
+                             uint64_t seed, EcgParams params)
+    : schedule(std::move(schedule)), synth(seed, std::move(params))
+{
+    if (!this->schedule.empty())
+        synth.setBpm(this->schedule[0].bpm);
+}
+
+SWord
+ScriptedHeart::nextSample()
+{
+    if (seg < schedule.size()) {
+        msIntoSeg += kSampleMs;
+        if (msIntoSeg >= schedule[seg].seconds * 1000.0) {
+            msIntoSeg = 0.0;
+            ++seg;
+            if (seg < schedule.size())
+                synth.setBpm(schedule[seg].bpm);
+        }
+    }
+    return synth.nextSample();
+}
+
+const std::vector<uint64_t> &
+ScriptedHeart::rPeaks() const
+{
+    return synth.rPeaks();
+}
+
+ResponsiveHeart::ResponsiveHeart(double onsetSeconds, double sinusBpm,
+                                 double vtBpm, int pulsesToConvert,
+                                 uint64_t seed, EcgParams params)
+    : onsetSeconds(onsetSeconds), sinusBpm(sinusBpm), vtBpm(vtBpm),
+      pulsesToConvert(pulsesToConvert), synth(seed, std::move(params))
+{
+    synth.setBpm(sinusBpm);
+}
+
+SWord
+ResponsiveHeart::nextSample()
+{
+    double tSec = double(synth.sampleIndex()) * kSampleMs / 1000.0;
+    if (!vtStarted && tSec >= onsetSeconds) {
+        vtStarted = true;
+        vtActive = true;
+        synth.setBpm(vtBpm);
+    }
+    return synth.nextSample();
+}
+
+void
+ResponsiveHeart::onShock(SWord v)
+{
+    if (v <= 0)
+        return;
+    if (!vtActive)
+        return;
+    ++pulses;
+    if (pulses >= pulsesToConvert) {
+        vtActive = false;
+        convertedSample = synth.sampleIndex();
+        synth.setBpm(sinusBpm);
+    }
+}
+
+const std::vector<uint64_t> &
+ResponsiveHeart::rPeaks() const
+{
+    return synth.rPeaks();
+}
+
+} // namespace zarf::ecg

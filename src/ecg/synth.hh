@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Synthetic electrocardiogram generation.
+ *
+ * The paper's prototype consumes raw ECG sampled at 200 Hz (Sec. 4.2,
+ * Fig. 5). We have no patient data, so this module synthesizes
+ * morphologically realistic signals: each beat is a sum of five
+ * Gaussian waves (P, Q, R, S, T) positioned relative to the R peak —
+ * the same modelling approach as the well-known ECGSYN generator —
+ * plus optional Gaussian noise and baseline wander. Beat spacing
+ * follows a programmable heart rate, so normal sinus rhythm and
+ * ventricular tachycardia episodes can be scripted precisely, with
+ * ground-truth R-peak annotations kept for evaluating the detector.
+ *
+ * Heart models close the loop with the ICD: a ScriptedHeart follows
+ * a fixed rate schedule; a ResponsiveHeart enters VT and reverts to
+ * sinus rhythm once it has received a full anti-tachycardia pacing
+ * burst, which lets end-to-end tests observe a successful therapy.
+ */
+
+#ifndef ZARF_ECG_SYNTH_HH
+#define ZARF_ECG_SYNTH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "support/random.hh"
+#include "support/types.hh"
+
+namespace zarf::ecg
+{
+
+/** Samples per second (the paper's rate). */
+constexpr int kSampleHz = 200;
+/** Milliseconds per sample. */
+constexpr int kSampleMs = 1000 / kSampleHz;
+
+/** One wave of the PQRST complex (times relative to the R peak). */
+struct Wave
+{
+    double ampl;     ///< Peak amplitude in ADC counts.
+    double centerMs; ///< Center offset from the R peak.
+    double widthMs;  ///< Gaussian sigma.
+};
+
+/** Morphology and noise parameters. */
+struct EcgParams
+{
+    std::vector<Wave> waves = {
+        { 25.0, -180.0, 25.0 },  // P
+        { -30.0, -25.0, 6.0 },   // Q
+        { 150.0, 0.0, 8.0 },     // R
+        { -45.0, 30.0, 7.0 },    // S
+        { 40.0, 220.0, 40.0 },   // T
+    };
+    double noiseSigma = 2.0;
+    double baselineAmpl = 4.0;   ///< Respiration wander amplitude.
+    double baselineHz = 0.25;
+    /** During VT the complex widens and loses P/T structure; this
+     *  morphs wave shape as rate rises past 150 bpm. */
+    bool vtMorphology = true;
+};
+
+/** Streaming ECG synthesizer with ground-truth annotations. */
+class EcgSynth
+{
+  public:
+    explicit EcgSynth(uint64_t seed = 1, EcgParams params = {});
+
+    /** Set the instantaneous heart rate for subsequent beats. */
+    void setBpm(double bpm);
+    double bpm() const { return bpmNow; }
+
+    /** Produce the next 5 ms sample. */
+    SWord nextSample();
+
+    /** Index of the next sample nextSample() will return. */
+    uint64_t sampleIndex() const { return n; }
+
+    /** Ground-truth R-peak sample indices generated so far. */
+    const std::vector<uint64_t> &rPeaks() const { return annotations; }
+
+  private:
+    void scheduleBeats(double untilMs);
+
+    EcgParams params;
+    Rng rng;
+    double bpmNow = 75.0;
+    uint64_t n = 0;
+    std::deque<double> beatTimesMs; ///< Scheduled R-peak times.
+    std::vector<uint64_t> annotations;
+    double lastScheduledMs = 0.0;
+};
+
+/** Abstract heart presented to the two-layer system. */
+class Heart
+{
+  public:
+    virtual ~Heart() = default;
+    /** The next 200 Hz sample. */
+    virtual SWord nextSample() = 0;
+    /** The ICD delivered an output (0 none, 1 pulse, 2 first pulse
+     *  of a therapy burst). */
+    virtual void onShock(SWord) {}
+    /** Ground truth for evaluation. */
+    virtual const std::vector<uint64_t> &rPeaks() const = 0;
+};
+
+/** A heart following a fixed (seconds, bpm) schedule. */
+class ScriptedHeart : public Heart
+{
+  public:
+    struct Segment
+    {
+        double seconds;
+        double bpm;
+    };
+
+    ScriptedHeart(std::vector<Segment> schedule, uint64_t seed = 1,
+                  EcgParams params = {});
+
+    SWord nextSample() override;
+    const std::vector<uint64_t> &rPeaks() const override;
+
+    /** True once the schedule has been exhausted (rate holds). */
+    bool scheduleDone() const { return seg >= schedule.size(); }
+
+  private:
+    std::vector<Segment> schedule;
+    size_t seg = 0;
+    double msIntoSeg = 0.0;
+    EcgSynth synth;
+};
+
+/**
+ * A heart that spontaneously enters VT and converts back to sinus
+ * rhythm after receiving a complete pacing burst.
+ */
+class ResponsiveHeart : public Heart
+{
+  public:
+    /**
+     * @param onsetSeconds when VT begins
+     * @param sinusBpm baseline rate
+     * @param vtBpm tachycardia rate
+     * @param pulsesToConvert pacing pulses needed to convert
+     */
+    ResponsiveHeart(double onsetSeconds, double sinusBpm = 75,
+                    double vtBpm = 190, int pulsesToConvert = 8,
+                    uint64_t seed = 1, EcgParams params = {});
+
+    SWord nextSample() override;
+    void onShock(SWord v) override;
+    const std::vector<uint64_t> &rPeaks() const override;
+
+    bool inVt() const { return vtActive; }
+    int pulsesReceived() const { return pulses; }
+    /** Sample index at which conversion happened (0 if never). */
+    uint64_t convertedAt() const { return convertedSample; }
+
+  private:
+    double onsetSeconds;
+    double sinusBpm;
+    double vtBpm;
+    int pulsesToConvert;
+    bool vtActive = false;
+    bool vtStarted = false;
+    int pulses = 0;
+    uint64_t convertedSample = 0;
+    EcgSynth synth;
+};
+
+} // namespace zarf::ecg
+
+#endif // ZARF_ECG_SYNTH_HH

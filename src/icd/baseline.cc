@@ -1,0 +1,350 @@
+#include "icd/baseline.hh"
+
+#include "icd/params.hh"
+#include "support/logging.hh"
+#include "system/ports.hh"
+
+namespace zarf::icd
+{
+
+namespace
+{
+
+// Data-memory map (word addresses).
+constexpr int kLpX = 0;    // 12 words
+constexpr int kLpY1 = 12;
+constexpr int kLpY2 = 13;
+constexpr int kHpX = 16;   // 32 words
+constexpr int kHpY1 = 48;
+constexpr int kDvX = 52;   // 4 words
+constexpr int kMwS = 64;   // 30 words
+constexpr int kMwSum = 94;
+constexpr int kSpki = 100;
+constexpr int kNpki = 101;
+constexpr int kM1 = 102;
+constexpr int kM2 = 103;
+constexpr int kSince = 104;
+constexpr int kRr = 110;   // 24 words
+constexpr int kMode = 140;
+constexpr int kPulses = 141;
+constexpr int kSeqs = 142;
+constexpr int kInterval = 143;
+constexpr int kCountdown = 144;
+constexpr int kFirst = 145;
+constexpr int kLastOut = 200;
+
+/** Emit a newest-first delay-line shift with unrolled lw/sw pairs,
+ *  then store the new head value from `srcReg`. */
+void
+emitShift(std::string &s, int base, int len, const char *srcReg)
+{
+    for (int i = len - 1; i > 0; --i) {
+        s += strprintf("  lw r11, r0, %d\n", base + i - 1);
+        s += strprintf("  sw r11, r0, %d\n", base + i);
+    }
+    s += strprintf("  sw %s, r0, %d\n", srcReg, base);
+}
+
+} // namespace
+
+std::string
+baselineIcdAsmText()
+{
+    std::string s;
+    s += "# Imperative ICD baseline (unverified path)\n";
+    s += "init:\n";
+    // rr history initialises to kRrInitMs; since to its sample form.
+    s += strprintf("  movi r1, %d\n", kRrInitMs);
+    for (int i = 0; i < kRrHistory; ++i)
+        s += strprintf("  sw r1, r0, %d\n", kRr + i);
+    s += strprintf("  movi r1, %d\n", kRrInitMs / kSampleMs);
+    s += strprintf("  sw r1, r0, %d\n", kSince);
+
+    s += "main_loop:\n";
+    // Wait for the 5 ms tick.
+    s += strprintf("  in r1, %d\n", int(sys::kPortTimer));
+    s += "  beq r1, r0, main_loop\n";
+    // Emit previous output, read the next sample.
+    s += strprintf("  lw r2, r0, %d\n", kLastOut);
+    s += strprintf("  out r2, %d\n", int(sys::kPortShockOut));
+    s += strprintf("  in r3, %d\n", int(sys::kPortEcgIn));
+
+    // ---- LPF: ly = 2*y1 - y2 + x - 2*lpX[5] + lpX[11] ----
+    s += strprintf("  lw r5, r0, %d\n", kLpY1);
+    s += strprintf("  lw r6, r0, %d\n", kLpY2);
+    s += "  add r7, r5, r5\n";
+    s += "  sub r7, r7, r6\n";
+    s += "  add r7, r7, r3\n";
+    s += strprintf("  lw r8, r0, %d\n", kLpX + 5);
+    s += "  add r8, r8, r8\n";
+    s += "  sub r7, r7, r8\n";
+    s += strprintf("  lw r8, r0, %d\n", kLpX + 11);
+    s += "  add r7, r7, r8\n"; // r7 = ly
+    emitShift(s, kLpX, kLpLen, "r3");
+    s += strprintf("  sw r5, r0, %d\n", kLpY2); // y2 = y1
+    s += strprintf("  sw r7, r0, %d\n", kLpY1); // y1 = ly
+
+    // ---- HPF: hy = y1 + ly - hpX[31]; f = hpX[15] - hy/32 ----
+    s += strprintf("  lw r5, r0, %d\n", kHpY1);
+    s += "  add r5, r5, r7\n";
+    s += strprintf("  lw r6, r0, %d\n", kHpX + 31);
+    s += "  sub r5, r5, r6\n"; // r5 = hy
+    s += strprintf("  lw r6, r0, %d\n", kHpX + 15);
+    s += "  movi r8, 32\n";
+    s += "  div r9, r5, r8\n";
+    s += "  sub r6, r6, r9\n"; // r6 = f
+    emitShift(s, kHpX, kHpLen, "r7");
+    s += strprintf("  sw r5, r0, %d\n", kHpY1);
+
+    // ---- Derivative + clamp + square ----
+    // d = (2f + dvX[0] - dvX[2] - 2*dvX[3]) / 8
+    s += "  add r7, r6, r6\n";
+    s += strprintf("  lw r8, r0, %d\n", kDvX + 0);
+    s += "  add r7, r7, r8\n";
+    s += strprintf("  lw r8, r0, %d\n", kDvX + 2);
+    s += "  sub r7, r7, r8\n";
+    s += strprintf("  lw r8, r0, %d\n", kDvX + 3);
+    s += "  add r8, r8, r8\n";
+    s += "  sub r7, r7, r8\n";
+    s += "  movi r8, 8\n";
+    s += "  div r7, r7, r8\n"; // r7 = d
+    s += strprintf("  movi r8, %d\n", kDerivClamp);
+    s += "  ble r7, r8, dclamp_hi\n";
+    s += "  add r7, r8, r0\n";
+    s += "dclamp_hi:\n";
+    s += strprintf("  movi r8, %d\n", -kDerivClamp);
+    s += "  bge r7, r8, dclamp_lo\n";
+    s += "  add r7, r8, r0\n";
+    s += "dclamp_lo:\n";
+    s += "  mul r7, r7, r7\n";
+    s += strprintf("  movi r8, %d\n", kSquareClamp);
+    s += "  ble r7, r8, sq_ok\n";
+    s += "  add r7, r8, r0\n";
+    s += "sq_ok:\n"; // r7 = sq
+    emitShift(s, kDvX, kDvLen, "r6");
+
+    // ---- MWI: sum += sq - mwS[29]; m = sum / 30 ----
+    s += strprintf("  lw r5, r0, %d\n", kMwSum);
+    s += "  add r5, r5, r7\n";
+    s += strprintf("  lw r6, r0, %d\n", kMwS + kMwLen - 1);
+    s += "  sub r5, r5, r6\n";
+    s += strprintf("  sw r5, r0, %d\n", kMwSum);
+    emitShift(s, kMwS, kMwLen, "r7");
+    s += strprintf("  movi r8, %d\n", kMwLen);
+    s += "  div r4, r5, r8\n"; // r4 = m
+
+    // ---- Detection ----
+    // r5=m1 r6=m2 r7=thr r9=isQrs r10=isNoise
+    s += strprintf("  lw r5, r0, %d\n", kM1);
+    s += strprintf("  lw r6, r0, %d\n", kM2);
+    s += "  movi r9, 0\n";  // isQrs = 0
+    s += "  movi r10, 0\n"; // isNoise = 0
+    // isPeak = m1 > m && m1 >= m2
+    s += "  ble r5, r4, det_done_peak\n";
+    s += "  blt r5, r6, det_done_peak\n";
+    // active only in monitor mode
+    s += strprintf("  lw r8, r0, %d\n", kMode);
+    s += "  bne r8, r0, det_done_peak\n";
+    // thr = npki + (spki - npki)/4
+    s += strprintf("  lw r7, r0, %d\n", kNpki);
+    s += strprintf("  lw r8, r0, %d\n", kSpki);
+    s += "  sub r8, r8, r7\n";
+    s += "  movi r11, 4\n";
+    s += "  div r8, r8, r11\n";
+    s += "  add r7, r7, r8\n";
+    // qrs tests: m1 > thr, m1 > kMinPeak, since > refractory
+    s += "  movi r10, 1\n"; // assume noise unless QRS
+    s += "  ble r5, r7, det_done_peak\n";
+    s += strprintf("  movi r8, %d\n", kMinPeak);
+    s += "  ble r5, r8, det_done_peak\n";
+    s += strprintf("  lw r8, r0, %d\n", kSince);
+    s += strprintf("  movi r11, %d\n", kRefractorySamples);
+    s += "  ble r8, r11, det_done_peak\n";
+    s += "  movi r9, 1\n";  // QRS!
+    s += "  movi r10, 0\n";
+    s += "det_done_peak:\n";
+    // spki/npki updates
+    s += "  beq r9, r0, no_spki\n";
+    s += strprintf("  lw r8, r0, %d\n", kSpki);
+    s += "  muli r8, r8, 7\n";
+    s += "  add r8, r8, r5\n";
+    s += "  movi r11, 8\n";
+    s += "  div r8, r8, r11\n";
+    s += strprintf("  sw r8, r0, %d\n", kSpki);
+    s += "no_spki:\n";
+    s += "  beq r10, r0, no_npki\n";
+    s += strprintf("  lw r8, r0, %d\n", kNpki);
+    s += "  muli r8, r8, 7\n";
+    s += "  add r8, r8, r5\n";
+    s += "  movi r11, 8\n";
+    s += "  div r8, r8, r11\n";
+    s += strprintf("  sw r8, r0, %d\n", kNpki);
+    s += "no_npki:\n";
+    // rrMs = since * 5; conditional history push
+    s += strprintf("  lw r8, r0, %d\n", kSince);
+    s += strprintf("  muli r12, r8, %d\n", kSampleMs);
+    s += "  beq r9, r0, no_rr\n";
+    s += strprintf("  movi r11, %d\n", kRrMinMs);
+    s += "  blt r12, r11, no_rr\n";
+    s += strprintf("  movi r11, %d\n", kRrMaxMs);
+    s += "  bgt r12, r11, no_rr\n";
+    emitShift(s, kRr, kRrHistory, "r12");
+    s += "no_rr:\n";
+    // since update: since = min((isQrs?0:since)+1, cap)
+    s += "  beq r9, r0, since_keep\n";
+    s += "  movi r8, 0\n";
+    s += "since_keep:\n";
+    s += "  addi r8, r8, 1\n";
+    s += strprintf("  movi r11, %d\n", kSinceCap);
+    s += "  ble r8, r11, since_ok\n";
+    s += "  add r8, r11, r0\n";
+    s += "since_ok:\n";
+    s += strprintf("  sw r8, r0, %d\n", kSince);
+    // fast count over rr
+    s += "  movi r13, 0\n";
+    s += strprintf("  movi r11, %d\n", kVtLimitMs);
+    for (int i = 0; i < kRrHistory; ++i) {
+        s += strprintf("  lw r8, r0, %d\n", kRr + i);
+        s += "  slt r8, r8, r11\n";
+        s += "  add r13, r13, r8\n";
+    }
+    // vt = isQrs && fast >= kVtCount
+    s += "  movi r14, 0\n";
+    s += "  beq r9, r0, no_vt\n";
+    s += strprintf("  movi r11, %d\n", kVtCount);
+    s += "  blt r13, r11, no_vt\n";
+    s += "  movi r14, 1\n";
+    s += "no_vt:\n";
+    // m2 = m1; m1 = m
+    s += strprintf("  sw r5, r0, %d\n", kM2);
+    s += strprintf("  sw r4, r0, %d\n", kM1);
+
+    // ---- ATP state machine ----
+    s += "  movi r4, 0\n"; // out = 0
+    s += strprintf("  lw r8, r0, %d\n", kMode);
+    s += "  bne r8, r0, treat\n";
+    // monitor mode: enter therapy on vt
+    s += "  beq r14, r0, atp_done\n";
+    s += "  movi r8, 1\n";
+    s += strprintf("  sw r8, r0, %d\n", kMode);
+    s += strprintf("  movi r8, %d\n", kAtpPulses);
+    s += strprintf("  sw r8, r0, %d\n", kPulses);
+    s += strprintf("  movi r8, %d\n", kAtpSequences);
+    s += strprintf("  sw r8, r0, %d\n", kSeqs);
+    // interval = max(rrMs*88/100/5, min)
+    s += strprintf("  muli r8, r12, %d\n", kAtpCouplingPct);
+    s += "  movi r11, 100\n";
+    s += "  div r8, r8, r11\n";
+    s += strprintf("  movi r11, %d\n", kSampleMs);
+    s += "  div r8, r8, r11\n";
+    s += strprintf("  movi r11, %d\n", kAtpMinIntervalSamples);
+    s += "  bge r8, r11, iv_ok\n";
+    s += "  add r8, r11, r0\n";
+    s += "iv_ok:\n";
+    s += strprintf("  sw r8, r0, %d\n", kInterval);
+    s += strprintf("  sw r8, r0, %d\n", kCountdown);
+    s += "  movi r8, 1\n";
+    s += strprintf("  sw r8, r0, %d\n", kFirst);
+    s += "  j atp_done\n";
+
+    s += "treat:\n";
+    s += strprintf("  lw r8, r0, %d\n", kCountdown);
+    s += "  addi r8, r8, -1\n";
+    s += "  beq r8, r0, fire\n";
+    s += strprintf("  sw r8, r0, %d\n", kCountdown);
+    s += "  j atp_done\n";
+    s += "fire:\n";
+    // out = first ? 2 : 1
+    s += strprintf("  lw r11, r0, %d\n", kFirst);
+    s += "  movi r4, 1\n";
+    s += "  beq r11, r0, not_first\n";
+    s += "  movi r4, 2\n";
+    s += "  movi r11, 0\n";
+    s += strprintf("  sw r11, r0, %d\n", kFirst);
+    s += "not_first:\n";
+    s += strprintf("  lw r8, r0, %d\n", kPulses);
+    s += "  addi r8, r8, -1\n";
+    s += "  beq r8, r0, seq_end\n";
+    s += strprintf("  sw r8, r0, %d\n", kPulses);
+    s += strprintf("  lw r8, r0, %d\n", kInterval);
+    s += strprintf("  sw r8, r0, %d\n", kCountdown);
+    s += "  j atp_done\n";
+    s += "seq_end:\n";
+    s += strprintf("  lw r8, r0, %d\n", kSeqs);
+    s += "  addi r8, r8, -1\n";
+    s += "  beq r8, r0, therapy_end\n";
+    s += strprintf("  sw r8, r0, %d\n", kSeqs);
+    s += strprintf("  movi r8, %d\n", kAtpPulses);
+    s += strprintf("  sw r8, r0, %d\n", kPulses);
+    s += strprintf("  lw r8, r0, %d\n", kInterval);
+    s += strprintf("  addi r8, r8, %d\n",
+                   -(kAtpDecrementMs / kSampleMs));
+    s += strprintf("  movi r11, %d\n", kAtpMinIntervalSamples);
+    s += "  bge r8, r11, iv2_ok\n";
+    s += "  add r8, r11, r0\n";
+    s += "iv2_ok:\n";
+    s += strprintf("  sw r8, r0, %d\n", kInterval);
+    s += strprintf("  sw r8, r0, %d\n", kCountdown);
+    s += "  j atp_done\n";
+    s += "therapy_end:\n";
+    s += "  movi r8, 0\n";
+    s += strprintf("  sw r8, r0, %d\n", kMode);
+    s += strprintf("  sw r8, r0, %d\n", kPulses);
+    s += strprintf("  sw r8, r0, %d\n", kSeqs);
+    s += strprintf("  sw r8, r0, %d\n", kInterval);
+    s += strprintf("  sw r8, r0, %d\n", kCountdown);
+    s += strprintf("  sw r8, r0, %d\n", kFirst);
+    // clear rr history + since
+    s += strprintf("  movi r8, %d\n", kRrInitMs);
+    for (int i = 0; i < kRrHistory; ++i)
+        s += strprintf("  sw r8, r0, %d\n", kRr + i);
+    s += strprintf("  movi r8, %d\n", kRrInitMs / kSampleMs);
+    s += strprintf("  sw r8, r0, %d\n", kSince);
+    s += "atp_done:\n";
+
+    // Store output, stream to comm, loop.
+    s += strprintf("  sw r4, r0, %d\n", kLastOut);
+    s += strprintf("  out r4, %d\n", int(sys::kPortCommOut));
+    s += "  j main_loop\n";
+    return s;
+}
+
+mblaze::MbProgram
+baselineIcdProgram()
+{
+    return mblaze::assembleMbOrDie(baselineIcdAsmText());
+}
+
+std::string
+monitorAsmText()
+{
+    std::string s;
+    s += "# Monitoring software for the imperative layer\n";
+    s += "# r1 = therapy episode count\n";
+    s += "  movi r1, 0\n";
+    s += "poll:\n";
+    // Drain the inter-layer channel.
+    s += strprintf("  in r2, %d\n", int(sys::kMbChanStatus));
+    s += "  beq r2, r0, diag\n";
+    s += strprintf("  in r3, %d\n", int(sys::kMbChanData));
+    s += "  movi r4, 2\n";
+    s += "  bne r3, r4, poll\n";
+    s += "  addi r1, r1, 1\n"; // therapy-start marker seen
+    s += "  j poll\n";
+    // Diagnostic channel: command 1 => report the count.
+    s += "diag:\n";
+    s += strprintf("  in r2, %d\n", int(sys::kMbDiagCmd));
+    s += "  movi r4, 1\n";
+    s += "  bne r2, r4, poll\n";
+    s += strprintf("  out r1, %d\n", int(sys::kMbDiagResp));
+    s += "  j poll\n";
+    return s;
+}
+
+mblaze::MbProgram
+monitorProgram()
+{
+    return mblaze::assembleMbOrDie(monitorAsmText());
+}
+
+} // namespace zarf::icd

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The unverified imperative ICD — the paper's "completely unverified
+ * C version of the application on a Xilinx MicroBlaze" (Sec. 6) —
+ * plus the monitoring software that runs on the imperative layer of
+ * the two-layer system (Sec. 4.1).
+ *
+ * The baseline implements the identical algorithm (same constants,
+ * same operation order as icd/spec.hh) in mblaze assembly with
+ * straight-line delay-line code, the way a compiler would lower the
+ * C original. Tests hold it to bit-identical outputs against the
+ * specification, and the comparison bench measures its
+ * cycles-per-iteration against the λ-execution layer (paper: under
+ * one thousand cycles per iteration).
+ */
+
+#ifndef ZARF_ICD_BASELINE_HH
+#define ZARF_ICD_BASELINE_HH
+
+#include <string>
+
+#include "mblaze/isa.hh"
+
+namespace zarf::icd
+{
+
+/**
+ * The standalone imperative ICD program.
+ *
+ * Loop per iteration: poll the timer port, emit the previous
+ * output on the pacing port, read a sample, run the filter cascade +
+ * detection + ATP, store the new output. Ports follow
+ * system/ports.hh's λ-side numbering (timer 3, ECG 0, shock 1,
+ * comm 2) so the same device rig drives both implementations.
+ */
+std::string baselineIcdAsmText();
+
+/** Assembled form (dies on assembler errors). */
+mblaze::MbProgram baselineIcdProgram();
+
+/**
+ * The monitoring software for the imperative layer of the two-layer
+ * system: drains the inter-layer channel, counts therapy episodes
+ * (value 2 = first pulse of a burst), and answers diagnostic
+ * queries (command 1 -> respond with the episode count).
+ */
+std::string monitorAsmText();
+mblaze::MbProgram monitorProgram();
+
+} // namespace zarf::icd
+
+#endif // ZARF_ICD_BASELINE_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared algorithm constants of the ICD application.
+ *
+ * Every implementation of the algorithm — the executable stream
+ * specification (icd/spec.hh), the low-level functional program
+ * extracted to Zarf assembly (icd/zarf_icd.hh), and the imperative
+ * baseline for the MicroBlaze-like core (icd/baseline.hh) — uses
+ * exactly these constants, so the refinement chain compares like
+ * with like.
+ *
+ * The QRS detector follows Pan & Tompkins (1985) in its integer
+ * formulation (the filter cascade of Fig. 5); the VT test and ATP
+ * prescription follow the paper's description of Wathen et al.
+ * (Sec. 4.2): if 18 of the last 24 beat periods are under 360 ms,
+ * deliver three sequences of eight pulses at 88% of the current
+ * cycle length with a 20 ms decrement between sequences.
+ */
+
+#ifndef ZARF_ICD_PARAMS_HH
+#define ZARF_ICD_PARAMS_HH
+
+#include "support/types.hh"
+
+namespace zarf::icd
+{
+
+// Sampling.
+constexpr SWord kSampleMs = 5;     ///< 200 Hz.
+
+// Pan-Tompkins filter cascade (delay-line lengths).
+constexpr int kLpLen = 12;   ///< Low-pass x history.
+constexpr int kHpLen = 32;   ///< High-pass x history.
+constexpr int kDvLen = 4;    ///< Derivative history.
+constexpr int kMwLen = 30;   ///< Moving-window integration (150 ms).
+
+// Squaring-stage clamps (keep sums inside 31-bit machine ints).
+constexpr SWord kDerivClamp = 23000;
+constexpr SWord kSquareClamp = 1 << 24;
+
+// Detection.
+constexpr SWord kRefractorySamples = 40; ///< 200 ms.
+constexpr SWord kMinPeak = 2000;  ///< Absolute peak floor (counts).
+constexpr SWord kRrMinMs = 200;   ///< Plausible RR interval window.
+constexpr SWord kRrMaxMs = 2000;
+constexpr SWord kSinceCap = 100000; ///< Saturation for sinceQrs.
+
+// VT detection (18 of 24 under 360 ms).
+constexpr int kRrHistory = 24;
+constexpr int kVtCount = 18;
+constexpr SWord kVtLimitMs = 360;
+constexpr SWord kRrInitMs = 1000; ///< History initialisation value.
+
+// Anti-tachycardia pacing.
+constexpr SWord kAtpSequences = 3;
+constexpr SWord kAtpPulses = 8;
+constexpr SWord kAtpCouplingPct = 88;  ///< Pulse at 88% of cycle.
+constexpr SWord kAtpDecrementMs = 20;  ///< Between sequences.
+constexpr SWord kAtpMinIntervalSamples = 30; ///< 150 ms floor.
+
+// Output encoding of one ICD iteration.
+constexpr SWord kOutNone = 0;
+constexpr SWord kOutPulse = 1;
+constexpr SWord kOutTherapyStart = 2; ///< First pulse of an episode.
+
+} // namespace zarf::icd
+
+#endif // ZARF_ICD_PARAMS_HH

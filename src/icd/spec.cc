@@ -1,0 +1,184 @@
+#include "icd/spec.hh"
+
+#include <cstddef>
+
+using std::size_t;
+
+namespace zarf::icd
+{
+
+namespace
+{
+
+// All arithmetic matches the λ-layer's 31-bit ALU exactly, so the
+// refinement comparison against the extracted assembly is bit-level.
+SWord add31(SWord a, SWord b) { return wrapInt31(int64_t(a) + b); }
+SWord sub31(SWord a, SWord b) { return wrapInt31(int64_t(a) - b); }
+SWord mul31(SWord a, SWord b)
+{
+    return wrapInt31(int64_t(a) * int64_t(b));
+}
+SWord div31(SWord a, SWord b) { return b ? wrapInt31(a / b) : 0; }
+SWord min31(SWord a, SWord b) { return a < b ? a : b; }
+SWord max31(SWord a, SWord b) { return a > b ? a : b; }
+
+template <size_t N>
+void
+shiftIn(std::array<SWord, N> &line, SWord v)
+{
+    for (size_t i = N - 1; i > 0; --i)
+        line[i] = line[i - 1];
+    line[0] = v;
+}
+
+} // namespace
+
+IcdSpec::IcdSpec()
+{
+    rr.fill(kRrInitMs);
+}
+
+SWord
+IcdSpec::step(SWord sample)
+{
+    return stepTraced(sample).output;
+}
+
+StageTrace
+IcdSpec::stepTraced(SWord x)
+{
+    StageTrace tr{};
+    tr.input = x;
+
+    // ---- Low-pass: y = 2y1 - y2 + x - 2x[n-6] + x[n-12] ----
+    SWord ly = add31(
+        sub31(add31(sub31(mul31(2, lpY1), lpY2), x),
+              mul31(2, lpX[5])),
+        lpX[11]);
+    shiftIn(lpX, x);
+    lpY2 = lpY1;
+    lpY1 = ly;
+    tr.lowpass = ly;
+
+    // ---- High-pass: hy = hy1 + ly - ly[n-32]; f = ly[n-16] - hy/32
+    SWord hy = sub31(add31(hpY1, ly), hpX[31]);
+    SWord f = sub31(hpX[15], div31(hy, 32));
+    shiftIn(hpX, ly);
+    hpY1 = hy;
+    tr.highpass = f;
+
+    // ---- Derivative, clamp, square ----
+    SWord d = div31(
+        sub31(sub31(add31(mul31(2, f), dvX[0]), dvX[2]),
+              mul31(2, dvX[3])),
+        8);
+    SWord dc = max31(min31(d, kDerivClamp), -kDerivClamp);
+    SWord sq = min31(mul31(dc, dc), kSquareClamp);
+    shiftIn(dvX, f);
+    tr.derivative = dc;
+    tr.squared = sq;
+
+    // ---- Moving-window integration ----
+    mwSum = sub31(add31(mwSum, sq), mwS[kMwLen - 1]);
+    shiftIn(mwS, sq);
+    SWord m = div31(mwSum, kMwLen);
+    tr.mwi = m;
+
+    // ---- Detection (adaptive thresholds, refractory) ----
+    SWord isPeak = (m1 > m && m1 >= m2) ? 1 : 0;
+    SWord thr = add31(npki, div31(sub31(spki, npki), 4));
+    tr.threshold = thr;
+    SWord active = (mode == 0 && isPeak) ? 1 : 0;
+    SWord isQrs = (active && m1 > thr && m1 > kMinPeak &&
+                   sinceQrs > kRefractorySamples)
+                      ? 1
+                      : 0;
+    SWord isNoise = (active && !isQrs) ? 1 : 0;
+    if (isQrs)
+        spki = div31(add31(m1, mul31(7, spki)), 8);
+    if (isNoise)
+        npki = div31(add31(m1, mul31(7, npki)), 8);
+    SWord rrMs = mul31(sinceQrs, kSampleMs);
+    SWord rrOk =
+        (isQrs && rrMs >= kRrMinMs && rrMs <= kRrMaxMs) ? 1 : 0;
+    if (rrOk) {
+        shiftIn(rr, rrMs);
+        lastRr = rrMs;
+    }
+    sinceQrs = min31(add31(isQrs ? 0 : sinceQrs, 1), kSinceCap);
+    SWord fast = 0;
+    for (int i = 0; i < kRrHistory; ++i)
+        fast = add31(fast, rr[size_t(i)] < kVtLimitMs ? 1 : 0);
+    SWord vt = (isQrs && fast >= kVtCount) ? 1 : 0;
+    m2 = m1;
+    m1 = m;
+    tr.qrs = isQrs != 0;
+    if (isQrs) {
+        ++qrsDetected;
+        marks.push_back(sampleNo);
+    }
+
+    // ---- Anti-tachycardia pacing state machine ----
+    SWord out = kOutNone;
+    SWord cleared = 0;
+    if (mode == 0) {
+        if (vt) {
+            mode = 1;
+            seqsLeft = kAtpSequences;
+            pulsesLeft = kAtpPulses;
+            intervalSamples = max31(
+                div31(div31(mul31(rrMs, kAtpCouplingPct), 100),
+                      kSampleMs),
+                kAtpMinIntervalSamples);
+            countdown = intervalSamples;
+            firstPulse = 1;
+            ++therapies;
+        }
+    } else {
+        SWord cd = sub31(countdown, 1);
+        if (cd == 0) {
+            out = firstPulse ? kOutTherapyStart : kOutPulse;
+            SWord pl = sub31(pulsesLeft, 1);
+            if (pl == 0) {
+                SWord sl = sub31(seqsLeft, 1);
+                if (sl == 0) {
+                    mode = 0;
+                    pulsesLeft = 0;
+                    seqsLeft = 0;
+                    intervalSamples = 0;
+                    countdown = 0;
+                    firstPulse = 0;
+                    cleared = 1;
+                } else {
+                    SWord iv = max31(
+                        sub31(intervalSamples,
+                              kAtpDecrementMs / kSampleMs),
+                        kAtpMinIntervalSamples);
+                    seqsLeft = sl;
+                    pulsesLeft = kAtpPulses;
+                    intervalSamples = iv;
+                    countdown = iv;
+                    firstPulse = 0;
+                }
+            } else {
+                pulsesLeft = pl;
+                countdown = intervalSamples;
+                firstPulse = 0;
+            }
+        } else {
+            countdown = cd;
+        }
+    }
+
+    // ---- Post-therapy detection reset ----
+    if (cleared) {
+        rr.fill(kRrInitMs);
+        sinceQrs = kRrInitMs / kSampleMs;
+    }
+
+    tr.output = out;
+    ++sampleNo;
+    return tr;
+}
+
+} // namespace zarf::icd

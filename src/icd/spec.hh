@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The executable stream specification of the ICD algorithm — the
+ * analog of the paper's high-level Gallina specification (Sec. 5.1,
+ * Fig. 6a).
+ *
+ * The specification consumes the 200 Hz sample stream one value at a
+ * time and produces one output value per sample (0 none, 1 pacing
+ * pulse, 2 first pulse of a therapy burst). It is written for
+ * clarity and serves as the oracle in the refinement chain: the
+ * low-level functional implementation extracted to Zarf assembly
+ * must produce an identical output stream for every input stream
+ * (verified by the lock-step differential harness in
+ * verify/refine.hh), and the imperative baseline must as well.
+ *
+ * The per-stage filter outputs are exposed so the Fig. 5 pipeline
+ * bench can plot every intermediate signal.
+ */
+
+#ifndef ZARF_ICD_SPEC_HH
+#define ZARF_ICD_SPEC_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "icd/params.hh"
+#include "support/types.hh"
+
+namespace zarf::icd
+{
+
+/** Per-sample view of every pipeline stage (for Fig. 5). */
+struct StageTrace
+{
+    SWord input;
+    SWord lowpass;
+    SWord highpass;
+    SWord derivative; ///< After clamping.
+    SWord squared;    ///< After clamping.
+    SWord mwi;
+    SWord threshold;
+    bool qrs;         ///< QRS detected at this sample.
+    SWord output;
+};
+
+/** The streaming specification. */
+class IcdSpec
+{
+  public:
+    IcdSpec();
+
+    /** Process one sample; returns the output value. */
+    SWord step(SWord sample);
+
+    /** step() plus a full view of the pipeline (same transition). */
+    StageTrace stepTraced(SWord sample);
+
+    // Observers for tests and reports.
+    bool inTreatment() const { return mode == 1; }
+    uint64_t qrsCount() const { return qrsDetected; }
+    uint64_t therapyCount() const { return therapies; }
+    /** Sample indices at which QRS complexes were detected. */
+    const std::vector<uint64_t> &detections() const { return marks; }
+    /** Most recent measured RR interval in ms (0 before 2 beats). */
+    SWord lastRrMs() const { return lastRr; }
+    /** Current rate estimate in bpm from the last RR (0 if none). */
+    SWord heartRateBpm() const
+    {
+        return lastRr > 0 ? 60000 / lastRr : 0;
+    }
+
+  private:
+    // Filter state (delay lines ordered newest-first: x[0]=x[n-1]).
+    std::array<SWord, kLpLen> lpX{};
+    SWord lpY1 = 0, lpY2 = 0;
+    std::array<SWord, kHpLen> hpX{};
+    SWord hpY1 = 0;
+    std::array<SWord, kDvLen> dvX{};
+    std::array<SWord, kMwLen> mwS{};
+    SWord mwSum = 0;
+
+    // Detection state.
+    SWord spki = 0, npki = 0;
+    SWord m1 = 0, m2 = 0;
+    SWord sinceQrs = kRrInitMs / kSampleMs;
+    std::array<SWord, kRrHistory> rr{};
+
+    // ATP state.
+    SWord mode = 0;
+    SWord pulsesLeft = 0, seqsLeft = 0;
+    SWord intervalSamples = 0, countdown = 0;
+    SWord firstPulse = 0;
+
+    // Bookkeeping (not part of the algorithm state).
+    uint64_t sampleNo = 0;
+    uint64_t qrsDetected = 0;
+    uint64_t therapies = 0;
+    std::vector<uint64_t> marks;
+    SWord lastRr = 0;
+};
+
+} // namespace zarf::icd
+
+#endif // ZARF_ICD_SPEC_HH

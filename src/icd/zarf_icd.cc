@@ -1,0 +1,483 @@
+#include "icd/zarf_icd.hh"
+
+#include "icd/params.hh"
+#include "isa/validate.hh"
+#include "lowlevel/extract.hh"
+#include "support/logging.hh"
+#include "system/ports.hh"
+
+namespace zarf::icd
+{
+
+using namespace ll;
+
+namespace
+{
+
+/** fields "p0".."p{n-1}" with a prefix. */
+std::vector<std::string>
+fieldNames(const char *prefix, int n)
+{
+    std::vector<std::string> out;
+    out.reserve(size_t(n));
+    for (int i = 0; i < n; ++i)
+        out.push_back(strprintf("%s%d", prefix, i));
+    return out;
+}
+
+std::vector<L>
+vars(const std::vector<std::string> &names)
+{
+    std::vector<L> out;
+    out.reserve(names.size());
+    for (const auto &n : names)
+        out.push_back(v(n));
+    return out;
+}
+
+std::vector<L>
+zeros(int n, SWord value = 0)
+{
+    std::vector<L> out;
+    out.reserve(size_t(n));
+    for (int i = 0; i < n; ++i)
+        out.push_back(lit(value));
+    return out;
+}
+
+/** Shift a delay line: newest first, drop the oldest. */
+std::vector<L>
+shifted(L newest, const std::vector<std::string> &old)
+{
+    std::vector<L> out;
+    out.reserve(old.size());
+    out.push_back(std::move(newest));
+    for (size_t i = 0; i + 1 < old.size(); ++i)
+        out.push_back(v(old[i]));
+    return out;
+}
+
+/** Append extra values to a var list. */
+std::vector<L>
+withTail(std::vector<L> head, std::vector<L> tail)
+{
+    for (auto &t : tail)
+        head.push_back(std::move(t));
+    return head;
+}
+
+void
+declareConses(LProgram &p)
+{
+    p.cons("St", 6);               // lp hp dv mw det atp
+    p.cons("Lp", kLpLen + 2);      // x0..x11 y1 y2
+    p.cons("Hp", kHpLen + 1);      // x0..x31 y1
+    p.cons("Dv", kDvLen);          // d0..d3
+    p.cons("Mw", kMwLen + 1);      // s0..s29 sum
+    p.cons("Det", 6);              // spki npki m1 m2 since rr
+    p.cons("Rr", kRrHistory);      // r0..r23
+    p.cons("Atp", 6);              // mode pulses seqs interval
+                                   // countdown first
+    p.cons("LpRes", 2);
+    p.cons("HpRes", 2);
+    p.cons("DvRes", 2);
+    p.cons("MwRes", 2);
+    p.cons("DetRes", 3);           // det vt rrMs
+    p.cons("AtpRes", 3);           // atp out cleared
+    p.cons("IcdOut", 2);           // st out
+}
+
+void
+defineAlgorithm(LProgram &p)
+{
+    const auto lpF = fieldNames("lx", kLpLen);
+    const auto hpF = fieldNames("hx", kHpLen);
+    const auto dvF = fieldNames("dx", kDvLen);
+    const auto mwF = fieldNames("ms", kMwLen);
+    const auto rrF = fieldNames("r", kRrHistory);
+
+    // ---- icdInit ----
+    {
+        L det = call("Det",
+                     { lit(0), lit(0), lit(0), lit(0),
+                       lit(kRrInitMs / kSampleMs),
+                       call("Rr", zeros(kRrHistory, kRrInitMs)) });
+        L st = call(
+            "St",
+            { call("Lp", zeros(kLpLen + 2)),
+              call("Hp", zeros(kHpLen + 1)),
+              call("Dv", zeros(kDvLen)),
+              call("Mw", zeros(kMwLen + 1)), det,
+              call("Atp", zeros(6)) });
+        p.fn("icdInit", {}, st);
+    }
+
+    // ---- lpStep lp x ----
+    {
+        auto f = lpF;
+        f.push_back("ly1");
+        f.push_back("ly2");
+        // y = 2*y1 - y2 + x - 2*x[n-6] + x[n-12]
+        L ly = lit(2) * v("ly1") - v("ly2") + v("x") -
+               lit(2) * v(lpF[5]) + v(lpF[11]);
+        L body = letIn(
+            "ly", ly,
+            call("LpRes",
+                 { call("Lp", withTail(shifted(v("x"), lpF),
+                                       { v("ly"), v("ly1") })),
+                   v("ly") }));
+        p.fn("lpStep", { "lp", "x" },
+             match(v("lp"), { onCons("Lp", f, body) }, nullptr));
+    }
+
+    // ---- hpStep hp ly ----
+    {
+        auto f = hpF;
+        f.push_back("hy1");
+        // hy = hy1 + ly - x[n-32]; out = x[n-16] - hy/32
+        L body = letIn(
+            "hy", v("hy1") + v("ly") - v(hpF[31]),
+            letIn("hf", v(hpF[15]) - v("hy") / lit(32),
+                  call("HpRes",
+                       { call("Hp", withTail(shifted(v("ly"), hpF),
+                                             { v("hy") })),
+                         v("hf") })));
+        p.fn("hpStep", { "hp", "ly" },
+             match(v("hp"), { onCons("Hp", f, body) }, nullptr));
+    }
+
+    // ---- dvStep dv f : derivative + clamp + square ----
+    {
+        L d = (lit(2) * v("f") + v(dvF[0]) - v(dvF[2]) -
+               lit(2) * v(dvF[3])) /
+              lit(8);
+        L body = letIn(
+            "d", d,
+            letIn("dc",
+                  call("max", { call("min",
+                                     { v("d"), lit(kDerivClamp) }),
+                                lit(-kDerivClamp) }),
+                  letIn("sq",
+                        call("min", { v("dc") * v("dc"),
+                                      lit(kSquareClamp) }),
+                        call("DvRes",
+                             { call("Dv", shifted(v("f"), dvF)),
+                               v("sq") }))));
+        p.fn("dvStep", { "dv", "f" },
+             match(v("dv"), { onCons("Dv", dvF, body) }, nullptr));
+    }
+
+    // ---- mwStep mw sq : moving-window integration ----
+    {
+        auto f = mwF;
+        f.push_back("msum");
+        L body = letIn(
+            "msum2", v("msum") + v("sq") - v(mwF[kMwLen - 1]),
+            letIn("m", v("msum2") / lit(kMwLen),
+                  call("MwRes",
+                       { call("Mw", withTail(shifted(v("sq"), mwF),
+                                             { v("msum2") })),
+                         v("m") })));
+        p.fn("mwStep", { "mw", "sq" },
+             match(v("mw"), { onCons("Mw", f, body) }, nullptr));
+    }
+
+    // ---- rrShift ok rr rrMs : conditionally push an interval ----
+    {
+        L keep = call("Rr", vars(rrF));
+        L push = call("Rr", shifted(v("rrMs"), rrF));
+        p.fn("rrShift", { "ok", "rr", "rrMs" },
+             match(v("rr"),
+                   { onCons("Rr", rrF,
+                            iff(v("ok") == lit(1), push, keep)) },
+                   nullptr));
+    }
+
+    // ---- countFast rr : how many intervals are under 360 ms ----
+    {
+        L sum = v(rrF[0]) < lit(kVtLimitMs);
+        for (int i = 1; i < kRrHistory; ++i)
+            sum = sum + (v(rrF[size_t(i)]) < lit(kVtLimitMs));
+        p.fn("countFast", { "rr" },
+             match(v("rr"), { onCons("Rr", rrF, sum) }, nullptr));
+    }
+
+    // ---- detStep det mode m ----
+    {
+        L body = letIn(
+            "isPeak", (v("m1") > v("m")) && (v("m1") >= v("m2")),
+        letIn("thr",
+              v("npki") + (v("spki") - v("npki")) / lit(4),
+        letIn("active", (v("mode") == lit(0)) && v("isPeak"),
+        letIn("isQrs",
+              v("active") && (v("m1") > v("thr")) &&
+                  (v("m1") > lit(kMinPeak)) &&
+                  (v("since") > lit(kRefractorySamples)),
+        letIn("isNoise", v("active") && (v("isQrs") == lit(0)),
+        letIn("spki2",
+              sel(v("isQrs"),
+                  (v("m1") + lit(7) * v("spki")) / lit(8),
+                  v("spki")),
+        letIn("npki2",
+              sel(v("isNoise"),
+                  (v("m1") + lit(7) * v("npki")) / lit(8),
+                  v("npki")),
+        letIn("rrMs", v("since") * lit(kSampleMs),
+        letIn("rrOk",
+              v("isQrs") && (v("rrMs") >= lit(kRrMinMs)) &&
+                  (v("rrMs") <= lit(kRrMaxMs)),
+        letIn("rr2", call("rrShift", { v("rrOk"), v("rr"),
+                                       v("rrMs") }),
+        letIn("since2",
+              call("min", { sel(v("isQrs"), lit(0), v("since")) +
+                                lit(1),
+                            lit(kSinceCap) }),
+        letIn("fast", call("countFast", { v("rr2") }),
+        letIn("vt",
+              v("isQrs") && (v("fast") >= lit(kVtCount)),
+              // Strictness annotation: in treatment mode nothing
+              // demands vt, so without this seq the rrShift/countFast
+              // thunk chain would grow without bound (a classic lazy
+              // space leak). Forcing fast forces the new history's
+              // spine and fields every iteration.
+              seq(v("fast"),
+                  call("DetRes",
+                       { call("Det",
+                              { v("spki2"), v("npki2"), v("m"),
+                                v("m1"), v("since2"), v("rr2") }),
+                         v("vt"), v("rrMs") })))))))))))))));
+        p.fn("detStep", { "det", "mode", "m" },
+             match(v("det"),
+                   { onCons("Det",
+                            { "spki", "npki", "m1", "m2", "since",
+                              "rr" },
+                            body) },
+                   nullptr));
+    }
+
+    // ---- detClear cleared det : reset history after therapy ----
+    {
+        L resetRr = call("Rr", zeros(kRrHistory, kRrInitMs));
+        L resetDet = call("Det", { v("spki"), v("npki"), v("m1"),
+                                   v("m2"),
+                                   lit(kRrInitMs / kSampleMs),
+                                   resetRr });
+        L keep = call("Det", { v("spki"), v("npki"), v("m1"),
+                               v("m2"), v("since"), v("rr") });
+        p.fn("detClear", { "cleared", "det" },
+             match(v("det"),
+                   { onCons("Det",
+                            { "spki", "npki", "m1", "m2", "since",
+                              "rr" },
+                            iff(v("cleared") == lit(1), resetDet,
+                                keep)) },
+                   nullptr));
+    }
+
+    // ---- ATP state machine ----
+    p.fn("enterTherapy", { "rrMs" },
+         letIn("iv",
+               call("max",
+                    { v("rrMs") * lit(kAtpCouplingPct) / lit(100) /
+                          lit(kSampleMs),
+                      lit(kAtpMinIntervalSamples) }),
+               call("AtpRes",
+                    { call("Atp", { lit(1), lit(kAtpPulses),
+                                    lit(kAtpSequences), v("iv"),
+                                    v("iv"), lit(1) }),
+                      lit(kOutNone), lit(0) })));
+
+    p.fn("endSeq", { "sl", "iv", "out" },
+         letIn("sl2", v("sl") - lit(1),
+               iff(v("sl2") == lit(0),
+                   call("AtpRes",
+                        { call("Atp", zeros(6)), v("out"),
+                          lit(1) }),
+                   letIn("iv2",
+                         call("max",
+                              { v("iv") - lit(kAtpDecrementMs /
+                                              kSampleMs),
+                                lit(kAtpMinIntervalSamples) }),
+                         call("AtpRes",
+                              { call("Atp",
+                                     { lit(1), lit(kAtpPulses),
+                                       v("sl2"), v("iv2"),
+                                       v("iv2"), lit(0) }),
+                                v("out"), lit(0) })))));
+
+    p.fn("firePulse", { "pl", "sl", "iv", "fp" },
+         letIn("out",
+               sel(v("fp") == lit(1), lit(kOutTherapyStart),
+                   lit(kOutPulse)),
+               letIn("pl2", v("pl") - lit(1),
+                     iff(v("pl2") == lit(0),
+                         call("endSeq",
+                              { v("sl"), v("iv"), v("out") }),
+                         call("AtpRes",
+                              { call("Atp",
+                                     { lit(1), v("pl2"), v("sl"),
+                                       v("iv"), v("iv"), lit(0) }),
+                                v("out"), lit(0) })))));
+
+    p.fn("treatTick", { "pl", "sl", "iv", "cd", "fp" },
+         letIn("cd2", v("cd") - lit(1),
+               iff(v("cd2") == lit(0),
+                   call("firePulse",
+                        { v("pl"), v("sl"), v("iv"), v("fp") }),
+                   call("AtpRes",
+                        { call("Atp", { lit(1), v("pl"), v("sl"),
+                                        v("iv"), v("cd2"),
+                                        v("fp") }),
+                          lit(kOutNone), lit(0) }))));
+
+    p.fn("atpStep", { "atp", "vt", "rrMs" },
+         match(v("atp"),
+               { onCons("Atp",
+                        { "mode", "pl", "sl", "iv", "cd", "fp" },
+                        iff(v("mode") == lit(0),
+                            iff(v("vt") == lit(1),
+                                call("enterTherapy", { v("rrMs") }),
+                                call("AtpRes",
+                                     { call("Atp",
+                                            { lit(0), v("pl"),
+                                              v("sl"), v("iv"),
+                                              v("cd"), v("fp") }),
+                                       lit(kOutNone), lit(0) })),
+                            call("treatTick",
+                                 { v("pl"), v("sl"), v("iv"),
+                                   v("cd"), v("fp") }))) },
+               nullptr));
+
+    // ---- icdStep st x : one 5 ms iteration ----
+    {
+        L inner = letIn(
+            "lr", call("lpStep", { v("lp"), v("x") }),
+            match(v("lr"),
+                  { onCons("LpRes", { "lp2", "ly" },
+        letIn("hr", call("hpStep", { v("hp"), v("ly") }),
+        match(v("hr"),
+              { onCons("HpRes", { "hp2", "hf" },
+        letIn("dr", call("dvStep", { v("dv"), v("hf") }),
+        match(v("dr"),
+              { onCons("DvRes", { "dv2", "sq" },
+        letIn("mr", call("mwStep", { v("mw"), v("sq") }),
+        match(v("mr"),
+              { onCons("MwRes", { "mw2", "m" },
+        match(v("atp"),
+              { onCons("Atp",
+                       { "mode", "q1", "q2", "q3", "q4", "q5" },
+        letIn("er", call("detStep", { v("det"), v("mode"), v("m") }),
+        match(v("er"),
+              { onCons("DetRes", { "det2", "vt", "rrMs" },
+        letIn("ar", call("atpStep", { v("atp"), v("vt"),
+                                      v("rrMs") }),
+        match(v("ar"),
+              { onCons("AtpRes", { "atp2", "out", "cleared" },
+        letIn("det3", call("detClear", { v("cleared"), v("det2") }),
+              call("IcdOut",
+                   { call("St", { v("lp2"), v("hp2"), v("dv2"),
+                                  v("mw2"), v("det3"),
+                                  v("atp2") }),
+                     v("out") }))) },
+              nullptr))) },
+              nullptr))) },
+              nullptr)) },
+              nullptr))) },
+              nullptr))) },
+              nullptr))) },
+                  nullptr));
+        p.fn("icdStep", { "st", "x" },
+             match(v("st"),
+                   { onCons("St",
+                            { "lp", "hp", "dv", "mw", "det", "atp" },
+                            inner) },
+                   nullptr));
+    }
+}
+
+} // namespace
+
+LProgram
+buildIcdLowLevel()
+{
+    LProgram p;
+    declareConses(p);
+    // main is a stub; the refinement harness calls icdStep directly.
+    p.fn("main", {}, lit(0));
+    defineAlgorithm(p);
+    return p;
+}
+
+Program
+buildIcdStepProgram()
+{
+    return extractOrDie(buildIcdLowLevel());
+}
+
+LProgram
+buildKernelLowLevel(bool gcEachIteration)
+{
+    LProgram p;
+    declareConses(p);
+
+    // main: build the initial state and enter the loop.
+    p.fn("main", {},
+         letIn("st", call("icdInit", {}),
+               call("kernelLoop", { v("st"), lit(0) })));
+
+    defineAlgorithm(p);
+
+    // waitTick: poll the hardware timer until a 5 ms tick fires.
+    // Self-recursive by design; the WCET analysis treats it as the
+    // slack-consuming wait (Sec. 5.2).
+    p.fn("waitTick", { "k" },
+         letIn("t", call("getint", { lit(sys::kPortTimer) }),
+               iff(v("t") == lit(0), call("waitTick", { v("k") }),
+                   v("t"))));
+
+    // ioCoroutine: wait for the tick, emit the previous iteration's
+    // output on the pacing port, then read the next sample.
+    p.fn("ioCoroutine", { "lastOut" },
+         letIn("t", call("waitTick", { lit(0) }),
+               seq(v("t"),
+                   letIn("w", call("putint", { lit(sys::kPortShockOut),
+                                               v("lastOut") }),
+                         seq(v("w"),
+                             call("getint",
+                                  { lit(sys::kPortEcgIn) }))))));
+
+    // commCoroutine: stream the output value to the monitor.
+    p.fn("commCoroutine", { "out" },
+         call("putint", { lit(sys::kPortCommOut), v("out") }));
+
+    // kernelLoop: one cooperative round of the three coroutines,
+    // then (optionally) an explicit garbage collection, then
+    // recurse (Sec. 4.1).
+    L tail = call("kernelLoop", { v("st2"), v("out") });
+    if (gcEachIteration) {
+        tail = letIn("g", call("gc", { lit(0) }),
+                     seq(v("g"), std::move(tail)));
+    }
+    p.fn("kernelLoop", { "st", "lastOut" },
+         letIn("sample", call("ioCoroutine", { v("lastOut") }),
+               letIn("r", call("icdStep", { v("st"), v("sample") }),
+                     match(v("r"),
+                           { onCons("IcdOut", { "st2", "out" },
+                                    letIn("c",
+                                          call("commCoroutine",
+                                               { v("out") }),
+                                          seq(v("c"),
+                                              std::move(tail)))) },
+                           nullptr))));
+
+    return p;
+}
+
+Image
+buildKernelImage(bool gcEachIteration)
+{
+    Program p = extractOrDie(buildKernelLowLevel(gcEachIteration));
+    return encodeProgram(p);
+}
+
+} // namespace zarf::icd

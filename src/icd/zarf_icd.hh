@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The ICD's verified-path implementation: the algorithm written in
+ * the low-level functional IR and mechanically extracted to Zarf
+ * assembly (the paper's Sec. 5.1 pipeline), plus the cooperative
+ * microkernel program that runs it on the λ-execution layer with
+ * the I/O and communication coroutines of Sec. 4.
+ *
+ * The algorithm mirrors icd/spec.hh operation for operation (same
+ * constants from icd/params.hh, same 31-bit arithmetic), so the
+ * refinement harness can require bit-identical output streams.
+ *
+ * Structure of the extracted program:
+ *
+ *   icdInit            — the initial algorithm state (constructors)
+ *   lpStep/hpStep/...  — one function per pipeline stage; each takes
+ *                        the stage state and produces a result
+ *                        constructor carrying (new state, value)
+ *   detStep/atpStep    — detection and pacing state machines, with
+ *                        small helper functions as join points
+ *   icdStep st x       — one 5 ms iteration: IcdOut(st', out)
+ *
+ * The kernel program adds main, kernelLoop, and the coroutines:
+ * ioCoroutine (timer-paced sample-in/pulse-out), commCoroutine
+ * (stream out-values to the imperative layer), and the per-iteration
+ * garbage-collection call the timing analysis relies on (Sec. 5.2).
+ */
+
+#ifndef ZARF_ICD_ZARF_ICD_HH
+#define ZARF_ICD_ZARF_ICD_HH
+
+#include "isa/binary.hh"
+#include "lowlevel/lexpr.hh"
+
+namespace zarf::icd
+{
+
+/** The algorithm alone (main is a stub; used for refinement). */
+ll::LProgram buildIcdLowLevel();
+
+/** Extract, lower, and validate the algorithm program. */
+Program buildIcdStepProgram();
+
+/** The full λ-layer system program: microkernel + coroutines.
+ *
+ * @param gcEachIteration include the per-iteration call to the
+ *        hardware collector (Sec. 5.2's real-time discipline).
+ *        Disable to rely on the machine's exhaustion/interval
+ *        policies instead (the GC-policy ablation).
+ */
+ll::LProgram buildKernelLowLevel(bool gcEachIteration = true);
+
+/** Extracted, validated, encoded kernel image. */
+Image buildKernelImage(bool gcEachIteration = true);
+
+} // namespace zarf::icd
+
+#endif // ZARF_ICD_ZARF_ICD_HH

@@ -1,0 +1,183 @@
+#include "isa/ast.hh"
+
+#include <algorithm>
+
+#include "isa/prims.hh"
+#include "support/logging.hh"
+
+namespace zarf
+{
+
+int
+Program::findByName(const std::string &name) const
+{
+    for (size_t i = 0; i < decls.size(); ++i) {
+        if (decls[i].name == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+Program::entryIndex() const
+{
+    for (size_t i = 0; i < decls.size(); ++i) {
+        if (!decls[i].isCons)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+Program
+Program::clone() const
+{
+    Program out;
+    out.decls.reserve(decls.size());
+    for (const auto &d : decls) {
+        Decl c;
+        c.isCons = d.isCons;
+        c.name = d.name;
+        c.arity = d.arity;
+        c.numLocals = d.numLocals;
+        c.body = d.body ? cloneExpr(*d.body) : nullptr;
+        out.decls.push_back(std::move(c));
+    }
+    return out;
+}
+
+ExprPtr
+cloneExpr(const Expr &e)
+{
+    if (e.isLet()) {
+        const Let &l = e.asLet();
+        Let c{ l.callee, l.args, cloneExpr(*l.body) };
+        return std::make_unique<Expr>(std::move(c));
+    }
+    if (e.isCase()) {
+        const Case &cs = e.asCase();
+        Case c{ cs.scrut, {}, cloneExpr(*cs.elseBody) };
+        c.branches.reserve(cs.branches.size());
+        for (const auto &br : cs.branches) {
+            c.branches.push_back(CaseBranch{ br.isCons, br.lit,
+                                             br.consId,
+                                             cloneExpr(*br.body) });
+        }
+        return std::make_unique<Expr>(std::move(c));
+    }
+    return std::make_unique<Expr>(Result{ e.asResult().value });
+}
+
+bool
+exprEquals(const Expr &a, const Expr &b)
+{
+    if (a.node.index() != b.node.index())
+        return false;
+    if (a.isLet()) {
+        const Let &x = a.asLet();
+        const Let &y = b.asLet();
+        return x.callee == y.callee && x.args == y.args &&
+               exprEquals(*x.body, *y.body);
+    }
+    if (a.isCase()) {
+        const Case &x = a.asCase();
+        const Case &y = b.asCase();
+        if (!(x.scrut == y.scrut) ||
+            x.branches.size() != y.branches.size()) {
+            return false;
+        }
+        for (size_t i = 0; i < x.branches.size(); ++i) {
+            const auto &p = x.branches[i];
+            const auto &q = y.branches[i];
+            if (p.isCons != q.isCons || p.lit != q.lit ||
+                p.consId != q.consId || !exprEquals(*p.body, *q.body)) {
+                return false;
+            }
+        }
+        return exprEquals(*x.elseBody, *y.elseBody);
+    }
+    return a.asResult().value == b.asResult().value;
+}
+
+size_t
+exprWordCount(const Expr &e)
+{
+    if (e.isLet()) {
+        const Let &l = e.asLet();
+        // One let word, one word per argument, then the continuation.
+        return 1 + l.args.size() + exprWordCount(*l.body);
+    }
+    if (e.isCase()) {
+        const Case &c = e.asCase();
+        // One case word, one pattern word per branch plus its body,
+        // then the else pattern word and else body.
+        size_t n = 1;
+        for (const auto &br : c.branches)
+            n += 1 + exprWordCount(*br.body);
+        n += 1 + exprWordCount(*c.elseBody);
+        return n;
+    }
+    return 1; // result
+}
+
+size_t
+exprNodeCount(const Expr &e)
+{
+    if (e.isLet())
+        return 1 + exprNodeCount(*e.asLet().body);
+    if (e.isCase()) {
+        const Case &c = e.asCase();
+        size_t n = 1 + exprNodeCount(*c.elseBody);
+        for (const auto &br : c.branches)
+            n += exprNodeCount(*br.body);
+        return n;
+    }
+    return 1;
+}
+
+namespace
+{
+
+Word
+consArity(Word id, const Program &program)
+{
+    if (isPrimId(id)) {
+        auto p = primById(id);
+        if (!p || !p->isConstructor)
+            panic("constructor pattern on non-constructor prim 0x%x", id);
+        return p->arity;
+    }
+    size_t idx = Program::indexOf(id);
+    if (idx >= program.decls.size())
+        panic("constructor pattern names unknown id 0x%x", id);
+    return program.decls[idx].arity;
+}
+
+Word
+maxLocals(const Expr &e, Word bound, const Program &program)
+{
+    if (e.isLet()) {
+        // The let binds one more local for the rest of this path.
+        return maxLocals(*e.asLet().body, bound + 1, program);
+    }
+    if (e.isCase()) {
+        const Case &c = e.asCase();
+        Word best = maxLocals(*c.elseBody, bound, program);
+        for (const auto &br : c.branches) {
+            Word extra = br.isCons ? consArity(br.consId, program) : 0;
+            best = std::max(best,
+                            maxLocals(*br.body, bound + extra, program));
+        }
+        return best;
+    }
+    return bound;
+}
+
+} // namespace
+
+Word
+computeNumLocals(const Expr &e, const Program &program)
+{
+    return maxLocals(e, 0, program);
+}
+
+} // namespace zarf

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Abstract syntax of the Zarf functional ISA (paper, Fig. 2).
+ *
+ * This is the machine-assembly level representation: variables have
+ * already been resolved to (source, index) pairs, exactly as the
+ * binary encodes them (Fig. 4b/4c). The high-level named assembly in
+ * src/zasm and the programmatic builder both lower to this form.
+ *
+ * A program is a list of declarations — constructors (tuple stubs
+ * with no body) and functions (arity, local count, body expression) —
+ * where declaration i carries the global function identifier
+ * 0x100 + i and declaration 0 must be the function main.
+ *
+ * Expressions are exactly the paper's three instructions:
+ *   let    — apply a callee to arguments, bind the next local;
+ *   case   — pattern-match an evaluated value against literal and
+ *            constructor patterns with a mandatory else branch;
+ *   result — yield a value and return control to the forcing case.
+ */
+
+#ifndef ZARF_ISA_AST_HH
+#define ZARF_ISA_AST_HH
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "isa/prims.hh"
+#include "support/types.hh"
+
+namespace zarf
+{
+
+/** Where an operand's value comes from (Fig. 4d source/index). */
+enum class Src : uint8_t
+{
+    Local = 0, ///< A value bound by let or by a constructor pattern.
+    Arg = 1,   ///< A function argument.
+    Imm = 2,   ///< An immediate integer literal.
+};
+
+/** A data reference: source plus index (or immediate payload). */
+struct Operand
+{
+    Src src;
+    SWord val;
+
+    bool
+    operator==(const Operand &o) const
+    {
+        return src == o.src && val == o.val;
+    }
+};
+
+/** Shorthand constructors for operands. */
+inline Operand opLocal(SWord i) { return { Src::Local, i }; }
+inline Operand opArg(SWord i) { return { Src::Arg, i }; }
+inline Operand opImm(SWord v) { return { Src::Imm, v }; }
+
+/** What a let instruction applies (Fig. 4d: func id or closure). */
+enum class CalleeKind : uint8_t
+{
+    Func = 0,  ///< A global function/constructor/primitive identifier.
+    Local = 1, ///< A closure value held in a local slot.
+    Arg = 2,   ///< A closure value held in an argument slot.
+};
+
+/** The callee field of a let instruction. */
+struct Callee
+{
+    CalleeKind kind;
+    Word id; ///< Global id (Func) or slot index (Local/Arg).
+
+    bool
+    operator==(const Callee &o) const
+    {
+        return kind == o.kind && id == o.id;
+    }
+};
+
+inline Callee calleeFunc(Word id) { return { CalleeKind::Func, id }; }
+inline Callee calleeLocal(Word i) { return { CalleeKind::Local, i }; }
+inline Callee calleeArg(Word i) { return { CalleeKind::Arg, i }; }
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** let x = callee args... in body — binds the next local index. */
+struct Let
+{
+    Callee callee;
+    std::vector<Operand> args;
+    ExprPtr body;
+};
+
+/** One non-else branch of a case instruction. */
+struct CaseBranch
+{
+    bool isCons;  ///< Constructor pattern vs. integer literal.
+    SWord lit;    ///< Literal value (isCons == false).
+    Word consId;  ///< Constructor identifier (isCons == true).
+    ExprPtr body; ///< Constructor fields become new locals in body.
+};
+
+/** case scrut of branches... else elseBody. */
+struct Case
+{
+    Operand scrut;
+    std::vector<CaseBranch> branches;
+    ExprPtr elseBody;
+};
+
+/** result value — the function yields this value. */
+struct Result
+{
+    Operand value;
+};
+
+/** An expression node: one of the three instructions. */
+struct Expr
+{
+    std::variant<Let, Case, Result> node;
+
+    Expr(Let l) : node(std::move(l)) {}
+    Expr(Case c) : node(std::move(c)) {}
+    Expr(Result r) : node(r) {}
+
+    bool isLet() const { return std::holds_alternative<Let>(node); }
+    bool isCase() const { return std::holds_alternative<Case>(node); }
+    bool isResult() const { return std::holds_alternative<Result>(node); }
+
+    Let &asLet() { return std::get<Let>(node); }
+    const Let &asLet() const { return std::get<Let>(node); }
+    Case &asCase() { return std::get<Case>(node); }
+    const Case &asCase() const { return std::get<Case>(node); }
+    Result &asResult() { return std::get<Result>(node); }
+    const Result &asResult() const { return std::get<Result>(node); }
+};
+
+/** A top-level declaration: constructor stub or full function. */
+struct Decl
+{
+    bool isCons;
+    std::string name;  ///< Debug metadata; not encoded in the binary.
+    Word arity;
+    Word numLocals;    ///< Maximum locals live on any path (functions).
+    ExprPtr body;      ///< Null for constructors.
+};
+
+/** A whole program: declarations in identifier order. */
+struct Program
+{
+    std::vector<Decl> decls;
+
+    /** Global identifier of declaration index i. */
+    static Word idOf(size_t i) { return kFirstUserFuncId + Word(i); }
+
+    /** Declaration index of a user function id, unchecked. */
+    static size_t indexOf(Word id) { return id - kFirstUserFuncId; }
+
+    /** Find a declaration index by name; -1 if absent. */
+    int findByName(const std::string &name) const;
+
+    /**
+     * Index of the entry function: the first non-constructor
+     * declaration (the paper's main, the first program-supplied
+     * *function*). -1 if the program has no functions.
+     */
+    int entryIndex() const;
+
+    /** Deep copy (Decl holds unique_ptr bodies). */
+    Program clone() const;
+};
+
+/** Deep-copy an expression tree. */
+ExprPtr cloneExpr(const Expr &e);
+
+/** Structural equality of expression trees. */
+bool exprEquals(const Expr &a, const Expr &b);
+
+/** Number of binary words this expression encodes to. */
+size_t exprWordCount(const Expr &e);
+
+/** Count expression nodes (lets + cases + results) in a tree. */
+size_t exprNodeCount(const Expr &e);
+
+/**
+ * Compute the maximum number of locals any path through the body
+ * binds, given the enclosing declaration table (constructor patterns
+ * bind as many locals as the matched constructor's arity).
+ *
+ * @param e the function body
+ * @param program the enclosing program (for constructor arities)
+ * @return the locals-frame size the function requires
+ */
+Word computeNumLocals(const Expr &e, const Program &program);
+
+} // namespace zarf
+
+#endif // ZARF_ISA_AST_HH

@@ -1,0 +1,287 @@
+#include "isa/binary.hh"
+
+#include "isa/encoding.hh"
+#include "isa/prims.hh"
+#include "support/logging.hh"
+
+namespace zarf
+{
+
+namespace
+{
+
+void
+encodeExpr(const Expr &e, Image &out)
+{
+    if (e.isLet()) {
+        const Let &l = e.asLet();
+        out.push_back(packLet(l.callee.kind,
+                              static_cast<Word>(l.args.size()),
+                              l.callee.id));
+        for (const auto &a : l.args)
+            out.push_back(packOperand(a));
+        encodeExpr(*l.body, out);
+        return;
+    }
+    if (e.isCase()) {
+        const Case &c = e.asCase();
+        out.push_back(packCase(c.scrut));
+        for (const auto &br : c.branches) {
+            Word skip = static_cast<Word>(exprWordCount(*br.body));
+            out.push_back(br.isCons ? packPatCons(skip, br.consId)
+                                    : packPatLit(skip, br.lit));
+            encodeExpr(*br.body, out);
+        }
+        out.push_back(packPatElse());
+        encodeExpr(*c.elseBody, out);
+        return;
+    }
+    out.push_back(packResult(e.asResult().value));
+}
+
+/** Strict recursive-descent decoder over one function body. */
+class BodyDecoder
+{
+  public:
+    BodyDecoder(const Image &image, size_t begin, size_t end)
+        : image(image), pos(begin), end(end)
+    {}
+
+    /** The 2-bit source/kind fields have three legal values; the
+     *  fourth encoding is reserved and must be rejected. */
+    static bool
+    srcFieldValid(Word w)
+    {
+        return ((w >> 26) & 0x3u) != 3u;
+    }
+
+    /** Decode a full expression; null and error set on failure. */
+    ExprPtr
+    decodeExpr()
+    {
+        if (!fits(1))
+            return fail("truncated body: expected an instruction");
+        Word w = image[pos];
+        switch (opOf(w)) {
+          case Op::Let: return decodeLet(w);
+          case Op::Case:
+            if (!srcFieldValid(w))
+                return fail("reserved source field in case word");
+            return decodeCase(w);
+          case Op::Result:
+            if (!srcFieldValid(w))
+                return fail("reserved source field in result word");
+            ++pos;
+            return std::make_unique<Expr>(Result{ unpackResult(w) });
+          default:
+            return fail(strprintf("unexpected opcode %u where an "
+                                  "instruction must start",
+                                  static_cast<unsigned>(opOf(w))));
+        }
+    }
+
+    bool done() const { return pos == end; }
+    const std::string &errorText() const { return error; }
+    size_t position() const { return pos; }
+
+  private:
+    ExprPtr
+    decodeLet(Word w)
+    {
+        if (!srcFieldValid(w))
+            return fail("reserved callee kind in let word");
+        LetWord head = unpackLet(w);
+        ++pos;
+        Let let;
+        let.callee = Callee{ head.kind, head.id };
+        let.args.reserve(head.nargs);
+        for (Word i = 0; i < head.nargs; ++i) {
+            if (!fits(1))
+                return fail("truncated let argument list");
+            Word aw = image[pos];
+            if (opOf(aw) != Op::Arg)
+                return fail("let argument word has wrong opcode");
+            if (!srcFieldValid(aw))
+                return fail("reserved source field in argument word");
+            let.args.push_back(unpackOperand(aw));
+            ++pos;
+        }
+        let.body = decodeExpr();
+        if (!let.body)
+            return nullptr;
+        return std::make_unique<Expr>(std::move(let));
+    }
+
+    ExprPtr
+    decodeCase(Word w)
+    {
+        Case cs;
+        cs.scrut = unpackCaseScrut(w);
+        ++pos;
+        for (;;) {
+            if (!fits(1))
+                return fail("case instruction has no else branch");
+            Word pw = image[pos];
+            Op op = opOf(pw);
+            if (op == Op::PatElse) {
+                ++pos;
+                cs.elseBody = decodeExpr();
+                if (!cs.elseBody)
+                    return nullptr;
+                return std::make_unique<Expr>(std::move(cs));
+            }
+            if (op != Op::PatLit && op != Op::PatCons)
+                return fail("malformed case: expected a pattern word");
+            PatWord pat = unpackPat(pw);
+            ++pos;
+            size_t body_begin = pos;
+            CaseBranch br;
+            br.isCons = pat.isCons;
+            br.lit = pat.lit;
+            br.consId = pat.consId;
+            br.body = decodeExpr();
+            if (!br.body)
+                return nullptr;
+            size_t body_words = pos - body_begin;
+            if (body_words != pat.skip) {
+                return fail(strprintf(
+                    "pattern skip field %u does not match branch "
+                    "body size %zu", pat.skip, body_words));
+            }
+            cs.branches.push_back(std::move(br));
+        }
+    }
+
+    bool fits(size_t n) const { return pos + n <= end; }
+
+    ExprPtr
+    fail(const std::string &why)
+    {
+        if (error.empty())
+            error = strprintf("word %zu: %s", pos, why.c_str());
+        return nullptr;
+    }
+
+    const Image &image;
+    size_t pos;
+    size_t end;
+    std::string error;
+};
+
+} // namespace
+
+size_t
+declWordCount(const Decl &decl)
+{
+    return 2 + (decl.body ? exprWordCount(*decl.body) : 0);
+}
+
+Image
+encodeProgram(const Program &program)
+{
+    Image out;
+    out.push_back(kMagic);
+    out.push_back(static_cast<Word>(program.decls.size()));
+    for (const auto &d : program.decls) {
+        out.push_back(packInfo(d.isCons, d.numLocals, d.arity));
+        if (d.isCons) {
+            out.push_back(0);
+            continue;
+        }
+        if (!d.body)
+            fatal("function %s has no body", d.name.c_str());
+        size_t len_at = out.size();
+        out.push_back(0); // patched below
+        encodeExpr(*d.body, out);
+        out[len_at] = static_cast<Word>(out.size() - len_at - 1);
+    }
+    return out;
+}
+
+DecodeResult
+decodeProgram(const Image &image)
+{
+    auto err = [](std::string why) {
+        return DecodeResult{ false, {}, std::move(why) };
+    };
+
+    if (image.size() < 2)
+        return err("image too small for header");
+    if (image[0] != kMagic)
+        return err(strprintf("bad magic word 0x%08x", image[0]));
+    Word n = image[1];
+    if (n == 0)
+        return err("program declares no functions (main required)");
+
+    Program prog;
+    size_t pos = 2;
+    for (Word i = 0; i < n; ++i) {
+        if (pos + 2 > image.size())
+            return err(strprintf("declaration %u: truncated header", i));
+        if (opOf(image[pos]) != Op::Info) {
+            return err(strprintf(
+                "declaration %u: expected info word at %zu", i, pos));
+        }
+        InfoWord info = unpackInfo(image[pos]);
+        Word m = image[pos + 1];
+        pos += 2;
+        if (pos + m > image.size()) {
+            return err(strprintf(
+                "declaration %u: body of %u words overruns image",
+                i, m));
+        }
+
+        Decl d;
+        d.isCons = info.isCons;
+        d.arity = info.arity;
+        d.numLocals = info.numLocals;
+        Word id = Program::idOf(i);
+        if (info.isCons) {
+            if (m != 0) {
+                return err(strprintf(
+                    "declaration %u: constructor with a body", i));
+            }
+            d.name = strprintf("con_0x%x", id);
+        } else {
+            if (m == 0) {
+                return err(strprintf(
+                    "declaration %u: function with empty body", i));
+            }
+            BodyDecoder dec(image, pos, pos + m);
+            d.body = dec.decodeExpr();
+            if (!d.body) {
+                return err(strprintf("declaration %u: %s", i,
+                                     dec.errorText().c_str()));
+            }
+            if (!dec.done()) {
+                return err(strprintf(
+                    "declaration %u: %zu trailing words after body",
+                    i, pos + m - dec.position()));
+            }
+            d.name = strprintf("fn_0x%x", id);
+            pos += m;
+        }
+        prog.decls.push_back(std::move(d));
+    }
+    if (pos != image.size())
+        return err("trailing words after final declaration");
+    int entry = prog.entryIndex();
+    if (entry < 0)
+        return err("program contains no function (main required)");
+    if (prog.decls[size_t(entry)].arity != 0)
+        return err("main must take no arguments");
+    prog.decls[size_t(entry)].name = "main";
+
+    return DecodeResult{ true, std::move(prog), "" };
+}
+
+Program
+decodeProgramOrDie(const Image &image)
+{
+    DecodeResult r = decodeProgram(image);
+    if (!r.ok)
+        fatal("invalid Zarf binary: %s", r.error.c_str());
+    return std::move(r.program);
+}
+
+} // namespace zarf

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Serialization between the Zarf AST and the flat binary image.
+ *
+ * A binary image is the exact word sequence the hardware loader
+ * consumes (paper, Sec. 3.2): the magic word, a declaration count N,
+ * then N declarations, each comprising an info word (the function
+ * "fingerprint": arity, locals, constructor flag), a body-length word
+ * M, and M body words. Declarations are assigned sequential global
+ * identifiers starting at 0x100 in image order; the first must be
+ * main.
+ *
+ * Decoding is a strict recursive descent that rejects every
+ * malformed shape the paper calls out (cases without else branches,
+ * skips into the middle of a branch, truncated argument lists), so a
+ * loaded program is structurally valid by construction.
+ */
+
+#ifndef ZARF_ISA_BINARY_HH
+#define ZARF_ISA_BINARY_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/ast.hh"
+#include "support/types.hh"
+
+namespace zarf
+{
+
+/** A flat program image. */
+using Image = std::vector<Word>;
+
+/** Encode a program into a binary image. Dies on field overflow. */
+Image encodeProgram(const Program &program);
+
+/** Result of attempting to decode an image. */
+struct DecodeResult
+{
+    bool ok;
+    Program program;   ///< Valid when ok.
+    std::string error; ///< Human-readable reason when !ok.
+};
+
+/**
+ * Decode a binary image back into the AST.
+ *
+ * Synthesizes names (fn_0x101, con_0x102, ...) since the binary
+ * carries none. Verifies the magic word, all field ranges, skip
+ * consistency, and expression well-formedness.
+ */
+DecodeResult decodeProgram(const Image &image);
+
+/** Decode or die — for tools where a bad image is a fatal error. */
+Program decodeProgramOrDie(const Image &image);
+
+/** Total encoded size of one declaration in words (info + len + M). */
+size_t declWordCount(const Decl &decl);
+
+} // namespace zarf
+
+#endif // ZARF_ISA_BINARY_HH

@@ -1,0 +1,359 @@
+#include "isa/builder.hh"
+
+#include <unordered_map>
+
+#include "isa/prims.hh"
+#include "support/logging.hh"
+
+namespace zarf
+{
+
+NExprPtr
+nLet(std::string var, std::string callee, std::vector<NArg> args,
+     NExprPtr body)
+{
+    return std::make_shared<const NExpr>(
+        NLet{ std::move(var), std::move(callee), std::move(args),
+              std::move(body) });
+}
+
+NExprPtr
+nCase(NArg scrut, std::vector<NBranch> branches, NExprPtr elseBody)
+{
+    return std::make_shared<const NExpr>(
+        NCase{ std::move(scrut), std::move(branches),
+               std::move(elseBody) });
+}
+
+NExprPtr
+nRet(NArg value)
+{
+    return std::make_shared<const NExpr>(NRet{ std::move(value) });
+}
+
+NBranch
+litBranch(SWord lit, NExprPtr body)
+{
+    return NBranch{ false, lit, {}, {}, std::move(body) };
+}
+
+NBranch
+consBranch(std::string consName, std::vector<std::string> fields,
+           NExprPtr body)
+{
+    return NBranch{ true, 0, std::move(consName), std::move(fields),
+                    std::move(body) };
+}
+
+NExprPtr
+nApplyRet(std::string callee, std::vector<NArg> args)
+{
+    return nLet("$r", std::move(callee), std::move(args),
+                nRet(nVar("$r")));
+}
+
+void
+ProgramBuilder::cons(std::string name, Word arity)
+{
+    ndecls.push_back(
+        NDecl{ true, std::move(name), {}, arity, nullptr });
+}
+
+void
+ProgramBuilder::fn(std::string name, std::vector<std::string> params,
+                   NExprPtr body)
+{
+    NDecl d;
+    d.isCons = false;
+    d.name = std::move(name);
+    d.arity = static_cast<Word>(params.size());
+    d.params = std::move(params);
+    d.body = std::move(body);
+    ndecls.push_back(std::move(d));
+}
+
+namespace
+{
+
+/** Lexical scope mapping names to arg/local slots along one path. */
+class Scope
+{
+  public:
+    explicit Scope(const std::vector<std::string> &params)
+    {
+        for (size_t i = 0; i < params.size(); ++i)
+            bindings.emplace(params[i], opArg(SWord(i)));
+    }
+
+    /** Bind a new local; returns its slot index. */
+    SWord
+    bindLocal(const std::string &name)
+    {
+        SWord slot = nextLocal++;
+        saved.push_back({ name, lookupRaw(name) });
+        bindings[name] = opLocal(slot);
+        return slot;
+    }
+
+    /** Current checkpoint for branch-scoped unwinding. */
+    struct Mark { size_t savedSize; SWord nextLocal; };
+    Mark mark() const { return { saved.size(), nextLocal }; }
+
+    /** Unwind bindings and local numbering to a checkpoint. */
+    void
+    unwind(const Mark &m)
+    {
+        while (saved.size() > m.savedSize) {
+            auto &[name, old] = saved.back();
+            if (old)
+                bindings[name] = *old;
+            else
+                bindings.erase(name);
+            saved.pop_back();
+        }
+        nextLocal = m.nextLocal;
+    }
+
+    /** Look a name up; nullopt if unbound. */
+    std::optional<Operand>
+    lookup(const std::string &name) const
+    {
+        auto it = bindings.find(name);
+        if (it == bindings.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+  private:
+    std::optional<Operand>
+    lookupRaw(const std::string &name) const
+    {
+        return lookup(name);
+    }
+
+    std::unordered_map<std::string, Operand> bindings;
+    std::vector<std::pair<std::string, std::optional<Operand>>> saved;
+    SWord nextLocal = 0;
+};
+
+/** Lowers one named program to machine assembly. */
+class Lowerer
+{
+  public:
+    explicit Lowerer(const std::vector<NDecl> &decls) : ndecls(decls)
+    {
+        for (size_t i = 0; i < decls.size(); ++i)
+            globalIds.emplace(decls[i].name, Program::idOf(i));
+    }
+
+    BuildResult
+    run()
+    {
+        if (ndecls.empty())
+            return err("program has no declarations");
+        // The entry is the first *function* declaration (leading
+        // constructor declarations are fine).
+        const NDecl *entry = nullptr;
+        for (const auto &d : ndecls) {
+            if (!d.isCons) {
+                entry = &d;
+                break;
+            }
+        }
+        if (!entry)
+            return err("program declares no functions");
+        if (!entry->params.empty())
+            return err("entry function (main) must take no arguments");
+        // Reject duplicate global names and prim-name collisions.
+        for (const auto &d : ndecls) {
+            if (primByName(d.name))
+                return err("declaration '" + d.name +
+                           "' shadows a hardware primitive");
+        }
+        if (globalIds.size() != ndecls.size())
+            return err("duplicate global declaration name");
+
+        Program prog;
+        for (const auto &nd : ndecls) {
+            Decl d;
+            d.isCons = nd.isCons;
+            d.name = nd.name;
+            d.arity = nd.arity;
+            d.numLocals = 0;
+            if (!nd.isCons) {
+                if (!nd.body)
+                    return err("function '" + nd.name + "' has no body");
+                current = nd.name;
+                Scope scope(nd.params);
+                d.body = lowerExpr(*nd.body, scope);
+                if (!d.body)
+                    return err(failure);
+            }
+            prog.decls.push_back(std::move(d));
+        }
+        // Locals counts need the whole program (constructor arities).
+        for (auto &d : prog.decls) {
+            if (!d.isCons)
+                d.numLocals = computeNumLocals(*d.body, prog);
+        }
+        return BuildResult{ true, std::move(prog), "" };
+    }
+
+  private:
+    BuildResult
+    err(std::string why)
+    {
+        return BuildResult{ false, {}, std::move(why) };
+    }
+
+    ExprPtr
+    fail(const std::string &why)
+    {
+        if (failure.empty())
+            failure = "in " + current + ": " + why;
+        return nullptr;
+    }
+
+    std::optional<Word>
+    globalId(const std::string &name) const
+    {
+        if (auto p = primByName(name))
+            return static_cast<Word>(p->id);
+        auto it = globalIds.find(name);
+        if (it == globalIds.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    /** Resolve an argument to an operand in the current scope. */
+    std::optional<Operand>
+    lowerArg(const NArg &a, const Scope &scope)
+    {
+        if (a.isImm)
+            return opImm(a.imm);
+        return scope.lookup(a.name);
+    }
+
+    ExprPtr
+    lowerExpr(const NExpr &ne, Scope &scope)
+    {
+        if (const auto *l = std::get_if<NLet>(&ne.node))
+            return lowerLet(*l, scope);
+        if (const auto *c = std::get_if<NCase>(&ne.node))
+            return lowerCase(*c, scope);
+        const auto &r = std::get<NRet>(ne.node);
+        auto v = lowerArg(r.value, scope);
+        if (!v)
+            return fail("result of unbound name '" + r.value.name + "'");
+        return std::make_unique<Expr>(Result{ *v });
+    }
+
+    ExprPtr
+    lowerLet(const NLet &l, Scope &scope)
+    {
+        Let out;
+        // The callee is a variable in scope or a global name; scope
+        // shadows globals, matching lexical intuition.
+        if (auto local = scope.lookup(l.callee)) {
+            if (local->src == Src::Local)
+                out.callee = calleeLocal(static_cast<Word>(local->val));
+            else
+                out.callee = calleeArg(static_cast<Word>(local->val));
+        } else if (auto id = globalId(l.callee)) {
+            out.callee = calleeFunc(*id);
+        } else {
+            return fail("unknown callee '" + l.callee + "'");
+        }
+        out.args.reserve(l.args.size());
+        for (const auto &a : l.args) {
+            auto v = lowerArg(a, scope);
+            if (!v)
+                return fail("unbound argument '" + a.name + "'");
+            out.args.push_back(*v);
+        }
+        scope.bindLocal(l.var);
+        out.body = lowerExpr(*l.body, scope);
+        if (!out.body)
+            return nullptr;
+        return std::make_unique<Expr>(std::move(out));
+    }
+
+    ExprPtr
+    lowerCase(const NCase &c, Scope &scope)
+    {
+        Case out;
+        auto scrut = lowerArg(c.scrut, scope);
+        if (!scrut)
+            return fail("case on unbound name '" + c.scrut.name + "'");
+        out.scrut = *scrut;
+        for (const auto &br : c.branches) {
+            CaseBranch ob;
+            ob.isCons = br.isCons;
+            ob.lit = br.lit;
+            auto m = scope.mark();
+            if (br.isCons) {
+                auto id = globalId(br.consName);
+                if (!id)
+                    return fail("unknown constructor pattern '" +
+                                br.consName + "'");
+                ob.consId = *id;
+                Word want = consArityOf(*id);
+                if (br.fields.size() != want) {
+                    return fail(strprintf(
+                        "pattern %s binds %zu fields; constructor "
+                        "has %u", br.consName.c_str(),
+                        br.fields.size(), want));
+                }
+                for (const auto &f : br.fields)
+                    scope.bindLocal(f);
+            } else {
+                ob.consId = 0;
+            }
+            ob.body = lowerExpr(*br.body, scope);
+            scope.unwind(m);
+            if (!ob.body)
+                return nullptr;
+            out.branches.push_back(std::move(ob));
+        }
+        auto m = scope.mark();
+        out.elseBody = lowerExpr(*c.elseBody, scope);
+        scope.unwind(m);
+        if (!out.elseBody)
+            return nullptr;
+        return std::make_unique<Expr>(std::move(out));
+    }
+
+    Word
+    consArityOf(Word id) const
+    {
+        if (isPrimId(id)) {
+            auto p = primById(id);
+            return p ? p->arity : 0;
+        }
+        return ndecls[Program::indexOf(id)].arity;
+    }
+
+    const std::vector<NDecl> &ndecls;
+    std::unordered_map<std::string, Word> globalIds;
+    std::string current;
+    std::string failure;
+};
+
+} // namespace
+
+BuildResult
+ProgramBuilder::tryBuild() const
+{
+    return Lowerer(ndecls).run();
+}
+
+Program
+ProgramBuilder::build() const
+{
+    BuildResult r = tryBuild();
+    if (!r.ok)
+        fatal("program build failed: %s", r.error.c_str());
+    return std::move(r.program);
+}
+
+} // namespace zarf

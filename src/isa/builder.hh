@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Named-assembly program construction for the Zarf functional ISA.
+ *
+ * This is the level of Fig. 4a in the paper: functions and
+ * constructors carry names, and expressions refer to variables by
+ * name. Building a Program lowers names to the machine-assembly
+ * source/index form (Fig. 4b) with the same scoping discipline the
+ * hardware uses: arguments occupy the arg space, each let binds the
+ * next local slot, and a matched constructor pattern pushes its
+ * fields as new locals.
+ *
+ * The expression combinators produce immutable shared trees, so
+ * helper C++ functions can assemble program fragments compositionally:
+ *
+ *   NExprPtr body =
+ *       nCase(nVar("list"),
+ *             { consBranch("Nil", {}, nApplyRet("Nil", {})) },
+ *             ...);
+ *   builder.fn("map", {"f", "list"}, body);
+ */
+
+#ifndef ZARF_ISA_BUILDER_HH
+#define ZARF_ISA_BUILDER_HH
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "isa/ast.hh"
+
+namespace zarf
+{
+
+/** A named argument: either an integer literal or a variable name. */
+struct NArg
+{
+    bool isImm;
+    SWord imm;
+    std::string name;
+};
+
+inline NArg nImm(SWord v) { return NArg{ true, v, {} }; }
+inline NArg nVar(std::string n) { return NArg{ false, 0, std::move(n) }; }
+
+struct NExpr;
+using NExprPtr = std::shared_ptr<const NExpr>;
+
+/** let var = callee args... in body. */
+struct NLet
+{
+    std::string var;
+    std::string callee; ///< Variable, function, constructor, or prim.
+    std::vector<NArg> args;
+    NExprPtr body;
+};
+
+/** One branch of a named case. */
+struct NBranch
+{
+    bool isCons;
+    SWord lit;                       ///< isCons == false
+    std::string consName;            ///< isCons == true
+    std::vector<std::string> fields; ///< Names bound to cons fields.
+    NExprPtr body;
+};
+
+/** case scrut of branches else elseBody. */
+struct NCase
+{
+    NArg scrut;
+    std::vector<NBranch> branches;
+    NExprPtr elseBody;
+};
+
+/** result value. */
+struct NRet
+{
+    NArg value;
+};
+
+/** A named expression node. */
+struct NExpr
+{
+    std::variant<NLet, NCase, NRet> node;
+
+    NExpr(NLet l) : node(std::move(l)) {}
+    NExpr(NCase c) : node(std::move(c)) {}
+    NExpr(NRet r) : node(std::move(r)) {}
+};
+
+/** let combinator. */
+NExprPtr nLet(std::string var, std::string callee, std::vector<NArg> args,
+              NExprPtr body);
+/** case combinator. */
+NExprPtr nCase(NArg scrut, std::vector<NBranch> branches,
+               NExprPtr elseBody);
+/** result combinator. */
+NExprPtr nRet(NArg value);
+/** Branch helpers. */
+NBranch litBranch(SWord lit, NExprPtr body);
+NBranch consBranch(std::string consName, std::vector<std::string> fields,
+                   NExprPtr body);
+/** `let t = callee args in result t` in one step. */
+NExprPtr nApplyRet(std::string callee, std::vector<NArg> args);
+
+/** A named top-level declaration. */
+struct NDecl
+{
+    bool isCons;
+    std::string name;
+    std::vector<std::string> params; ///< Arg names (functions) .
+    Word arity;                      ///< Constructors: field count.
+    NExprPtr body;                   ///< Null for constructors.
+};
+
+/** Outcome of lowering a named program. */
+struct BuildResult
+{
+    bool ok;
+    Program program;
+    std::string error;
+};
+
+/**
+ * Collects named declarations and lowers them to a Program.
+ *
+ * The first function added must be main (arity 0); forward references
+ * between functions are allowed and resolved at build time.
+ */
+class ProgramBuilder
+{
+  public:
+    /** Declare a constructor with the given field count. */
+    void cons(std::string name, Word arity);
+
+    /** Declare a function with named parameters and a body. */
+    void fn(std::string name, std::vector<std::string> params,
+            NExprPtr body);
+
+    /** Lower to machine assembly; reports name/scope errors. */
+    BuildResult tryBuild() const;
+
+    /** Lower or die — convenience for tests and examples. */
+    Program build() const;
+
+    const std::vector<NDecl> &decls() const { return ndecls; }
+
+  private:
+    std::vector<NDecl> ndecls;
+};
+
+} // namespace zarf
+
+#endif // ZARF_ISA_BUILDER_HH

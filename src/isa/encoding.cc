@@ -1,0 +1,168 @@
+#include "isa/encoding.hh"
+
+#include "support/logging.hh"
+
+namespace zarf
+{
+
+namespace
+{
+
+Word
+opBits(Op op)
+{
+    return static_cast<Word>(op) << 28;
+}
+
+/** Encode a source + 26-bit payload pair into the low 28 bits. */
+Word
+srcPayload(const Operand &op)
+{
+    Word src = static_cast<Word>(op.src) << 26;
+    Word payload;
+    if (op.src == Src::Imm) {
+        if (op.val < kMinImm || op.val > kMaxImm)
+            fatal("immediate %d out of 26-bit range", op.val);
+        payload = static_cast<Word>(op.val) & 0x03ffffffu;
+    } else {
+        if (op.val < 0 || op.val > SWord(kMaxSlotIndex))
+            fatal("slot index %d out of range", op.val);
+        payload = static_cast<Word>(op.val);
+    }
+    return src | payload;
+}
+
+Operand
+decodeSrcPayload(Word w)
+{
+    Src src = static_cast<Src>((w >> 26) & 0x3);
+    Word payload = w & 0x03ffffffu;
+    SWord val;
+    if (src == Src::Imm) {
+        // Sign-extend the 26-bit payload.
+        val = static_cast<SWord>(payload << 6) >> 6;
+    } else {
+        val = static_cast<SWord>(payload);
+    }
+    return Operand{ src, val };
+}
+
+} // namespace
+
+Word
+packLet(CalleeKind kind, Word nargs, Word id)
+{
+    if (nargs > kMaxArgs)
+        fatal("let has %u arguments; maximum is %u", nargs, kMaxArgs);
+    if (id > kMaxSlotIndex)
+        fatal("let callee id 0x%x out of 16-bit range", id);
+    return opBits(Op::Let) | (static_cast<Word>(kind) << 26) |
+           (nargs << 16) | id;
+}
+
+Word
+packOperand(const Operand &op)
+{
+    return opBits(Op::Arg) | srcPayload(op);
+}
+
+Word
+packCase(const Operand &scrut)
+{
+    return opBits(Op::Case) | srcPayload(scrut);
+}
+
+Word
+packPatLit(Word skip, SWord lit)
+{
+    if (skip > kMaxSkip)
+        fatal("case branch body of %u words exceeds skip field", skip);
+    if (lit < kMinPatLit || lit > kMaxPatLit)
+        fatal("literal pattern %d out of 16-bit range", lit);
+    return opBits(Op::PatLit) | (skip << 16) |
+           (static_cast<Word>(lit) & 0xffffu);
+}
+
+Word
+packPatCons(Word skip, Word consId)
+{
+    if (skip > kMaxSkip)
+        fatal("case branch body of %u words exceeds skip field", skip);
+    if (consId > kMaxSlotIndex)
+        fatal("constructor id 0x%x out of 16-bit range", consId);
+    return opBits(Op::PatCons) | (skip << 16) | consId;
+}
+
+Word
+packPatElse()
+{
+    return opBits(Op::PatElse);
+}
+
+Word
+packResult(const Operand &value)
+{
+    return opBits(Op::Result) | srcPayload(value);
+}
+
+Word
+packInfo(bool isCons, Word numLocals, Word arity)
+{
+    if (numLocals > kMaxLocals)
+        fatal("function needs %u locals; maximum is %u", numLocals,
+              kMaxLocals);
+    if (arity > kMaxArity)
+        fatal("arity %u out of range", arity);
+    return opBits(Op::Info) | (static_cast<Word>(isCons) << 27) |
+           (numLocals << 16) | arity;
+}
+
+LetWord
+unpackLet(Word w)
+{
+    return LetWord{ static_cast<CalleeKind>((w >> 26) & 0x3),
+                    (w >> 16) & 0x3ffu, w & 0xffffu };
+}
+
+Operand
+unpackOperand(Word w)
+{
+    return decodeSrcPayload(w);
+}
+
+Operand
+unpackCaseScrut(Word w)
+{
+    return decodeSrcPayload(w);
+}
+
+PatWord
+unpackPat(Word w)
+{
+    PatWord p{};
+    p.isCons = opOf(w) == Op::PatCons;
+    p.skip = (w >> 16) & 0xfffu;
+    if (p.isCons) {
+        p.consId = w & 0xffffu;
+        p.lit = 0;
+    } else {
+        p.lit = static_cast<SWord>(static_cast<int16_t>(w & 0xffffu));
+        p.consId = 0;
+    }
+    return p;
+}
+
+Operand
+unpackResult(Word w)
+{
+    return decodeSrcPayload(w);
+}
+
+InfoWord
+unpackInfo(Word w)
+{
+    return InfoWord{ ((w >> 27) & 0x1) != 0, (w >> 16) & 0x7ffu,
+                     w & 0xffffu };
+}
+
+} // namespace zarf

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Binary word formats of the Zarf functional ISA (paper, Fig. 4d).
+ *
+ * Every word of a program image is either a program header word, the
+ * start of a declaration (info word followed by a raw length word),
+ * the start of an instruction, or an argument word inside a let
+ * instruction. Each instruction word carries a 4-bit opcode in its
+ * top bits; variable-length instructions (let, case) are sequences of
+ * word-aligned pieces that are trivial to decode, exactly as the
+ * paper describes.
+ *
+ * Field layouts (bit ranges inclusive):
+ *
+ *   LET      [31:28]=0x1  [27:26]=callee kind  [25:16]=nargs
+ *            [15:0]=callee id or slot index
+ *   ARG      [31:28]=0x2  [27:26]=source       [25:0]=payload
+ *            (payload is a 26-bit signed immediate for Src::Imm,
+ *             an unsigned slot index otherwise)
+ *   CASE     [31:28]=0x3  [27:26]=source       [25:0]=payload
+ *   PAT_LIT  [31:28]=0x4  [27:16]=skip         [15:0]=signed literal
+ *   PAT_CONS [31:28]=0x5  [27:16]=skip         [15:0]=constructor id
+ *   PAT_ELSE [31:28]=0x6
+ *   RESULT   [31:28]=0x7  [27:26]=source       [25:0]=payload
+ *   INFO     [31:28]=0x8  [27]=constructor     [26:16]=num locals
+ *            [15:0]=arity
+ *
+ * The `skip` field of a pattern word is the number of words to jump
+ * over when the pattern fails — i.e. the encoded size of the branch
+ * body — which lands execution on the next pattern word (Sec. 3.3).
+ */
+
+#ifndef ZARF_ISA_ENCODING_HH
+#define ZARF_ISA_ENCODING_HH
+
+#include "isa/ast.hh"
+#include "support/types.hh"
+
+namespace zarf
+{
+
+/** The leading magic word of every Zarf binary ("ZRF:"). */
+constexpr Word kMagic = 0x5a52463a;
+
+/** Instruction/word opcodes (top 4 bits). */
+enum class Op : Word
+{
+    Let = 0x1,
+    Arg = 0x2,
+    Case = 0x3,
+    PatLit = 0x4,
+    PatCons = 0x5,
+    PatElse = 0x6,
+    Result = 0x7,
+    Info = 0x8,
+};
+
+/** Field width limits implied by the layouts above. */
+constexpr Word kMaxArgs = (1u << 10) - 1;     ///< let argument count
+constexpr Word kMaxSlotIndex = (1u << 16) - 1;
+constexpr SWord kMaxImm = (1 << 25) - 1;      ///< 26-bit signed
+constexpr SWord kMinImm = -(1 << 25);
+constexpr Word kMaxSkip = (1u << 12) - 1;
+constexpr SWord kMaxPatLit = (1 << 15) - 1;   ///< 16-bit signed
+constexpr SWord kMinPatLit = -(1 << 15);
+constexpr Word kMaxLocals = (1u << 11) - 1;
+/** Arity is capped below the encoding's 16-bit field so that every
+ *  heap object (1 header + ≤ arity payload words) fits the machine's
+ *  GC safe-point margin and the heap header's payload-count field. */
+constexpr Word kMaxArity = (1u << 10) - 1;
+
+/** Extract the opcode of a word. */
+inline Op
+opOf(Word w)
+{
+    return static_cast<Op>(w >> 28);
+}
+
+/** Pack a LET head word. */
+Word packLet(CalleeKind kind, Word nargs, Word id);
+/** Pack an operand word (ARG opcode). */
+Word packOperand(const Operand &op);
+/** Pack a CASE head word. */
+Word packCase(const Operand &scrut);
+/** Pack a literal pattern word. */
+Word packPatLit(Word skip, SWord lit);
+/** Pack a constructor pattern word. */
+Word packPatCons(Word skip, Word consId);
+/** Pack the else pattern word. */
+Word packPatElse();
+/** Pack a RESULT word. */
+Word packResult(const Operand &value);
+/** Pack a declaration info word. */
+Word packInfo(bool isCons, Word numLocals, Word arity);
+
+/** Decoded views of each word kind. */
+struct LetWord { CalleeKind kind; Word nargs; Word id; };
+struct OperandWord { Operand op; };
+struct PatWord { bool isCons; Word skip; SWord lit; Word consId; };
+struct InfoWord { bool isCons; Word numLocals; Word arity; };
+
+LetWord unpackLet(Word w);
+Operand unpackOperand(Word w);
+Operand unpackCaseScrut(Word w);
+PatWord unpackPat(Word w);
+Operand unpackResult(Word w);
+InfoWord unpackInfo(Word w);
+
+} // namespace zarf
+
+#endif // ZARF_ISA_ENCODING_HH

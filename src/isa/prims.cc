@@ -1,0 +1,127 @@
+#include "isa/prims.hh"
+
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace zarf
+{
+
+const std::vector<PrimInfo> &
+primTable()
+{
+    static const std::vector<PrimInfo> table = {
+        { Prim::Error, "Error", 1, false, true },
+        { Prim::Add, "add", 2, false, false },
+        { Prim::Sub, "sub", 2, false, false },
+        { Prim::Mul, "mul", 2, false, false },
+        { Prim::Div, "div", 2, false, false },
+        { Prim::Mod, "mod", 2, false, false },
+        { Prim::Neg, "neg", 1, false, false },
+        { Prim::Abs, "abs", 1, false, false },
+        { Prim::Min, "min", 2, false, false },
+        { Prim::Max, "max", 2, false, false },
+        { Prim::Eq, "eq", 2, false, false },
+        { Prim::Ne, "ne", 2, false, false },
+        { Prim::Lt, "lt", 2, false, false },
+        { Prim::Le, "le", 2, false, false },
+        { Prim::Gt, "gt", 2, false, false },
+        { Prim::Ge, "ge", 2, false, false },
+        { Prim::BAnd, "band", 2, false, false },
+        { Prim::BOr, "bor", 2, false, false },
+        { Prim::BXor, "bxor", 2, false, false },
+        { Prim::BNot, "bnot", 1, false, false },
+        { Prim::Shl, "shl", 2, false, false },
+        { Prim::Shr, "shr", 2, false, false },
+        { Prim::Sru, "sru", 2, false, false },
+        { Prim::GetInt, "getint", 1, true, false },
+        { Prim::PutInt, "putint", 2, true, false },
+        { Prim::InvokeGc, "gc", 1, false, false },
+    };
+    return table;
+}
+
+std::optional<PrimInfo>
+primById(Word id)
+{
+    static const auto byId = [] {
+        std::unordered_map<Word, PrimInfo> m;
+        for (const auto &p : primTable())
+            m.emplace(static_cast<Word>(p.id), p);
+        return m;
+    }();
+    auto it = byId.find(id);
+    if (it == byId.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::optional<PrimInfo>
+primByName(const std::string &name)
+{
+    static const auto byName = [] {
+        std::unordered_map<std::string, PrimInfo> m;
+        for (const auto &p : primTable())
+            m.emplace(p.name, p);
+        return m;
+    }();
+    auto it = byName.find(name);
+    if (it == byName.end())
+        return std::nullopt;
+    return it->second;
+}
+
+PrimResult
+evalAlu(Prim id, const std::vector<SWord> &args)
+{
+    auto a = [&](size_t i) { return static_cast<int64_t>(args[i]); };
+    auto ok = [](int64_t v) {
+        return PrimResult{ true, wrapInt31(v), 0 };
+    };
+    switch (id) {
+      case Prim::Add: return ok(a(0) + a(1));
+      case Prim::Sub: return ok(a(0) - a(1));
+      case Prim::Mul: return ok(a(0) * a(1));
+      case Prim::Div:
+        if (a(1) == 0)
+            return { false, 0, kErrDivZero };
+        return ok(a(0) / a(1));
+      case Prim::Mod:
+        if (a(1) == 0)
+            return { false, 0, kErrDivZero };
+        return ok(a(0) % a(1));
+      case Prim::Neg: return ok(-a(0));
+      case Prim::Abs: return ok(a(0) < 0 ? -a(0) : a(0));
+      case Prim::Min: return ok(a(0) < a(1) ? a(0) : a(1));
+      case Prim::Max: return ok(a(0) > a(1) ? a(0) : a(1));
+      case Prim::Eq: return ok(a(0) == a(1) ? 1 : 0);
+      case Prim::Ne: return ok(a(0) != a(1) ? 1 : 0);
+      case Prim::Lt: return ok(a(0) < a(1) ? 1 : 0);
+      case Prim::Le: return ok(a(0) <= a(1) ? 1 : 0);
+      case Prim::Gt: return ok(a(0) > a(1) ? 1 : 0);
+      case Prim::Ge: return ok(a(0) >= a(1) ? 1 : 0);
+      case Prim::BAnd: return ok(a(0) & a(1));
+      case Prim::BOr: return ok(a(0) | a(1));
+      case Prim::BXor: return ok(a(0) ^ a(1));
+      case Prim::BNot: return ok(~a(0));
+      case Prim::Shl: {
+        unsigned sh = static_cast<unsigned>(a(1)) & 31u;
+        return ok(static_cast<int64_t>(
+            static_cast<uint64_t>(a(0)) << sh));
+      }
+      case Prim::Shr: {
+        unsigned sh = static_cast<unsigned>(a(1)) & 31u;
+        return ok(a(0) >> sh);
+      }
+      case Prim::Sru: {
+        unsigned sh = static_cast<unsigned>(a(1)) & 31u;
+        uint32_t payload = static_cast<uint32_t>(args[0]) & 0x7fffffffu;
+        return ok(static_cast<int64_t>(payload >> sh));
+      }
+      default:
+        panic("evalAlu: id 0x%x is not a pure ALU primitive",
+              static_cast<unsigned>(id));
+    }
+}
+
+} // namespace zarf

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The hardware (primitive) function space of the Zarf functional ISA.
+ *
+ * Function identifiers below 0x100 are reserved for hardware
+ * operations (paper, Sec. 3.4): ALU functions, the getint/putint I/O
+ * primitives, the garbage-collector invocation hook, and the reserved
+ * runtime Error constructor. The first program-supplied function,
+ * main, is always 0x100.
+ */
+
+#ifndef ZARF_ISA_PRIMS_HH
+#define ZARF_ISA_PRIMS_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace zarf
+{
+
+/** First identifier available to program-supplied declarations. */
+constexpr Word kFirstUserFuncId = 0x100;
+
+/** Identifiers of the built-in hardware functions. */
+enum class Prim : Word
+{
+    // The reserved runtime-error constructor (Sec. 3.4). One field:
+    // an integer error code.
+    Error = 0x00,
+
+    // ALU functions. All operate on 31-bit machine integers and
+    // return a 31-bit machine integer, except where noted.
+    Add = 0x01,
+    Sub = 0x02,
+    Mul = 0x03,
+    Div = 0x04, ///< Returns Error(kErrDivZero) when divisor is 0.
+    Mod = 0x05, ///< Returns Error(kErrDivZero) when divisor is 0.
+    Neg = 0x06,
+    Abs = 0x07,
+    Min = 0x08,
+    Max = 0x09,
+    Eq = 0x0a,  ///< 1 if equal else 0.
+    Ne = 0x0b,
+    Lt = 0x0c,
+    Le = 0x0d,
+    Gt = 0x0e,
+    Ge = 0x0f,
+    BAnd = 0x10,
+    BOr = 0x11,
+    BXor = 0x12,
+    BNot = 0x13,
+    Shl = 0x14,
+    Shr = 0x15, ///< Arithmetic right shift.
+    Sru = 0x16, ///< Logical right shift over the 31-bit payload.
+
+    // I/O primitives — the only two effectful functions in the
+    // system (Fig. 3: getint / putint).
+    GetInt = 0x20, ///< (port) -> value read from port.
+    PutInt = 0x21, ///< (port, value) -> value, written to port.
+
+    // Hardware-function hook the microkernel calls to invoke the
+    // garbage collector once per iteration (Sec. 5.2). Identity on
+    // its argument.
+    InvokeGc = 0x30,
+};
+
+/** Error codes carried by the reserved Error constructor. */
+constexpr SWord kErrDivZero = 1;
+constexpr SWord kErrBadApply = 2; ///< Applying an integer as a function.
+constexpr SWord kErrArity = 3;    ///< Over-applying a constructor.
+constexpr SWord kErrIoNotInt = 4; ///< Non-integer fed to putint/getint.
+
+/** Metadata describing one primitive function. */
+struct PrimInfo
+{
+    Prim id;
+    const char *name;
+    unsigned arity;
+    bool effectful;     ///< getint/putint only.
+    bool isConstructor; ///< Error only.
+};
+
+/** Table of every primitive, ordered by identifier. */
+const std::vector<PrimInfo> &primTable();
+
+/** Lookup by identifier; nullopt if the id names no primitive. */
+std::optional<PrimInfo> primById(Word id);
+
+/** Lookup by assembly name; nullopt if unknown. */
+std::optional<PrimInfo> primByName(const std::string &name);
+
+/** True if the identifier is in the reserved hardware range. */
+inline bool
+isPrimId(Word id)
+{
+    return id < kFirstUserFuncId;
+}
+
+/** Evaluate a pure ALU primitive on saturated integer arguments.
+ *
+ * Pre: id is a pure ALU primitive (not I/O, not InvokeGc, not Error)
+ * and args.size() equals its arity. Division/modulo by zero are
+ * signalled via the ok flag so callers can construct an Error value.
+ */
+struct PrimResult
+{
+    bool ok;
+    SWord value;   ///< Valid when ok.
+    SWord errCode; ///< Valid when !ok.
+};
+PrimResult evalAlu(Prim id, const std::vector<SWord> &args);
+
+} // namespace zarf
+
+#endif // ZARF_ISA_PRIMS_HH

@@ -1,0 +1,248 @@
+#include "isa/validate.hh"
+
+#include "isa/encoding.hh"
+#include "isa/prims.hh"
+#include "support/logging.hh"
+
+namespace zarf
+{
+
+std::string
+ValidationReport::summary() const
+{
+    std::string out;
+    for (const auto &d : errors) {
+        out += d.where;
+        out += ": ";
+        out += d.what;
+        out += "\n";
+    }
+    return out;
+}
+
+namespace
+{
+
+class Validator
+{
+  public:
+    explicit Validator(const Program &program) : prog(program) {}
+
+    ValidationReport
+    run()
+    {
+        if (prog.decls.empty()) {
+            error("<program>", "no declarations");
+            return report;
+        }
+        int entry = prog.entryIndex();
+        if (entry < 0)
+            error("<program>", "no entry function (main)");
+        else if (prog.decls[size_t(entry)].arity != 0) {
+            error(prog.decls[size_t(entry)].name,
+                  "main must take no arguments");
+        }
+
+        for (const auto &d : prog.decls) {
+            where = d.name;
+            if (d.arity > kMaxArity)
+                error(where, "arity exceeds encoding limit");
+            if (d.isCons) {
+                if (d.body)
+                    error(where, "constructor has a body");
+                continue;
+            }
+            if (!d.body) {
+                error(where, "function has no body");
+                continue;
+            }
+            if (d.numLocals > kMaxLocals)
+                error(where, "locals count exceeds encoding limit");
+            Word need = computeNumLocalsSafe(*d.body);
+            if (d.numLocals < need) {
+                error(where, strprintf(
+                    "fingerprint declares %u locals; body needs %u",
+                    d.numLocals, need));
+            }
+            arity = d.arity;
+            checkExpr(*d.body, 0);
+        }
+        return report;
+    }
+
+  private:
+    void
+    error(const std::string &w, std::string what)
+    {
+        report.errors.push_back(Diagnostic{ w, std::move(what) });
+    }
+
+    Word
+    computeNumLocalsSafe(const Expr &e)
+    {
+        // computeNumLocals panics on unknown constructor ids; guard
+        // by pre-checking ids during checkExpr instead. Here we only
+        // call it when all pattern ids resolve.
+        if (!patternsResolve(e))
+            return 0;
+        return computeNumLocals(e, prog);
+    }
+
+    bool
+    patternsResolve(const Expr &e) const
+    {
+        if (e.isLet())
+            return patternsResolve(*e.asLet().body);
+        if (e.isCase()) {
+            const Case &c = e.asCase();
+            for (const auto &br : c.branches) {
+                if (br.isCons && !consArity(br.consId))
+                    return false;
+                if (!patternsResolve(*br.body))
+                    return false;
+            }
+            return patternsResolve(*c.elseBody);
+        }
+        return true;
+    }
+
+    /** Arity of a constructor id, or nullopt if not a constructor. */
+    std::optional<Word>
+    consArity(Word id) const
+    {
+        if (isPrimId(id)) {
+            auto p = primById(id);
+            if (p && p->isConstructor)
+                return p->arity;
+            return std::nullopt;
+        }
+        size_t idx = Program::indexOf(id);
+        if (idx >= prog.decls.size())
+            return std::nullopt;
+        if (!prog.decls[idx].isCons)
+            return std::nullopt;
+        return prog.decls[idx].arity;
+    }
+
+    bool
+    calleeExists(Word id) const
+    {
+        if (isPrimId(id))
+            return primById(id).has_value();
+        return Program::indexOf(id) < prog.decls.size();
+    }
+
+    void
+    checkOperand(const Operand &op, Word locals_bound)
+    {
+        switch (op.src) {
+          case Src::Imm:
+            if (op.val < kMinImm || op.val > kMaxImm)
+                error(where, "immediate out of 26-bit range");
+            break;
+          case Src::Arg:
+            if (op.val < 0 || op.val >= SWord(arity)) {
+                error(where, strprintf(
+                    "arg index %d out of range (arity %u)",
+                    op.val, arity));
+            }
+            break;
+          case Src::Local:
+            if (op.val < 0 || op.val >= SWord(locals_bound)) {
+                error(where, strprintf(
+                    "local index %d not yet bound (%u bound here)",
+                    op.val, locals_bound));
+            }
+            break;
+        }
+    }
+
+    void
+    checkExpr(const Expr &e, Word locals_bound)
+    {
+        if (e.isLet()) {
+            const Let &l = e.asLet();
+            if (l.args.size() > kMaxArgs)
+                error(where, "let argument count exceeds encoding");
+            switch (l.callee.kind) {
+              case CalleeKind::Func:
+                if (!calleeExists(l.callee.id)) {
+                    error(where, strprintf(
+                        "callee id 0x%x does not exist", l.callee.id));
+                }
+                break;
+              case CalleeKind::Local:
+                if (l.callee.id >= locals_bound) {
+                    error(where, strprintf(
+                        "callee local %u not yet bound", l.callee.id));
+                }
+                break;
+              case CalleeKind::Arg:
+                if (l.callee.id >= arity) {
+                    error(where, strprintf(
+                        "callee arg %u out of range", l.callee.id));
+                }
+                break;
+            }
+            for (const auto &a : l.args)
+                checkOperand(a, locals_bound);
+            checkExpr(*l.body, locals_bound + 1);
+            return;
+        }
+        if (e.isCase()) {
+            const Case &c = e.asCase();
+            checkOperand(c.scrut, locals_bound);
+            for (const auto &br : c.branches) {
+                size_t body_words = exprWordCount(*br.body);
+                if (body_words > kMaxSkip) {
+                    error(where, strprintf(
+                        "branch body of %zu words exceeds the skip "
+                        "field", body_words));
+                }
+                if (br.isCons) {
+                    auto ar = consArity(br.consId);
+                    if (!ar) {
+                        error(where, strprintf(
+                            "pattern id 0x%x is not a constructor",
+                            br.consId));
+                        checkExpr(*br.body, locals_bound);
+                        continue;
+                    }
+                    checkExpr(*br.body, locals_bound + *ar);
+                } else {
+                    if (br.lit < kMinPatLit || br.lit > kMaxPatLit) {
+                        error(where,
+                              "literal pattern out of 16-bit range");
+                    }
+                    checkExpr(*br.body, locals_bound);
+                }
+            }
+            checkExpr(*c.elseBody, locals_bound);
+            return;
+        }
+        checkOperand(e.asResult().value, locals_bound);
+    }
+
+    const Program &prog;
+    ValidationReport report;
+    std::string where;
+    Word arity = 0;
+};
+
+} // namespace
+
+ValidationReport
+validateProgram(const Program &program)
+{
+    return Validator(program).run();
+}
+
+void
+validateProgramOrDie(const Program &program)
+{
+    ValidationReport r = validateProgram(program);
+    if (!r.ok())
+        fatal("invalid program:\n%s", r.summary().c_str());
+}
+
+} // namespace zarf

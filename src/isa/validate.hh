@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Structural validation of machine-assembly programs.
+ *
+ * The hardware loader (and the binary decoder in isa/binary.hh)
+ * rejects images that are not well-shaped; this validator performs
+ * the same checks on in-memory programs before encoding, plus the
+ * scoping checks that make a program executable: every reference must
+ * name an argument or an already-bound local on its path, every
+ * callee must exist, and every field must fit its encoding.
+ */
+
+#ifndef ZARF_ISA_VALIDATE_HH
+#define ZARF_ISA_VALIDATE_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/ast.hh"
+
+namespace zarf
+{
+
+/** One validation diagnostic. */
+struct Diagnostic
+{
+    std::string where; ///< Declaration name.
+    std::string what;
+};
+
+/** Full validation report. */
+struct ValidationReport
+{
+    std::vector<Diagnostic> errors;
+    bool ok() const { return errors.empty(); }
+    std::string summary() const;
+};
+
+/** Validate a whole program. */
+ValidationReport validateProgram(const Program &program);
+
+/** Validate or die; for pipelines where programs must be correct. */
+void validateProgramOrDie(const Program &program);
+
+} // namespace zarf
+
+#endif // ZARF_ISA_VALIDATE_HH

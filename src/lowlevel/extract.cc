@@ -1,0 +1,235 @@
+#include "lowlevel/extract.hh"
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "isa/prims.hh"
+#include "isa/validate.hh"
+#include "support/logging.hh"
+
+namespace zarf::ll
+{
+
+namespace
+{
+
+/** Extraction context for one function body. */
+class Extractor
+{
+  public:
+    Extractor(const std::unordered_set<std::string> &globals)
+        : globals(globals)
+    {}
+
+    /** Set the failure message (first wins) and return null. */
+    NExprPtr
+    fail(const std::string &why)
+    {
+        if (error.empty())
+            error = why;
+        return nullptr;
+    }
+
+    const std::string &errorText() const { return error; }
+
+    /** Continuation: receives the NArg holding an expression's
+     *  value and produces the rest of the function body. */
+    using K = std::function<NExprPtr(NArg)>;
+
+    NExprPtr
+    lower(const L &e, const K &k)
+    {
+        if (!error.empty())
+            return nullptr;
+        switch (e->kind) {
+          case LNode::Kind::Lit:
+            return k(nImm(e->lit));
+
+          case LNode::Kind::Var: {
+            auto it = env.find(e->name);
+            if (it == env.end())
+                return fail("unbound variable '" + e->name + "'");
+            return k(it->second);
+          }
+
+          case LNode::Kind::Call:
+            return lowerCall(e, k);
+
+          case LNode::Kind::LetIn:
+            // Bind the user's name to the lowered rhs (pure
+            // substitution: no extra machine instruction).
+            return lower(e->a, [&](NArg a) {
+                auto saved = env.find(e->name) != env.end()
+                                 ? std::optional<NArg>(env[e->name])
+                                 : std::nullopt;
+                env[e->name] = a;
+                NExprPtr body = lower(e->b, k);
+                if (saved)
+                    env[e->name] = *saved;
+                else
+                    env.erase(e->name);
+                return body;
+            });
+
+          case LNode::Kind::Iff:
+            // case cond of 0 => else-arm else then-arm. The
+            // continuation is duplicated into both arms (the ISA
+            // forbids re-convergence).
+            return lower(e->a, [&](NArg c) {
+                NExprPtr elseArm = lower(e->c, k);
+                if (!elseArm)
+                    return NExprPtr{};
+                NExprPtr thenArm = lower(e->b, k);
+                if (!thenArm)
+                    return NExprPtr{};
+                return nCase(c, { litBranch(0, std::move(elseArm)) },
+                             std::move(thenArm));
+            });
+
+          case LNode::Kind::Match:
+            return lower(e->scrut, [&](NArg s) {
+                std::vector<NBranch> branches;
+                for (const auto &br : e->branches) {
+                    // Field names bind themselves in the env.
+                    std::vector<std::pair<std::string,
+                                          std::optional<NArg>>> saved;
+                    for (const auto &f : br.fields) {
+                        saved.push_back(
+                            { f, env.count(f)
+                                     ? std::optional<NArg>(env[f])
+                                     : std::nullopt });
+                        env[f] = nVar(f);
+                    }
+                    NExprPtr body = lower(br.body, k);
+                    for (auto it = saved.rbegin(); it != saved.rend();
+                         ++it) {
+                        if (it->second)
+                            env[it->first] = *it->second;
+                        else
+                            env.erase(it->first);
+                    }
+                    if (!body)
+                        return NExprPtr{};
+                    if (br.isCons) {
+                        branches.push_back(consBranch(
+                            br.cons, br.fields, std::move(body)));
+                    } else {
+                        branches.push_back(
+                            litBranch(br.lit, std::move(body)));
+                    }
+                }
+                NExprPtr elseArm;
+                if (e->elseBody) {
+                    elseArm = lower(e->elseBody, k);
+                } else {
+                    // Unmatched scrutinee: yield Error 0.
+                    elseArm = nApplyRet("Error", { nImm(0) });
+                }
+                if (!elseArm)
+                    return NExprPtr{};
+                return nCase(s, std::move(branches),
+                             std::move(elseArm));
+            });
+        }
+        return fail("unknown IR node");
+    }
+
+    /** Enter one function. */
+    void
+    begin(const std::vector<std::string> &params)
+    {
+        env.clear();
+        tmp = 0;
+        for (const auto &p : params)
+            env[p] = nVar(p);
+    }
+
+  private:
+    NExprPtr
+    lowerCall(const L &e, const K &k)
+    {
+        // Lower arguments left to right, then emit the let.
+        auto argsOut = std::make_shared<std::vector<NArg>>();
+        std::function<NExprPtr(size_t)> go =
+            [&](size_t i) -> NExprPtr {
+            if (i < e->args.size()) {
+                return lower(e->args[i], [&, i](NArg a) {
+                    argsOut->push_back(a);
+                    NExprPtr r = go(i + 1);
+                    argsOut->pop_back();
+                    return r;
+                });
+            }
+            // Resolve the callee: a local binding takes priority
+            // (closure application); otherwise a global name.
+            std::string callee = e->name;
+            auto it = env.find(callee);
+            if (it != env.end()) {
+                if (it->second.isImm) {
+                    return fail("callee '" + callee +
+                                "' is bound to an integer");
+                }
+                callee = it->second.name;
+            } else if (!globals.count(callee) &&
+                       !primByName(callee)) {
+                return fail("unknown callee '" + callee + "'");
+            }
+            std::string t = strprintf("t%u", tmp++);
+            return nLet(t, callee, *argsOut,
+                        k(nVar(t)));
+        };
+        return go(0);
+    }
+
+    const std::unordered_set<std::string> &globals;
+    std::unordered_map<std::string, NArg> env;
+    unsigned tmp = 0;
+    std::string error;
+};
+
+} // namespace
+
+ExtractResult
+extract(const LProgram &program)
+{
+    std::unordered_set<std::string> globals;
+    for (const auto &c : program.conses)
+        globals.insert(c.name);
+    for (const auto &f : program.funcs)
+        globals.insert(f.name);
+
+    ProgramBuilder pb;
+    for (const auto &c : program.conses)
+        pb.cons(c.name, c.arity);
+
+    Extractor ex(globals);
+    for (const auto &f : program.funcs) {
+        ex.begin(f.params);
+        NExprPtr body =
+            ex.lower(f.body, [](NArg a) { return nRet(a); });
+        if (!body) {
+            return ExtractResult{ false, {},
+                                  "in " + f.name + ": " +
+                                      ex.errorText() };
+        }
+        pb.fn(f.name, f.params, std::move(body));
+    }
+    return ExtractResult{ true, std::move(pb), "" };
+}
+
+Program
+extractOrDie(const LProgram &program)
+{
+    ExtractResult r = extract(program);
+    if (!r.ok)
+        fatal("extraction failed: %s", r.error.c_str());
+    BuildResult b = r.builder.tryBuild();
+    if (!b.ok)
+        fatal("extracted assembly failed to lower: %s",
+              b.error.c_str());
+    validateProgramOrDie(b.program);
+    return std::move(b.program);
+}
+
+} // namespace zarf::ll

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The mechanical extractor from the low-level IR to Zarf named
+ * assembly (the paper's Fig. 6c step).
+ *
+ * Extraction is A-normal-form conversion: every nested call is
+ * hoisted into its own let with a fresh temporary; `iff` becomes a
+ * case on 0 with the continuation replicated into both arms (the
+ * ISA has no re-convergent branches); `match` becomes a case with
+ * constructor patterns, the else arm yielding the reserved Error
+ * constructor unless an explicit else body was given. The
+ * correspondence is line-for-line by construction, which is what
+ * keeps the paper's trusted extractor "simple".
+ */
+
+#ifndef ZARF_LOWLEVEL_EXTRACT_HH
+#define ZARF_LOWLEVEL_EXTRACT_HH
+
+#include <string>
+
+#include "isa/builder.hh"
+#include "lowlevel/lexpr.hh"
+
+namespace zarf::ll
+{
+
+/** Outcome of extraction. */
+struct ExtractResult
+{
+    bool ok;
+    ProgramBuilder builder;
+    std::string error;
+};
+
+/** Extract a low-level program to named Zarf assembly. */
+ExtractResult extract(const LProgram &program);
+
+/** Extract, lower, and validate; dies on any failure. */
+Program extractOrDie(const LProgram &program);
+
+} // namespace zarf::ll
+
+#endif // ZARF_LOWLEVEL_EXTRACT_HH

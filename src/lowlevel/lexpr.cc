@@ -1,0 +1,178 @@
+#include "lowlevel/lexpr.hh"
+
+#include "support/logging.hh"
+
+namespace zarf::ll
+{
+
+namespace
+{
+
+std::shared_ptr<LNode>
+node(LNode::Kind kind)
+{
+    auto n = std::make_shared<LNode>();
+    n->kind = kind;
+    return n;
+}
+
+} // namespace
+
+L
+lit(SWord v)
+{
+    auto n = node(LNode::Kind::Lit);
+    n->lit = v;
+    return n;
+}
+
+L
+v(std::string name)
+{
+    auto n = node(LNode::Kind::Var);
+    n->name = std::move(name);
+    return n;
+}
+
+L
+call(std::string callee, std::vector<L> args)
+{
+    auto n = node(LNode::Kind::Call);
+    n->name = std::move(callee);
+    n->args = std::move(args);
+    return n;
+}
+
+L
+letIn(std::string name, L rhs, L body)
+{
+    auto n = node(LNode::Kind::LetIn);
+    n->name = std::move(name);
+    n->a = std::move(rhs);
+    n->b = std::move(body);
+    return n;
+}
+
+L
+iff(L cond, L then, L els)
+{
+    auto n = node(LNode::Kind::Iff);
+    n->a = std::move(cond);
+    n->b = std::move(then);
+    n->c = std::move(els);
+    return n;
+}
+
+L
+match(L scrut, std::vector<LBranch> branches, L elseBody)
+{
+    auto n = node(LNode::Kind::Match);
+    n->scrut = std::move(scrut);
+    n->branches = std::move(branches);
+    n->elseBody = std::move(elseBody);
+    return n;
+}
+
+LBranch
+onCons(std::string cons, std::vector<std::string> fields, L body)
+{
+    return LBranch{ true, 0, std::move(cons), std::move(fields),
+                    std::move(body) };
+}
+
+LBranch
+onLit(SWord value, L body)
+{
+    return LBranch{ false, value, {}, {}, std::move(body) };
+}
+
+L
+sel(L c, L t, L e)
+{
+    // c*t + (1-c)*e — evaluates both sides; for scalars only.
+    return call("add", { call("mul", { c, t }),
+                         call("mul",
+                              { call("sub", { lit(1), c }), e }) });
+}
+
+L
+seq(L x, L e)
+{
+    return match(std::move(x), {}, std::move(e));
+}
+
+L operator+(L a, L b) { return call("add", { a, b }); }
+L operator-(L a, L b) { return call("sub", { a, b }); }
+L operator*(L a, L b) { return call("mul", { a, b }); }
+L operator/(L a, L b) { return call("div", { a, b }); }
+L operator%(L a, L b) { return call("mod", { a, b }); }
+L operator==(L a, L b) { return call("eq", { a, b }); }
+L operator!=(L a, L b) { return call("ne", { a, b }); }
+L operator<(L a, L b) { return call("lt", { a, b }); }
+L operator<=(L a, L b) { return call("le", { a, b }); }
+L operator>(L a, L b) { return call("gt", { a, b }); }
+L operator>=(L a, L b) { return call("ge", { a, b }); }
+L operator&&(L a, L b) { return call("band", { a, b }); }
+L operator||(L a, L b) { return call("bor", { a, b }); }
+
+std::string
+printL(const L &e, int indent)
+{
+    std::string pad(size_t(indent) * 2, ' ');
+    switch (e->kind) {
+      case LNode::Kind::Lit:
+        return strprintf("%d", e->lit);
+      case LNode::Kind::Var:
+        return e->name;
+      case LNode::Kind::Call: {
+        std::string s = "(" + e->name;
+        for (const auto &a : e->args)
+            s += " " + printL(a, 0);
+        return s + ")";
+      }
+      case LNode::Kind::LetIn:
+        return "let " + e->name + " := " + printL(e->a, 0) + " in\n" +
+               pad + printL(e->b, indent);
+      case LNode::Kind::Iff:
+        return "if " + printL(e->a, 0) + "\n" + pad + "then " +
+               printL(e->b, indent + 1) + "\n" + pad + "else " +
+               printL(e->c, indent + 1);
+      case LNode::Kind::Match: {
+        std::string s = "match " + printL(e->scrut, 0) + " with\n";
+        for (const auto &br : e->branches) {
+            s += pad + "| ";
+            if (br.isCons) {
+                s += br.cons;
+                for (const auto &f : br.fields)
+                    s += " " + f;
+            } else {
+                s += strprintf("%d", br.lit);
+            }
+            s += " => " + printL(br.body, indent + 1) + "\n";
+        }
+        s += pad + "| _ => " +
+             (e->elseBody ? printL(e->elseBody, indent + 1)
+                          : std::string("(Error 0)"));
+        return s;
+      }
+    }
+    return "?";
+}
+
+std::string
+printLProgram(const LProgram &p)
+{
+    std::string out;
+    for (const auto &c : p.conses)
+        out += strprintf("Inductive %s (arity %u).\n", c.name.c_str(),
+                         c.arity);
+    for (const auto &f : p.funcs) {
+        out += "Definition " + f.name;
+        for (const auto &prm : f.params)
+            out += " " + prm;
+        out += " :=\n  " + printL(f.body, 1) + ".\n\n";
+    }
+    return out;
+}
+
+} // namespace zarf::ll

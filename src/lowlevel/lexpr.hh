@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The low-level functional IR — the analog of the paper's
+ * "lower-level Coq implementation" (Fig. 6b).
+ *
+ * In the paper's refinement pipeline, critical algorithms are
+ * specified at a high level, re-written in a restricted low-level
+ * form (machine integers, isolated function applications, no
+ * if-then-else re-convergence), and then mechanically extracted to
+ * Zarf assembly (Fig. 6c). This module is that low-level form: a
+ * small expression language with nested calls, scalar conditionals,
+ * and constructor matching, together with C++ operator sugar so
+ * algorithm code reads naturally:
+ *
+ *   L y = (x + lit(1)) * v("gain");
+ *   L out = sel(y > lit(100), lit(1), lit(0));   // branch-free select
+ *
+ * The extractor (lowlevel/extract.hh) performs A-normal-form
+ * conversion into the named Zarf assembly of isa/builder.hh. Because
+ * the Zarf ISA disallows re-convergent branches, `iff` duplicates
+ * its continuation into both arms; prefer `sel` for scalar selection
+ * and small helper functions as join points, exactly as the paper's
+ * hand-written low-level code does.
+ */
+
+#ifndef ZARF_LOWLEVEL_LEXPR_HH
+#define ZARF_LOWLEVEL_LEXPR_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace zarf::ll
+{
+
+struct LNode;
+/** A low-level expression (immutable shared tree). */
+using L = std::shared_ptr<const LNode>;
+
+/** One branch of a match expression. */
+struct LBranch
+{
+    bool isCons;
+    SWord lit;                       ///< isCons == false
+    std::string cons;                ///< isCons == true
+    std::vector<std::string> fields; ///< bound field names
+    L body;
+};
+
+/** Low-level expression node. */
+struct LNode
+{
+    enum class Kind { Lit, Var, Call, LetIn, Iff, Match };
+
+    Kind kind;
+    SWord lit = 0;          ///< Lit
+    std::string name;       ///< Var name / Call callee / LetIn binder
+    std::vector<L> args;    ///< Call arguments
+    L a, b, c;              ///< LetIn rhs/body; Iff cond/then/else
+    std::vector<LBranch> branches; ///< Match
+    L scrut;                ///< Match scrutinee
+    L elseBody;             ///< Match else
+};
+
+/** Integer literal. */
+L lit(SWord v);
+/** Variable reference. */
+L v(std::string name);
+/** Apply a function/constructor/primitive (or local closure). */
+L call(std::string callee, std::vector<L> args);
+/** let name = rhs in body (explicit sharing). */
+L letIn(std::string name, L rhs, L body);
+/** Conditional: cond is 0 (false) or non-0; duplicates the
+ *  continuation — use for tails, prefer sel() mid-computation. */
+L iff(L cond, L then, L els);
+/** Constructor/literal matching. */
+L match(L scrut, std::vector<LBranch> branches, L elseBody);
+LBranch onCons(std::string cons, std::vector<std::string> fields,
+               L body);
+LBranch onLit(SWord value, L body);
+
+/** Branch-free scalar select: c ? t : e with c in {0,1}. */
+L sel(L c, L t, L e);
+
+/** Force x to WHNF, then continue with e — a case with only an else
+ *  branch. This is how Zarf code sequences I/O effects (the paper's
+ *  artificial-data-dependency idiom, Sec. 3.4). */
+L seq(L x, L e);
+
+// Operator sugar over the hardware primitives.
+L operator+(L a, L b);
+L operator-(L a, L b);
+L operator*(L a, L b);
+L operator/(L a, L b);
+L operator%(L a, L b);
+L operator==(L a, L b);
+L operator!=(L a, L b);
+L operator<(L a, L b);
+L operator<=(L a, L b);
+L operator>(L a, L b);
+L operator>=(L a, L b);
+L operator&&(L a, L b); ///< band of {0,1} values
+L operator||(L a, L b); ///< bor of {0,1} values
+
+/** A low-level function definition. */
+struct LFunc
+{
+    std::string name;
+    std::vector<std::string> params;
+    L body;
+};
+
+/** A low-level program: constructors plus functions. */
+struct LProgram
+{
+    struct LCons
+    {
+        std::string name;
+        Word arity;
+    };
+
+    std::vector<LCons> conses;
+    std::vector<LFunc> funcs;
+
+    void
+    cons(std::string name, Word arity)
+    {
+        conses.push_back({ std::move(name), arity });
+    }
+
+    void
+    fn(std::string name, std::vector<std::string> params, L body)
+    {
+        funcs.push_back({ std::move(name), std::move(params),
+                          std::move(body) });
+    }
+};
+
+/** Render the IR for inspection (Fig. 6b style). */
+std::string printL(const L &e, int indent = 0);
+std::string printLProgram(const LProgram &p);
+
+} // namespace zarf::ll
+
+#endif // ZARF_LOWLEVEL_LEXPR_HH

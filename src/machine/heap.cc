@@ -1,0 +1,172 @@
+#include "machine/heap.hh"
+
+#include "support/logging.hh"
+
+namespace zarf
+{
+
+Heap::Heap(size_t semispaceWords, const TimingModel &timing,
+           MachineStats &stats)
+    : mem(semispaceWords * 2, 0), semiWords(semispaceWords),
+      timing(timing), stats(stats)
+{
+    base = 0;
+    allocPtr = 0;
+    limit = semiWords;
+}
+
+Word
+Heap::alloc(ObjKind kind, Word fn, const std::vector<Word> &payload,
+            bool pad)
+{
+    size_t need = 1 + payload.size();
+    if (allocPtr + need > limit) {
+        if (hook)
+            collect(hook);
+        if (allocPtr + need > limit) {
+            oom = true;
+            return 0;
+        }
+    }
+    Word addr = static_cast<Word>(allocPtr);
+    mem[allocPtr] = mhdr::pack(kind, static_cast<Word>(payload.size()),
+                               fn, pad);
+    for (size_t i = 0; i < payload.size(); ++i)
+        mem[allocPtr + 1 + i] = payload[i];
+    allocPtr += need;
+    ++stats.allocations;
+    stats.allocatedWords += need;
+    return addr;
+}
+
+Word
+Heap::chase(Word value) const
+{
+    while (mval::isRef(value)) {
+        Word addr = mval::refOf(value);
+        Word h = mem[addr];
+        if (mhdr::kindOf(h) != ObjKind::Ind)
+            break;
+        value = mem[addr + 1];
+    }
+    return value;
+}
+
+Word
+Heap::evacuate(Word addr)
+{
+    // Charge the 2-cycle "already collected?" check for this ref.
+    stats.gcCycles += timing.gcRefCheck;
+    ++stats.gcRefChecks;
+
+    Word h = mem[addr];
+    ObjKind kind = mhdr::kindOf(h);
+    if (kind == ObjKind::Fwd)
+        return mem[addr + 1];
+
+    // Skip indirections: copy the target instead so chains die.
+    if (kind == ObjKind::Ind) {
+        Word target = mem[addr + 1];
+        Word out;
+        if (mval::isRef(target)) {
+            out = mval::mkRef(evacuate(mval::refOf(target)));
+        } else {
+            out = target;
+        }
+        // Forward the indirection to the (possibly integer) value
+        // by materializing a one-word Ind in to-space only when the
+        // target is an integer; references forward directly.
+        if (mval::isRef(out)) {
+            mem[addr] = mhdr::pack(ObjKind::Fwd, 1, 0);
+            mem[addr + 1] = mval::refOf(out);
+            return mval::refOf(out);
+        }
+        // Integer behind an indirection: copy a tiny Ind object.
+        Word count = 1;
+        Word naddr = static_cast<Word>(toPtr);
+        mem[toPtr] = mhdr::pack(ObjKind::Ind, count, 0);
+        mem[toPtr + 1] = out;
+        toPtr += 2;
+        stats.gcCycles += timing.gcPerObjectFixed +
+                          2 * timing.gcPerWordCopied;
+        ++stats.gcObjectsCopied;
+        stats.gcWordsCopied += 2;
+        mem[addr] = mhdr::pack(ObjKind::Fwd, 1, 0);
+        mem[addr + 1] = naddr;
+        return naddr;
+    }
+
+    Word count = mhdr::countOf(h);
+    size_t need = 1 + count;
+    if (toPtr + need > toBase + semiWords)
+        panic("GC to-space overflow: live set exceeds a semispace");
+
+    Word naddr = static_cast<Word>(toPtr);
+    mem[toPtr] = h;
+    for (Word i = 0; i < count; ++i)
+        mem[toPtr + 1 + i] = mem[addr + 1 + i];
+    toPtr += need;
+
+    // N+4 cycles for an N-word object (Sec. 5.2).
+    stats.gcCycles +=
+        timing.gcPerObjectFixed + need * timing.gcPerWordCopied;
+    ++stats.gcObjectsCopied;
+    stats.gcWordsCopied += need;
+
+    mem[addr] = mhdr::pack(ObjKind::Fwd, 1, 0);
+    mem[addr + 1] = naddr;
+    return naddr;
+}
+
+void
+Heap::collect(const RootProvider &roots)
+{
+    ++stats.gcRuns;
+    Cycles pauseStart = stats.gcCycles;
+    stats.gcCycles += timing.gcSetup;
+
+    toBase = base == 0 ? semiWords : 0;
+    toPtr = toBase;
+
+    // Evacuate roots.
+    roots([this](Word &slot) {
+        if (mval::isRef(slot))
+            slot = mval::mkRef(evacuate(mval::refOf(slot)));
+    });
+
+    // Cheney scan of to-space.
+    size_t scan = toBase;
+    while (scan < toPtr) {
+        Word h = mem[scan];
+        Word count = mhdr::countOf(h);
+        ObjKind kind = mhdr::kindOf(h);
+        Word fieldsStart = 0;
+        Word fieldsEnd = count;
+        if (kind == ObjKind::AppV) {
+            // payload[0] is the callee value: also a value word.
+            fieldsStart = 0;
+        }
+        for (Word i = fieldsStart; i < fieldsEnd; ++i) {
+            Word v = mem[scan + 1 + i];
+            if (mval::isRef(v)) {
+                mem[scan + 1 + i] =
+                    mval::mkRef(evacuate(mval::refOf(v)));
+            }
+        }
+        scan += 1 + count;
+    }
+
+    size_t live = toPtr - toBase;
+    if (live > stats.gcMaxLiveWords)
+        stats.gcMaxLiveWords = live;
+
+    base = toBase;
+    allocPtr = toPtr;
+    limit = toBase + semiWords;
+
+    Cycles pause = stats.gcCycles - pauseStart;
+    if (pause > stats.gcMaxPauseCycles)
+        stats.gcMaxPauseCycles = pause;
+}
+
+} // namespace zarf

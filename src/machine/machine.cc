@@ -1,0 +1,1025 @@
+#include "machine/machine.hh"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "isa/encoding.hh"
+#include "support/logging.hh"
+
+namespace zarf
+{
+
+namespace
+{
+
+/** Load-time view of one declaration. */
+struct FuncEntry
+{
+    bool isCons;
+    Word arity;
+    Word numLocals;
+    size_t bodyBegin; ///< Word index of the first body word.
+    size_t bodyEnd;
+};
+
+} // namespace
+
+class Machine::Impl
+{
+  public:
+    Impl(const Image &image, IoBus &bus, MachineConfig config)
+        : image(image), bus(bus), cfg(config),
+          heap(config.semispaceWords, this->cfg.timing, machineStats)
+    {
+        if (cfg.semispaceWords < 2 * kGcSafeMargin) {
+            fatal("semispace of %zu words is below the minimum %zu",
+                  cfg.semispaceWords, 2 * kGcSafeMargin);
+        }
+        load();
+        if (status != MachineStatus::Stuck)
+            boot();
+    }
+
+    MachineStatus
+    advance(Cycles budget)
+    {
+        Cycles target = total + budget;
+        while (status == MachineStatus::Running && total < target)
+            stepOnce();
+        return status;
+    }
+
+    Machine::Outcome
+    run(Cycles maxCycles)
+    {
+        advance(maxCycles);
+        if (status != MachineStatus::Done)
+            return { status, nullptr, diagnostic };
+        ValuePtr v = exportValue(vreg, 0);
+        if (!v)
+            return { status == MachineStatus::Done
+                         ? MachineStatus::Stuck
+                         : status,
+                     nullptr, diagnostic };
+        return { MachineStatus::Done, std::move(v), "" };
+    }
+
+    Cycles cyclesTotal() const { return total; }
+    const MachineStats &stats() const { return machineStats; }
+    size_t heapUsed() const { return heap.usedWords(); }
+
+    void
+    collectNow()
+    {
+        heap.collect(rootProvider());
+    }
+
+    std::vector<Machine::CensusEntry>
+    census()
+    {
+        heap.collect(rootProvider());
+        std::map<std::pair<Word, Word>, std::pair<size_t, size_t>> m;
+        heap.forEachObject([&](Word h) {
+            auto &e = m[{ Word(mhdr::kindOf(h)), mhdr::fnOf(h) }];
+            e.first += 1;
+            e.second += 1 + mhdr::countOf(h);
+        });
+        std::vector<Machine::CensusEntry> out;
+        for (const auto &[k, v] : m) {
+            out.push_back({ ObjKind(k.first), k.second, v.first,
+                            v.second });
+        }
+        std::sort(out.begin(), out.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.words > b.words;
+                  });
+        return out;
+    }
+
+  private:
+    // ------------------------------------------------------------
+    // Cycle accounting
+    // ------------------------------------------------------------
+
+    enum class InstrClass { None, Let, Case, Result };
+
+    void
+    charge(Cycles n)
+    {
+        total += n;
+        machineStats.execCycles += n;
+        switch (curClass) {
+          case InstrClass::Let:
+            machineStats.let.cycles += n;
+            break;
+          case InstrClass::Case:
+            machineStats.caseInstr.cycles += n;
+            break;
+          case InstrClass::Result:
+            machineStats.result.cycles += n;
+            break;
+          case InstrClass::None:
+            break;
+        }
+    }
+
+    // ------------------------------------------------------------
+    // Loading (the 4 load states)
+    // ------------------------------------------------------------
+
+    void
+    fail(std::string why)
+    {
+        status = MachineStatus::Stuck;
+        if (diagnostic.empty())
+            diagnostic = std::move(why);
+    }
+
+    void
+    load()
+    {
+        // LoadMagic / LoadCount / LoadInfo / LoadBody: one cycle per
+        // word streamed in.
+        machineStats.loadCycles = image.size() * cfg.timing.loadWord;
+        total += machineStats.loadCycles;
+
+        if (image.size() < 2 || image[0] != kMagic) {
+            fail("bad magic word");
+            return;
+        }
+        Word n = image[1];
+        size_t pos = 2;
+        for (Word i = 0; i < n; ++i) {
+            if (pos + 2 > image.size()) {
+                fail("truncated declaration header");
+                return;
+            }
+            InfoWord info = unpackInfo(image[pos]);
+            Word m = image[pos + 1];
+            pos += 2;
+            if (pos + m > image.size()) {
+                fail("declaration body overruns image");
+                return;
+            }
+            funcs.push_back(FuncEntry{ info.isCons, info.arity,
+                                       info.numLocals, pos, pos + m });
+            pos += m;
+        }
+        entry = ~Word(0);
+        for (size_t i = 0; i < funcs.size(); ++i) {
+            if (!funcs[i].isCons) {
+                entry = Word(i);
+                break;
+            }
+        }
+        if (entry == ~Word(0) || funcs[entry].arity != 0)
+            fail("no zero-argument entry function");
+    }
+
+    void
+    boot()
+    {
+        // Allocate the entry thunk and start forcing it.
+        Word root = allocApp(kFirstUserFuncId + entry, {});
+        vreg = mval::mkRef(root);
+        mode = Mode::EvalVal;
+        status = MachineStatus::Running;
+    }
+
+    // ------------------------------------------------------------
+    // Machine structure (mirrors the hardware's stacks)
+    // ------------------------------------------------------------
+
+    struct Activation
+    {
+        Word funcId = 0;
+        std::vector<Word> args;
+        std::vector<Word> locals;
+        size_t pc = 0;
+    };
+
+    struct Frame
+    {
+        enum class Kind { Update, Case, PrimArgs, Apply };
+
+        Kind kind;
+        Word target = 0; ///< Update: object address to overwrite.
+        Activation act;  ///< Case resumption.
+        Prim prim{};
+        std::vector<Word> primArgs;
+        std::vector<SWord> collected;
+        size_t nextArg = 0;
+        std::vector<Word> extra; ///< Apply leftovers.
+    };
+
+    enum class Mode { EvalVal, Exec, Deliver };
+
+    // ------------------------------------------------------------
+    // Heap object construction
+    // ------------------------------------------------------------
+
+    Word
+    allocApp(Word fn, std::vector<Word> args)
+    {
+        bool pad = args.empty();
+        if (pad)
+            args.push_back(0);
+        charge(cfg.timing.allocHeader +
+               args.size() * cfg.timing.letPerArg);
+        return heap.alloc(ObjKind::App, fn, args, pad);
+    }
+
+    Word
+    allocAppV(Word callee, std::vector<Word> args)
+    {
+        args.insert(args.begin(), callee);
+        charge(cfg.timing.allocHeader +
+               args.size() * cfg.timing.letPerArg);
+        return heap.alloc(ObjKind::AppV, 0, args);
+    }
+
+    Word
+    allocCons(Word id, std::vector<Word> fields)
+    {
+        bool pad = fields.empty();
+        if (pad)
+            fields.push_back(0);
+        charge(cfg.timing.allocHeader +
+               fields.size() * cfg.timing.letPerArg);
+        return heap.alloc(ObjKind::Cons, id, fields, pad);
+    }
+
+    Word
+    allocError(SWord code)
+    {
+        ++machineStats.errorsCreated;
+        return allocCons(static_cast<Word>(Prim::Error),
+                         { mval::mkInt(code) });
+    }
+
+    // ------------------------------------------------------------
+    // Identifier metadata
+    // ------------------------------------------------------------
+
+    unsigned
+    arityOf(Word id) const
+    {
+        if (isPrimId(id)) {
+            auto p = primById(id);
+            return p ? p->arity : 0;
+        }
+        size_t idx = id - kFirstUserFuncId;
+        return idx < funcs.size() ? funcs[idx].arity : 0;
+    }
+
+    bool
+    isConsId(Word id) const
+    {
+        if (isPrimId(id)) {
+            auto p = primById(id);
+            return p && p->isConstructor;
+        }
+        size_t idx = id - kFirstUserFuncId;
+        return idx < funcs.size() && funcs[idx].isCons;
+    }
+
+    bool
+    idExists(Word id) const
+    {
+        if (isPrimId(id))
+            return primById(id).has_value();
+        return id - kFirstUserFuncId < funcs.size();
+    }
+
+    // ------------------------------------------------------------
+    // The driver
+    // ------------------------------------------------------------
+
+    /**
+     * GC safe-point margin. Collection only happens between machine
+     * steps, when every live reference is reachable from the
+     * registers, frames, and activation (never from C++ temporaries)
+     * — so each step must be guaranteed to fit its allocations in
+     * this margin. The largest single allocation is one header plus
+     * kMaxArity+1 payload words; a step performs at most two.
+     */
+    static constexpr size_t kGcSafeMargin = 4096;
+
+    void
+    stepOnce()
+    {
+        if (heap.outOfMemory()) {
+            status = MachineStatus::OutOfMemory;
+            return;
+        }
+        if (cfg.gcOnExhaustion && heap.freeWords() < kGcSafeMargin) {
+            heap.collect(rootProvider());
+            lastGcAt = total;
+            if (heap.freeWords() < kGcSafeMargin) {
+                status = MachineStatus::OutOfMemory;
+                diagnostic = "live set exceeds semispace capacity";
+                return;
+            }
+        }
+        if (cfg.gcIntervalCycles &&
+            total - lastGcAt >= cfg.gcIntervalCycles) {
+            heap.collect(rootProvider());
+            lastGcAt = total;
+        }
+        switch (mode) {
+          case Mode::EvalVal:
+            stepEval();
+            break;
+          case Mode::Exec:
+            stepExec();
+            break;
+          case Mode::Deliver:
+            if (conts.empty()) {
+                status = MachineStatus::Done;
+                return;
+            }
+            stepDeliver();
+            break;
+        }
+    }
+
+    /** Is this object, as it stands, a WHNF value? */
+    bool
+    objIsWhnf(Word h) const
+    {
+        ObjKind k = mhdr::kindOf(h);
+        if (k == ObjKind::Cons)
+            return true;
+        if (k != ObjKind::App)
+            return false;
+        return mhdr::argsOf(h) < arityOf(mhdr::fnOf(h));
+    }
+
+    void
+    stepEval()
+    {
+        vreg = heap.chase(vreg);
+        if (mval::isInt(vreg)) {
+            mode = Mode::Deliver;
+            return;
+        }
+        Word addr = mval::refOf(vreg);
+        Word h = heap.header(addr);
+        charge(cfg.timing.whnfCheck); // EvWhnfHit / EvDispatch
+        ObjKind kind = mhdr::kindOf(h);
+        if (kind == ObjKind::Blackhole) {
+            fail("re-entered a thunk under evaluation");
+            return;
+        }
+        if (objIsWhnf(h)) {
+            ++machineStats.whnfHits;
+            mode = Mode::Deliver;
+            return;
+        }
+
+        // A thunk: collapse pending update frames (EvCollapseUpd),
+        // then enter it (EvEnterThunk + EvPushUpdate).
+        while (!conts.empty() &&
+               conts.back().kind == Frame::Kind::Update) {
+            Word prev = conts.back().target;
+            Word ph = heap.header(prev);
+            heap.setHeader(prev, mhdr::pack(ObjKind::Ind,
+                                            mhdr::countOf(ph), 0,
+                                            mhdr::padOf(ph)));
+            heap.setPayload(prev, 0, vreg);
+            conts.pop_back();
+            charge(cfg.timing.collapseUpdate);
+            ++machineStats.updates;
+        }
+        {
+            Frame f;
+            f.kind = Frame::Kind::Update;
+            f.target = addr;
+            conts.push_back(std::move(f));
+        }
+        charge(cfg.timing.enterThunk);
+        ++machineStats.forces;
+
+        Word count = mhdr::argsOf(h);
+        Word fn = mhdr::fnOf(h);
+
+        if (kind == ObjKind::AppV) {
+            // Evaluate the callee value, then apply the arguments.
+            Word callee = heap.payload(addr, 0);
+            Frame f;
+            f.kind = Frame::Kind::Apply;
+            for (Word i = 1; i < mhdr::countOf(h); ++i)
+                f.extra.push_back(heap.payload(addr, i));
+            blackhole(addr, h);
+            conts.push_back(std::move(f));
+            vreg = callee;
+            return;
+        }
+
+        // App thunk on a global identifier.
+        std::vector<Word> args;
+        args.reserve(count);
+        for (Word i = 0; i < count; ++i)
+            args.push_back(heap.payload(addr, i));
+        blackhole(addr, h);
+
+        unsigned arity = arityOf(fn);
+        if (isConsId(fn)) {
+            // Over-applied constructor (saturated ones are values).
+            vreg = mval::mkRef(allocError(kErrArity));
+            return;
+        }
+        if (args.size() > arity) {
+            Frame f;
+            f.kind = Frame::Kind::Apply;
+            f.extra.assign(args.begin() + arity, args.end());
+            args.resize(arity);
+            conts.push_back(std::move(f));
+            charge(cfg.timing.applyExtra);
+        }
+        if (isPrimId(fn)) {
+            beginPrim(static_cast<Prim>(fn), std::move(args));
+            return;
+        }
+
+        // EvCallSetup: activate the function body.
+        const FuncEntry &fe = funcs[fn - kFirstUserFuncId];
+        charge(cfg.timing.callSetup);
+        ++machineStats.callsPerFunc[fn];
+        act = Activation{};
+        act.funcId = fn;
+        act.args = std::move(args);
+        act.pc = fe.bodyBegin;
+        mode = Mode::Exec;
+    }
+
+    void
+    blackhole(Word addr, Word h)
+    {
+        heap.setHeader(addr, mhdr::pack(ObjKind::Blackhole,
+                                        mhdr::countOf(h),
+                                        mhdr::fnOf(h), mhdr::padOf(h)));
+    }
+
+    void
+    beginPrim(Prim p, std::vector<Word> args)
+    {
+        // Primitive evaluation is accounted to the let class: the
+        // paper's "applying two arguments to a primitive ALU
+        // function and evaluating it" is a single let-application
+        // unit (Sec. 5.2).
+        curClass = InstrClass::Let;
+        charge(cfg.timing.primSetup);
+        Frame f;
+        f.kind = Frame::Kind::PrimArgs;
+        f.prim = p;
+        f.primArgs = std::move(args);
+        f.nextArg = 0;
+        if (f.primArgs.empty()) {
+            fail("zero-arity primitive application");
+            return;
+        }
+        Word first = f.primArgs[0];
+        conts.push_back(std::move(f));
+        vreg = first;
+        mode = Mode::EvalVal;
+    }
+
+    // ------------------------------------------------------------
+    // Exec: fetch/decode instruction words from the image
+    // ------------------------------------------------------------
+
+    /** Reserved 2-bit source/kind encodings (value 3) are invalid. */
+    static bool
+    srcFieldValid(Word w)
+    {
+        return ((w >> 26) & 0x3u) != 3u;
+    }
+
+    Word
+    resolveOperand(const Operand &op)
+    {
+        switch (op.src) {
+          case Src::Imm:
+            return mval::mkInt(op.val);
+          case Src::Arg:
+            if (size_t(op.val) >= act.args.size()) {
+                fail("argument index out of range");
+                return 0;
+            }
+            return act.args[size_t(op.val)];
+          case Src::Local:
+            if (size_t(op.val) >= act.locals.size()) {
+                fail("local index out of range");
+                return 0;
+            }
+            return act.locals[size_t(op.val)];
+        }
+        return 0;
+    }
+
+    void
+    stepExec()
+    {
+        if (act.pc >= image.size()) {
+            fail("program counter ran off the image");
+            return;
+        }
+        Word w = image[act.pc];
+        if ((opOf(w) == Op::Let || opOf(w) == Op::Case ||
+             opOf(w) == Op::Result) &&
+            !srcFieldValid(w)) {
+            fail("reserved source/kind field in instruction word");
+            return;
+        }
+        switch (opOf(w)) {
+          case Op::Let:
+            curClass = InstrClass::Let;
+            ++machineStats.let.count;
+            charge(cfg.timing.letBase);
+            execLet(w);
+            return;
+          case Op::Case: {
+            curClass = InstrClass::Case;
+            ++machineStats.caseInstr.count;
+            charge(cfg.timing.caseBase);
+            Operand scrut = unpackCaseScrut(w);
+            Frame f;
+            f.kind = Frame::Kind::Case;
+            f.act = act;
+            vreg = resolveOperand(scrut);
+            conts.push_back(std::move(f));
+            mode = Mode::EvalVal;
+            return;
+          }
+          case Op::Result: {
+            curClass = InstrClass::Result;
+            ++machineStats.result.count;
+            charge(cfg.timing.resultBase);
+            vreg = resolveOperand(unpackResult(w));
+            mode = Mode::EvalVal;
+            return;
+          }
+          default:
+            fail(strprintf("unexpected opcode at word %zu", act.pc));
+            return;
+        }
+    }
+
+    void
+    execLet(Word head)
+    {
+        LetWord lw = unpackLet(head);
+        if (act.pc + 1 + lw.nargs > image.size()) {
+            fail("let argument list overruns the image");
+            return;
+        }
+        std::vector<Word> args;
+        args.reserve(lw.nargs);
+        for (Word i = 0; i < lw.nargs; ++i) {
+            Word aw = image[act.pc + 1 + i];
+            if (opOf(aw) != Op::Arg || !srcFieldValid(aw)) {
+                fail("malformed let argument word");
+                return;
+            }
+            charge(cfg.timing.letPerArg);
+            args.push_back(resolveOperand(unpackOperand(aw)));
+            if (status != MachineStatus::Running)
+                return;
+        }
+        machineStats.letArgs += lw.nargs;
+
+        Word bound = 0;
+        if (lw.kind == CalleeKind::Func) {
+            Word fn = lw.id;
+            if (!idExists(fn)) {
+                fail("let names an unknown function identifier");
+                return;
+            }
+            if (isConsId(fn) && args.size() == arityOf(fn)) {
+                bound = mval::mkRef(allocCons(fn, std::move(args)));
+            } else if (isConsId(fn) && args.size() > arityOf(fn)) {
+                bound = mval::mkRef(allocError(kErrArity));
+            } else {
+                bound = mval::mkRef(allocApp(fn, std::move(args)));
+            }
+        } else {
+            Word callee =
+                lw.kind == CalleeKind::Local
+                    ? (lw.id < act.locals.size()
+                           ? act.locals[lw.id]
+                           : (fail("callee local out of range"), 0u))
+                    : (lw.id < act.args.size()
+                           ? act.args[lw.id]
+                           : (fail("callee arg out of range"), 0u));
+            if (status != MachineStatus::Running)
+                return;
+            if (args.empty()) {
+                charge(cfg.timing.collapseUpdate); // ApAliasLocal
+                bound = callee;
+            } else {
+                Word c = heap.chase(callee);
+                if (mval::isInt(c)) {
+                    bound = mval::mkRef(allocError(kErrBadApply));
+                } else {
+                    Word h = heap.header(mval::refOf(c));
+                    ObjKind k = mhdr::kindOf(h);
+                    if (k == ObjKind::App && objIsWhnf(h)) {
+                        // ApCopyPartial + ApExtendArgs.
+                        Word fn = mhdr::fnOf(h);
+                        Word have = mhdr::argsOf(h);
+                        std::vector<Word> all;
+                        all.reserve(have + args.size());
+                        for (Word i = 0; i < have; ++i) {
+                            all.push_back(
+                                heap.payload(mval::refOf(c), i));
+                        }
+                        charge(have * cfg.timing.copyPartialPerWord);
+                        all.insert(all.end(), args.begin(),
+                                   args.end());
+                        if (isConsId(fn) &&
+                            all.size() == arityOf(fn)) {
+                            bound = mval::mkRef(
+                                allocCons(fn, std::move(all)));
+                        } else if (isConsId(fn) &&
+                                   all.size() > arityOf(fn)) {
+                            bound = mval::mkRef(allocError(kErrArity));
+                        } else {
+                            bound = mval::mkRef(
+                                allocApp(fn, std::move(all)));
+                        }
+                    } else if (k == ObjKind::Cons) {
+                        bound = mhdr::fnOf(h) ==
+                                        static_cast<Word>(Prim::Error)
+                                    ? c
+                                    : mval::mkRef(
+                                          allocError(kErrArity));
+                    } else {
+                        // Callee is an unevaluated thunk: defer.
+                        bound = mval::mkRef(
+                            allocAppV(callee, std::move(args)));
+                    }
+                }
+            }
+        }
+        act.locals.push_back(bound);
+        act.pc += 1 + lw.nargs;
+    }
+
+    // ------------------------------------------------------------
+    // Deliver
+    // ------------------------------------------------------------
+
+    void
+    stepDeliver()
+    {
+        Frame f = std::move(conts.back());
+        conts.pop_back();
+        switch (f.kind) {
+          case Frame::Kind::Update: {
+            Word h = heap.header(f.target);
+            heap.setHeader(f.target,
+                           mhdr::pack(ObjKind::Ind, mhdr::countOf(h),
+                                      0, mhdr::padOf(h)));
+            heap.setPayload(f.target, 0, vreg);
+            charge(cfg.timing.update);
+            ++machineStats.updates;
+            return; // stay in Deliver
+          }
+          case Frame::Kind::Case:
+            act = std::move(f.act);
+            charge(cfg.timing.returnToCase);
+            resumeCase();
+            return;
+          case Frame::Kind::PrimArgs:
+            resumePrim(std::move(f));
+            return;
+          case Frame::Kind::Apply:
+            resumeApply(std::move(f));
+            return;
+        }
+    }
+
+    void
+    resumeCase()
+    {
+        curClass = InstrClass::Case;
+        Word v = heap.chase(vreg);
+        bool isInt = mval::isInt(v);
+        Word h = 0;
+        if (!isInt)
+            h = heap.header(mval::refOf(v));
+
+        // Walk the pattern words; 1 cycle per branch head.
+        size_t pc = act.pc + 1;
+        for (;;) {
+            if (pc >= image.size()) {
+                fail("case ran off the image");
+                return;
+            }
+            Word pw = image[pc];
+            Op op = opOf(pw);
+            if (op == Op::PatElse) {
+                act.pc = pc + 1;
+                mode = Mode::Exec;
+                return;
+            }
+            if (op != Op::PatLit && op != Op::PatCons) {
+                fail("malformed case pattern word");
+                return;
+            }
+            charge(cfg.timing.branchHead);
+            ++machineStats.branchHeads;
+            PatWord pat = unpackPat(pw);
+            bool match;
+            if (pat.isCons) {
+                match = !isInt &&
+                        mhdr::kindOf(h) == ObjKind::Cons &&
+                        mhdr::fnOf(h) == pat.consId;
+            } else {
+                match = isInt && mval::intOf(v) == pat.lit;
+            }
+            if (match) {
+                if (pat.isCons) {
+                    Word addr = mval::refOf(v);
+                    Word n = mhdr::argsOf(h);
+                    for (Word i = 0; i < n; ++i) {
+                        act.locals.push_back(heap.payload(addr, i));
+                        charge(cfg.timing.fieldPush);
+                    }
+                }
+                act.pc = pc + 1;
+                mode = Mode::Exec;
+                return;
+            }
+            pc += 1 + pat.skip;
+        }
+    }
+
+    void
+    resumePrim(Frame f)
+    {
+        curClass = InstrClass::Let;
+        Word v = heap.chase(vreg);
+        Prim p = f.prim;
+        charge(cfg.timing.primPerArg);
+
+        if (mval::isRef(v)) {
+            Word h = heap.header(mval::refOf(v));
+            if (mhdr::kindOf(h) == ObjKind::Cons &&
+                mhdr::fnOf(h) == static_cast<Word>(Prim::Error)) {
+                vreg = v;
+                mode = Mode::Deliver;
+                return;
+            }
+            SWord code = (p == Prim::GetInt || p == Prim::PutInt)
+                             ? kErrIoNotInt
+                             : kErrBadApply;
+            vreg = mval::mkRef(allocError(code));
+            mode = Mode::Deliver;
+            return;
+        }
+
+        f.collected.push_back(mval::intOf(v));
+        f.nextArg++;
+        if (f.nextArg < f.primArgs.size()) {
+            Word next = f.primArgs[f.nextArg];
+            conts.push_back(std::move(f));
+            vreg = next;
+            mode = Mode::EvalVal;
+            return;
+        }
+
+        switch (p) {
+          case Prim::GetInt:
+            charge(cfg.timing.ioOp);
+            vreg = mval::mkInt(wrapInt31(bus.getInt(f.collected[0])));
+            break;
+          case Prim::PutInt:
+            charge(cfg.timing.ioOp);
+            bus.putInt(f.collected[0], f.collected[1]);
+            vreg = mval::mkInt(f.collected[1]);
+            break;
+          case Prim::InvokeGc:
+            // The hardware GC-invocation function: collect now.
+            heap.collect(rootProvider());
+            lastGcAt = total;
+            vreg = mval::mkInt(f.collected[0]);
+            break;
+          default: {
+            charge(cfg.timing.aluOp);
+            PrimResult r = evalAlu(p, f.collected);
+            vreg = r.ok ? mval::mkInt(r.value)
+                        : mval::mkRef(allocError(r.errCode));
+            break;
+          }
+        }
+        mode = Mode::Deliver;
+    }
+
+    void
+    resumeApply(Frame f)
+    {
+        curClass = InstrClass::Let;
+        charge(cfg.timing.applyExtra);
+        Word v = heap.chase(vreg);
+        if (mval::isInt(v)) {
+            vreg = mval::mkRef(allocError(kErrBadApply));
+            mode = Mode::Deliver;
+            return;
+        }
+        Word addr = mval::refOf(v);
+        Word h = heap.header(addr);
+        if (mhdr::kindOf(h) == ObjKind::Cons) {
+            vreg = mhdr::fnOf(h) == static_cast<Word>(Prim::Error)
+                       ? v
+                       : mval::mkRef(allocError(kErrArity));
+            mode = Mode::Deliver;
+            return;
+        }
+        // Partial application: extend and re-evaluate.
+        Word fn = mhdr::fnOf(h);
+        Word have = mhdr::argsOf(h);
+        std::vector<Word> all;
+        all.reserve(have + f.extra.size());
+        for (Word i = 0; i < have; ++i)
+            all.push_back(heap.payload(addr, i));
+        charge(have * cfg.timing.copyPartialPerWord);
+        all.insert(all.end(), f.extra.begin(), f.extra.end());
+        if (isConsId(fn) && all.size() == arityOf(fn))
+            vreg = mval::mkRef(allocCons(fn, std::move(all)));
+        else if (isConsId(fn) && all.size() > arityOf(fn))
+            vreg = mval::mkRef(allocError(kErrArity));
+        else
+            vreg = mval::mkRef(allocApp(fn, std::move(all)));
+        mode = Mode::EvalVal;
+    }
+
+    // ------------------------------------------------------------
+    // GC roots
+    // ------------------------------------------------------------
+
+    Heap::RootProvider
+    rootProvider()
+    {
+        return [this](const Heap::RootVisitor &visit) {
+            visit(vreg);
+            for (Word &w : act.args)
+                visit(w);
+            for (Word &w : act.locals)
+                visit(w);
+            for (Frame &f : conts) {
+                switch (f.kind) {
+                  case Frame::Kind::Update: {
+                    Word slot = mval::mkRef(f.target);
+                    visit(slot);
+                    f.target = mval::refOf(slot);
+                    break;
+                  }
+                  case Frame::Kind::Case:
+                    for (Word &w : f.act.args)
+                        visit(w);
+                    for (Word &w : f.act.locals)
+                        visit(w);
+                    break;
+                  case Frame::Kind::PrimArgs:
+                    for (size_t i = f.nextArg; i < f.primArgs.size();
+                         ++i) {
+                        visit(f.primArgs[i]);
+                    }
+                    break;
+                  case Frame::Kind::Apply:
+                    for (Word &w : f.extra)
+                        visit(w);
+                    break;
+                }
+            }
+        };
+    }
+
+    // ------------------------------------------------------------
+    // Export the final value to the host
+    // ------------------------------------------------------------
+
+    ValuePtr
+    exportValue(Word v, unsigned depth)
+    {
+        if (depth > 512) {
+            fail("deep-force recursion limit");
+            return nullptr;
+        }
+        // Force to WHNF using the machinery (EvDeepForce).
+        if (!forceForExport(v))
+            return nullptr;
+        v = heap.chase(vreg);
+        if (mval::isInt(v))
+            return Value::makeInt(mval::intOf(v));
+        Word addr = mval::refOf(v);
+        Word h = heap.header(addr);
+        Word n = mhdr::argsOf(h);
+        std::vector<Word> raw;
+        for (Word i = 0; i < n; ++i)
+            raw.push_back(heap.payload(addr, i));
+        Word fn = mhdr::fnOf(h);
+        bool cons = mhdr::kindOf(h) == ObjKind::Cons;
+        std::vector<ValuePtr> items;
+        items.reserve(raw.size());
+        for (Word w : raw) {
+            ValuePtr f = exportValue(w, depth + 1);
+            if (!f)
+                return nullptr;
+            items.push_back(std::move(f));
+        }
+        return cons ? Value::makeCons(fn, std::move(items))
+                    : Value::makeClosure(fn, std::move(items));
+    }
+
+    /** Run the machine until `v` is WHNF; leaves it in vreg. */
+    bool
+    forceForExport(Word v)
+    {
+        vreg = v;
+        mode = Mode::EvalVal;
+        status = MachineStatus::Running;
+        size_t base = conts.size();
+        for (;;) {
+            if (status != MachineStatus::Running)
+                return false;
+            if (mode == Mode::Deliver && conts.size() == base) {
+                status = MachineStatus::Done;
+                return true;
+            }
+            stepOnce();
+        }
+    }
+
+    const Image image;
+    IoBus &bus;
+    MachineConfig cfg;
+    MachineStats machineStats;
+    Heap heap;
+
+    std::vector<FuncEntry> funcs;
+    Word entry = 0;
+
+    std::vector<Frame> conts;
+    Activation act;
+    Word vreg = 0;
+    Mode mode = Mode::EvalVal;
+    InstrClass curClass = InstrClass::None;
+    MachineStatus status = MachineStatus::Running;
+    std::string diagnostic;
+    Cycles total = 0;
+    Cycles lastGcAt = 0;
+};
+
+Machine::Machine(const Image &image, IoBus &bus, MachineConfig config)
+    : impl(std::make_unique<Impl>(image, bus, config))
+{}
+
+Machine::~Machine() = default;
+
+MachineStatus
+Machine::advance(Cycles budget)
+{
+    return impl->advance(budget);
+}
+
+Machine::Outcome
+Machine::run(Cycles maxCycles)
+{
+    return impl->run(maxCycles);
+}
+
+Cycles
+Machine::cycles() const
+{
+    return impl->cyclesTotal();
+}
+
+const MachineStats &
+Machine::stats() const
+{
+    return impl->stats();
+}
+
+void
+Machine::collectNow()
+{
+    impl->collectNow();
+}
+
+size_t
+Machine::heapUsedWords() const
+{
+    return impl->heapUsed();
+}
+
+std::vector<Machine::CensusEntry>
+Machine::heapCensus()
+{
+    return impl->census();
+}
+
+} // namespace zarf

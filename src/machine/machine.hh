@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The cycle-level model of the λ-execution layer hardware.
+ *
+ * Unlike the reference interpreters in src/sem, this machine
+ * executes the *binary image* directly — it fetches and decodes
+ * instruction words, keeps all values in a word-addressed semispace
+ * heap, performs lazy graph reduction with in-place update, runs the
+ * semispace trace collector, and charges cycles per control-FSM
+ * state visit according to the TimingModel (see machine/timing.hh).
+ *
+ * The machine is resumable: advance(budget) executes until the
+ * budget is exhausted or the program finishes, which is what the
+ * two-layer co-simulation (src/system) uses to interleave it with
+ * the imperative core at their respective clock rates.
+ */
+
+#ifndef ZARF_MACHINE_MACHINE_HH
+#define ZARF_MACHINE_MACHINE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/binary.hh"
+#include "machine/heap.hh"
+#include "machine/stats.hh"
+#include "machine/timing.hh"
+#include "sem/io.hh"
+#include "sem/value.hh"
+
+namespace zarf
+{
+
+/** Machine configuration. */
+struct MachineConfig
+{
+    size_t semispaceWords = 1u << 20;
+    TimingModel timing{};
+    /** Also collect automatically when allocation fills the space
+     *  (the paper's configurable GC trigger). The InvokeGc hardware
+     *  function always collects. */
+    bool gcOnExhaustion = true;
+    /** Collect every N cycles (0 disables) — the paper's
+     *  "configured to run at specific intervals" policy. */
+    Cycles gcIntervalCycles = 0;
+};
+
+/** Current condition of the machine. */
+enum class MachineStatus
+{
+    Running,     ///< More work to do; call advance again.
+    Done,        ///< The program reduced to a value.
+    OutOfMemory, ///< A collection could not make room.
+    Stuck,       ///< Semantically undefined state (malformed image).
+};
+
+/** The λ-execution layer. */
+class Machine
+{
+  public:
+    /**
+     * Load a binary image. Loading itself is simulated (the four
+     * load states) and charged to stats().loadCycles.
+     *
+     * @param image the program image (validated on load)
+     * @param bus the I/O bus getint/putint talk to
+     * @param config sizing and timing
+     */
+    Machine(const Image &image, IoBus &bus, MachineConfig config = {});
+    ~Machine();
+
+    /** Execute until the status changes or `budget` more cycles
+     *  elapse. Returns the current status. */
+    MachineStatus advance(Cycles budget);
+
+    /** Convenience: run to completion (or maxCycles), then export
+     *  the deeply forced result value. Null value if not Done. */
+    struct Outcome
+    {
+        MachineStatus status;
+        ValuePtr value;
+        std::string diagnostic;
+    };
+    Outcome run(Cycles maxCycles = 2'000'000'000ull);
+
+    /** Total cycles elapsed (load + execution + GC). */
+    Cycles cycles() const;
+
+    /** Dynamic statistics. */
+    const MachineStats &stats() const;
+
+    /** Force a collection now (used by tests). */
+    void collectNow();
+
+    /** Words live in the heap after the last collection. */
+    size_t heapUsedWords() const;
+
+    /** Census of live heap objects after a collection: count of
+     *  objects per (kind, fn id) pair. A debugging/analysis aid for
+     *  finding space leaks in lazy programs. */
+    struct CensusEntry
+    {
+        ObjKind kind;
+        Word fn;
+        size_t objects;
+        size_t words;
+    };
+    std::vector<CensusEntry> heapCensus();
+
+  private:
+    class Impl;
+    std::unique_ptr<Impl> impl;
+};
+
+} // namespace zarf
+
+#endif // ZARF_MACHINE_MACHINE_HH

@@ -1,0 +1,51 @@
+#include "machine/stats.hh"
+
+#include "support/logging.hh"
+
+namespace zarf
+{
+
+std::string
+MachineStats::report() const
+{
+    std::string out;
+    out += strprintf("  let:    count %12llu  cycles %14llu  "
+                     "CPI %6.2f  avg args %.2f\n",
+                     (unsigned long long)let.count,
+                     (unsigned long long)let.cycles, let.cpi(),
+                     avgLetArgs());
+    out += strprintf("  case:   count %12llu  cycles %14llu  "
+                     "CPI %6.2f\n",
+                     (unsigned long long)caseInstr.count,
+                     (unsigned long long)caseInstr.cycles,
+                     caseInstr.cpi());
+    out += strprintf("  result: count %12llu  cycles %14llu  "
+                     "CPI %6.2f\n",
+                     (unsigned long long)result.count,
+                     (unsigned long long)result.cycles, result.cpi());
+    out += strprintf("  branch heads: %llu (%.1f%% of dynamic "
+                     "instructions)\n",
+                     (unsigned long long)branchHeads,
+                     100.0 * branchHeadFraction());
+    out += strprintf("  CPI: %.2f (no GC), %.2f (with GC)\n",
+                     cpiNoGc(), cpiWithGc());
+    out += strprintf("  heap: %llu objects / %llu words allocated; "
+                     "%llu forces (%llu WHNF hits), %llu updates\n",
+                     (unsigned long long)allocations,
+                     (unsigned long long)allocatedWords,
+                     (unsigned long long)forces,
+                     (unsigned long long)whnfHits,
+                     (unsigned long long)updates);
+    out += strprintf("  GC: %llu runs, %llu cycles, %llu objects / "
+                     "%llu words copied, %llu ref checks, max live "
+                     "%llu words\n",
+                     (unsigned long long)gcRuns,
+                     (unsigned long long)gcCycles,
+                     (unsigned long long)gcObjectsCopied,
+                     (unsigned long long)gcWordsCopied,
+                     (unsigned long long)gcRefChecks,
+                     (unsigned long long)gcMaxLiveWords);
+    return out;
+}
+
+} // namespace zarf

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The cycle-cost model of the λ-execution layer hardware.
+ *
+ * The paper's prototype is an FPGA state machine with 66 control
+ * states: 4 for program loading, 15 for function application, 18 for
+ * function evaluation, and 29 for garbage collection (Sec. 6). The
+ * simulator charges cycles per state visit using the constants
+ * below. They are calibrated so the dynamic behaviour of realistic
+ * programs reproduces the paper's published numbers:
+ *
+ *   - let ≈ 10.36 cycles at an average 5.16 arguments,
+ *   - case ≈ 10.59 cycles, one cycle per branch head,
+ *   - result ≈ 11.01 cycles,
+ *   - applying two arguments to an ALU primitive and evaluating
+ *     costs at most 30 cycles,
+ *   - GC copies a live object of N words in N+4 cycles and spends
+ *     2 cycles checking each reference.
+ *
+ * The WCET analyzer (src/verify/wcet.hh) uses the same constants, so
+ * its bounds are sound for this machine by construction.
+ */
+
+#ifndef ZARF_MACHINE_TIMING_HH
+#define ZARF_MACHINE_TIMING_HH
+
+#include "support/types.hh"
+
+namespace zarf
+{
+
+/** Control states of the λ-execution layer, grouped as in Sec. 6. */
+enum class MState : unsigned
+{
+    // ---- Program loading (4 states) ----
+    LoadMagic = 0,
+    LoadCount,
+    LoadInfo,
+    LoadBody,
+
+    // ---- Function application (15 states) ----
+    // Building and extending application objects for let.
+    ApFetchLet,     ///< Fetch and decode a let head word.
+    ApFetchArg,     ///< Fetch one argument word and resolve it.
+    ApAllocHeader,  ///< Write a new object header.
+    ApWriteArg,     ///< Write one payload word.
+    ApBindLocal,    ///< Push the object onto the locals stack.
+    ApAliasLocal,   ///< Zero-argument alias binding.
+    ApCopyPartial,  ///< Copy an existing partial application.
+    ApExtendArgs,   ///< Append arguments to the copy.
+    ApSatCheck,     ///< Compare applied count against arity.
+    ApConsBuild,    ///< Saturated constructor becomes a value.
+    ApOverflowChk,  ///< Detect over-application of constructors.
+    ApBadApply,     ///< Applying an integer: build Error.
+    ApCalleeFetch,  ///< Read the callee value for local/arg callees.
+    ApDeferCallee,  ///< Build an AppV node on an unevaluated callee.
+    ApErrorBuild,   ///< Materialize an Error constructor instance.
+
+    // ---- Function evaluation (18 states) ----
+    EvDispatch,     ///< Inspect a value word; follow indirections.
+    EvWhnfHit,      ///< Reference already evaluated (2-cycle check).
+    EvEnterThunk,   ///< Enter an unevaluated object; blackhole it.
+    EvPushUpdate,   ///< Push an update frame.
+    EvCollapseUpd,  ///< Collapse consecutive update frames.
+    EvCallSetup,    ///< Set up an activation for a function body.
+    EvFetchCase,    ///< Fetch and decode a case head word.
+    EvBranchHead,   ///< One pattern comparison (exactly 1 cycle).
+    EvFieldPush,    ///< Push one constructor field as a local.
+    EvFetchResult,  ///< Fetch and decode a result word.
+    EvUpdate,       ///< Overwrite an object with its value.
+    EvReturn,       ///< Resume the consumer of a value.
+    EvPrimSetup,    ///< Begin primitive evaluation.
+    EvPrimArg,      ///< Force/fetch one primitive operand.
+    EvAluOp,        ///< The ALU operation proper.
+    EvIoOp,         ///< getint/putint port transaction.
+    EvApplyExtra,   ///< Re-apply a value to leftover arguments.
+    EvDeepForce,    ///< Exporting the final value to the host.
+
+    // ---- Garbage collection (29 states) ----
+    GcIdle,
+    GcStart,
+    GcFlipSpaces,
+    GcRootVreg,
+    GcRootLocals,
+    GcRootArgs,
+    GcRootFrames,
+    GcScanObject,
+    GcReadHeader,
+    GcCheckRef,     ///< 2 cycles per reference checked.
+    GcCopyHeader,
+    GcCopyWord,     ///< Part of the N+4 object copy.
+    GcWriteFwd,
+    GcFollowFwd,
+    GcSkipInd,
+    GcScanPayload,
+    GcAdvanceScan,
+    GcCopyDone,
+    GcFixupRoot,
+    GcFixupFrame,
+    GcFixupLocal,
+    GcFixupArg,
+    GcBumpAlloc,
+    GcCheckLimit,
+    GcOutOfMem,
+    GcFinish,
+    GcInvokeEntry,  ///< The gc hardware-function entry point.
+    GcInvokeExit,
+    GcAccount,
+
+    NumStates,
+};
+
+/** Number of control states in each group (paper, Sec. 6). */
+constexpr unsigned kLoadStates = 4;
+constexpr unsigned kApplyStates = 15;
+constexpr unsigned kEvalStates = 18;
+constexpr unsigned kGcStates = 29;
+constexpr unsigned kTotalStates =
+    kLoadStates + kApplyStates + kEvalStates + kGcStates;
+
+static_assert(static_cast<unsigned>(MState::NumStates) == kTotalStates,
+              "state inventory must match the paper's 66 states");
+
+/** Cycle cost charged per visit to each state. */
+struct TimingModel
+{
+    // Loading (charged once per word at load time).
+    Cycles loadWord = 1;
+
+    // let: fetch/decode, per-argument fetch+write, allocation,
+    // binding. A let with A arguments costs
+    //   letBase + A * letPerArg (+ alloc header).
+    Cycles letBase = 3;      ///< ApFetchLet + ApBindLocal + ApSatCheck
+    Cycles letPerArg = 1;    ///< ApFetchArg + ApWriteArg per argument
+    Cycles allocHeader = 2;  ///< ApAllocHeader
+    Cycles copyPartialPerWord = 1; ///< ApCopyPartial/ApExtendArgs
+
+    // case: fetch/decode + scrutinee dispatch; one cycle per branch
+    // head; one cycle per constructor field pushed on a match.
+    Cycles caseBase = 2;     ///< EvFetchCase
+    Cycles branchHead = 1;   ///< EvBranchHead (exactly 1, Sec. 6)
+    Cycles fieldPush = 1;    ///< EvFieldPush
+
+    // Forcing a reference.
+    Cycles whnfCheck = 2;    ///< EvWhnfHit: "2 cycles to check"
+    Cycles enterThunk = 3;   ///< EvEnterThunk + EvPushUpdate
+    Cycles callSetup = 3;    ///< EvCallSetup: jump into a body
+    Cycles collapseUpdate = 1;
+
+    // result: fetch/decode + update + return to the forcing case.
+    Cycles resultBase = 2;   ///< EvFetchResult
+    Cycles update = 2;       ///< EvUpdate
+    Cycles returnToCase = 2; ///< EvReturn
+
+    // Primitives.
+    Cycles primSetup = 2;    ///< EvPrimSetup
+    Cycles primPerArg = 2;   ///< EvPrimArg: fetch + integer check
+    Cycles aluOp = 1;        ///< EvAluOp
+    Cycles ioOp = 2;         ///< EvIoOp
+    Cycles applyExtra = 2;   ///< EvApplyExtra
+
+    // Garbage collection (Sec. 5.2).
+    Cycles gcSetup = 8;        ///< Flip + root setup states.
+    Cycles gcPerObjectFixed = 4; ///< The +4 of the N+4 copy.
+    Cycles gcPerWordCopied = 1;  ///< The N of the N+4 copy.
+    Cycles gcRefCheck = 2;       ///< Checking one reference.
+};
+
+/** Worst-case cycles to apply two args to an ALU prim and evaluate
+ *  it (paper: "a maximum runtime of 30 cycles"). Derived from the
+ *  model: let allocation + force + operand fetches + op + update +
+ *  return. Exposed so the WCET analyzer and tests agree on it. */
+constexpr Cycles
+primApplyWorstCase(const TimingModel &t)
+{
+    return t.letBase + 2 * t.letPerArg + t.allocHeader // build object
+           + t.whnfCheck + t.enterThunk                // force entry
+           + t.primSetup + 2 * (t.primPerArg + t.whnfCheck) // operands
+           + t.aluOp                                   // the op
+           + t.update + t.returnToCase;                // save + return
+}
+
+} // namespace zarf
+
+#endif // ZARF_MACHINE_TIMING_HH

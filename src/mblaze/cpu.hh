@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Cycle-level model of the imperative core (3-stage in-order RISC).
+ *
+ * Timing: one cycle per instruction; taken branches, jumps, and
+ * calls pay a two-cycle pipeline flush; multiply takes 3 cycles,
+ * divide 34 (a serial divider, as on MicroBlaze); movi takes 2
+ * (IMM-prefix style). Loads and stores hit single-cycle on-chip
+ * BRAM. The core runs at 100 MHz next to the λ-layer's 50 MHz
+ * (paper, Table 1).
+ */
+
+#ifndef ZARF_MBLAZE_CPU_HH
+#define ZARF_MBLAZE_CPU_HH
+
+#include <array>
+#include <vector>
+
+#include "mblaze/isa.hh"
+#include "sem/io.hh"
+#include "support/types.hh"
+
+namespace zarf::mblaze
+{
+
+/** CPU timing parameters. */
+struct MbTiming
+{
+    Cycles base = 1;
+    Cycles takenBranchPenalty = 2;
+    Cycles mulExtra = 2;  ///< mul = 3 total
+    Cycles divExtra = 33; ///< div = 34 total
+    Cycles moviExtra = 1; ///< movi = 2 total
+    Cycles ioExtra = 1;
+};
+
+/** CPU run state. */
+enum class MbStatus
+{
+    Running,
+    Halted,
+    Fault, ///< Bad memory access or pc out of range.
+};
+
+/** The imperative core. */
+class MbCpu
+{
+  public:
+    /**
+     * The CPU owns a copy of the program, so callers may pass
+     * temporaries safely.
+     *
+     * @param program decoded program (pc 0 is the entry)
+     * @param bus the I/O bus `in`/`out` talk to
+     * @param memWords data memory size in words
+     */
+    MbCpu(MbProgram program, IoBus &bus,
+          size_t memWords = 1u << 16, MbTiming timing = {});
+
+    /** Run until halt/fault or `budget` more cycles pass. */
+    MbStatus advance(Cycles budget);
+
+    /** Run to completion (bounded); returns final status. */
+    MbStatus run(Cycles maxCycles = 1'000'000'000ull);
+
+    Cycles cycles() const { return total; }
+    uint64_t instructionsRetired() const { return retired; }
+    MbStatus status() const { return st; }
+
+    /** Register read (tests). */
+    SWord reg(unsigned i) const { return regs[i]; }
+    /** Register write (test setup). */
+    void setReg(unsigned i, SWord v);
+    /** Data-memory access (tests). */
+    SWord mem(size_t wordIndex) const;
+    void setMem(size_t wordIndex, SWord v);
+
+  private:
+    void step();
+
+    MbProgram prog;
+    IoBus &bus;
+    MbTiming timing;
+
+    std::array<SWord, kNumRegs> regs{};
+    std::vector<SWord> dmem;
+    size_t pc = 0;
+    MbStatus st = MbStatus::Running;
+    Cycles total = 0;
+    uint64_t retired = 0;
+};
+
+} // namespace zarf::mblaze
+
+#endif // ZARF_MBLAZE_CPU_HH

@@ -1,0 +1,165 @@
+#include "mblaze/encoding.hh"
+
+#include <map>
+
+#include "support/logging.hh"
+
+namespace zarf::mblaze
+{
+
+namespace
+{
+
+constexpr Word kOpImm = 63; ///< The IMM prefix pseudo-opcode.
+
+bool
+isBranchy(Opc o)
+{
+    switch (o) {
+      case Opc::Beq:
+      case Opc::Bne:
+      case Opc::Blt:
+      case Opc::Ble:
+      case Opc::Bgt:
+      case Opc::Bge:
+      case Opc::J:
+      case Opc::Jal:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+fitsImm16(int32_t v)
+{
+    return v >= -32768 && v <= 32767;
+}
+
+/** rb (bits [15:11]) and the 16-bit immediate share the low half;
+ *  register forms carry imm 0, immediate forms carry rb 0, so the
+ *  overlap is harmless and each decoder side reads what it uses. */
+Word
+pack(Opc op, unsigned rd, unsigned ra, unsigned rb, int32_t imm)
+{
+    return (Word(op) << 26) | (Word(rd & 31) << 21) |
+           (Word(ra & 31) << 16) | (Word(rb & 31) << 11) |
+           (Word(imm) & 0xffffu);
+}
+
+} // namespace
+
+std::vector<Word>
+encodeMb(const MbProgram &program)
+{
+    // Pass 1: the word offset at which each instruction starts (a
+    // movi with a large constant is two words: IMM prefix + movi).
+    std::vector<Word> wordAt(program.code.size() + 1, 0);
+    Word off = 0;
+    for (size_t i = 0; i < program.code.size(); ++i) {
+        wordAt[i] = off;
+        const Instr &ins = program.code[i];
+        off += (ins.opc == Opc::Movi && !fitsImm16(ins.imm)) ? 2 : 1;
+    }
+    wordAt[program.code.size()] = off;
+
+    // Pass 2: emit, with branch targets as word offsets.
+    std::vector<Word> out;
+    out.push_back(kMbMagic);
+    for (size_t i = 0; i < program.code.size(); ++i) {
+        Instr ins = program.code[i];
+        if (isBranchy(ins.opc)) {
+            size_t target = size_t(ins.imm);
+            if (target >= wordAt.size())
+                fatal("branch target %zu out of range", target);
+            ins.imm = int32_t(wordAt[target]);
+        }
+        if (ins.opc == Opc::Movi && !fitsImm16(ins.imm)) {
+            out.push_back((kOpImm << 26) |
+                          ((Word(ins.imm) >> 16) & 0xffffu));
+            out.push_back(pack(Opc::Movi, ins.rd, 0, 0,
+                               ins.imm & 0xffff));
+            continue;
+        }
+        out.push_back(pack(ins.opc, ins.rd, ins.ra, ins.rb,
+                           ins.imm));
+    }
+    return out;
+}
+
+MbDecodeResult
+decodeMb(const std::vector<Word> &image)
+{
+    auto err = [](std::string why) {
+        return MbDecodeResult{ false, {}, std::move(why) };
+    };
+    if (image.empty() || image[0] != kMbMagic)
+        return err("bad magic word");
+
+    MbProgram prog;
+    std::map<Word, size_t> instrAtWord;
+    std::vector<size_t> branchIdx;
+
+    bool havePrefix = false;
+    Word upper = 0;
+    Word start = 0; // word offset where the current instr started
+
+    for (size_t w = 1; w < image.size(); ++w) {
+        Word off = Word(w - 1);
+        Word word = image[w];
+        Word opBits = word >> 26;
+
+        if (opBits == kOpImm) {
+            if (havePrefix)
+                return err("two consecutive IMM prefixes");
+            havePrefix = true;
+            upper = word & 0xffffu;
+            start = off;
+            continue;
+        }
+        if (opBits > Word(Opc::Nop))
+            return err(strprintf("bad opcode %u at word %zu",
+                                 opBits, w));
+
+        Instr ins;
+        ins.opc = Opc(opBits);
+        ins.rd = uint8_t((word >> 21) & 31);
+        ins.ra = uint8_t((word >> 16) & 31);
+        ins.rb = uint8_t((word >> 11) & 31);
+        ins.imm = int32_t(int16_t(word & 0xffffu));
+        if (havePrefix) {
+            if (ins.opc != Opc::Movi)
+                return err("IMM prefix before a non-movi word");
+            ins.imm = int32_t((upper << 16) |
+                              (Word(ins.imm) & 0xffffu));
+            havePrefix = false;
+        } else {
+            start = off;
+        }
+        instrAtWord[start] = prog.code.size();
+        if (isBranchy(ins.opc))
+            branchIdx.push_back(prog.code.size());
+        prog.code.push_back(ins);
+    }
+    if (havePrefix)
+        return err("trailing IMM prefix");
+
+    Word totalWords = Word(image.size() - 1);
+    for (size_t idx : branchIdx) {
+        Word target = Word(prog.code[idx].imm) & 0xffffu;
+        auto it = instrAtWord.find(target);
+        if (it != instrAtWord.end()) {
+            prog.code[idx].imm = int32_t(it->second);
+        } else if (target == totalWords) {
+            // Branching one past the end: fault-on-arrival.
+            prog.code[idx].imm = int32_t(prog.code.size());
+        } else {
+            return err(strprintf(
+                "branch to word %u lands inside a fused constant "
+                "or outside the image", target));
+        }
+    }
+    return MbDecodeResult{ true, std::move(prog), "" };
+}
+
+} // namespace zarf::mblaze

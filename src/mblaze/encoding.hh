@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Binary encoding for the imperative layer's ISA.
+ *
+ * 32-bit words: [31:26] opcode, [25:21] rd, [20:16] ra, [15:11] rb,
+ * [15:0] signed immediate (immediate forms). Full-width constants
+ * use MicroBlaze's idiom: an IMM prefix word carries the upper 16
+ * bits and fuses with the following instruction (which is why `movi`
+ * costs two cycles in the timing model).
+ *
+ * Because a fused constant occupies two words, branch/jump targets
+ * are encoded as *word* offsets and translated back to instruction
+ * indices on decode; the decoder rejects targets that land on a
+ * fused prefix's second half or outside the image.
+ */
+
+#ifndef ZARF_MBLAZE_ENCODING_HH
+#define ZARF_MBLAZE_ENCODING_HH
+
+#include <string>
+#include <vector>
+
+#include "mblaze/isa.hh"
+
+namespace zarf::mblaze
+{
+
+/** Magic word leading every mblaze image ("MBZ:"). */
+constexpr Word kMbMagic = 0x4d425a3a;
+
+/** Encode a program to a binary image (magic + words). */
+std::vector<Word> encodeMb(const MbProgram &program);
+
+/** Decoding outcome. */
+struct MbDecodeResult
+{
+    bool ok;
+    MbProgram program;
+    std::string error;
+};
+
+/** Decode an image; labels are not recoverable (none are stored). */
+MbDecodeResult decodeMb(const std::vector<Word> &image);
+
+} // namespace zarf::mblaze
+
+#endif // ZARF_MBLAZE_ENCODING_HH

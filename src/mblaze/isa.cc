@@ -1,0 +1,231 @@
+#include "mblaze/isa.hh"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "support/logging.hh"
+#include "support/text.hh"
+
+namespace zarf::mblaze
+{
+
+namespace
+{
+
+struct OpSpec
+{
+    Opc opc;
+    /** Operand shape: R=register, I=immediate, L=label. */
+    const char *shape;
+};
+
+const std::unordered_map<std::string, OpSpec> &
+opTable()
+{
+    static const std::unordered_map<std::string, OpSpec> t = {
+        { "add", { Opc::Add, "RRR" } },
+        { "sub", { Opc::Sub, "RRR" } },
+        { "mul", { Opc::Mul, "RRR" } },
+        { "div", { Opc::Div, "RRR" } },
+        { "rem", { Opc::Rem, "RRR" } },
+        { "and", { Opc::And, "RRR" } },
+        { "or", { Opc::Or, "RRR" } },
+        { "xor", { Opc::Xor, "RRR" } },
+        { "shl", { Opc::Shl, "RRR" } },
+        { "shr", { Opc::Shr, "RRR" } },
+        { "sra", { Opc::Sra, "RRR" } },
+        { "slt", { Opc::Slt, "RRR" } },
+        { "addi", { Opc::Addi, "RRI" } },
+        { "muli", { Opc::Muli, "RRI" } },
+        { "andi", { Opc::Andi, "RRI" } },
+        { "ori", { Opc::Ori, "RRI" } },
+        { "xori", { Opc::Xori, "RRI" } },
+        { "shli", { Opc::Shli, "RRI" } },
+        { "shri", { Opc::Shri, "RRI" } },
+        { "srai", { Opc::Srai, "RRI" } },
+        { "slti", { Opc::Slti, "RRI" } },
+        { "movi", { Opc::Movi, "RI" } },
+        { "lw", { Opc::Lw, "RRI" } },
+        { "sw", { Opc::Sw, "RRI" } },
+        { "beq", { Opc::Beq, "RRL" } },
+        { "bne", { Opc::Bne, "RRL" } },
+        { "blt", { Opc::Blt, "RRL" } },
+        { "ble", { Opc::Ble, "RRL" } },
+        { "bgt", { Opc::Bgt, "RRL" } },
+        { "bge", { Opc::Bge, "RRL" } },
+        { "j", { Opc::J, "L" } },
+        { "jal", { Opc::Jal, "RL" } },
+        { "jr", { Opc::Jr, "R" } },
+        { "in", { Opc::In, "RI" } },
+        { "out", { Opc::Out, "RI" } },
+        { "halt", { Opc::Halt, "" } },
+        { "nop", { Opc::Nop, "" } },
+    };
+    return t;
+}
+
+const char *
+opName(Opc opc)
+{
+    for (const auto &[name, spec] : opTable()) {
+        if (spec.opc == opc)
+            return name.c_str();
+    }
+    return "?";
+}
+
+bool
+parseReg(const std::string &tok, uint8_t &out)
+{
+    if (tok.size() < 2 || tok[0] != 'r')
+        return false;
+    if (!isInteger(tok.substr(1)))
+        return false;
+    long v = std::stol(tok.substr(1));
+    if (v < 0 || v >= long(kNumRegs))
+        return false;
+    out = static_cast<uint8_t>(v);
+    return true;
+}
+
+} // namespace
+
+MbAsmResult
+assembleMb(const std::string &text)
+{
+    MbProgram prog;
+    std::unordered_map<std::string, size_t> labelIdx;
+    struct Fixup { size_t instr; std::string label; int line; };
+    std::vector<Fixup> fixups;
+
+    auto err = [](int line, const std::string &why) {
+        return MbAsmResult{ false, {},
+                            strprintf("line %d: %s", line,
+                                      why.c_str()) };
+    };
+
+    int lineNo = 0;
+    for (std::string &raw : split(text, '\n')) {
+        ++lineNo;
+        std::string line = raw;
+        size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+
+        // Labels, possibly followed by an instruction.
+        size_t colon = line.find(':');
+        if (colon != std::string::npos) {
+            std::string name = trim(line.substr(0, colon));
+            if (name.empty())
+                return err(lineNo, "empty label");
+            if (labelIdx.count(name))
+                return err(lineNo, "duplicate label " + name);
+            labelIdx[name] = prog.code.size();
+            prog.labels.push_back({ name, prog.code.size() });
+            line = trim(line.substr(colon + 1));
+            if (line.empty())
+                continue;
+        }
+
+        // Mnemonic and comma/space-separated operands.
+        size_t sp = line.find_first_of(" \t");
+        std::string mnem =
+            sp == std::string::npos ? line : line.substr(0, sp);
+        std::string rest =
+            sp == std::string::npos ? "" : trim(line.substr(sp));
+        auto it = opTable().find(mnem);
+        if (it == opTable().end())
+            return err(lineNo, "unknown mnemonic " + mnem);
+        const OpSpec &spec = it->second;
+
+        std::vector<std::string> ops;
+        if (!rest.empty()) {
+            for (std::string &part : split(rest, ',')) {
+                std::string p = trim(part);
+                if (p.empty())
+                    return err(lineNo, "empty operand");
+                ops.push_back(p);
+            }
+        }
+        std::string shape = spec.shape;
+        if (ops.size() != shape.size()) {
+            return err(lineNo,
+                       strprintf("%s expects %zu operands, got %zu",
+                                 mnem.c_str(), shape.size(),
+                                 ops.size()));
+        }
+
+        Instr ins;
+        ins.opc = spec.opc;
+        unsigned regsSeen = 0;
+        for (size_t i = 0; i < ops.size(); ++i) {
+            switch (shape[i]) {
+              case 'R': {
+                uint8_t r;
+                if (!parseReg(ops[i], r))
+                    return err(lineNo, "bad register " + ops[i]);
+                if (regsSeen == 0)
+                    ins.rd = r;
+                else if (regsSeen == 1)
+                    ins.ra = r;
+                else
+                    ins.rb = r;
+                ++regsSeen;
+                break;
+              }
+              case 'I': {
+                if (!isInteger(ops[i]))
+                    return err(lineNo, "bad immediate " + ops[i]);
+                ins.imm = static_cast<int32_t>(std::stol(ops[i]));
+                break;
+              }
+              case 'L': {
+                fixups.push_back({ prog.code.size(), ops[i],
+                                   lineNo });
+                break;
+              }
+            }
+        }
+        // sw stores rd; shape RRI puts base in ra: fine as encoded.
+        prog.code.push_back(ins);
+    }
+
+    for (const Fixup &f : fixups) {
+        auto it = labelIdx.find(f.label);
+        if (it == labelIdx.end())
+            return err(f.line, "undefined label " + f.label);
+        prog.code[f.instr].imm = static_cast<int32_t>(it->second);
+    }
+    return MbAsmResult{ true, std::move(prog), "" };
+}
+
+MbProgram
+assembleMbOrDie(const std::string &text)
+{
+    MbAsmResult r = assembleMb(text);
+    if (!r.ok)
+        fatal("mblaze assembly error: %s", r.error.c_str());
+    return std::move(r.program);
+}
+
+std::string
+disassembleMb(const MbProgram &program)
+{
+    std::string out;
+    for (size_t i = 0; i < program.code.size(); ++i) {
+        for (const auto &[name, idx] : program.labels) {
+            if (idx == i)
+                out += name + ":\n";
+        }
+        const Instr &ins = program.code[i];
+        out += strprintf("  %-5s rd=r%u ra=r%u rb=r%u imm=%d\n",
+                         opName(ins.opc), ins.rd, ins.ra, ins.rb,
+                         ins.imm);
+    }
+    return out;
+}
+
+} // namespace zarf::mblaze

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The imperative layer's instruction set: a MicroBlaze-like 32-bit
+ * in-order RISC.
+ *
+ * The paper's imperative realm "can be any embedded CPU, but for our
+ * purposes is a Xilinx MicroBlaze" (Sec. 4.1) with a 3-stage
+ * pipeline at 100 MHz (Table 1). This module defines a compact RISC
+ * in that mould: 32 general registers (r0 hardwired to zero), three-
+ * operand ALU ops with register or 16-bit-immediate second operands,
+ * word load/store, compare-and-branch, jump-and-link, port I/O, and
+ * halt. The timing model matches a classic 3-stage pipeline: one
+ * cycle per instruction, a two-cycle taken-branch penalty, 3-cycle
+ * multiply, and 34-cycle divide (MicroBlaze's serial divider).
+ */
+
+#ifndef ZARF_MBLAZE_ISA_HH
+#define ZARF_MBLAZE_ISA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace zarf::mblaze
+{
+
+/** Number of general-purpose registers; r0 reads as zero. */
+constexpr unsigned kNumRegs = 32;
+
+/** Operation codes. */
+enum class Opc : uint8_t
+{
+    // ALU, register-register.
+    Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, Sra,
+    Slt,  ///< rd = (ra < rb) signed
+    // ALU, register-immediate (16-bit sign-extended).
+    Addi, Muli, Andi, Ori, Xori, Shli, Shri, Srai, Slti,
+    // Full-width immediate load (2 cycles, like IMM-prefixed ops).
+    Movi,
+    // Memory (word addressed by byte address / 4? -> word index).
+    Lw,   ///< rd = mem[ra + imm]
+    Sw,   ///< mem[ra + imm] = rd
+    // Control flow. Branch targets are instruction indices after
+    // label resolution.
+    Beq, Bne, Blt, Ble, Bgt, Bge, ///< compare ra, rb
+    J,    ///< unconditional jump
+    Jal,  ///< rd = return index; jump
+    Jr,   ///< jump to register
+    // Port I/O (talks to the system's IoBus).
+    In,   ///< rd = port[imm]
+    Out,  ///< port[imm] = ra
+    Halt,
+    Nop,
+};
+
+/** One decoded instruction. */
+struct Instr
+{
+    Opc opc = Opc::Nop;
+    uint8_t rd = 0;
+    uint8_t ra = 0;
+    uint8_t rb = 0;
+    int32_t imm = 0; ///< Immediate / resolved branch target.
+};
+
+/** A program: decoded instructions plus symbol metadata. */
+struct MbProgram
+{
+    std::vector<Instr> code;
+    /** Label name -> instruction index (for tests/tools). */
+    std::vector<std::pair<std::string, size_t>> labels;
+
+    /** Look up a label; -1 if absent. */
+    int
+    labelAt(const std::string &name) const
+    {
+        for (const auto &[n, i] : labels) {
+            if (n == name)
+                return static_cast<int>(i);
+        }
+        return -1;
+    }
+};
+
+/** Assembly result. */
+struct MbAsmResult
+{
+    bool ok;
+    MbProgram program;
+    std::string error;
+};
+
+/**
+ * Assemble text into a program.
+ *
+ * Syntax, one instruction per line ('#' comments):
+ *
+ *   label:
+ *     movi  r1, 1000
+ *     addi  r2, r1, -1
+ *     mul   r3, r1, r2
+ *     lw    r4, r5, 8        # r4 = mem[r5 + 8]
+ *     sw    r4, r5, 8        # mem[r5 + 8] = r4
+ *     beq   r1, r0, label
+ *     jal   r15, subroutine
+ *     jr    r15
+ *     in    r6, 0
+ *     out   r6, 2
+ *     halt
+ */
+MbAsmResult assembleMb(const std::string &text);
+
+/** Assemble or die (tests, examples). */
+MbProgram assembleMbOrDie(const std::string &text);
+
+/** Render a program as assembly text (for inspection). */
+std::string disassembleMb(const MbProgram &program);
+
+} // namespace zarf::mblaze
+
+#endif // ZARF_MBLAZE_ISA_HH

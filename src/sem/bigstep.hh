@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The eager big-step reference semantics of the Zarf functional ISA —
+ * a direct transcription of Fig. 3 of the paper.
+ *
+ * Evaluation is a relation between an environment (argument and
+ * local frames), an expression, and a value; program evaluation
+ * begins with main's body. All four applyFn cases (saturation,
+ * under-application, argument accumulation, over-application) and
+ * both applyCn cases are implemented, as are the getint/putint rules
+ * and the case/else rules.
+ *
+ * Being big-step and eager, this engine recurses on the host stack
+ * and cannot execute unbounded loops; it exists as the semantic
+ * oracle against which the small-step engine and the cycle-level
+ * machine are differentially tested. Fuel and depth limits turn
+ * divergence into reported errors rather than host crashes.
+ */
+
+#ifndef ZARF_SEM_BIGSTEP_HH
+#define ZARF_SEM_BIGSTEP_HH
+
+#include <string>
+
+#include "isa/ast.hh"
+#include "sem/io.hh"
+#include "sem/value.hh"
+
+namespace zarf
+{
+
+/** Evaluation outcome. */
+struct EvalResult
+{
+    enum class Status
+    {
+        Ok,
+        OutOfFuel,      ///< Step budget exhausted.
+        DepthExceeded,  ///< Host recursion bound hit.
+        Stuck,          ///< Semantically undefined state reached.
+    };
+
+    Status status;
+    ValuePtr value;    ///< Valid when status == Ok.
+    std::string where; ///< Diagnostic context otherwise.
+
+    bool ok() const { return status == Status::Ok; }
+};
+
+/** Tunables for a big-step run. */
+struct BigStepConfig
+{
+    uint64_t maxSteps = 50'000'000; ///< let/case/result evaluations.
+    unsigned maxDepth = 8'000;      ///< Host recursion bound.
+};
+
+/** Eager big-step evaluator over a validated program. */
+class BigStep
+{
+  public:
+    /**
+     * @param program a validated program (see isa/validate.hh)
+     * @param bus the I/O bus getint/putint talk to
+     * @param config fuel and depth limits
+     */
+    BigStep(const Program &program, IoBus &bus,
+            BigStepConfig config = {});
+    ~BigStep();
+
+    /** Evaluate main (the whole-program rule of Fig. 3). */
+    EvalResult runMain();
+
+    /** Apply a named function to argument values and evaluate. */
+    EvalResult call(const std::string &fnName,
+                    const std::vector<ValuePtr> &args);
+
+    /** Steps consumed by the last run. */
+    uint64_t stepsUsed() const;
+
+  private:
+    class Impl;
+    std::unique_ptr<Impl> impl;
+};
+
+} // namespace zarf
+
+#endif // ZARF_SEM_BIGSTEP_HH

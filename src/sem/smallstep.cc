@@ -1,0 +1,754 @@
+#include "sem/smallstep.hh"
+
+#include <deque>
+#include <optional>
+
+#include "support/logging.hh"
+
+namespace zarf
+{
+
+namespace
+{
+
+/** A runtime word: an integer or a heap reference (the tag bit). */
+struct RtVal
+{
+    bool isInt;
+    SWord i;   ///< isInt
+    size_t r;  ///< !isInt
+};
+
+RtVal rtInt(SWord v) { return { true, v, 0 }; }
+RtVal rtRef(size_t r) { return { false, 0, r }; }
+
+/** A heap node. */
+struct Node
+{
+    enum class Tag
+    {
+        App,       ///< Application: callee (id or value) + arguments.
+        Cons,      ///< Saturated constructor value.
+        Ind,       ///< Updated: indirection to a value.
+        Blackhole, ///< Under evaluation (self-dependency detector).
+    };
+
+    Tag tag = Tag::App;
+    bool calleeIsRef = false; ///< App: callee is a value, not an id.
+    Word fn = 0;              ///< App (id) / Cons constructor id.
+    RtVal callee{};           ///< App with calleeIsRef.
+    std::vector<RtVal> args;  ///< App arguments / Cons fields.
+    RtVal ind{};              ///< Ind target.
+};
+
+} // namespace
+
+class SmallStep::Impl
+{
+  public:
+    Impl(const Program &program, IoBus &bus, SmallStepConfig config)
+        : prog(program.clone()), bus(bus), cfg(config)
+    {}
+
+    RunResult
+    runMain()
+    {
+        resetRun();
+        int entry = prog.entryIndex();
+        if (entry < 0)
+            return stuckResult("program has no entry function");
+        size_t root = allocApp(Program::idOf(size_t(entry)), {});
+        return drive(rtRef(root));
+    }
+
+    RunResult
+    call(const std::string &fnName, const std::vector<ValuePtr> &args)
+    {
+        resetRun();
+        int idx = prog.findByName(fnName);
+        if (idx < 0)
+            return stuckResult("no function named " + fnName);
+        std::vector<RtVal> rargs;
+        rargs.reserve(args.size());
+        for (const auto &a : args)
+            rargs.push_back(import(a));
+        size_t root = allocApp(Program::idOf(size_t(idx)),
+                               std::move(rargs));
+        return drive(rtRef(root));
+    }
+
+    const SmallStepStats &statsRef() const { return stats; }
+
+  private:
+    // ------------------------------------------------------------
+    // Machine structure
+    // ------------------------------------------------------------
+
+    /** One function activation. */
+    struct Activation
+    {
+        const Decl *decl = nullptr;
+        std::vector<RtVal> args;
+        std::vector<RtVal> locals;
+        const Expr *pc = nullptr;
+    };
+
+    /** A continuation frame. */
+    struct Frame
+    {
+        enum class Kind { Update, Case, PrimArgs, Apply };
+
+        Kind kind;
+        // Update
+        size_t target = 0;
+        // Case
+        Activation act;
+        // PrimArgs
+        Prim prim{};
+        std::vector<RtVal> primArgs;
+        std::vector<SWord> collected;
+        size_t nextArg = 0;
+        // Apply
+        std::vector<RtVal> extra;
+    };
+
+    enum class Mode { Exec, EvalVal, Deliver, Done, Stuck };
+
+    // ------------------------------------------------------------
+    // Heap helpers
+    // ------------------------------------------------------------
+
+    size_t
+    allocNode(Node n)
+    {
+        ++stats.allocations;
+        heap.push_back(std::move(n));
+        return heap.size() - 1;
+    }
+
+    size_t
+    allocApp(Word fn, std::vector<RtVal> args)
+    {
+        Node n;
+        n.tag = Node::Tag::App;
+        n.fn = fn;
+        n.args = std::move(args);
+        return allocNode(std::move(n));
+    }
+
+    size_t
+    allocAppRef(RtVal callee, std::vector<RtVal> args)
+    {
+        Node n;
+        n.tag = Node::Tag::App;
+        n.calleeIsRef = true;
+        n.callee = callee;
+        n.args = std::move(args);
+        return allocNode(std::move(n));
+    }
+
+    size_t
+    allocCons(Word id, std::vector<RtVal> fields)
+    {
+        Node n;
+        n.tag = Node::Tag::Cons;
+        n.fn = id;
+        n.args = std::move(fields);
+        return allocNode(std::move(n));
+    }
+
+    size_t
+    allocError(SWord code)
+    {
+        return allocCons(static_cast<Word>(Prim::Error),
+                         { rtInt(code) });
+    }
+
+    /** Follow indirection chains to the representative value. */
+    RtVal
+    chase(RtVal v)
+    {
+        while (!v.isInt && heap[v.r].tag == Node::Tag::Ind)
+            v = heap[v.r].ind;
+        return v;
+    }
+
+    unsigned
+    arityOf(Word id) const
+    {
+        if (isPrimId(id)) {
+            auto p = primById(id);
+            return p ? p->arity : 0;
+        }
+        return prog.decls[Program::indexOf(id)].arity;
+    }
+
+    bool
+    isConsId(Word id) const
+    {
+        if (isPrimId(id)) {
+            auto p = primById(id);
+            return p && p->isConstructor;
+        }
+        return prog.decls[Program::indexOf(id)].isCons;
+    }
+
+    /** Is this node, as it stands, already a value (WHNF)? */
+    bool
+    nodeIsWhnf(const Node &n) const
+    {
+        if (n.tag == Node::Tag::Cons)
+            return true;
+        if (n.tag != Node::Tag::App || n.calleeIsRef)
+            return false;
+        // A partial application is a value.
+        return n.args.size() < arityOf(n.fn);
+    }
+
+    // ------------------------------------------------------------
+    // The driver loop
+    // ------------------------------------------------------------
+
+    void
+    resetRun()
+    {
+        heap.clear();
+        conts.clear();
+        mode = Mode::Done;
+        stuckWhere.clear();
+        steps = 0;
+    }
+
+    RunResult
+    stuckResult(std::string why)
+    {
+        return { RunResult::Status::Stuck, nullptr, std::move(why) };
+    }
+
+    /** Run the machine until `start` is in WHNF, then deep-force. */
+    RunResult
+    drive(RtVal start)
+    {
+        std::optional<RtVal> whnf = forceToWhnf(start);
+        if (!whnf) {
+            if (mode == Mode::Stuck)
+                return stuckResult(stuckWhere);
+            return { RunResult::Status::OutOfFuel, nullptr, "" };
+        }
+        // Deep-force the value so callers get a full Value tree.
+        ValuePtr v = deepValue(*whnf, 0);
+        if (!v) {
+            if (mode == Mode::Stuck)
+                return stuckResult(stuckWhere);
+            return { RunResult::Status::OutOfFuel, nullptr, "" };
+        }
+        return { RunResult::Status::Done, std::move(v), "" };
+    }
+
+    /** Force one value to WHNF; nullopt on fuel/stuck. */
+    std::optional<RtVal>
+    forceToWhnf(RtVal v)
+    {
+        mode = Mode::EvalVal;
+        cur = v;
+        size_t base = conts.size();
+        while (true) {
+            if (++steps > cfg.maxSteps)
+                return std::nullopt;
+            switch (mode) {
+              case Mode::EvalVal:
+                stepEval(base);
+                break;
+              case Mode::Exec:
+                stepExec();
+                break;
+              case Mode::Deliver:
+                if (conts.size() == base) {
+                    // WHNF reached for this force request.
+                    return cur;
+                }
+                stepDeliver();
+                break;
+              case Mode::Done:
+                return cur;
+              case Mode::Stuck:
+                return std::nullopt;
+            }
+        }
+    }
+
+    /** Convert a WHNF value into a deep Value, forcing fields. */
+    ValuePtr
+    deepValue(RtVal v, unsigned depth)
+    {
+        if (depth > 512) {
+            setStuck("deep-force recursion limit");
+            return nullptr;
+        }
+        v = chase(v);
+        if (v.isInt)
+            return Value::makeInt(v.i);
+        const Node &n = heap[v.r];
+        if (n.tag == Node::Tag::Cons) {
+            std::vector<ValuePtr> fields;
+            // Copy the field list: forcing may grow the heap and
+            // invalidate `n`.
+            std::vector<RtVal> raw = n.args;
+            Word id = n.fn;
+            fields.reserve(raw.size());
+            for (RtVal f : raw) {
+                auto w = forceToWhnf(f);
+                if (!w)
+                    return nullptr;
+                ValuePtr fv = deepValue(*w, depth + 1);
+                if (!fv)
+                    return nullptr;
+                fields.push_back(std::move(fv));
+            }
+            return Value::makeCons(id, std::move(fields));
+        }
+        if (n.tag == Node::Tag::App && !n.calleeIsRef &&
+            n.args.size() < arityOf(n.fn)) {
+            std::vector<ValuePtr> applied;
+            std::vector<RtVal> raw = n.args;
+            Word id = n.fn;
+            applied.reserve(raw.size());
+            for (RtVal f : raw) {
+                auto w = forceToWhnf(f);
+                if (!w)
+                    return nullptr;
+                ValuePtr fv = deepValue(*w, depth + 1);
+                if (!fv)
+                    return nullptr;
+                applied.push_back(std::move(fv));
+            }
+            return Value::makeClosure(id, std::move(applied));
+        }
+        setStuck("deep-force reached a non-WHNF node");
+        return nullptr;
+    }
+
+    void
+    setStuck(std::string why)
+    {
+        mode = Mode::Stuck;
+        if (stuckWhere.empty())
+            stuckWhere = std::move(why);
+    }
+
+    // ------------------------------------------------------------
+    // EvalVal: bring `cur` to WHNF
+    // ------------------------------------------------------------
+
+    void
+    stepEval(size_t base)
+    {
+        cur = chase(cur);
+        if (cur.isInt) {
+            mode = Mode::Deliver;
+            return;
+        }
+        Node &n = heap[cur.r];
+        if (n.tag == Node::Tag::Blackhole) {
+            setStuck("self-dependent thunk (infinite loop)");
+            return;
+        }
+        if (nodeIsWhnf(n)) {
+            mode = Mode::Deliver;
+            return;
+        }
+
+        // A thunk: evaluate it. Collapse consecutive update frames
+        // through indirections so tail recursion runs in constant
+        // continuation depth.
+        size_t target = cur.r;
+        while (conts.size() > base &&
+               conts.back().kind == Frame::Kind::Update) {
+            heap[conts.back().target].tag = Node::Tag::Ind;
+            heap[conts.back().target].ind = rtRef(target);
+            conts.pop_back();
+            ++stats.updates;
+        }
+        pushUpdate(target);
+        ++stats.forces;
+
+        if (n.calleeIsRef) {
+            // Evaluate the callee first, then apply the arguments.
+            Frame f;
+            f.kind = Frame::Kind::Apply;
+            f.extra = n.args;
+            RtVal callee = n.callee;
+            heap[target].tag = Node::Tag::Blackhole;
+            conts.push_back(std::move(f));
+            cur = callee;
+            return; // stay in EvalVal
+        }
+
+        Word fn = n.fn;
+        unsigned arity = arityOf(fn);
+        std::vector<RtVal> args = n.args;
+        heap[target].tag = Node::Tag::Blackhole;
+
+        if (isConsId(fn)) {
+            // Only reachable when over-applied (saturated cons nodes
+            // are built as values at allocation time).
+            cur = rtRef(allocError(kErrArity));
+            return;
+        }
+        if (args.size() > arity) {
+            Frame f;
+            f.kind = Frame::Kind::Apply;
+            f.extra.assign(args.begin() + arity, args.end());
+            args.resize(arity);
+            conts.push_back(std::move(f));
+        }
+        if (isPrimId(fn)) {
+            beginPrim(static_cast<Prim>(fn), std::move(args));
+            return;
+        }
+        // User function: start executing its body.
+        const Decl &d = prog.decls[Program::indexOf(fn)];
+        act = Activation{};
+        act.decl = &d;
+        act.args = std::move(args);
+        act.pc = d.body.get();
+        mode = Mode::Exec;
+    }
+
+    void
+    pushUpdate(size_t target)
+    {
+        Frame f;
+        f.kind = Frame::Kind::Update;
+        f.target = target;
+        conts.push_back(std::move(f));
+    }
+
+    /** Begin evaluating a saturated primitive application. */
+    void
+    beginPrim(Prim p, std::vector<RtVal> args)
+    {
+        Frame f;
+        f.kind = Frame::Kind::PrimArgs;
+        f.prim = p;
+        f.primArgs = std::move(args);
+        f.nextArg = 0;
+        if (f.primArgs.empty())
+            panic("zero-arity primitive application");
+        RtVal first = f.primArgs[0];
+        conts.push_back(std::move(f));
+        cur = first;
+        mode = Mode::EvalVal;
+    }
+
+    // ------------------------------------------------------------
+    // Exec: run function-body instructions
+    // ------------------------------------------------------------
+
+    RtVal
+    resolveOperand(const Operand &op)
+    {
+        switch (op.src) {
+          case Src::Imm:
+            return rtInt(op.val);
+          case Src::Arg:
+            return act.args[size_t(op.val)];
+          case Src::Local:
+            return act.locals[size_t(op.val)];
+        }
+        return rtInt(0);
+    }
+
+    void
+    stepExec()
+    {
+        const Expr &e = *act.pc;
+        if (e.isLet()) {
+            ++stats.lets;
+            execLet(e.asLet());
+            return;
+        }
+        if (e.isCase()) {
+            ++stats.cases;
+            // Force the scrutinee; resume this activation when a
+            // WHNF value is delivered.
+            Frame f;
+            f.kind = Frame::Kind::Case;
+            f.act = act;
+            RtVal scrut = resolveOperand(e.asCase().scrut);
+            conts.push_back(std::move(f));
+            cur = scrut;
+            mode = Mode::EvalVal;
+            return;
+        }
+        // result: yield the (possibly unevaluated) value.
+        ++stats.results;
+        cur = resolveOperand(e.asResult().value);
+        mode = Mode::EvalVal;
+    }
+
+    void
+    execLet(const Let &l)
+    {
+        std::vector<RtVal> args;
+        args.reserve(l.args.size());
+        for (const auto &a : l.args)
+            args.push_back(resolveOperand(a));
+
+        RtVal bound;
+        if (l.callee.kind == CalleeKind::Func) {
+            Word fn = l.callee.id;
+            if (isConsId(fn) && args.size() == arityOf(fn)) {
+                // A saturated constructor is a value immediately.
+                bound = rtRef(allocCons(fn, std::move(args)));
+            } else if (isConsId(fn) && args.size() > arityOf(fn)) {
+                bound = rtRef(allocError(kErrArity));
+            } else {
+                bound = rtRef(allocApp(fn, std::move(args)));
+            }
+        } else {
+            RtVal callee =
+                l.callee.kind == CalleeKind::Local
+                    ? act.locals[l.callee.id]
+                    : act.args[l.callee.id];
+            if (args.empty()) {
+                // Pure aliasing; no allocation needed.
+                bound = callee;
+            } else {
+                RtVal c = chase(callee);
+                if (c.isInt) {
+                    bound = rtRef(allocError(kErrBadApply));
+                } else if (heap[c.r].tag == Node::Tag::App &&
+                           !heap[c.r].calleeIsRef &&
+                           nodeIsWhnf(heap[c.r])) {
+                    // Applying to a known partial application:
+                    // extend its argument list (paper: let builds a
+                    // new structure tying code to data).
+                    std::vector<RtVal> all = heap[c.r].args;
+                    all.insert(all.end(), args.begin(), args.end());
+                    Word fn = heap[c.r].fn;
+                    if (isConsId(fn) && all.size() == arityOf(fn))
+                        bound = rtRef(allocCons(fn, std::move(all)));
+                    else if (isConsId(fn) && all.size() > arityOf(fn))
+                        bound = rtRef(allocError(kErrArity));
+                    else
+                        bound = rtRef(allocApp(fn, std::move(all)));
+                } else if (heap[c.r].tag == Node::Tag::Cons) {
+                    bound = heap[c.r].fn ==
+                                    static_cast<Word>(Prim::Error)
+                                ? c
+                                : rtRef(allocError(kErrArity));
+                } else {
+                    // Callee is itself an unevaluated thunk: defer.
+                    bound = rtRef(allocAppRef(callee, std::move(args)));
+                }
+            }
+        }
+        act.locals.push_back(bound);
+        act.pc = l.body.get();
+    }
+
+    // ------------------------------------------------------------
+    // Deliver: hand a WHNF value to the top continuation
+    // ------------------------------------------------------------
+
+    void
+    stepDeliver()
+    {
+        Frame f = std::move(conts.back());
+        conts.pop_back();
+        switch (f.kind) {
+          case Frame::Kind::Update:
+            heap[f.target].tag = Node::Tag::Ind;
+            heap[f.target].ind = cur;
+            ++stats.updates;
+            // stay in Deliver
+            return;
+          case Frame::Kind::Case:
+            act = std::move(f.act);
+            resumeCase();
+            return;
+          case Frame::Kind::PrimArgs:
+            resumePrim(std::move(f));
+            return;
+          case Frame::Kind::Apply:
+            resumeApply(std::move(f));
+            return;
+        }
+    }
+
+    void
+    resumeCase()
+    {
+        const Case &c = act.pc->asCase();
+        RtVal v = chase(cur);
+
+        const Node *node = v.isInt ? nullptr : &heap[v.r];
+        for (const auto &br : c.branches) {
+            // Each branch head performs one equality comparison.
+            bool match;
+            if (br.isCons) {
+                match = node && node->tag == Node::Tag::Cons &&
+                        node->fn == br.consId;
+            } else {
+                match = v.isInt && v.i == br.lit;
+            }
+            if (!match)
+                continue;
+            if (br.isCons) {
+                for (const RtVal &field : node->args)
+                    act.locals.push_back(field);
+            }
+            act.pc = br.body.get();
+            mode = Mode::Exec;
+            return;
+        }
+        act.pc = c.elseBody.get();
+        mode = Mode::Exec;
+    }
+
+    void
+    resumePrim(Frame f)
+    {
+        RtVal v = chase(cur);
+        Prim p = f.prim;
+
+        // An Error value reaching a primitive argument propagates.
+        if (!v.isInt) {
+            const Node &n = heap[v.r];
+            if (n.tag == Node::Tag::Cons &&
+                n.fn == static_cast<Word>(Prim::Error)) {
+                cur = v;
+                mode = Mode::Deliver;
+                return;
+            }
+            // Any other non-integer is a type error for primitives.
+            SWord code = (p == Prim::GetInt || p == Prim::PutInt)
+                             ? kErrIoNotInt
+                             : kErrBadApply;
+            cur = rtRef(allocError(code));
+            mode = Mode::Deliver;
+            return;
+        }
+
+        f.collected.push_back(v.i);
+        f.nextArg++;
+        if (f.nextArg < f.primArgs.size()) {
+            RtVal next = f.primArgs[f.nextArg];
+            conts.push_back(std::move(f));
+            cur = next;
+            mode = Mode::EvalVal;
+            return;
+        }
+
+        // All arguments are integers: perform the operation.
+        switch (p) {
+          case Prim::GetInt:
+            cur = rtInt(wrapInt31(bus.getInt(f.collected[0])));
+            break;
+          case Prim::PutInt:
+            bus.putInt(f.collected[0], f.collected[1]);
+            cur = rtInt(f.collected[1]);
+            break;
+          case Prim::InvokeGc:
+            cur = rtInt(f.collected[0]);
+            break;
+          default: {
+            PrimResult r = evalAlu(p, f.collected);
+            cur = r.ok ? rtInt(r.value) : rtRef(allocError(r.errCode));
+            break;
+          }
+        }
+        mode = Mode::Deliver;
+    }
+
+    void
+    resumeApply(Frame f)
+    {
+        RtVal v = chase(cur);
+        if (v.isInt) {
+            cur = rtRef(allocError(kErrBadApply));
+            mode = Mode::Deliver;
+            return;
+        }
+        const Node &n = heap[v.r];
+        if (n.tag == Node::Tag::Cons) {
+            // Errors absorb application; other constructors reject.
+            cur = n.fn == static_cast<Word>(Prim::Error)
+                      ? v
+                      : rtRef(allocError(kErrArity));
+            mode = Mode::Deliver;
+            return;
+        }
+        // Partial application: extend and re-evaluate.
+        std::vector<RtVal> all = n.args;
+        all.insert(all.end(), f.extra.begin(), f.extra.end());
+        Word fn = n.fn;
+        if (isConsId(fn) && all.size() == arityOf(fn))
+            cur = rtRef(allocCons(fn, std::move(all)));
+        else if (isConsId(fn) && all.size() > arityOf(fn))
+            cur = rtRef(allocError(kErrArity));
+        else
+            cur = rtRef(allocApp(fn, std::move(all)));
+        mode = Mode::EvalVal;
+    }
+
+    // ------------------------------------------------------------
+    // Import host values into the heap
+    // ------------------------------------------------------------
+
+    RtVal
+    import(const ValuePtr &v)
+    {
+        if (v->isInt())
+            return rtInt(v->intVal());
+        std::vector<RtVal> items;
+        items.reserve(v->items().size());
+        for (const auto &f : v->items())
+            items.push_back(import(f));
+        if (v->isCons())
+            return rtRef(allocCons(v->id(), std::move(items)));
+        return rtRef(allocApp(v->id(), std::move(items)));
+    }
+
+    const Program prog; // owned clone: callers may pass temporaries
+    IoBus &bus;
+    SmallStepConfig cfg;
+
+    std::vector<Node> heap;
+    std::vector<Frame> conts;
+    Activation act;
+    RtVal cur{};
+    Mode mode = Mode::Done;
+    std::string stuckWhere;
+    uint64_t steps = 0;
+    SmallStepStats stats;
+};
+
+SmallStep::SmallStep(const Program &program, IoBus &bus,
+                     SmallStepConfig config)
+    : impl(std::make_unique<Impl>(program, bus, config))
+{}
+
+SmallStep::~SmallStep() = default;
+
+RunResult
+SmallStep::runMain()
+{
+    return impl->runMain();
+}
+
+RunResult
+SmallStep::call(const std::string &fnName,
+                const std::vector<ValuePtr> &args)
+{
+    return impl->call(fnName, args);
+}
+
+const SmallStepStats &
+SmallStep::stats() const
+{
+    return impl->statsRef();
+}
+
+} // namespace zarf

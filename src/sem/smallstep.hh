@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Small-step, lazy operational semantics for the Zarf functional ISA.
+ *
+ * The paper (Sec. 2.2, 3.2) presents the λ-execution layer with both
+ * a big-step semantics (Fig. 3, eager) and a small-step semantics
+ * matching the hardware, which evaluates lazily: let allocates an
+ * application node tying code to data, case forces its scrutinee to
+ * weak head-normal form, and forced nodes are updated in place so
+ * work is never repeated. This engine is that small-step semantics:
+ * an abstract machine with an explicit continuation stack (case
+ * resumptions, primitive-argument collection, over-application,
+ * update frames) and a node heap.
+ *
+ * Consecutive update frames are collapsed through indirections, so
+ * tail-recursive loops — like the ICD microkernel's main loop — run
+ * in constant continuation depth, exactly as the hardware does.
+ *
+ * This implementation is deliberately independent of the cycle-level
+ * machine in src/machine (different heap layout, different control
+ * structure) so the two can be differentially tested against each
+ * other and against the big-step oracle.
+ */
+
+#ifndef ZARF_SEM_SMALLSTEP_HH
+#define ZARF_SEM_SMALLSTEP_HH
+
+#include <memory>
+#include <string>
+
+#include "isa/ast.hh"
+#include "sem/io.hh"
+#include "sem/value.hh"
+
+namespace zarf
+{
+
+/** Outcome of a small-step run. */
+struct RunResult
+{
+    enum class Status { Done, OutOfFuel, Stuck };
+
+    Status status;
+    ValuePtr value;    ///< Deeply forced value when Done.
+    std::string where; ///< Diagnostic when Stuck.
+
+    bool ok() const { return status == Status::Done; }
+};
+
+/** Tunables for a small-step run. */
+struct SmallStepConfig
+{
+    uint64_t maxSteps = 200'000'000; ///< Abstract machine steps.
+};
+
+/** Dynamic counters the engine maintains (used by tests and tools). */
+struct SmallStepStats
+{
+    uint64_t lets = 0;
+    uint64_t cases = 0;
+    uint64_t results = 0;
+    uint64_t forces = 0;      ///< Thunk activations.
+    uint64_t allocations = 0; ///< Heap nodes created.
+    uint64_t updates = 0;     ///< In-place updates performed.
+};
+
+/** The lazy abstract machine. */
+class SmallStep
+{
+  public:
+    SmallStep(const Program &program, IoBus &bus,
+              SmallStepConfig config = {});
+    ~SmallStep();
+
+    /** Evaluate main to a deeply forced value. */
+    RunResult runMain();
+
+    /** Apply a named function to values and deeply force the result. */
+    RunResult call(const std::string &fnName,
+                   const std::vector<ValuePtr> &args);
+
+    const SmallStepStats &stats() const;
+
+  private:
+    class Impl;
+    std::unique_ptr<Impl> impl;
+};
+
+} // namespace zarf
+
+#endif // ZARF_SEM_SMALLSTEP_HH

@@ -1,0 +1,84 @@
+#include "sem/value.hh"
+
+#include "support/logging.hh"
+
+namespace zarf
+{
+
+ValuePtr
+Value::makeInt(int64_t v)
+{
+    return ValuePtr(new Value(Kind::Int, wrapInt31(v), 0, {}));
+}
+
+ValuePtr
+Value::makeCons(Word id, std::vector<ValuePtr> fields)
+{
+    return ValuePtr(new Value(Kind::Cons, 0, id, std::move(fields)));
+}
+
+ValuePtr
+Value::makeClosure(Word funcId, std::vector<ValuePtr> applied)
+{
+    return ValuePtr(
+        new Value(Kind::Closure, 0, funcId, std::move(applied)));
+}
+
+ValuePtr
+Value::makeError(SWord code)
+{
+    return makeCons(static_cast<Word>(Prim::Error),
+                    { makeInt(code) });
+}
+
+bool
+Value::equal(const Value &a, const Value &b)
+{
+    if (a._kind != b._kind)
+        return false;
+    switch (a._kind) {
+      case Kind::Int:
+        return a._int == b._int;
+      case Kind::Cons:
+      case Kind::Closure:
+        if (a._id != b._id || a._items.size() != b._items.size())
+            return false;
+        for (size_t i = 0; i < a._items.size(); ++i) {
+            if (!equal(*a._items[i], *b._items[i]))
+                return false;
+        }
+        return true;
+    }
+    return false;
+}
+
+std::string
+Value::toString() const
+{
+    switch (_kind) {
+      case Kind::Int:
+        return strprintf("%d", _int);
+      case Kind::Cons: {
+        std::string s = strprintf("(cons 0x%x", _id);
+        for (const auto &f : _items) {
+            s += ' ';
+            s += f->toString();
+        }
+        s += ')';
+        return s;
+      }
+      case Kind::Closure: {
+        std::string s = strprintf("(closure 0x%x/%zu", _id,
+                                  _items.size());
+        for (const auto &f : _items) {
+            s += ' ';
+            s += f->toString();
+        }
+        s += ')';
+        return s;
+      }
+    }
+    return "<?>";
+}
+
+} // namespace zarf

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Runtime values of the Zarf functional ISA (paper, Fig. 3):
+ * Value = Z ∪ Constructor ∪ Closure.
+ *
+ * Constructors are (name × values) tuples; closures pair a function
+ * (by global identifier — the ISA is lambda-lifted, so closures track
+ * an applied-value list rather than a captured environment) with the
+ * values applied so far. The reserved Error constructor (id 0x00) is
+ * an ordinary constructor value carrying an error code.
+ */
+
+#ifndef ZARF_SEM_VALUE_HH
+#define ZARF_SEM_VALUE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/prims.hh"
+#include "support/types.hh"
+
+namespace zarf
+{
+
+class Value;
+using ValuePtr = std::shared_ptr<const Value>;
+
+/** An immutable runtime value. */
+class Value
+{
+  public:
+    enum class Kind { Int, Cons, Closure };
+
+    /** Make an integer value (wrapped to the 31-bit machine range). */
+    static ValuePtr makeInt(int64_t v);
+    /** Make a saturated constructor value. */
+    static ValuePtr makeCons(Word id, std::vector<ValuePtr> fields);
+    /** Make a (possibly empty) partial application. */
+    static ValuePtr makeClosure(Word funcId, std::vector<ValuePtr> applied);
+    /** Make an Error constructor instance. */
+    static ValuePtr makeError(SWord code);
+
+    Kind kind() const { return _kind; }
+    bool isInt() const { return _kind == Kind::Int; }
+    bool isCons() const { return _kind == Kind::Cons; }
+    bool isClosure() const { return _kind == Kind::Closure; }
+
+    /** Integer payload (Kind::Int). */
+    SWord intVal() const { return _int; }
+    /** Constructor or closure function identifier. */
+    Word id() const { return _id; }
+    /** Constructor fields or applied arguments. */
+    const std::vector<ValuePtr> &items() const { return _items; }
+
+    /** True if this is an instance of the reserved Error cons. */
+    bool
+    isError() const
+    {
+        return isCons() && _id == static_cast<Word>(Prim::Error);
+    }
+
+    /** Structural equality (deep). */
+    static bool equal(const Value &a, const Value &b);
+
+    /** Render for diagnostics and golden tests. */
+    std::string toString() const;
+
+  private:
+    Value(Kind kind, SWord i, Word id, std::vector<ValuePtr> items)
+        : _kind(kind), _int(i), _id(id), _items(std::move(items))
+    {}
+
+    Kind _kind;
+    SWord _int;
+    Word _id;
+    std::vector<ValuePtr> _items;
+};
+
+} // namespace zarf
+
+#endif // ZARF_SEM_VALUE_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Status and error reporting for the Zarf tool suite.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a bug in this library), fatal() is for user-caused
+ * conditions the program cannot continue from (a malformed binary, a
+ * bad configuration), and warn()/inform() report conditions that do
+ * not stop execution.
+ */
+
+#ifndef ZARF_SUPPORT_LOGGING_HH
+#define ZARF_SUPPORT_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace zarf
+{
+
+/** Abort with a message; for internal bugs that should never happen. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit with an error message; for user-caused unrecoverable errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious but non-fatal condition to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report an informational message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** va_list variant of strprintf. */
+std::string vstrprintf(const char *fmt, va_list args);
+
+} // namespace zarf
+
+#endif // ZARF_SUPPORT_LOGGING_HH

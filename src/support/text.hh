@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Small text utilities used by the assembler and report writers.
+ */
+
+#ifndef ZARF_SUPPORT_TEXT_HH
+#define ZARF_SUPPORT_TEXT_HH
+
+#include <string>
+#include <vector>
+
+namespace zarf
+{
+
+/** Split a string on a delimiter character, keeping empty fields. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** Strip leading and trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** True if the string parses fully as a (possibly signed) integer. */
+bool isInteger(const std::string &s);
+
+/** Render a fixed-point table cell, right-aligned to width. */
+std::string padLeft(const std::string &s, size_t width);
+
+/** Render a table cell, left-aligned to width. */
+std::string padRight(const std::string &s, size_t width);
+
+} // namespace zarf
+
+#endif // ZARF_SUPPORT_TEXT_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fundamental word types shared by every Zarf component.
+ *
+ * All words in the machine are 32 bits (paper, Sec. 3.2). Runtime
+ * values carry one tag bit (bit 31) distinguishing primitive integers
+ * from heap references, so machine-level integers are 31-bit two's
+ * complement.
+ */
+
+#ifndef ZARF_SUPPORT_TYPES_HH
+#define ZARF_SUPPORT_TYPES_HH
+
+#include <cstdint>
+
+namespace zarf
+{
+
+/** A raw 32-bit machine word. */
+using Word = uint32_t;
+
+/** Signed view of a machine word. */
+using SWord = int32_t;
+
+/** A cycle count. */
+using Cycles = uint64_t;
+
+/** Machine integers are 31-bit two's complement (one tag bit). */
+constexpr SWord kIntMin = -(1 << 30);
+constexpr SWord kIntMax = (1 << 30) - 1;
+
+/** Wrap a host integer into the machine's 31-bit signed range. */
+constexpr SWord
+wrapInt31(int64_t v)
+{
+    uint32_t u = static_cast<uint32_t>(v) & 0x7fffffffu;
+    // Sign-extend bit 30 into bit 31.
+    if (u & 0x40000000u)
+        u |= 0x80000000u;
+    return static_cast<SWord>(u);
+}
+
+} // namespace zarf
+
+#endif // ZARF_SUPPORT_TYPES_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The port map of the two-layer system — the only connection between
+ * the λ-execution layer and the imperative core (paper, Sec. 3: "a
+ * communication channel through which the system components can pass
+ * values").
+ */
+
+#ifndef ZARF_SYSTEM_PORTS_HH
+#define ZARF_SYSTEM_PORTS_HH
+
+#include "support/types.hh"
+
+namespace zarf::sys
+{
+
+// λ-execution layer ports.
+constexpr SWord kPortEcgIn = 0;   ///< getint: next 200 Hz sample.
+constexpr SWord kPortShockOut = 1; ///< putint: pacing output.
+constexpr SWord kPortCommOut = 2; ///< putint: word to the imperative
+                                  ///< layer's monitoring software.
+constexpr SWord kPortTimer = 3;   ///< getint: 1 when a 5 ms tick is
+                                  ///< pending (consumes it), else 0.
+
+// Imperative (mblaze) ports.
+constexpr SWord kMbChanStatus = 0; ///< in: words waiting in channel.
+constexpr SWord kMbChanData = 1;   ///< in: pop one channel word.
+constexpr SWord kMbDiagCmd = 2;    ///< in: diagnostic command (0 =
+                                   ///< none, 1 = report treatments).
+constexpr SWord kMbDiagResp = 3;   ///< out: diagnostic response.
+
+/** λ-layer clock: 50 MHz (20 ns); 5 ms tick period in λ cycles. */
+constexpr Cycles kLambdaHz = 50'000'000;
+constexpr Cycles kTickCycles = 250'000; // 5 ms at 50 MHz
+/** Imperative core clock: 100 MHz — 2 mblaze cycles per λ cycle. */
+constexpr Cycles kMbCyclesPerLambdaCycle = 2;
+
+} // namespace zarf::sys
+
+#endif // ZARF_SYSTEM_PORTS_HH

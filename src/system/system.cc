@@ -1,0 +1,122 @@
+#include "system/system.hh"
+
+namespace zarf::sys
+{
+
+TwoLayerSystem::TwoLayerSystem(const Image &zarfImage,
+                               const mblaze::MbProgram &monitor,
+                               ecg::Heart &heart, Config config)
+    : heart(heart), cfg(config),
+      machine(zarfImage, lambdaBus,
+              MachineConfig{ config.semispaceWords, {}, true }),
+      cpu(monitor, mbBus)
+{}
+
+SWord
+TwoLayerSystem::LambdaBus::getInt(SWord port)
+{
+    switch (port) {
+      case kPortEcgIn: {
+        ++sys.nSamples;
+        sys.lastSampleCycle = sys.machine.cycles();
+        return sys.heart.nextSample();
+      }
+      case kPortTimer: {
+        Cycles now = sys.machine.cycles();
+        if (now >= sys.nextTickDue) {
+            Cycles lag = now - sys.nextTickDue;
+            if (lag > sys.maxLag)
+                sys.maxLag = lag;
+            // Consumed after the *next* tick was already due: the
+            // 5 ms deadline was missed.
+            if (lag >= kTickCycles)
+                sys.missedDeadline = true;
+            sys.nextTickDue += kTickCycles;
+            ++sys.nTicks;
+            return 1;
+        }
+        return 0;
+      }
+      default:
+        return 0;
+    }
+}
+
+void
+TwoLayerSystem::LambdaBus::putInt(SWord port, SWord value)
+{
+    if (port == kPortShockOut) {
+        sys.shockLog.push_back({ sys.machine.cycles(), value });
+        sys.heart.onShock(value);
+    } else if (port == kPortCommOut) {
+        sys.channel.push_back(value);
+        ++sys.nComm;
+        if (sys.nSamples > 0) {
+            Cycles it = sys.machine.cycles() - sys.lastSampleCycle;
+            if (it > sys.maxIterCycles)
+                sys.maxIterCycles = it;
+        }
+    }
+}
+
+SWord
+TwoLayerSystem::MbBus::getInt(SWord port)
+{
+    switch (port) {
+      case kMbChanStatus:
+        return SWord(sys.channel.size());
+      case kMbChanData: {
+        if (sys.channel.empty())
+            return 0;
+        SWord v = sys.channel.front();
+        sys.channel.pop_front();
+        return v;
+      }
+      case kMbDiagCmd: {
+        if (sys.diagCmds.empty())
+            return 0;
+        SWord v = sys.diagCmds.front();
+        sys.diagCmds.pop_front();
+        return v;
+      }
+      default:
+        return 0;
+    }
+}
+
+void
+TwoLayerSystem::MbBus::putInt(SWord port, SWord value)
+{
+    if (port == kMbDiagResp)
+        sys.diagResps.push_back(value);
+}
+
+MachineStatus
+TwoLayerSystem::runForMs(double ms)
+{
+    Cycles target =
+        machine.cycles() + Cycles(ms * double(kLambdaHz) / 1000.0);
+    MachineStatus st = MachineStatus::Running;
+    while (machine.cycles() < target &&
+           st == MachineStatus::Running) {
+        st = machine.advance(cfg.sliceCycles);
+        cpu.advance(cfg.sliceCycles * kMbCyclesPerLambdaCycle);
+    }
+    return st;
+}
+
+std::optional<SWord>
+TwoLayerSystem::queryTreatments()
+{
+    diagCmds.push_back(1);
+    // Give the monitor a few milliseconds to notice and answer.
+    for (int i = 0; i < 10 && diagResps.empty(); ++i)
+        runForMs(1.0);
+    if (diagResps.empty())
+        return std::nullopt;
+    SWord v = diagResps.front();
+    diagResps.pop_front();
+    return v;
+}
+
+} // namespace zarf::sys

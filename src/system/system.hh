@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The two-layer Zarf system: the λ-execution layer (50 MHz) and the
+ * imperative core (100 MHz) co-simulated against a shared device
+ * rig — hardware timer, ECG front-end, pacing output, the
+ * inter-layer FIFO channel, and the diagnostic channel (paper,
+ * Fig. 1 and Sec. 4).
+ *
+ * The λ-layer is the time master: its cycle counter drives the 5 ms
+ * sample timer. The imperative core runs two cycles per λ cycle.
+ * The rig records pacing events with timestamps and tracks timer
+ * lag, so real-time-deadline adherence (Sec. 5.2) is directly
+ * observable.
+ */
+
+#ifndef ZARF_SYSTEM_SYSTEM_HH
+#define ZARF_SYSTEM_SYSTEM_HH
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "ecg/synth.hh"
+#include "machine/machine.hh"
+#include "mblaze/cpu.hh"
+#include "sem/io.hh"
+#include "system/ports.hh"
+
+namespace zarf::sys
+{
+
+/** One recorded pacing-port write. */
+struct ShockEvent
+{
+    Cycles lambdaCycle;
+    SWord value;
+};
+
+/** Co-simulation sizing knobs. */
+struct SystemConfig
+{
+    size_t semispaceWords = 1u << 18;
+    Cycles sliceCycles = 2000; ///< λ cycles per co-sim slice.
+};
+
+/** Co-simulation of the two layers plus devices. */
+class TwoLayerSystem
+{
+  public:
+    using Config = SystemConfig;
+
+    /**
+     * @param zarfImage λ-layer program (e.g. icd::buildKernelImage)
+     * @param monitor imperative-layer program
+     * @param heart the signal source / pacing sink
+     */
+    TwoLayerSystem(const Image &zarfImage,
+                   const mblaze::MbProgram &monitor, ecg::Heart &heart,
+                   SystemConfig config = SystemConfig());
+
+    /** Advance the whole system by `ms` milliseconds of λ time. */
+    MachineStatus runForMs(double ms);
+
+    /** Send a diagnostic command and collect the response (runs the
+     *  system a little to let the monitor answer). */
+    std::optional<SWord> queryTreatments();
+
+    // Observers.
+    const std::vector<ShockEvent> &shocks() const { return shockLog; }
+    const MachineStats &lambdaStats() const { return machine.stats(); }
+    Cycles lambdaCycles() const { return machine.cycles(); }
+    Cycles mbCycles() const { return cpu.cycles(); }
+    uint64_t samplesRead() const { return nSamples; }
+    uint64_t ticksConsumed() const { return nTicks; }
+    /** Worst observed delay between a tick being due and the kernel
+     *  consuming it, in λ cycles (deadline slack check). */
+    Cycles maxTickLag() const { return maxLag; }
+    /** True if any tick was consumed after the next was already due
+     *  (a missed 5 ms real-time deadline). */
+    bool deadlineMissed() const { return missedDeadline; }
+    /** Worst λ-cycles from sample read to comm write (per-iteration
+     *  compute time, excluding the timer wait). */
+    Cycles maxIterationCycles() const { return maxIterCycles; }
+    uint64_t commWords() const { return nComm; }
+
+  private:
+    /** The λ-layer's view of the devices. */
+    class LambdaBus : public IoBus
+    {
+      public:
+        explicit LambdaBus(TwoLayerSystem &sys) : sys(sys) {}
+        SWord getInt(SWord port) override;
+        void putInt(SWord port, SWord value) override;
+
+      private:
+        TwoLayerSystem &sys;
+    };
+
+    /** The imperative core's view. */
+    class MbBus : public IoBus
+    {
+      public:
+        explicit MbBus(TwoLayerSystem &sys) : sys(sys) {}
+        SWord getInt(SWord port) override;
+        void putInt(SWord port, SWord value) override;
+
+      private:
+        TwoLayerSystem &sys;
+    };
+
+    ecg::Heart &heart;
+    Config cfg;
+
+    LambdaBus lambdaBus{ *this };
+    MbBus mbBus{ *this };
+    Machine machine;
+    mblaze::MbCpu cpu;
+
+    // Devices.
+    Cycles nextTickDue = kTickCycles;
+    uint64_t nTicks = 0;
+    Cycles maxLag = 0;
+    bool missedDeadline = false;
+    std::deque<SWord> channel; ///< λ -> imperative FIFO.
+    std::deque<SWord> diagCmds;
+    std::deque<SWord> diagResps;
+    std::vector<ShockEvent> shockLog;
+    uint64_t nSamples = 0;
+    uint64_t nComm = 0;
+    Cycles lastSampleCycle = 0;
+    Cycles maxIterCycles = 0;
+};
+
+} // namespace zarf::sys
+
+#endif // ZARF_SYSTEM_SYSTEM_HH

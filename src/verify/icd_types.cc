@@ -1,0 +1,116 @@
+#include "verify/icd_types.hh"
+
+#include "icd/params.hh"
+#include "support/logging.hh"
+#include "system/ports.hh"
+
+namespace zarf::verify
+{
+
+TypeEnv
+icdKernelTypeEnv(const Program &program)
+{
+    TypeEnv env;
+
+    // Port policy (Sec. 5.3): sensor, actuator, and timer trusted;
+    // the inter-layer channel untrusted.
+    env.ports[sys::kPortEcgIn] = Label::T;
+    env.ports[sys::kPortShockOut] = Label::T;
+    env.ports[sys::kPortTimer] = Label::T;
+    env.ports[sys::kPortCommOut] = Label::U;
+
+    auto idOf = [&](const char *name) {
+        int i = program.findByName(name);
+        if (i < 0)
+            fatal("kernel program lacks declaration '%s'", name);
+        return Program::idOf(size_t(i));
+    };
+
+    ITypePtr n = tNum(Label::T);
+    auto nums = [&](int k) {
+        return std::vector<ITypePtr>(size_t(k), n);
+    };
+
+    // One data type per constructor family, in dependency order.
+    auto single = [&](const char *name, std::vector<ITypePtr> fs) {
+        DataDecl d;
+        d.name = name;
+        d.conses[idOf(name)] = std::move(fs);
+        return env.addData(std::move(d));
+    };
+
+    using icd::kDvLen;
+    using icd::kHpLen;
+    using icd::kLpLen;
+    using icd::kMwLen;
+    using icd::kRrHistory;
+
+    int dLp = single("Lp", nums(kLpLen + 2));
+    int dHp = single("Hp", nums(kHpLen + 1));
+    int dDv = single("Dv", nums(kDvLen));
+    int dMw = single("Mw", nums(kMwLen + 1));
+    int dRr = single("Rr", nums(kRrHistory));
+    int dDet = single("Det", { n, n, n, n, n, tData(dRr, Label::T) });
+    int dAtp = single("Atp", nums(6));
+    int dSt = single("St", { tData(dLp, Label::T),
+                             tData(dHp, Label::T),
+                             tData(dDv, Label::T),
+                             tData(dMw, Label::T),
+                             tData(dDet, Label::T),
+                             tData(dAtp, Label::T) });
+    int dLpRes = single("LpRes", { tData(dLp, Label::T), n });
+    int dHpRes = single("HpRes", { tData(dHp, Label::T), n });
+    int dDvRes = single("DvRes", { tData(dDv, Label::T), n });
+    int dMwRes = single("MwRes", { tData(dMw, Label::T), n });
+    int dDetRes = single("DetRes", { tData(dDet, Label::T), n, n });
+    int dAtpRes = single("AtpRes", { tData(dAtp, Label::T), n, n });
+    int dIcdOut = single("IcdOut", { tData(dSt, Label::T), n });
+
+    auto fn = [&](const char *name, std::vector<ITypePtr> params,
+                  ITypePtr result) {
+        env.funs[idOf(name)] = FunSig{ std::move(params),
+                                       std::move(result) };
+    };
+
+    ITypePtr tSt = tData(dSt, Label::T);
+    ITypePtr tRr = tData(dRr, Label::T);
+    ITypePtr tDet = tData(dDet, Label::T);
+    ITypePtr tAtp = tData(dAtp, Label::T);
+
+    fn("icdInit", {}, tSt);
+    fn("lpStep", { tData(dLp, Label::T), n },
+       tData(dLpRes, Label::T));
+    fn("hpStep", { tData(dHp, Label::T), n },
+       tData(dHpRes, Label::T));
+    fn("dvStep", { tData(dDv, Label::T), n },
+       tData(dDvRes, Label::T));
+    fn("mwStep", { tData(dMw, Label::T), n },
+       tData(dMwRes, Label::T));
+    fn("rrShift", { n, tRr, n }, tRr);
+    fn("countFast", { tRr }, n);
+    fn("detStep", { tDet, n, n }, tData(dDetRes, Label::T));
+    fn("detClear", { n, tDet }, tDet);
+    fn("enterTherapy", { n }, tData(dAtpRes, Label::T));
+    fn("endSeq", { n, n, n }, tData(dAtpRes, Label::T));
+    fn("firePulse", { n, n, n, n }, tData(dAtpRes, Label::T));
+    fn("treatTick", { n, n, n, n, n }, tData(dAtpRes, Label::T));
+    fn("atpStep", { tAtp, n, n }, tData(dAtpRes, Label::T));
+    fn("icdStep", { tSt, n }, tData(dIcdOut, Label::T));
+
+    // The kernel-only functions (present in the full kernel image).
+    if (program.findByName("kernelLoop") >= 0) {
+        fn("main", {}, n);
+        fn("kernelLoop", { tSt, n }, n);
+        fn("waitTick", { n }, n);
+        fn("ioCoroutine", { n }, n);
+        // Sends a trusted value to the untrusted channel (T ⊑ U);
+        // putint returns the written (trusted) value.
+        fn("commCoroutine", { n }, n);
+    } else {
+        fn("main", {}, n);
+    }
+
+    return env;
+}
+
+} // namespace zarf::verify

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Integrity-type annotations for the ICD kernel program — the
+ * trust-level annotations the paper adds "in a few places" (Sec.
+ * 5.3) so the checker can verify that nothing outside the verified
+ * path can corrupt the ICD's inputs or outputs.
+ *
+ * Port policy: the ECG front-end, the pacing output, and the
+ * hardware timer are trusted (T); the channel to the imperative
+ * layer is untrusted (U) — trusted data may flow out to it (T ⊑ U),
+ * but nothing read from an untrusted source may reach the pacing
+ * output or the algorithm state.
+ */
+
+#ifndef ZARF_VERIFY_ICD_TYPES_HH
+#define ZARF_VERIFY_ICD_TYPES_HH
+
+#include "isa/ast.hh"
+#include "verify/itype.hh"
+
+namespace zarf::verify
+{
+
+/** Build the typing environment for icd::buildKernelLowLevel()'s
+ *  extracted program (also covers buildIcdStepProgram, which is a
+ *  subset with the same declarations). */
+TypeEnv icdKernelTypeEnv(const Program &program);
+
+} // namespace zarf::verify
+
+#endif // ZARF_VERIFY_ICD_TYPES_HH

@@ -1,0 +1,578 @@
+#include "verify/itype.hh"
+
+#include "isa/prims.hh"
+#include "support/logging.hh"
+
+namespace zarf::verify
+{
+
+namespace
+{
+
+const char *
+labelText(Label l)
+{
+    return l == Label::T ? "T" : "U";
+}
+
+} // namespace
+
+std::string
+IType::toString() const
+{
+    switch (kind) {
+      case Kind::Num:
+        return strprintf("num^%s", labelText(label));
+      case Kind::Bottom:
+        return "bot";
+      case Kind::Data:
+        return strprintf("data#%d^%s", dataId, labelText(label));
+      case Kind::Fun: {
+        std::string s = "(";
+        for (size_t i = 0; i < params.size(); ++i) {
+            if (i)
+                s += ", ";
+            s += params[i]->toString();
+        }
+        s += " -> " + result->toString() + ")^";
+        s += labelText(label);
+        return s;
+      }
+    }
+    return "?";
+}
+
+ITypePtr
+tNum(Label l)
+{
+    auto t = std::make_shared<IType>();
+    t->kind = IType::Kind::Num;
+    t->label = l;
+    return t;
+}
+
+ITypePtr
+tBottom()
+{
+    auto t = std::make_shared<IType>();
+    t->kind = IType::Kind::Bottom;
+    t->label = Label::T;
+    return t;
+}
+
+ITypePtr
+tData(int dataId, Label l)
+{
+    auto t = std::make_shared<IType>();
+    t->kind = IType::Kind::Data;
+    t->label = l;
+    t->dataId = dataId;
+    return t;
+}
+
+ITypePtr
+tFun(std::vector<ITypePtr> params, ITypePtr result, Label l)
+{
+    auto t = std::make_shared<IType>();
+    t->kind = IType::Kind::Fun;
+    t->label = l;
+    t->params = std::move(params);
+    t->result = std::move(result);
+    return t;
+}
+
+ITypePtr
+raise(const ITypePtr &t, Label l)
+{
+    if (l == Label::T || t->label == Label::U)
+        return t;
+    auto u = std::make_shared<IType>(*t);
+    u->label = Label::U;
+    return u;
+}
+
+bool
+subtype(const ITypePtr &a, const ITypePtr &b)
+{
+    if (a->kind == IType::Kind::Bottom)
+        return true;
+    if (a->kind != b->kind)
+        return false;
+    if (!flowsTo(a->label, b->label))
+        return false;
+    switch (a->kind) {
+      case IType::Kind::Bottom:
+        return true; // unreachable (handled above)
+      case IType::Kind::Num:
+        return true;
+      case IType::Kind::Data:
+        return a->dataId == b->dataId;
+      case IType::Kind::Fun: {
+        if (a->params.size() != b->params.size())
+            return false;
+        for (size_t i = 0; i < a->params.size(); ++i) {
+            // Contravariant parameters.
+            if (!subtype(b->params[i], a->params[i]))
+                return false;
+        }
+        return subtype(a->result, b->result);
+      }
+    }
+    return false;
+}
+
+ITypePtr
+joinTypes(const ITypePtr &a, const ITypePtr &b)
+{
+    if (a->kind == IType::Kind::Bottom)
+        return b;
+    if (b->kind == IType::Kind::Bottom)
+        return a;
+    if (a->kind != b->kind)
+        return nullptr;
+    Label l = join(a->label, b->label);
+    switch (a->kind) {
+      case IType::Kind::Bottom:
+        return b; // unreachable (handled above)
+      case IType::Kind::Num:
+        return tNum(l);
+      case IType::Kind::Data:
+        if (a->dataId != b->dataId)
+            return nullptr;
+        return tData(a->dataId, l);
+      case IType::Kind::Fun: {
+        if (a->params.size() != b->params.size())
+            return nullptr;
+        // Parameters must match exactly (no meet operator needed for
+        // the programs we check); results join.
+        for (size_t i = 0; i < a->params.size(); ++i) {
+            if (!subtype(a->params[i], b->params[i]) ||
+                !subtype(b->params[i], a->params[i])) {
+                return nullptr;
+            }
+        }
+        ITypePtr r = joinTypes(a->result, b->result);
+        if (!r)
+            return nullptr;
+        return tFun(a->params, std::move(r), l);
+      }
+    }
+    return nullptr;
+}
+
+int
+TypeEnv::addData(DataDecl d)
+{
+    datas.push_back(std::move(d));
+    return int(datas.size()) - 1;
+}
+
+int
+TypeEnv::dataOfCons(Word consId) const
+{
+    for (size_t i = 0; i < datas.size(); ++i) {
+        if (datas[i].conses.count(consId))
+            return int(i);
+    }
+    return -1;
+}
+
+Label
+TypeEnv::portLabel(SWord port) const
+{
+    auto it = ports.find(port);
+    return it == ports.end() ? Label::U : it->second;
+}
+
+namespace
+{
+
+/** The checker proper. */
+class Checker
+{
+  public:
+    Checker(const Program &prog, const TypeEnv &env)
+        : prog(prog), env(env)
+    {}
+
+    ITypeReport
+    run()
+    {
+        for (size_t i = 0; i < prog.decls.size(); ++i) {
+            const Decl &d = prog.decls[i];
+            if (d.isCons) {
+                if (env.dataOfCons(Program::idOf(i)) < 0) {
+                    error(d.name, "constructor is not part of any "
+                                  "declared data type");
+                }
+                continue;
+            }
+            auto sig = env.funs.find(Program::idOf(i));
+            if (sig == env.funs.end()) {
+                error(d.name, "function has no signature");
+                continue;
+            }
+            if (sig->second.params.size() != d.arity) {
+                error(d.name, "signature arity does not match");
+                continue;
+            }
+            where = d.name;
+            args = sig->second.params;
+            locals.clear();
+            ITypePtr t = checkExpr(*d.body, Label::T);
+            if (t && !subtype(t, sig->second.result)) {
+                error(where, "body has type " + t->toString() +
+                                 ", signature declares " +
+                                 sig->second.result->toString());
+            }
+        }
+        return report;
+    }
+
+  private:
+    void
+    error(const std::string &w, std::string what)
+    {
+        report.errors.push_back({ w, std::move(what) });
+    }
+
+    ITypePtr
+    fail(std::string what)
+    {
+        error(where, std::move(what));
+        return nullptr;
+    }
+
+    ITypePtr
+    operandType(const Operand &op, Label pc)
+    {
+        switch (op.src) {
+          case Src::Imm:
+            return tNum(pc);
+          case Src::Arg:
+            if (size_t(op.val) >= args.size())
+                return fail("argument index out of range");
+            return raise(args[size_t(op.val)], pc);
+          case Src::Local:
+            if (size_t(op.val) >= locals.size())
+                return fail("local index out of range");
+            return raise(locals[size_t(op.val)], pc);
+        }
+        return nullptr;
+    }
+
+    /** Type the application of `calleeType` to argument types. */
+    ITypePtr
+    apply(ITypePtr calleeType, const std::vector<ITypePtr> &argTs,
+          Label pc)
+    {
+        size_t i = 0;
+        ITypePtr cur = std::move(calleeType);
+        // A zero-parameter function saturates immediately.
+        while (cur->kind == IType::Kind::Fun &&
+               cur->params.empty()) {
+            cur = raise(cur->result, join(cur->label, pc));
+        }
+        while (i < argTs.size()) {
+            if (cur->kind != IType::Kind::Fun)
+                return fail("application of a non-function type " +
+                            cur->toString());
+            size_t take =
+                std::min(argTs.size() - i, cur->params.size());
+            for (size_t k = 0; k < take; ++k) {
+                if (!subtype(argTs[i + k], cur->params[k])) {
+                    return fail(strprintf(
+                        "argument %zu has type %s; expected %s",
+                        i + k,
+                        argTs[i + k]->toString().c_str(),
+                        cur->params[k]->toString().c_str()));
+                }
+            }
+            Label l = join(cur->label, pc);
+            if (take < cur->params.size()) {
+                // Partial application: a smaller closure.
+                std::vector<ITypePtr> rest(
+                    cur->params.begin() + ptrdiff_t(take),
+                    cur->params.end());
+                return tFun(std::move(rest), cur->result, l);
+            }
+            // Saturated: the result, tainted by the closure label.
+            cur = raise(cur->result, l);
+            i += take;
+        }
+        return cur;
+    }
+
+    /** The type of a global identifier as a callable. */
+    ITypePtr
+    globalCallable(Word id, const std::vector<Operand> &argOps,
+                   Label pc)
+    {
+        if (!isPrimId(id)) {
+            size_t idx = Program::indexOf(id);
+            if (idx >= prog.decls.size())
+                return fail("unknown callee id");
+            const Decl &d = prog.decls[idx];
+            if (d.isCons) {
+                int di = env.dataOfCons(id);
+                if (di < 0)
+                    return fail("constructor not in any data type");
+                return tFun(env.datas[size_t(di)].conses.at(id),
+                            tData(di, Label::T));
+            }
+            auto sig = env.funs.find(id);
+            if (sig == env.funs.end())
+                return fail("callee has no signature");
+            return tFun(sig->second.params, sig->second.result);
+        }
+
+        Prim p = static_cast<Prim>(id);
+        if (p == Prim::GetInt || p == Prim::PutInt) {
+            // Port operands must be immediates so the static port
+            // label applies (the paper's slight constraint).
+            if (argOps.empty() || argOps[0].src != Src::Imm)
+                return fail("I/O port operand must be an immediate");
+            Label pl = env.portLabel(argOps[0].val);
+            if (p == Prim::GetInt)
+                return tFun({ tNum(Label::U) }, tNum(pl));
+            // putint: the written value and the pc must flow to the
+            // port's label.
+            if (!flowsTo(pc, pl)) {
+                return fail(strprintf(
+                    "putint to %s port under %s control flow",
+                    labelText(pl), labelText(pc)));
+            }
+            return tFun({ tNum(Label::U), tNum(pl) }, tNum(pl));
+        }
+        if (p == Prim::Error) {
+            return fail("typed programs may not apply Error "
+                        "directly");
+        }
+        auto info = primById(id);
+        if (!info)
+            return fail("unknown primitive");
+        // ALU primitives and gc: polymorphic in the label — typed
+        // here as U-accepting with a result labelled by the join of
+        // actual argument labels, which `apply` cannot express, so
+        // prims are special-cased in checkLet instead.
+        std::vector<ITypePtr> ps(info->arity, tNum(Label::U));
+        return tFun(std::move(ps), tNum(Label::U));
+    }
+
+    /** let: special-cases label-polymorphic ALU primitives. */
+    ITypePtr
+    checkLet(const Let &l, Label pc)
+    {
+        std::vector<ITypePtr> argTs;
+        argTs.reserve(l.args.size());
+        for (const auto &a : l.args) {
+            ITypePtr t = operandType(a, pc);
+            if (!t)
+                return nullptr;
+            argTs.push_back(std::move(t));
+        }
+
+        if (l.callee.kind == CalleeKind::Func &&
+            isPrimId(l.callee.id)) {
+            Prim p = static_cast<Prim>(l.callee.id);
+            auto info = primById(l.callee.id);
+
+            // The reserved Error constructor: its instances are the
+            // undefined-behaviour escape hatch (Sec. 3.4) — a
+            // Hindley-Milner front end rules them out dynamically —
+            // so an explicit Error construction types as ⊥ (it only
+            // appears in dead else branches of total matches).
+            if (p == Prim::Error)
+                return tBottom();
+
+            // I/O primitives are label-polymorphic in the value:
+            // getint p : num^(label(p) ⊔ pc); putint p v requires
+            // label(v) ⊑ label(p) and pc ⊑ label(p), and returns
+            // the written value's type.
+            if ((p == Prim::GetInt || p == Prim::PutInt) &&
+                argTs.size() == info->arity) {
+                if (l.args[0].src != Src::Imm) {
+                    return fail("I/O port operand must be an "
+                                "immediate");
+                }
+                Label pl = env.portLabel(l.args[0].val);
+                if (!flowsTo(pc, pl)) {
+                    return fail(strprintf(
+                        "I/O on %s port under %s control flow",
+                        labelText(pl), labelText(pc)));
+                }
+                if (p == Prim::GetInt)
+                    return tNum(join(pl, pc));
+                const ITypePtr &vt = argTs[1];
+                if (vt->kind == IType::Kind::Bottom)
+                    return tBottom();
+                if (vt->kind != IType::Kind::Num) {
+                    return fail("putint of a non-numeric value " +
+                                vt->toString());
+                }
+                if (!flowsTo(vt->label, pl)) {
+                    return fail(strprintf(
+                        "putint of a %s value to a %s port",
+                        labelText(vt->label), labelText(pl)));
+                }
+                return tNum(join(vt->label, pc));
+            }
+
+            bool alu = info && !info->effectful &&
+                       !info->isConstructor;
+            if (alu && argTs.size() == info->arity) {
+                // Saturated ALU/gc application: result label is the
+                // join of the operand labels and the pc.
+                Label out = pc;
+                for (const auto &t : argTs) {
+                    if (t->kind == IType::Kind::Bottom)
+                        return tBottom();
+                    if (t->kind != IType::Kind::Num) {
+                        return fail("primitive operand is not a "
+                                    "number: " + t->toString());
+                    }
+                    out = join(out, t->label);
+                }
+                (void)p;
+                return tNum(out);
+            }
+        }
+
+        ITypePtr callee;
+        switch (l.callee.kind) {
+          case CalleeKind::Func:
+            callee = globalCallable(l.callee.id, l.args, pc);
+            break;
+          case CalleeKind::Local:
+            if (l.callee.id >= locals.size())
+                return fail("callee local out of range");
+            callee = raise(locals[l.callee.id], pc);
+            break;
+          case CalleeKind::Arg:
+            if (l.callee.id >= args.size())
+                return fail("callee arg out of range");
+            callee = raise(args[l.callee.id], pc);
+            break;
+        }
+        if (!callee)
+            return nullptr;
+        if (argTs.empty() && (callee->kind != IType::Kind::Fun ||
+                              !callee->params.empty())) {
+            // Pure alias or under-applied closure: keep the type.
+            return callee;
+        }
+        return apply(std::move(callee), argTs, pc);
+    }
+
+    ITypePtr
+    checkExpr(const Expr &e, Label pc)
+    {
+        if (e.isLet()) {
+            ITypePtr bound = checkLet(e.asLet(), pc);
+            if (!bound)
+                return nullptr;
+            locals.push_back(std::move(bound));
+            ITypePtr out = checkExpr(*e.asLet().body, pc);
+            locals.pop_back();
+            return out;
+        }
+        if (e.isCase())
+            return checkCase(e.asCase(), pc);
+        return operandType(e.asResult().value, pc);
+    }
+
+    ITypePtr
+    checkCase(const Case &c, Label pc)
+    {
+        ITypePtr scrut = operandType(c.scrut, pc);
+        if (!scrut)
+            return nullptr;
+        if (scrut->kind == IType::Kind::Bottom)
+            return tBottom(); // dead code past an Error value
+        if (scrut->kind == IType::Kind::Fun)
+            return fail("case scrutinee has function type");
+        // Branch selection leaks the scrutinee: raise the pc.
+        Label bpc = join(pc, scrut->label);
+
+        ITypePtr out;
+        auto merge = [&](ITypePtr t) -> bool {
+            if (!t)
+                return false;
+            if (!out) {
+                out = std::move(t);
+                return true;
+            }
+            ITypePtr j = joinTypes(out, t);
+            if (!j) {
+                fail("case branches have incompatible types " +
+                     out->toString() + " and " + t->toString());
+                return false;
+            }
+            out = std::move(j);
+            return true;
+        };
+
+        for (const auto &br : c.branches) {
+            if (br.isCons) {
+                if (scrut->kind != IType::Kind::Data) {
+                    return fail("constructor pattern on non-data "
+                                "scrutinee " + scrut->toString());
+                }
+                const DataDecl &dd =
+                    env.datas[size_t(scrut->dataId)];
+                auto fields = dd.conses.find(br.consId);
+                if (fields == dd.conses.end()) {
+                    return fail(strprintf(
+                        "pattern constructor 0x%x is not part of "
+                        "the scrutinee's data type", br.consId));
+                }
+                size_t base = locals.size();
+                for (const auto &ft : fields->second) {
+                    // Fields of a tainted structure are tainted.
+                    locals.push_back(raise(ft, scrut->label));
+                }
+                ITypePtr t = checkExpr(*br.body, bpc);
+                locals.resize(base);
+                if (!merge(std::move(t)))
+                    return nullptr;
+            } else {
+                if (scrut->kind != IType::Kind::Num) {
+                    return fail("literal pattern on non-numeric "
+                                "scrutinee " + scrut->toString());
+                }
+                if (!merge(checkExpr(*br.body, bpc)))
+                    return nullptr;
+            }
+        }
+        if (!merge(checkExpr(*c.elseBody, bpc)))
+            return nullptr;
+        // The produced value depends on the scrutinee.
+        return raise(out, scrut->label);
+    }
+
+    const Program &prog;
+    const TypeEnv &env;
+    ITypeReport report;
+    std::string where;
+    std::vector<ITypePtr> args;
+    std::vector<ITypePtr> locals;
+};
+
+} // namespace
+
+std::string
+ITypeReport::summary() const
+{
+    std::string out;
+    for (const auto &e : errors)
+        out += e.where + ": " + e.what + "\n";
+    return out;
+}
+
+ITypeReport
+checkIntegrity(const Program &program, const TypeEnv &env)
+{
+    return Checker(program, env).run();
+}
+
+} // namespace zarf::verify

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The integrity type system of Sec. 5.3.
+ *
+ * The paper proves non-interference — "untrusted values cannot
+ * affect trusted values" — by typing the λ-layer assembly with a
+ * two-point integrity lattice T ⊑ U (trusted below untrusted, so
+ * information may flow T → U but never U → T), in the style of the
+ * SLam calculus and Volpano-style soundness. Following the paper, we
+ * extend the assembly with type annotations (function signatures and
+ * constructor field types) and "constrain the normal semantics
+ * slightly to make type-checking much easier":
+ *
+ *   - let callees must be global identifiers or variables of
+ *     function type (checked),
+ *   - getint/putint port operands must be immediates, so each port's
+ *     static trust label applies,
+ *   - the checker is first-order-polymorphism-free: every function
+ *     has one declared signature, and every constructor belongs to
+ *     exactly one data type (so a generic container is typed at one
+ *     element type per program — see tests/test_itype_recursive.cc
+ *     for where this bites and how the paper's programs avoid it).
+ *
+ * Types are τ ::= num^ℓ | data D^ℓ | (~τ → τ)^ℓ, with declared
+ * algebraic data types D grouping constructors (the paper's (cn, ~τ)
+ * form generalized to sums). The program-counter label tracks
+ * implicit flows: every value produced under an untrusted case
+ * scrutinee is untrusted.
+ *
+ * Soundness is validated dynamically by the perturbation harness in
+ * noninterference.hh: for well-typed programs, arbitrarily changing
+ * U-labelled inputs must leave every T-labelled output bit-identical.
+ */
+
+#ifndef ZARF_VERIFY_ITYPE_HH
+#define ZARF_VERIFY_ITYPE_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/ast.hh"
+
+namespace zarf::verify
+{
+
+/** The integrity lattice: T ⊑ U. */
+enum class Label : uint8_t { T = 0, U = 1 };
+
+/** Lattice join. */
+inline Label
+join(Label a, Label b)
+{
+    return a == Label::U || b == Label::U ? Label::U : Label::T;
+}
+
+/** Lattice order: a ⊑ b. */
+inline bool
+flowsTo(Label a, Label b)
+{
+    return a == Label::T || b == Label::U;
+}
+
+struct IType;
+using ITypePtr = std::shared_ptr<const IType>;
+
+/** An integrity type. */
+struct IType
+{
+    enum class Kind { Num, Data, Fun, Bottom };
+
+    Kind kind;
+    Label label;
+    int dataId = -1;              ///< Data: index into TypeEnv.
+    std::vector<ITypePtr> params; ///< Fun.
+    ITypePtr result;              ///< Fun.
+
+    std::string toString() const;
+};
+
+/** num^ℓ */
+ITypePtr tNum(Label l);
+/** ⊥ — the type of the reserved Error constructor's dead branches;
+ *  subtype of everything, identity of join. */
+ITypePtr tBottom();
+/** data D^ℓ */
+ITypePtr tData(int dataId, Label l);
+/** (~τ → τ)^ℓ */
+ITypePtr tFun(std::vector<ITypePtr> params, ITypePtr result,
+              Label l = Label::T);
+
+/** Raise a type's label by ℓ (deconstruction under taint). */
+ITypePtr raise(const ITypePtr &t, Label l);
+
+/** Structural subtyping (labels covariant, Fun params contravariant). */
+bool subtype(const ITypePtr &a, const ITypePtr &b);
+
+/** Least upper bound; null if the shapes are incompatible. */
+ITypePtr joinTypes(const ITypePtr &a, const ITypePtr &b);
+
+/** One algebraic data type: named constructors with field types. */
+struct DataDecl
+{
+    std::string name;
+    /** Constructor id -> field types. */
+    std::map<Word, std::vector<ITypePtr>> conses;
+};
+
+/** A function signature. */
+struct FunSig
+{
+    std::vector<ITypePtr> params;
+    ITypePtr result;
+};
+
+/** Typing environment for a whole program. */
+struct TypeEnv
+{
+    std::vector<DataDecl> datas;
+    /** Function id -> signature (every non-cons decl needs one). */
+    std::map<Word, FunSig> funs;
+    /** I/O port -> trust label; unlisted ports default to U. */
+    std::map<SWord, Label> ports;
+
+    /** Register a data type; returns its dataId. */
+    int addData(DataDecl d);
+    /** Which data type owns a constructor id; -1 if none. */
+    int dataOfCons(Word consId) const;
+    Label portLabel(SWord port) const;
+};
+
+/** One typing diagnostic. */
+struct ITypeError
+{
+    std::string where; ///< Function name.
+    std::string what;
+};
+
+/** Checking outcome. */
+struct ITypeReport
+{
+    std::vector<ITypeError> errors;
+    bool ok() const { return errors.empty(); }
+    std::string summary() const;
+};
+
+/** Type-check a program against an environment. */
+ITypeReport checkIntegrity(const Program &program, const TypeEnv &env);
+
+} // namespace zarf::verify
+
+#endif // ZARF_VERIFY_ITYPE_HH

@@ -1,0 +1,89 @@
+#include "verify/nidemo.hh"
+
+#include "lowlevel/extract.hh"
+#include "support/logging.hh"
+
+namespace zarf::verify
+{
+
+using namespace ll;
+
+Program
+buildNiDemo(NiVariant variant, int iterations)
+{
+    LProgram p;
+
+    // main: run the loop; flush the telemetry accumulator at the
+    // end (which is when the lazily accumulated untrusted reads
+    // actually happen).
+    p.fn("main", {},
+         call("loop", { lit(iterations), lit(0) }));
+
+    // loop k uacc: one trusted sensor->actuator round per step,
+    // with the untrusted telemetry threaded through uacc.
+    {
+        // Trusted computation: a toy filter y = 3x + 7.
+        L y = v("s") * lit(3) + lit(7);
+        if (variant == NiVariant::ExplicitFlow) {
+            // Corrupted: telemetry leaks into the actuator value.
+            y = y + v("uacc");
+        }
+
+        L writeAndContinue =
+            letIn("w", call("putint", { lit(kNiActuatorPort),
+                                        v("y") }),
+                  seq(v("w"),
+                      letIn("u", call("getint",
+                                      { lit(kNiTelemetryIn) }),
+                            letIn("uacc2", v("uacc") + v("u"),
+                                  call("loop",
+                                       { v("k") - lit(1),
+                                         v("uacc2") })))));
+
+        L body;
+        if (variant == NiVariant::ImplicitFlow) {
+            // Corrupted: an untrusted test picks the trusted output.
+            body = letIn(
+                "s", call("getint", { lit(kNiSensorPort) }),
+                letIn("u0", call("getint", { lit(kNiTelemetryIn) }),
+                      iff(v("u0") > lit(0),
+                          letIn("y", v("s") * lit(3) + lit(7),
+                                writeAndContinue),
+                          letIn("y", lit(0), writeAndContinue))));
+        } else {
+            body = letIn("s", call("getint", { lit(kNiSensorPort) }),
+                         letIn("y", y, writeAndContinue));
+        }
+
+        p.fn("loop", { "k", "uacc" },
+             match(v("k"),
+                   { onLit(0, call("putint", { lit(kNiTelemetryOut),
+                                               v("uacc") })) },
+                   body));
+    }
+
+    return extractOrDie(p);
+}
+
+TypeEnv
+niDemoTypeEnv(const Program &program)
+{
+    TypeEnv env;
+    env.ports[kNiSensorPort] = Label::T;
+    env.ports[kNiActuatorPort] = Label::T;
+    env.ports[kNiTelemetryIn] = Label::U;
+    env.ports[kNiTelemetryOut] = Label::U;
+
+    auto idOf = [&](const char *name) {
+        int i = program.findByName(name);
+        if (i < 0)
+            fatal("demo program lacks declaration '%s'", name);
+        return Program::idOf(size_t(i));
+    };
+    env.funs[idOf("main")] = FunSig{ {}, tNum(Label::U) };
+    env.funs[idOf("loop")] =
+        FunSig{ { tNum(Label::T), tNum(Label::U) }, tNum(Label::U) };
+    return env;
+}
+
+} // namespace zarf::verify

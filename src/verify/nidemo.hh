@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Demonstration programs for the non-interference analysis: a small
+ * two-path application in the spirit of the ICD system — a trusted
+ * sensor/actuator loop running next to untrusted telemetry — in a
+ * well-typed form and in deliberately corrupted variants that the
+ * type checker must reject and the perturbation harness must flag.
+ */
+
+#ifndef ZARF_VERIFY_NIDEMO_HH
+#define ZARF_VERIFY_NIDEMO_HH
+
+#include "isa/ast.hh"
+#include "verify/itype.hh"
+
+namespace zarf::verify
+{
+
+/** Which variant of the demo to build. */
+enum class NiVariant
+{
+    Clean,        ///< Well-typed: paths independent.
+    ExplicitFlow, ///< Untrusted value added into the trusted output.
+    ImplicitFlow, ///< Trusted output chosen by an untrusted test.
+};
+
+/** Port map of the demo. */
+constexpr SWord kNiSensorPort = 0;    // T input
+constexpr SWord kNiActuatorPort = 1;  // T output
+constexpr SWord kNiTelemetryIn = 10;  // U input
+constexpr SWord kNiTelemetryOut = 11; // U output
+
+/** Build the demo program (processes `iterations` sensor values). */
+Program buildNiDemo(NiVariant variant, int iterations = 24);
+
+/** The demo's typing environment. */
+TypeEnv niDemoTypeEnv(const Program &program);
+
+} // namespace zarf::verify
+
+#endif // ZARF_VERIFY_NIDEMO_HH

@@ -1,0 +1,106 @@
+#include "verify/noninterference.hh"
+
+#include <map>
+
+#include "sem/smallstep.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace zarf::verify
+{
+
+namespace
+{
+
+/** Serves trusted inputs deterministically and untrusted inputs
+ *  from a seeded stream; records all writes per port. */
+class NiBus : public IoBus
+{
+  public:
+    NiBus(const TypeEnv &env, const std::vector<SWord> &trusted,
+          uint64_t seed)
+        : env(env), trusted(trusted), rng(seed)
+    {}
+
+    SWord
+    getInt(SWord port) override
+    {
+        if (env.portLabel(port) == Label::T) {
+            if (tPos < trusted.size())
+                return trusted[tPos++];
+            return 0;
+        }
+        return SWord(rng.range(-1000000, 1000000));
+    }
+
+    void
+    putInt(SWord port, SWord value) override
+    {
+        writes[port].push_back(value);
+    }
+
+    const TypeEnv &env;
+    const std::vector<SWord> &trusted;
+    size_t tPos = 0;
+    Rng rng;
+    std::map<SWord, std::vector<SWord>> writes;
+};
+
+} // namespace
+
+NiReport
+perturbUntrusted(const Program &program, const TypeEnv &env,
+                 const std::vector<SWord> &trustedInputs,
+                 uint64_t seedA, uint64_t seedB)
+{
+    NiBus busA(env, trustedInputs, seedA);
+    NiBus busB(env, trustedInputs, seedB);
+
+    SmallStep engineA(program, busA);
+    RunResult ra = engineA.runMain();
+    SmallStep engineB(program, busB);
+    RunResult rb = engineB.runMain();
+
+    if (!ra.ok() || !rb.ok()) {
+        return { false, false,
+                 "execution did not complete: " +
+                     (ra.ok() ? rb.where : ra.where) };
+    }
+
+    // Compare every trusted port's write sequence.
+    for (const auto &[port, seqA] : busA.writes) {
+        if (env.portLabel(port) != Label::T)
+            continue;
+        auto itB = busB.writes.find(port);
+        const std::vector<SWord> empty;
+        const std::vector<SWord> &seqB =
+            itB == busB.writes.end() ? empty : itB->second;
+        if (seqA.size() != seqB.size()) {
+            return { true, true,
+                     strprintf("trusted port %d wrote %zu words in "
+                               "run A but %zu in run B", port,
+                               seqA.size(), seqB.size()) };
+        }
+        for (size_t i = 0; i < seqA.size(); ++i) {
+            if (seqA[i] != seqB[i]) {
+                return { true, true,
+                         strprintf("trusted port %d diverged at "
+                                   "write %zu: %d vs %d", port, i,
+                                   seqA[i], seqB[i]) };
+            }
+        }
+    }
+    // Ports only written in run B.
+    for (const auto &[port, seqB] : busB.writes) {
+        if (env.portLabel(port) != Label::T)
+            continue;
+        if (!busA.writes.count(port) && !seqB.empty()) {
+            return { true, true,
+                     strprintf("trusted port %d written only in "
+                               "run B", port) };
+        }
+    }
+    return { true, false, "" };
+}
+
+} // namespace zarf::verify

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Dynamic validation of the non-interference theorem (Sec. 5.3).
+ *
+ * The paper's soundness proof states: if expression e has type τ and
+ * evaluates to v, then changing any value whose type is less trusted
+ * than τ leaves e's value unchanged. This harness checks the
+ * system-level corollary the ICD relies on — arbitrarily changing
+ * every untrusted input leaves every trusted output bit-identical —
+ * by running a (type-checked) program twice with identical
+ * trusted-port inputs but independently randomized untrusted-port
+ * inputs, and comparing the write sequences on all trusted ports.
+ */
+
+#ifndef ZARF_VERIFY_NONINTERFERENCE_HH
+#define ZARF_VERIFY_NONINTERFERENCE_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/ast.hh"
+#include "verify/itype.hh"
+
+namespace zarf::verify
+{
+
+/** Outcome of one perturbation experiment. */
+struct NiReport
+{
+    bool ran;          ///< Both executions completed.
+    bool interference; ///< A trusted output differed.
+    std::string detail;
+};
+
+/**
+ * Run the perturbation experiment.
+ *
+ * @param program the program under test
+ * @param env the typing environment (provides port labels)
+ * @param trustedInputs words served on every T-labelled input port
+ * @param seedA, seedB seeds for the two U-input streams
+ */
+NiReport perturbUntrusted(const Program &program, const TypeEnv &env,
+                          const std::vector<SWord> &trustedInputs,
+                          uint64_t seedA, uint64_t seedB);
+
+} // namespace zarf::verify
+
+#endif // ZARF_VERIFY_NONINTERFERENCE_HH

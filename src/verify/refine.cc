@@ -1,0 +1,137 @@
+#include "verify/refine.hh"
+
+#include "icd/baseline.hh"
+#include "icd/spec.hh"
+#include "mblaze/cpu.hh"
+#include "sem/smallstep.hh"
+#include "support/logging.hh"
+#include "system/ports.hh"
+
+namespace zarf::verify
+{
+
+std::vector<SWord>
+specOutputs(const std::vector<SWord> &inputs)
+{
+    icd::IcdSpec spec;
+    std::vector<SWord> out;
+    out.reserve(inputs.size());
+    for (SWord x : inputs)
+        out.push_back(spec.step(x));
+    return out;
+}
+
+RefinementReport
+checkSpecVsZarf(const Program &icdProgram,
+                const std::vector<SWord> &inputs)
+{
+    icd::IcdSpec spec;
+    NullBus bus;
+    SmallStep engine(icdProgram, bus);
+
+    RunResult st = engine.call("icdInit", {});
+    if (!st.ok()) {
+        return { false, 0, 0,
+                 "icdInit failed: " + st.where };
+    }
+    ValuePtr state = st.value;
+
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        SWord want = spec.step(inputs[i]);
+        RunResult r = engine.call(
+            "icdStep", { state, Value::makeInt(inputs[i]) });
+        if (!r.ok()) {
+            return { false, i, i,
+                     strprintf("icdStep diverged (engine %s) at "
+                               "sample %zu", r.where.c_str(), i) };
+        }
+        const Value &v = *r.value;
+        if (!v.isCons() || v.items().size() != 2) {
+            return { false, i, i,
+                     strprintf("icdStep returned a non-IcdOut value "
+                               "at sample %zu: %s", i,
+                               v.toString().c_str()) };
+        }
+        const ValuePtr &outV = v.items()[1];
+        if (!outV->isInt() || outV->intVal() != want) {
+            return { false, i, i,
+                     strprintf("output mismatch at sample %zu: spec "
+                               "%d, zarf %s", i, want,
+                               outV->toString().c_str()) };
+        }
+        state = v.items()[0];
+    }
+    return { true, inputs.size(), 0, "" };
+}
+
+namespace
+{
+
+/** Device rig for driving the baseline in lock-step: the timer
+ *  always fires while samples remain, and comm-port writes are the
+ *  per-iteration outputs. */
+class BaselineRig : public IoBus
+{
+  public:
+    explicit BaselineRig(const std::vector<SWord> &inputs)
+        : inputs(inputs)
+    {}
+
+    SWord
+    getInt(SWord port) override
+    {
+        if (port == sys::kPortTimer)
+            return next < inputs.size() ? 1 : 0;
+        if (port == sys::kPortEcgIn) {
+            if (next < inputs.size())
+                return inputs[next++];
+            return 0;
+        }
+        return 0;
+    }
+
+    void
+    putInt(SWord port, SWord value) override
+    {
+        if (port == sys::kPortCommOut)
+            comm.push_back(value);
+        else if (port == sys::kPortShockOut)
+            shocks.push_back(value);
+    }
+
+    const std::vector<SWord> &inputs;
+    size_t next = 0;
+    std::vector<SWord> comm;
+    std::vector<SWord> shocks;
+};
+
+} // namespace
+
+RefinementReport
+checkSpecVsBaseline(const std::vector<SWord> &inputs)
+{
+    std::vector<SWord> want = specOutputs(inputs);
+
+    mblaze::MbProgram prog = icd::baselineIcdProgram();
+    BaselineRig rig(inputs);
+    mblaze::MbCpu cpu(prog, rig);
+    // Generous budget: ~2k cycles per iteration covers worst cases.
+    cpu.run(Cycles(inputs.size()) * 4000 + 100'000);
+
+    if (rig.comm.size() < want.size()) {
+        return { false, rig.comm.size(), rig.comm.size(),
+                 strprintf("baseline produced %zu outputs for %zu "
+                           "samples", rig.comm.size(), want.size()) };
+    }
+    for (size_t i = 0; i < want.size(); ++i) {
+        if (rig.comm[i] != want[i]) {
+            return { false, i, i,
+                     strprintf("output mismatch at sample %zu: spec "
+                               "%d, baseline %d", i, want[i],
+                               rig.comm[i]) };
+        }
+    }
+    return { true, want.size(), 0, "" };
+}
+
+} // namespace zarf::verify

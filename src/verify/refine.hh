@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Refinement checking for the ICD correctness argument (Sec. 5.1).
+ *
+ * The paper proves, in Coq, that for every input stream the output
+ * stream of the high-level specification equals that of the
+ * low-level implementation extracted to Zarf assembly. We reproduce
+ * the argument's structure as high-volume lock-step differential
+ * execution: feed the same input stream to
+ *
+ *   (a) the executable stream specification (icd/spec.hh),
+ *   (b) the extracted Zarf assembly, one icdStep call per sample,
+ *       threading the state value through the reference engine, and
+ *   (c) the imperative baseline on the mblaze core,
+ *
+ * and require bit-identical outputs at every sample. The harness
+ * reports the first divergence with full context.
+ */
+
+#ifndef ZARF_VERIFY_REFINE_HH
+#define ZARF_VERIFY_REFINE_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/ast.hh"
+#include "support/types.hh"
+
+namespace zarf::verify
+{
+
+/** Result of a lock-step refinement run. */
+struct RefinementReport
+{
+    bool ok;
+    size_t samplesChecked;
+    size_t firstMismatch; ///< Valid when !ok.
+    std::string detail;
+};
+
+/**
+ * Check the extracted Zarf assembly against the specification.
+ *
+ * @param icdProgram the extracted program (icd::buildIcdStepProgram)
+ * @param inputs the sample stream
+ */
+RefinementReport checkSpecVsZarf(const Program &icdProgram,
+                                 const std::vector<SWord> &inputs);
+
+/** Check the imperative baseline against the specification. */
+RefinementReport
+checkSpecVsBaseline(const std::vector<SWord> &inputs);
+
+/** Spec outputs for an input stream (convenience for benches). */
+std::vector<SWord> specOutputs(const std::vector<SWord> &inputs);
+
+} // namespace zarf::verify
+
+#endif // ZARF_VERIFY_REFINE_HH

@@ -1,0 +1,284 @@
+#include "verify/wcet.hh"
+
+#include <algorithm>
+
+#include "isa/prims.hh"
+#include "support/logging.hh"
+
+namespace zarf::verify
+{
+
+namespace
+{
+
+/** Per-path accumulation. */
+struct Cost
+{
+    Cycles cycles = 0;
+    uint64_t objects = 0;
+    uint64_t words = 0;
+
+    Cost &
+    operator+=(const Cost &o)
+    {
+        cycles += o.cycles;
+        objects += o.objects;
+        words += o.words;
+        return *this;
+    }
+};
+
+Cost
+maxCost(const Cost &a, const Cost &b)
+{
+    // Maximize cycles; take the matching allocation profile, and to
+    // stay conservative for the GC bound, maximize words/objects
+    // independently (allocation on the non-worst path can still be
+    // live at collection time only if it was executed, but a single
+    // path executes — taking the component-wise max is a sound upper
+    // bound for both dimensions).
+    Cost m;
+    m.cycles = std::max(a.cycles, b.cycles);
+    m.objects = std::max(a.objects, b.objects);
+    m.words = std::max(a.words, b.words);
+    return m;
+}
+
+class Analyzer
+{
+  public:
+    Analyzer(const Program &prog, const WcetConfig &cfg)
+        : prog(prog), cfg(cfg)
+    {}
+
+    WcetReport
+    run(const std::string &root)
+    {
+        int idx = prog.findByName(root);
+        if (idx < 0) {
+            report.error = "no function named " + root;
+            return report;
+        }
+        Cost c = costCall(Program::idOf(size_t(idx)));
+        if (!report.error.empty())
+            return report;
+
+        report.ok = true;
+        report.execBound = c.cycles;
+        report.allocObjects = c.objects;
+        report.allocWords = c.words;
+
+        // GC bound (Sec. 5.2): every allocated object may be live;
+        // each object of N words costs N+4 to copy; every payload
+        // word may be a reference costing 2 cycles to check.
+        const TimingModel &t = cfg.timing;
+        report.gcBound =
+            t.gcSetup + c.objects * t.gcPerObjectFixed +
+            c.words * t.gcPerWordCopied +
+            c.words * t.gcRefCheck;
+        return report;
+    }
+
+  private:
+    void
+    fail(const std::string &why)
+    {
+        if (report.error.empty())
+            report.error = why;
+    }
+
+    /** Worst cost of forcing a saturated application of `id`. */
+    Cost
+    costCall(Word id)
+    {
+        const TimingModel &t = cfg.timing;
+        Cost c;
+        if (isPrimId(id)) {
+            auto p = primById(id);
+            if (!p) {
+                fail("call of unknown primitive");
+                return c;
+            }
+            c.cycles = t.whnfCheck + t.enterThunk + t.primSetup +
+                       p->arity * (t.primPerArg + t.whnfCheck) +
+                       (p->effectful ? t.ioOp : t.aluOp) +
+                       t.update + t.returnToCase;
+            return c;
+        }
+        size_t idx = Program::indexOf(id);
+        if (idx >= prog.decls.size()) {
+            fail("call of unknown function id");
+            return c;
+        }
+        const Decl &d = prog.decls[idx];
+        if (d.isCons) {
+            // Saturated constructors are built at let time; no
+            // evaluation cost here.
+            return c;
+        }
+        if (inProgress.count(id)) {
+            if (cfg.boundaryFunctions.count(d.name)) {
+                // The recursive tail call marks the next iteration.
+                return c;
+            }
+            fail("recursive call of '" + d.name +
+                 "' (not a boundary function); the worst case is "
+                 "unbounded");
+            return c;
+        }
+        auto memo = cache.find(id);
+        if (memo != cache.end())
+            return memo->second;
+
+        inProgress.insert(id);
+        Cost body = costExpr(*d.body, id);
+        inProgress.erase(id);
+
+        Cost out;
+        out.cycles = t.whnfCheck + t.enterThunk + t.callSetup +
+                     body.cycles + t.update + t.returnToCase;
+        out.objects = body.objects;
+        out.words = body.words;
+        cache.emplace(id, out);
+
+        WcetFunction wf;
+        wf.name = d.name;
+        wf.worstCycles = out.cycles;
+        wf.allocObjects = out.objects;
+        wf.allocWords = out.words;
+        report.functions[d.name] = wf;
+        return out;
+    }
+
+    Cost
+    costExpr(const Expr &e, Word self)
+    {
+        const TimingModel &t = cfg.timing;
+        if (e.isLet()) {
+            const Let &l = e.asLet();
+            Cost c;
+            // Instruction fetch, argument words, allocation.
+            size_t payload = std::max<size_t>(l.args.size(), 1);
+            c.cycles = t.letBase + l.args.size() * t.letPerArg +
+                       t.allocHeader + payload * t.letPerArg;
+            c.objects = 1;
+            c.words = 1 + payload;
+
+            if (l.callee.kind != CalleeKind::Func) {
+                fail("higher-order call (callee is a value); the "
+                     "static analysis requires first-order calls");
+                return c;
+            }
+            // Charge the eventual forcing of this application when
+            // saturated. Under-saturated applications are values;
+            // partial application of user functions would make the
+            // analysis higher-order, so only exact saturation is
+            // accepted for non-constructors.
+            Word id = l.callee.id;
+            unsigned arity;
+            bool cons;
+            if (isPrimId(id)) {
+                auto p = primById(id);
+                arity = p ? p->arity : 0;
+                cons = p && p->isConstructor;
+            } else {
+                size_t idx = Program::indexOf(id);
+                if (idx >= prog.decls.size()) {
+                    fail("unknown callee id");
+                    return c;
+                }
+                arity = prog.decls[idx].arity;
+                cons = prog.decls[idx].isCons;
+            }
+            if (!cons) {
+                if (l.args.size() == arity) {
+                    c += costCall(id);
+                } else if (l.args.size() > arity) {
+                    fail("over-application; the static analysis "
+                         "requires exact saturation");
+                    return c;
+                }
+                // Under-saturated: a closure value, no eval cost.
+            } else if (l.args.size() > arity) {
+                fail("over-applied constructor");
+                return c;
+            }
+            Cost rest = costExpr(*l.body, self);
+            c += rest;
+            return c;
+        }
+        if (e.isCase()) {
+            const Case &c0 = e.asCase();
+            Cost base;
+            base.cycles = t.caseBase + t.whnfCheck;
+            Cost worstBranch;
+            for (size_t i = 0; i < c0.branches.size(); ++i) {
+                const CaseBranch &br = c0.branches[i];
+                Cost b;
+                b.cycles = (i + 1) * t.branchHead;
+                if (br.isCons) {
+                    Word ar = consArity(br.consId);
+                    b.cycles += ar * t.fieldPush;
+                }
+                b += costExpr(*br.body, self);
+                worstBranch = maxCost(worstBranch, b);
+            }
+            Cost eb;
+            eb.cycles = c0.branches.size() * t.branchHead;
+            eb += costExpr(*c0.elseBody, self);
+            worstBranch = maxCost(worstBranch, eb);
+            base += worstBranch;
+            return base;
+        }
+        // result: fetch + the tail hand-off.
+        Cost c;
+        c.cycles = t.resultBase + t.collapseUpdate;
+        return c;
+    }
+
+    Word
+    consArity(Word id) const
+    {
+        if (isPrimId(id)) {
+            auto p = primById(id);
+            return p ? p->arity : 0;
+        }
+        size_t idx = Program::indexOf(id);
+        return idx < prog.decls.size() ? prog.decls[idx].arity : 0;
+    }
+
+    const Program &prog;
+    const WcetConfig &cfg;
+    WcetReport report;
+    std::set<Word> inProgress;
+    std::map<Word, Cost> cache;
+};
+
+} // namespace
+
+std::string
+WcetReport::summary() const
+{
+    if (!ok)
+        return "analysis failed: " + error + "\n";
+    std::string out;
+    out += strprintf("  execution bound: %llu cycles\n",
+                     (unsigned long long)execBound);
+    out += strprintf("  GC bound:        %llu cycles "
+                     "(%llu objects / %llu words worst-case live)\n",
+                     (unsigned long long)gcBound,
+                     (unsigned long long)allocObjects,
+                     (unsigned long long)allocWords);
+    out += strprintf("  total:           %llu cycles\n",
+                     (unsigned long long)totalBound());
+    return out;
+}
+
+WcetReport
+analyzeWcet(const Program &program, const std::string &rootFunction,
+            const WcetConfig &config)
+{
+    return Analyzer(program, config).run(rootFunction);
+}
+
+} // namespace zarf::verify

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Static worst-case execution-time analysis (Sec. 5.2).
+ *
+ * With knowledge of how the λ-execution layer executes each
+ * instruction, the analysis extracts the worst-case route through
+ * the hardware state machine for every operation and sums them. The
+ * prerequisites are the paper's: within the analyzed region no
+ * function calls into itself (the top-level loop's recursive tail
+ * call and designated wait functions are excluded — they mark the
+ * iteration boundary and the slack-consuming poll, respectively),
+ * and calls are first-order (every callee is a global identifier),
+ * both checked.
+ *
+ * The analysis uses the same TimingModel as the simulator
+ * (machine/timing.hh), charging each let the full worst-case cost of
+ * eventually forcing its application — laziness can only do less
+ * work — plus the fetch/decode, pattern-check, field-push, update,
+ * and return costs of the case/result machinery.
+ *
+ * The garbage-collection bound follows the paper's argument: assume
+ * every word allocated during one iteration is simultaneously live
+ * at collection time, charge N+4 cycles per object of N words, and
+ * 2 cycles per payload reference checked.
+ */
+
+#ifndef ZARF_VERIFY_WCET_HH
+#define ZARF_VERIFY_WCET_HH
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "isa/ast.hh"
+#include "machine/timing.hh"
+
+namespace zarf::verify
+{
+
+/** Analysis configuration. */
+struct WcetConfig
+{
+    TimingModel timing{};
+    /** Functions whose recursive self-calls cost zero (the loop
+     *  boundary and wait functions). Their single-iteration body is
+     *  still costed. */
+    std::set<std::string> boundaryFunctions;
+};
+
+/** Per-function analysis results. */
+struct WcetFunction
+{
+    std::string name;
+    Cycles worstCycles = 0;     ///< Worst path through one call.
+    uint64_t allocObjects = 0;  ///< Worst-case objects allocated.
+    uint64_t allocWords = 0;    ///< Worst-case words allocated.
+};
+
+/** Whole-analysis result. */
+struct WcetReport
+{
+    bool ok = false;
+    std::string error;
+
+    /** Worst-case execution cycles of one call of the root. */
+    Cycles execBound = 0;
+    /** Worst-case garbage-collection cycles per iteration. */
+    Cycles gcBound = 0;
+    /** execBound + gcBound. */
+    Cycles totalBound() const { return execBound + gcBound; }
+
+    uint64_t allocObjects = 0;
+    uint64_t allocWords = 0;
+
+    std::map<std::string, WcetFunction> functions;
+
+    std::string summary() const;
+};
+
+/**
+ * Analyze the worst case of calling `rootFunction` once.
+ *
+ * @param program the program (validated)
+ * @param rootFunction name of the analyzed entry (e.g. "kernelLoop"
+ *        for one ICD iteration, with itself listed as a boundary)
+ */
+WcetReport analyzeWcet(const Program &program,
+                       const std::string &rootFunction,
+                       const WcetConfig &config = {});
+
+} // namespace zarf::verify
+
+#endif // ZARF_VERIFY_WCET_HH

@@ -1,0 +1,385 @@
+#include "zasm/prelude.hh"
+
+namespace zarf
+{
+
+const std::string &
+preludeText()
+{
+    static const std::string text = R"(
+# ---------------- Zarf prelude ----------------
+
+con Nil
+con Cons head tail
+con Pair fst snd
+con None
+con Some value
+
+# ---- combinators ----
+
+fun id x =
+  result x
+
+fun constK x y =
+  result x
+
+fun compose f g x =
+  let gx = g x
+  let fgx = f gx
+  result fgx
+
+fun flip f x y =
+  let r = f y x
+  result r
+
+fun applyFn f x =
+  let r = f x
+  result r
+
+# boolean not over 0/1
+fun bnot01 b =
+  case b of
+    0 =>
+      result 1
+  else
+    result 0
+
+# ---- pairs / options ----
+
+fun fst p =
+  case p of
+    Pair a b =>
+      result a
+  else
+    let e = Error 0
+    result e
+
+fun snd p =
+  case p of
+    Pair a b =>
+      result b
+  else
+    let e = Error 0
+    result e
+
+fun fromSome d opt =
+  case opt of
+    Some v =>
+      result v
+    None =>
+      result d
+  else
+    result d
+
+# ---- lists ----
+
+fun length list =
+  case list of
+    Nil =>
+      result 0
+    Cons h t =>
+      let n = length t
+      let n' = add n 1
+      result n'
+  else
+    let e = Error 0
+    result e
+
+fun append xs ys =
+  case xs of
+    Nil =>
+      result ys
+    Cons h t =>
+      let rest = append t ys
+      let out = Cons h rest
+      result out
+  else
+    let e = Error 0
+    result e
+
+fun revHelp acc list =
+  case list of
+    Nil =>
+      result acc
+    Cons h t =>
+      let acc' = Cons h acc
+      let r = revHelp acc' t
+      result r
+  else
+    let e = Error 0
+    result e
+
+fun reverse list =
+  let n = Nil
+  let r = revHelp n list
+  result r
+
+fun mapL f list =
+  case list of
+    Nil =>
+      let e = Nil
+      result e
+    Cons h t =>
+      let h' = f h
+      let t' = mapL f t
+      let out = Cons h' t'
+      result out
+  else
+    let e = Error 0
+    result e
+
+fun filterL p list =
+  case list of
+    Nil =>
+      let e = Nil
+      result e
+    Cons h t =>
+      let keep = p h
+      let rest = filterL p t
+      case keep of
+        0 =>
+          result rest
+      else
+        let out = Cons h rest
+        result out
+  else
+    let e = Error 0
+    result e
+
+fun foldl f acc list =
+  case list of
+    Nil =>
+      result acc
+    Cons h t =>
+      let acc' = f acc h
+      let r = foldl f acc' t
+      result r
+  else
+    let e = Error 0
+    result e
+
+fun foldr f z list =
+  case list of
+    Nil =>
+      result z
+    Cons h t =>
+      let rest = foldr f z t
+      let r = f h rest
+      result r
+  else
+    let e = Error 0
+    result e
+
+fun take n list =
+  case n of
+    0 =>
+      let e = Nil
+      result e
+  else
+    case list of
+      Nil =>
+        let e = Nil
+        result e
+      Cons h t =>
+        let n' = sub n 1
+        let rest = take n' t
+        let out = Cons h rest
+        result out
+    else
+      let e = Error 0
+      result e
+
+fun drop n list =
+  case n of
+    0 =>
+      result list
+  else
+    case list of
+      Nil =>
+        let e = Nil
+        result e
+      Cons h t =>
+        let n' = sub n 1
+        let r = drop n' t
+        result r
+    else
+      let e = Error 0
+      result e
+
+# rangeL lo hi = [lo, lo+1, .., hi]
+fun rangeL lo hi =
+  let over = gt lo hi
+  case over of
+    1 =>
+      let e = Nil
+      result e
+  else
+    let lo' = add lo 1
+    let rest = rangeL lo' hi
+    let out = Cons lo rest
+    result out
+
+fun replicate n x =
+  case n of
+    0 =>
+      let e = Nil
+      result e
+  else
+    let n' = sub n 1
+    let rest = replicate n' x
+    let out = Cons x rest
+    result out
+
+fun sum list =
+  let f = addF
+  let z = foldl f 0 list
+  result z
+
+fun addF a b =
+  let r = add a b
+  result r
+
+fun product list =
+  let f = mulF
+  let z = foldl f 1 list
+  result z
+
+fun mulF a b =
+  let r = mul a b
+  result r
+
+fun maximumL list =
+  case list of
+    Cons h t =>
+      let f = maxF
+      let m = foldl f h t
+      let s = Some m
+      result s
+    Nil =>
+      let e = None
+      result e
+  else
+    let e = Error 0
+    result e
+
+fun maxF a b =
+  let r = max a b
+  result r
+
+fun elemL x list =
+  case list of
+    Nil =>
+      result 0
+    Cons h t =>
+      let same = eq x h
+      case same of
+        1 =>
+          result 1
+      else
+        let r = elemL x t
+        result r
+  else
+    let e = Error 0
+    result e
+
+# nth n list: zero-based; None when out of range
+fun nth n list =
+  case list of
+    Nil =>
+      let e = None
+      result e
+    Cons h t =>
+      case n of
+        0 =>
+          let s = Some h
+          result s
+      else
+        let n' = sub n 1
+        let r = nth n' t
+        result r
+  else
+    let e = Error 0
+    result e
+
+fun zipWith f xs ys =
+  case xs of
+    Nil =>
+      let e = Nil
+      result e
+    Cons xh xt =>
+      case ys of
+        Nil =>
+          let e = Nil
+          result e
+        Cons yh yt =>
+          let h = f xh yh
+          let t = zipWith f xt yt
+          let out = Cons h t
+          result out
+      else
+        let e = Error 0
+        result e
+  else
+    let e = Error 0
+    result e
+
+fun allL p list =
+  case list of
+    Nil =>
+      result 1
+    Cons h t =>
+      let ok = p h
+      case ok of
+        0 =>
+          result 0
+      else
+        let r = allL p t
+        result r
+  else
+    let e = Error 0
+    result e
+
+fun anyL p list =
+  case list of
+    Nil =>
+      result 0
+    Cons h t =>
+      let ok = p h
+      case ok of
+        0 =>
+          let r = anyL p t
+          result r
+      else
+        result 1
+  else
+    let e = Error 0
+    result e
+
+# association lists of Pair key value
+fun lookupL k list =
+  case list of
+    Nil =>
+      let e = None
+      result e
+    Cons h t =>
+      case h of
+        Pair hk hv =>
+          let same = eq hk k
+          case same of
+            1 =>
+              let s = Some hv
+              result s
+          else
+            let r = lookupL k t
+            result r
+      else
+        let e = Error 0
+        result e
+  else
+    let e = Error 0
+    result e
+)";
+    return text;
+}
+
+} // namespace zarf

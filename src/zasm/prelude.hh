@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The Zarf prelude: a standard library of list, pair, option, and
+ * combinator functions written in the functional assembly.
+ *
+ * The paper's ISA is complete — "it is entirely possible that all
+ * code in the system be written to be purely functional and run on
+ * the λ-execution layer" — and this library is what a downstream
+ * user would build general software on. Every function is exercised
+ * by tests on all three execution engines.
+ *
+ * Usage: append preludeText() to your program text before
+ * assembling (the prelude declares no main), e.g.
+ *
+ *   Program p = assembleOrDie(myText + preludeText());
+ *
+ * Provided:
+ *   con Nil / Cons / Pair / None / Some
+ *   id, constK, compose, flip, applyFn
+ *   bnot01 (boolean not on 0/1)
+ *   length, append, reverse, mapL, filterL, foldl, foldr, take,
+ *   drop, rangeL, replicate, sum, product, maximumL, elemL, nth,
+ *   zipWith, allL, anyL, fst, snd, fromSome, lookupL
+ */
+
+#ifndef ZARF_ZASM_PRELUDE_HH
+#define ZARF_ZASM_PRELUDE_HH
+
+#include <string>
+
+namespace zarf
+{
+
+/** The prelude source text (valid assembly, no main). */
+const std::string &preludeText();
+
+} // namespace zarf
+
+#endif // ZARF_ZASM_PRELUDE_HH

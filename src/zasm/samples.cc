@@ -1,0 +1,247 @@
+#include "zasm/samples.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace zarf
+{
+
+const std::string &
+miniVmText()
+{
+    static const std::string text = R"(
+# ---------------- mini stack-machine VM ----------------
+# vmRun prog stack: execute a list of Pair(op, arg) instructions.
+
+fun vmRun prog stack =
+  case prog of
+    Nil =>
+      case stack of
+        Cons top rest =>
+          result top
+      else
+        let e = Error 10
+        result e
+    Cons ins tail =>
+      case ins of
+        Pair op arg =>
+          case op of
+            0 =>
+              let s' = Cons arg stack
+              let r = vmRun tail s'
+              result r
+            1 =>
+              let s' = vmBin 1 stack
+              let r = vmRun tail s'
+              result r
+            2 =>
+              let s' = vmBin 2 stack
+              let r = vmRun tail s'
+              result r
+            3 =>
+              let s' = vmBin 3 stack
+              let r = vmRun tail s'
+              result r
+            4 =>
+              let s' = vmDup stack
+              let r = vmRun tail s'
+              result r
+            5 =>
+              let s' = vmSwap stack
+              let r = vmRun tail s'
+              result r
+            6 =>
+              let s' = vmNeg stack
+              let r = vmRun tail s'
+              result r
+            7 =>
+              let s' = vmBin 7 stack
+              let r = vmRun tail s'
+              result r
+          else
+            let e = Error 11
+            result e
+      else
+        let e = Error 12
+        result e
+  else
+    let e = Error 12
+    result e
+
+# binary ops pop b then a and push the combination
+fun vmBin op stack =
+  case stack of
+    Cons b rest1 =>
+      case rest1 of
+        Cons a rest =>
+          let v = vmAlu op a b
+          let s' = Cons v rest
+          result s'
+      else
+        let e = Error 10
+        result e
+  else
+    let e = Error 10
+    result e
+
+fun vmAlu op a b =
+  case op of
+    1 =>
+      let v = add a b
+      result v
+    2 =>
+      let v = sub a b
+      result v
+    3 =>
+      let v = mul a b
+      result v
+    7 =>
+      let v = max a b
+      result v
+  else
+    let e = Error 11
+    result e
+
+fun vmDup stack =
+  case stack of
+    Cons top rest =>
+      let s' = Cons top stack
+      result s'
+  else
+    let e = Error 10
+    result e
+
+fun vmSwap stack =
+  case stack of
+    Cons b rest1 =>
+      case rest1 of
+        Cons a rest =>
+          let s1 = Cons b rest
+          let s2 = Cons a s1
+          result s2
+      else
+        let e = Error 10
+        result e
+  else
+    let e = Error 10
+    result e
+
+fun vmNeg stack =
+  case stack of
+    Cons top rest =>
+      let v = neg top
+      let s' = Cons v rest
+      result s'
+  else
+    let e = Error 10
+    result e
+)";
+    return text;
+}
+
+std::string
+vmMainText(const std::vector<VmInstr> &program)
+{
+    // A function may bind at most kMaxLocals locals, so large
+    // programs are split into chunk functions of 800 instructions;
+    // each chunk prepends its instructions onto the rest of the
+    // list.
+    constexpr size_t kChunk = 800;
+    size_t n = program.size();
+    size_t chunks = (n + kChunk - 1) / kChunk;
+
+    std::string s;
+    s += "fun main =\n  let p0 = Nil\n";
+    for (size_t c = 0; c < chunks; ++c) {
+        // Apply the last chunk first so the first instruction ends
+        // up at the head of the list.
+        size_t chunkIdx = chunks - 1 - c;
+        s += strprintf("  let p%zu = vmChunk%zu p%zu\n", c + 1,
+                       chunkIdx, c);
+    }
+    s += strprintf("  let st = Nil\n  let r = vmRun p%zu st\n"
+                   "  result r\n\n",
+                   chunks);
+
+    for (size_t c = 0; c < chunks; ++c) {
+        size_t begin = c * kChunk;
+        size_t end = std::min(n, begin + kChunk);
+        s += strprintf("fun vmChunk%zu rest =\n", c);
+        size_t k = 0;
+        std::string prev = "rest";
+        for (size_t i = end; i > begin; --i) {
+            const VmInstr &ins = program[i - 1];
+            s += strprintf("  let i%zu = Pair %d %d\n", k, ins.op,
+                           ins.arg);
+            s += strprintf("  let q%zu = Cons i%zu %s\n", k, k,
+                           prev.c_str());
+            prev = strprintf("q%zu", k);
+            ++k;
+        }
+        s += strprintf("  result %s\n\n", prev.c_str());
+    }
+    return s;
+}
+
+bool
+vmReference(const std::vector<VmInstr> &program, SWord &out)
+{
+    std::vector<SWord> stack;
+    auto pop = [&](SWord &v) {
+        if (stack.empty())
+            return false;
+        v = stack.back();
+        stack.pop_back();
+        return true;
+    };
+    for (const VmInstr &ins : program) {
+        SWord a, b;
+        switch (ins.op) {
+          case 0:
+            stack.push_back(wrapInt31(ins.arg));
+            break;
+          case 1:
+          case 2:
+          case 3:
+          case 7:
+            if (!pop(b) || !pop(a))
+                return false;
+            switch (ins.op) {
+              case 1: stack.push_back(wrapInt31(int64_t(a) + b)); break;
+              case 2: stack.push_back(wrapInt31(int64_t(a) - b)); break;
+              case 3:
+                stack.push_back(wrapInt31(int64_t(a) * int64_t(b)));
+                break;
+              default: stack.push_back(a > b ? a : b); break;
+            }
+            break;
+          case 4:
+            if (!pop(a))
+                return false;
+            stack.push_back(a);
+            stack.push_back(a);
+            break;
+          case 5:
+            if (!pop(b) || !pop(a))
+                return false;
+            stack.push_back(b);
+            stack.push_back(a);
+            break;
+          case 6:
+            if (!pop(a))
+                return false;
+            stack.push_back(wrapInt31(-int64_t(a)));
+            break;
+          default:
+            return false;
+        }
+    }
+    if (stack.empty())
+        return false;
+    out = stack.back();
+    return true;
+}
+
+} // namespace zarf

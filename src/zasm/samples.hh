@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Larger sample programs for the functional ISA.
+ *
+ * miniVmText(): a stack-machine interpreter written in Zarf assembly
+ * — the classic case-dispatch workload. Programs are lists of
+ * Pair(opcode, operand) instructions executed against a list-shaped
+ * stack:
+ *
+ *   0 push k     push the literal k
+ *   1 add        pop b, pop a, push a+b
+ *   2 sub        pop b, pop a, push a-b
+ *   3 mul        pop b, pop a, push a*b
+ *   4 dup        duplicate the top of stack
+ *   5 swap       exchange the two top elements
+ *   6 neg        negate the top of stack
+ *   7 maxi       pop b, pop a, push max(a,b)
+ *
+ * Entry point: vmRun prog stack -> the final top of stack (or the
+ * reserved Error constructor on stack underflow / bad opcodes).
+ * Requires the prelude (lists and pairs).
+ *
+ * Its dynamic profile is what the paper's hand-written software
+ * looks like — several pattern heads checked per dispatched
+ * instruction — which complements the extractor-generated ICD in
+ * the Sec. 6 statistics.
+ */
+
+#ifndef ZARF_ZASM_SAMPLES_HH
+#define ZARF_ZASM_SAMPLES_HH
+
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace zarf
+{
+
+/** The VM interpreter source (no main; needs the prelude). */
+const std::string &miniVmText();
+
+/** One mini-VM instruction. */
+struct VmInstr
+{
+    SWord op;
+    SWord arg;
+};
+
+/** Render `main` running the given VM program on an empty stack.
+ *  Prepend to miniVmText() + preludeText() and assemble. */
+std::string vmMainText(const std::vector<VmInstr> &program);
+
+/** Host-side reference semantics of the VM (for differential
+ *  tests); returns false on underflow or a bad opcode. */
+bool vmReference(const std::vector<VmInstr> &program, SWord &out);
+
+} // namespace zarf
+
+#endif // ZARF_ZASM_SAMPLES_HH

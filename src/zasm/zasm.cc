@@ -1,0 +1,572 @@
+#include "zasm/zasm.hh"
+
+#include <cctype>
+
+#include "isa/prims.hh"
+#include "isa/validate.hh"
+#include "support/logging.hh"
+#include "support/text.hh"
+
+namespace zarf
+{
+
+namespace
+{
+
+// ----------------------------------------------------------------
+// Lexer
+// ----------------------------------------------------------------
+
+struct Token
+{
+    enum class Kind { Name, Int, Equals, Arrow, End };
+
+    Kind kind;
+    std::string text;
+    SWord value = 0;
+    int line = 0;
+    int col = 0;
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &text) : src(text) { advance(); }
+
+    const Token &peek() const { return tok; }
+
+    Token
+    take()
+    {
+        Token t = tok;
+        advance();
+        return t;
+    }
+
+  private:
+    void
+    advance()
+    {
+        skipSpace();
+        tok.line = line;
+        tok.col = col;
+        if (pos >= src.size()) {
+            tok.kind = Token::Kind::End;
+            tok.text.clear();
+            return;
+        }
+        char c = src[pos];
+        if (c == '=') {
+            if (pos + 1 < src.size() && src[pos + 1] == '>') {
+                bump();
+                bump();
+                tok.kind = Token::Kind::Arrow;
+                tok.text = "=>";
+                return;
+            }
+            bump();
+            tok.kind = Token::Kind::Equals;
+            tok.text = "=";
+            return;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '-' && pos + 1 < src.size() &&
+             std::isdigit(static_cast<unsigned char>(src[pos + 1])))) {
+            std::string num;
+            num.push_back(c);
+            bump();
+            while (pos < src.size() &&
+                   std::isdigit(static_cast<unsigned char>(src[pos]))) {
+                num.push_back(src[pos]);
+                bump();
+            }
+            tok.kind = Token::Kind::Int;
+            tok.text = num;
+            tok.value = static_cast<SWord>(std::stol(num));
+            return;
+        }
+        if (isNameChar(c)) {
+            std::string name;
+            while (pos < src.size() && isNameChar(src[pos])) {
+                name.push_back(src[pos]);
+                bump();
+            }
+            tok.kind = Token::Kind::Name;
+            tok.text = name;
+            return;
+        }
+        // Unknown character: surface it as a name token so the
+        // parser reports a located error.
+        tok.kind = Token::Kind::Name;
+        tok.text = std::string(1, c);
+        bump();
+    }
+
+    static bool
+    isNameChar(char c)
+    {
+        return std::isalnum(static_cast<unsigned char>(c)) ||
+               c == '_' || c == '\'' || c == '$' || c == '.';
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < src.size()) {
+            char c = src[pos];
+            if (c == '#') {
+                while (pos < src.size() && src[pos] != '\n')
+                    bump();
+            } else if (std::isspace(static_cast<unsigned char>(c))) {
+                bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    void
+    bump()
+    {
+        if (src[pos] == '\n') {
+            ++line;
+            col = 1;
+        } else {
+            ++col;
+        }
+        ++pos;
+    }
+
+    const std::string &src;
+    size_t pos = 0;
+    int line = 1;
+    int col = 1;
+    Token tok;
+};
+
+// ----------------------------------------------------------------
+// Parser
+// ----------------------------------------------------------------
+
+bool
+isKeyword(const std::string &s)
+{
+    return s == "let" || s == "case" || s == "of" || s == "else" ||
+           s == "result" || s == "con" || s == "fun";
+}
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : lex(text) {}
+
+    ParseResult
+    run()
+    {
+        while (lex.peek().kind != Token::Kind::End) {
+            if (!parseDecl())
+                return { false, {}, error };
+        }
+        if (builder.decls().empty())
+            return { false, {}, "no declarations in input" };
+        return { true, std::move(builder), "" };
+    }
+
+  private:
+    bool
+    fail(const Token &at, const std::string &why)
+    {
+        if (error.empty()) {
+            error = strprintf("%d:%d: %s", at.line, at.col,
+                              why.c_str());
+        }
+        return false;
+    }
+
+    bool
+    expectName(const char *what, std::string &out)
+    {
+        Token t = lex.take();
+        if (t.kind != Token::Kind::Name || isKeyword(t.text))
+            return fail(t, strprintf("expected %s", what));
+        out = t.text;
+        return true;
+    }
+
+    bool
+    parseDecl()
+    {
+        Token t = lex.take();
+        if (t.kind != Token::Kind::Name)
+            return fail(t, "expected 'con' or 'fun'");
+        if (t.text == "con") {
+            std::string name;
+            if (!expectName("constructor name", name))
+                return false;
+            std::vector<std::string> fields;
+            while (lex.peek().kind == Token::Kind::Name &&
+                   !isKeyword(lex.peek().text)) {
+                fields.push_back(lex.take().text);
+            }
+            builder.cons(name, static_cast<Word>(fields.size()));
+            return true;
+        }
+        if (t.text == "fun") {
+            std::string name;
+            if (!expectName("function name", name))
+                return false;
+            std::vector<std::string> params;
+            while (lex.peek().kind == Token::Kind::Name &&
+                   !isKeyword(lex.peek().text)) {
+                params.push_back(lex.take().text);
+            }
+            Token eq = lex.take();
+            if (eq.kind != Token::Kind::Equals)
+                return fail(eq, "expected '=' after function header");
+            NExprPtr body = parseExpr();
+            if (!body)
+                return false;
+            builder.fn(name, std::move(params), std::move(body));
+            return true;
+        }
+        return fail(t, "expected 'con' or 'fun'");
+    }
+
+    /** arg := INT | IDENT */
+    bool
+    parseArg(NArg &out)
+    {
+        Token t = lex.take();
+        if (t.kind == Token::Kind::Int) {
+            out = nImm(t.value);
+            return true;
+        }
+        if (t.kind == Token::Kind::Name && !isKeyword(t.text)) {
+            out = nVar(t.text);
+            return true;
+        }
+        return fail(t, "expected an argument (integer or name)");
+    }
+
+    NExprPtr
+    parseExpr()
+    {
+        Token t = lex.take();
+        if (t.kind != Token::Kind::Name)
+            return failE(t, "expected let/case/result");
+        if (t.text == "let")
+            return parseLet();
+        if (t.text == "case")
+            return parseCase();
+        if (t.text == "result") {
+            NArg v;
+            if (!parseArg(v))
+                return nullptr;
+            return nRet(std::move(v));
+        }
+        return failE(t, "expected let/case/result");
+    }
+
+    NExprPtr
+    failE(const Token &at, const std::string &why)
+    {
+        fail(at, why);
+        return nullptr;
+    }
+
+    NExprPtr
+    parseLet()
+    {
+        std::string var;
+        if (!expectName("variable name after let", var))
+            return nullptr;
+        Token eq = lex.take();
+        if (eq.kind != Token::Kind::Equals)
+            return failE(eq, "expected '=' in let");
+        std::string callee;
+        if (!expectName("callee name", callee))
+            return nullptr;
+        std::vector<NArg> args;
+        while (lex.peek().kind == Token::Kind::Int ||
+               (lex.peek().kind == Token::Kind::Name &&
+                !isKeyword(lex.peek().text))) {
+            NArg a;
+            if (!parseArg(a))
+                return nullptr;
+            args.push_back(std::move(a));
+        }
+        NExprPtr body = parseExpr();
+        if (!body)
+            return nullptr;
+        return nLet(std::move(var), std::move(callee), std::move(args),
+                    std::move(body));
+    }
+
+    NExprPtr
+    parseCase()
+    {
+        NArg scrut;
+        if (!parseArg(scrut))
+            return nullptr;
+        Token of = lex.take();
+        if (of.kind != Token::Kind::Name || of.text != "of")
+            return failE(of, "expected 'of' in case");
+
+        std::vector<NBranch> branches;
+        for (;;) {
+            const Token &p = lex.peek();
+            if (p.kind == Token::Kind::Name && p.text == "else") {
+                lex.take();
+                NExprPtr eb = parseExpr();
+                if (!eb)
+                    return nullptr;
+                return nCase(std::move(scrut), std::move(branches),
+                             std::move(eb));
+            }
+            if (p.kind == Token::Kind::Int) {
+                Token lit = lex.take();
+                Token ar = lex.take();
+                if (ar.kind != Token::Kind::Arrow)
+                    return failE(ar, "expected '=>' after pattern");
+                NExprPtr body = parseExpr();
+                if (!body)
+                    return nullptr;
+                branches.push_back(litBranch(lit.value,
+                                             std::move(body)));
+                continue;
+            }
+            if (p.kind == Token::Kind::Name && !isKeyword(p.text)) {
+                Token cons = lex.take();
+                std::vector<std::string> fields;
+                while (lex.peek().kind == Token::Kind::Name &&
+                       !isKeyword(lex.peek().text)) {
+                    fields.push_back(lex.take().text);
+                }
+                Token ar = lex.take();
+                if (ar.kind != Token::Kind::Arrow)
+                    return failE(ar, "expected '=>' after pattern");
+                NExprPtr body = parseExpr();
+                if (!body)
+                    return nullptr;
+                branches.push_back(consBranch(cons.text,
+                                              std::move(fields),
+                                              std::move(body)));
+                continue;
+            }
+            return failE(p, "expected a pattern or 'else'");
+        }
+    }
+
+    Lexer lex;
+    ProgramBuilder builder;
+    std::string error;
+};
+
+// ----------------------------------------------------------------
+// Printers
+// ----------------------------------------------------------------
+
+void
+indent(std::string &out, int depth)
+{
+    out.append(static_cast<size_t>(depth) * 2, ' ');
+}
+
+std::string
+argText(const NArg &a)
+{
+    if (a.isImm)
+        return strprintf("%d", a.imm);
+    return a.name;
+}
+
+void
+printNExpr(const NExpr &e, std::string &out, int depth)
+{
+    if (const auto *l = std::get_if<NLet>(&e.node)) {
+        indent(out, depth);
+        out += "let " + l->var + " = " + l->callee;
+        for (const auto &a : l->args)
+            out += " " + argText(a);
+        out += "\n";
+        printNExpr(*l->body, out, depth);
+        return;
+    }
+    if (const auto *c = std::get_if<NCase>(&e.node)) {
+        indent(out, depth);
+        out += "case " + argText(c->scrut) + " of\n";
+        for (const auto &br : c->branches) {
+            indent(out, depth + 1);
+            if (br.isCons) {
+                out += br.consName;
+                for (const auto &f : br.fields)
+                    out += " " + f;
+            } else {
+                out += strprintf("%d", br.lit);
+            }
+            out += " =>\n";
+            printNExpr(*br.body, out, depth + 2);
+        }
+        indent(out, depth + 1);
+        out += "else\n";
+        printNExpr(*c->elseBody, out, depth + 2);
+        return;
+    }
+    const auto &r = std::get<NRet>(e.node);
+    indent(out, depth);
+    out += "result " + argText(r.value) + "\n";
+}
+
+std::string
+operandText(const Operand &op)
+{
+    switch (op.src) {
+      case Src::Local:
+        return strprintf("local%d", op.val);
+      case Src::Arg:
+        return strprintf("arg%d", op.val);
+      case Src::Imm:
+        return strprintf("%d", op.val);
+    }
+    return "?";
+}
+
+std::string
+globalName(Word id, const Program &prog)
+{
+    if (isPrimId(id)) {
+        auto p = primById(id);
+        return p ? p->name : strprintf("prim_0x%x", id);
+    }
+    size_t idx = Program::indexOf(id);
+    if (idx < prog.decls.size())
+        return prog.decls[idx].name;
+    return strprintf("fn_0x%x", id);
+}
+
+void
+printMExpr(const Expr &e, const Program &prog, std::string &out,
+           int depth, Word next_local)
+{
+    if (e.isLet()) {
+        const Let &l = e.asLet();
+        indent(out, depth);
+        std::string callee;
+        switch (l.callee.kind) {
+          case CalleeKind::Func:
+            callee = globalName(l.callee.id, prog);
+            break;
+          case CalleeKind::Local:
+            callee = strprintf("local%u", l.callee.id);
+            break;
+          case CalleeKind::Arg:
+            callee = strprintf("arg%u", l.callee.id);
+            break;
+        }
+        out += strprintf("let local%u = %s", next_local,
+                         callee.c_str());
+        for (const auto &a : l.args)
+            out += " " + operandText(a);
+        out += "\n";
+        printMExpr(*l.body, prog, out, depth, next_local + 1);
+        return;
+    }
+    if (e.isCase()) {
+        const Case &c = e.asCase();
+        indent(out, depth);
+        out += "case " + operandText(c.scrut) + " of\n";
+        for (const auto &br : c.branches) {
+            indent(out, depth + 1);
+            Word bound = next_local;
+            if (br.isCons) {
+                out += globalName(br.consId, prog);
+                Word ar = 0;
+                if (isPrimId(br.consId)) {
+                    auto p = primById(br.consId);
+                    ar = p ? p->arity : 0;
+                } else {
+                    ar = prog.decls[Program::indexOf(br.consId)].arity;
+                }
+                for (Word i = 0; i < ar; ++i)
+                    out += strprintf(" local%u", bound + i);
+                bound += ar;
+            } else {
+                out += strprintf("%d", br.lit);
+            }
+            out += strprintf(" =>   # skip %zu\n",
+                             exprWordCount(*br.body));
+            printMExpr(*br.body, prog, out, depth + 2, bound);
+        }
+        indent(out, depth + 1);
+        out += "else\n";
+        printMExpr(*c.elseBody, prog, out, depth + 2, next_local);
+        return;
+    }
+    indent(out, depth);
+    out += "result " + operandText(e.asResult().value) + "\n";
+}
+
+} // namespace
+
+ParseResult
+parseAssembly(const std::string &text)
+{
+    return Parser(text).run();
+}
+
+Program
+assembleOrDie(const std::string &text)
+{
+    ParseResult p = parseAssembly(text);
+    if (!p.ok)
+        fatal("assembly parse error: %s", p.error.c_str());
+    BuildResult b = p.builder.tryBuild();
+    if (!b.ok)
+        fatal("assembly lowering error: %s", b.error.c_str());
+    validateProgramOrDie(b.program);
+    return std::move(b.program);
+}
+
+std::string
+printAssembly(const ProgramBuilder &builder)
+{
+    std::string out;
+    for (const auto &d : builder.decls()) {
+        if (d.isCons) {
+            out += "con " + d.name;
+            for (Word i = 0; i < d.arity; ++i)
+                out += strprintf(" f%u", i);
+            out += "\n";
+            continue;
+        }
+        out += "fun " + d.name;
+        for (const auto &p : d.params)
+            out += " " + p;
+        out += " =\n";
+        printNExpr(*d.body, out, 1);
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+disassemble(const Program &program)
+{
+    std::string out;
+    for (size_t i = 0; i < program.decls.size(); ++i) {
+        const Decl &d = program.decls[i];
+        out += strprintf("# id 0x%x\n", Program::idOf(i));
+        if (d.isCons) {
+            out += strprintf("con %s   # arity %u\n\n",
+                             d.name.c_str(), d.arity);
+            continue;
+        }
+        out += strprintf("fun %s   # arity %u, locals %u\n",
+                         d.name.c_str(), d.arity, d.numLocals);
+        printMExpr(*d.body, program, out, 1, 0);
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace zarf

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Textual assembly for the Zarf functional ISA.
+ *
+ * The surface syntax follows Fig. 4a of the paper: constructor and
+ * function declarations whose bodies are let/case/result expressions
+ * over named variables.
+ *
+ *   con Nil
+ *   con Cons head tail
+ *
+ *   fun map f list =
+ *     case list of
+ *       Nil =>
+ *         let e = Nil
+ *         result e
+ *       Cons head tail =>
+ *         let head' = f head
+ *         let tail' = map f tail
+ *         let list' = Cons head' tail'
+ *         result list'
+ *     else
+ *       let err = Error 0
+ *       result err
+ *
+ * Notes on the grammar: `let x = callee a b` has no `in` keyword (the
+ * continuation is simply the next expression); `case` branches are
+ * `pattern =>` followed by a body expression; every case ends with an
+ * `else` branch; `#` starts a comment. Indentation is not
+ * significant — the expression grammar is self-delimiting, exactly
+ * like the binary encoding.
+ *
+ * parseAssembly produces named declarations (see isa/builder.hh);
+ * printAssembly renders them back (round-trip stable); disassemble
+ * renders a machine-level Program (e.g. decoded from a binary, which
+ * carries no names) in the Fig. 4b machine-assembly style.
+ */
+
+#ifndef ZARF_ZASM_ZASM_HH
+#define ZARF_ZASM_ZASM_HH
+
+#include <string>
+
+#include "isa/ast.hh"
+#include "isa/builder.hh"
+
+namespace zarf
+{
+
+/** Outcome of parsing assembly text. */
+struct ParseResult
+{
+    bool ok;
+    ProgramBuilder builder; ///< Valid when ok.
+    std::string error;      ///< line:col message when !ok.
+};
+
+/** Parse assembly text into named declarations. */
+ParseResult parseAssembly(const std::string &text);
+
+/** Parse, lower, and validate; dies with a message on any failure. */
+Program assembleOrDie(const std::string &text);
+
+/** Render named declarations as parseable assembly text. */
+std::string printAssembly(const ProgramBuilder &builder);
+
+/** Render a machine-level program in Fig. 4b style (human-facing). */
+std::string disassemble(const Program &program);
+
+} // namespace zarf
+
+#endif // ZARF_ZASM_ZASM_HH

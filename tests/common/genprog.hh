@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Random well-formed Zarf program generation for differential and
+ * property tests.
+ *
+ * Generated programs are pure (no getint/putint) and terminating by
+ * construction: the call graph is acyclic because a function may only
+ * call functions with a strictly smaller declaration index. Every
+ * other ISA feature is exercised: constructors of mixed arity,
+ * partial application, higher-order calls through locals and args,
+ * literal and constructor patterns, else fall-through, error-
+ * producing operations (division by zero, applying integers).
+ */
+
+#ifndef ZARF_TESTS_COMMON_GENPROG_HH
+#define ZARF_TESTS_COMMON_GENPROG_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/builder.hh"
+#include "support/random.hh"
+
+namespace zarf::testing
+{
+
+struct GenConfig
+{
+    unsigned numCons = 3;
+    unsigned numFuncs = 5;
+    unsigned maxArity = 3;
+    unsigned maxDepth = 4;
+    bool allowErrors = true; ///< Permit div/mod (may yield Error).
+    /** Restrict to the WCET analyzer's domain: every callee is a
+     *  global identifier applied to exactly its arity (no
+     *  higher-order calls, no partial or over-application), and no
+     *  error-producing operations. */
+    bool firstOrder = false;
+};
+
+class ProgramGenerator
+{
+  public:
+    explicit ProgramGenerator(uint64_t seed, GenConfig cfg = {})
+        : rng(seed), cfg(cfg)
+    {}
+
+    /** Generate one complete named program. */
+    ProgramBuilder
+    generate()
+    {
+        ProgramBuilder pb;
+        consArities.clear();
+        funcArities.clear();
+
+        for (unsigned i = 0; i < cfg.numCons; ++i) {
+            unsigned a = unsigned(rng.below(cfg.maxArity + 1));
+            consArities.push_back(a);
+            pb.cons(consName(i), a);
+        }
+        // Functions are generated in call order: function i may call
+        // functions j < i (and itself never), so index 0 is the
+        // deepest leaf. main goes first in the builder but is
+        // generated last so it can call everything.
+        std::vector<std::pair<std::string,
+                              std::vector<std::string>>> headers;
+        for (unsigned i = 0; i < cfg.numFuncs; ++i) {
+            unsigned a = 1 + unsigned(rng.below(cfg.maxArity));
+            funcArities.push_back(a);
+            std::vector<std::string> params;
+            for (unsigned p = 0; p < a; ++p)
+                params.push_back(strprintf("p%u", p));
+            headers.push_back({ funcName(i), params });
+        }
+        // main: calls into the generated functions.
+        {
+            scope.clear();
+            callableLimit = cfg.numFuncs;
+            NExprPtr body = genExpr(cfg.maxDepth);
+            pb.fn("main", {}, body);
+        }
+        for (unsigned i = 0; i < cfg.numFuncs; ++i) {
+            scope = headers[i].second;
+            callableLimit = i;
+            NExprPtr body = genExpr(cfg.maxDepth);
+            pb.fn(headers[i].first, headers[i].second, body);
+        }
+        return pb;
+    }
+
+  private:
+    static std::string
+    strprintf(const char *fmt, unsigned v)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), fmt, v);
+        return buf;
+    }
+
+    std::string consName(unsigned i) { return strprintf("C%u", i); }
+    std::string funcName(unsigned i) { return strprintf("g%u", i); }
+
+    /** A fresh local name. */
+    std::string
+    freshVar()
+    {
+        return strprintf("v%u", varCounter++);
+    }
+
+    /** Pick an argument: an in-scope variable or a small literal. */
+    NArg
+    genArg()
+    {
+        if (!scope.empty() && rng.chance(0.6)) {
+            return nVar(scope[rng.below(scope.size())]);
+        }
+        return nImm(SWord(rng.range(-20, 20)));
+    }
+
+    /** Pick a callee name and how many args to pass. */
+    std::pair<std::string, unsigned>
+    genCallee()
+    {
+        if (cfg.firstOrder)
+            return genCalleeFirstOrder();
+        double r = rng.real();
+        if (r < 0.30 && !consArities.empty()) {
+            unsigned i = unsigned(rng.below(consArities.size()));
+            // Saturated or partial constructor application.
+            unsigned n = unsigned(rng.below(consArities[i] + 1));
+            return { consName(i), n };
+        }
+        if (r < 0.55 && callableLimit > 0) {
+            unsigned i = unsigned(rng.below(callableLimit));
+            // Under-, exactly-, or over-apply.
+            unsigned n = unsigned(rng.below(funcArities[i] + 2));
+            return { funcName(i), n };
+        }
+        if (r < 0.70 && !scope.empty()) {
+            // Higher-order: apply a variable.
+            return { scope[rng.below(scope.size())],
+                     unsigned(rng.below(3)) };
+        }
+        // A primitive.
+        static const char *pure2[] = { "add", "sub", "mul", "min",
+                                       "max", "eq", "lt", "band",
+                                       "bor", "shl" };
+        static const char *err2[] = { "div", "mod" };
+        static const char *pure1[] = { "neg", "abs", "bnot" };
+        if (rng.chance(0.2)) {
+            return { pure1[rng.below(3)], 1 };
+        }
+        if (cfg.allowErrors && rng.chance(0.15)) {
+            return { err2[rng.below(2)], 2 };
+        }
+        return { pure2[rng.below(10)], 2 };
+    }
+
+    std::pair<std::string, unsigned>
+    genCalleeFirstOrder()
+    {
+        double r = rng.real();
+        if (r < 0.30 && !consArities.empty()) {
+            unsigned i = unsigned(rng.below(consArities.size()));
+            return { consName(i), consArities[i] };
+        }
+        if (r < 0.55 && callableLimit > 0) {
+            unsigned i = unsigned(rng.below(callableLimit));
+            return { funcName(i), funcArities[i] };
+        }
+        static const char *pure2[] = { "add", "sub", "mul", "min",
+                                       "max", "eq", "lt", "band",
+                                       "bor", "shl" };
+        static const char *pure1[] = { "neg", "abs", "bnot" };
+        if (rng.chance(0.2))
+            return { pure1[rng.below(3)], 1 };
+        return { pure2[rng.below(10)], 2 };
+    }
+
+    NExprPtr
+    genExpr(unsigned depth)
+    {
+        double r = rng.real();
+        if (depth == 0 || r < 0.25)
+            return nRet(genArg());
+        if (r < 0.75) {
+            auto [callee, nargs] = genCallee();
+            std::vector<NArg> args;
+            for (unsigned i = 0; i < nargs; ++i)
+                args.push_back(genArg());
+            std::string v = freshVar();
+            scope.push_back(v);
+            NExprPtr body = genExpr(depth - 1);
+            scope.pop_back();
+            return nLet(v, callee, std::move(args), std::move(body));
+        }
+        // case
+        NArg scrut = genArg();
+        std::vector<NBranch> branches;
+        unsigned nbr = 1 + unsigned(rng.below(3));
+        for (unsigned b = 0; b < nbr; ++b) {
+            if (rng.chance(0.5) && !consArities.empty()) {
+                unsigned ci = unsigned(rng.below(consArities.size()));
+                std::vector<std::string> fields;
+                size_t base = scope.size();
+                for (unsigned f = 0; f < consArities[ci]; ++f) {
+                    std::string fv = freshVar();
+                    fields.push_back(fv);
+                    scope.push_back(fv);
+                }
+                NExprPtr body = genExpr(depth - 1);
+                scope.resize(base);
+                branches.push_back(consBranch(consName(ci),
+                                              std::move(fields),
+                                              std::move(body)));
+            } else {
+                branches.push_back(litBranch(
+                    SWord(rng.range(-20, 20)), genExpr(depth - 1)));
+            }
+        }
+        NExprPtr eb = genExpr(depth - 1);
+        return nCase(std::move(scrut), std::move(branches),
+                     std::move(eb));
+    }
+
+    Rng rng;
+    GenConfig cfg;
+    std::vector<unsigned> consArities;
+    std::vector<unsigned> funcArities;
+    std::vector<std::string> scope;
+    unsigned callableLimit = 0;
+    unsigned varCounter = 0;
+};
+
+} // namespace zarf::testing
+
+#endif // ZARF_TESTS_COMMON_GENPROG_HH

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Canonical Zarf programs shared across the test suite.
+ */
+
+#ifndef ZARF_TESTS_COMMON_TESTPROGS_HH
+#define ZARF_TESTS_COMMON_TESTPROGS_HH
+
+#include <string>
+
+namespace zarf::testing
+{
+
+/** The paper's Fig. 4 example: linked lists and map. */
+inline std::string
+mapProgramText()
+{
+    return R"(
+con Nil
+con Cons head tail
+
+fun main =
+  let inc = addOne
+  let l0 = Nil
+  let l1 = Cons 3 l0
+  let l2 = Cons 2 l1
+  let l3 = Cons 1 l2
+  let out = map inc l3
+  let s = sumList out
+  result s
+
+fun addOne x =
+  let y = add x 1
+  result y
+
+fun map f list =
+  case list of
+    Nil =>
+      let e = Nil
+      result e
+    Cons head tail =>
+      let head' = f head
+      let tail' = map f tail
+      let list' = Cons head' tail'
+      result list'
+  else
+    let err = Error 0
+    result err
+
+fun sumList list =
+  case list of
+    Nil =>
+      result 0
+    Cons head tail =>
+      let rest = sumList tail
+      let s = add head rest
+      result s
+  else
+    let err = Error 0
+    result err
+)";
+}
+
+/** Church numerals: compute 2^8 by iterated application. */
+inline std::string
+churchProgramText()
+{
+    return R"(
+fun main =
+  let two = church2
+  let eight = pow two 3
+  let inc = succ
+  let n = eight inc 0
+  result n
+
+# church2 f x = f (f x)
+fun church2 f x =
+  let fx = f x
+  let ffx = f fx
+  result ffx
+
+# pow b n = b composed with itself... here: b^(2^n) by squaring
+fun pow b n =
+  case n of
+    0 =>
+      result b
+    else
+      let n' = sub n 1
+      let b2 = compose b b
+      let r = pow b2 n'
+      result r
+
+fun compose f g x =
+  let gx = g x
+  let fgx = f gx
+  result fgx
+
+fun succ x =
+  let y = add x 1
+  result y
+)";
+}
+
+/** A countdown loop for long-run/tail-call behaviour. */
+inline std::string
+countdownProgramText()
+{
+    return R"(
+fun main =
+  let n = loop 100000
+  result n
+
+fun loop n =
+  case n of
+    0 =>
+      result 42
+    else
+      let n' = sub n 1
+      let r = loop n'
+      result r
+)";
+}
+
+/** Echo words between ports: getint 0, add 10, putint 1, loop k. */
+inline std::string
+ioEchoProgramText()
+{
+    return R"(
+fun main =
+  let r = pump 5
+  result r
+
+fun pump k =
+  case k of
+    0 =>
+      result 0
+    else
+      let v = getint 0
+      let v' = add v 10
+      let w = putint 1 v'
+      # force the write before recursing by casing on it
+      case w of
+        else
+          let k' = sub k 1
+          let r = pump k'
+          result r
+)";
+}
+
+} // namespace zarf::testing
+
+#endif // ZARF_TESTS_COMMON_TESTPROGS_HH

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Synthetic ECG generator tests: determinism, morphology, rate
+ * control, annotations, and the heart models' closed-loop behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "ecg/synth.hh"
+
+namespace zarf::ecg
+{
+namespace
+{
+
+TEST(EcgSynth, DeterministicForSeed)
+{
+    EcgSynth a(42), b(42);
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_EQ(a.nextSample(), b.nextSample());
+}
+
+TEST(EcgSynth, SeedsDiffer)
+{
+    EcgSynth a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 500; ++i)
+        same += a.nextSample() == b.nextSample();
+    EXPECT_LT(same, 400);
+}
+
+TEST(EcgSynth, BeatSpacingFollowsBpm)
+{
+    EcgSynth s(7);
+    s.setBpm(100.0); // 600 ms = 120 samples
+    for (int i = 0; i < 30 * 200; ++i)
+        s.nextSample();
+    const auto &beats = s.rPeaks();
+    ASSERT_GT(beats.size(), 20u);
+    double sum = 0;
+    int n = 0;
+    for (size_t i = 1; i < beats.size(); ++i) {
+        sum += double(beats[i] - beats[i - 1]);
+        ++n;
+    }
+    EXPECT_NEAR(sum / n, 120.0, 8.0);
+}
+
+TEST(EcgSynth, RPeakIsLocalMaximum)
+{
+    EcgSynth s(11, [] {
+        EcgParams p;
+        p.noiseSigma = 0.0; // clean signal for the shape check
+        p.baselineAmpl = 0.0;
+        return p;
+    }());
+    std::vector<SWord> sig;
+    for (int i = 0; i < 2000; ++i)
+        sig.push_back(s.nextSample());
+    int checked = 0;
+    for (uint64_t b : s.rPeaks()) {
+        if (b < 10 || b + 10 >= sig.size())
+            continue;
+        // The window maximum lies within one sample of the
+        // annotation (the R center rarely falls exactly on the
+        // 5 ms grid).
+        uint64_t arg = b - 10;
+        for (uint64_t i = b - 10; i <= b + 10; ++i) {
+            if (sig[i] > sig[arg])
+                arg = i;
+        }
+        EXPECT_LE(std::llabs(int64_t(arg) - int64_t(b)), 1)
+            << "beat at " << b;
+        EXPECT_GT(sig[arg], 100); // R amplitude ~150
+        ++checked;
+    }
+    EXPECT_GT(checked, 10);
+}
+
+TEST(EcgSynth, AmplitudeBounded)
+{
+    EcgSynth s(13);
+    s.setBpm(190.0);
+    for (int i = 0; i < 5000; ++i) {
+        SWord v = s.nextSample();
+        EXPECT_LE(v, 4000);
+        EXPECT_GE(v, -4000);
+    }
+}
+
+TEST(EcgSynth, BpmClamped)
+{
+    EcgSynth s(1);
+    s.setBpm(1.0);
+    EXPECT_GE(s.bpm(), 20.0);
+    s.setBpm(10000.0);
+    EXPECT_LE(s.bpm(), 300.0);
+}
+
+TEST(ScriptedHeart, FollowsSchedule)
+{
+    ScriptedHeart h({ { 10.0, 60.0 }, { 10.0, 180.0 } }, 5);
+    for (int i = 0; i < 20 * 200; ++i)
+        h.nextSample();
+    EXPECT_TRUE(h.scheduleDone());
+    const auto &beats = h.rPeaks();
+    // Count beats in each half.
+    int first = 0, second = 0;
+    for (uint64_t b : beats) {
+        if (b < 2000)
+            ++first;
+        else
+            ++second;
+    }
+    // 10 s at 60 bpm ~ 10 beats; 10 s at 180 bpm ~ 30 beats.
+    EXPECT_NEAR(first, 10, 3);
+    EXPECT_NEAR(second, 30, 5);
+}
+
+TEST(ResponsiveHeart, EntersVtAtOnset)
+{
+    ResponsiveHeart h(5.0, 70.0, 200.0, 8, 3);
+    for (int i = 0; i < 4 * 200; ++i)
+        h.nextSample();
+    EXPECT_FALSE(h.inVt());
+    for (int i = 0; i < 3 * 200; ++i)
+        h.nextSample();
+    EXPECT_TRUE(h.inVt());
+}
+
+TEST(ResponsiveHeart, ConvertsAfterEnoughPulses)
+{
+    ResponsiveHeart h(1.0, 70.0, 200.0, 4, 3);
+    for (int i = 0; i < 600; ++i)
+        h.nextSample();
+    ASSERT_TRUE(h.inVt());
+    h.onShock(1);
+    h.onShock(1);
+    h.onShock(0); // non-pulse outputs don't count
+    EXPECT_TRUE(h.inVt());
+    h.onShock(2);
+    h.onShock(1);
+    EXPECT_FALSE(h.inVt());
+    EXPECT_EQ(h.pulsesReceived(), 4);
+    EXPECT_GT(h.convertedAt(), 0u);
+}
+
+TEST(ResponsiveHeart, PulsesBeforeVtIgnored)
+{
+    ResponsiveHeart h(100.0, 70.0, 200.0, 2, 3);
+    for (int i = 0; i < 100; ++i)
+        h.nextSample();
+    h.onShock(1);
+    h.onShock(1);
+    EXPECT_EQ(h.pulsesReceived(), 0);
+}
+
+} // namespace
+} // namespace zarf::ecg

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Loader robustness fuzzing: the binary decoder is the system's
+ * trust boundary for untrusted images, so it must never crash,
+ * hang, or accept a structurally unsound program — on pure random
+ * words, on random words behind a valid header, and on bit-mutated
+ * valid images. Whatever it does accept must validate and must not
+ * crash any execution engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/genprog.hh"
+#include "common/testprogs.hh"
+#include "isa/binary.hh"
+#include "isa/encoding.hh"
+#include "isa/validate.hh"
+#include "machine/machine.hh"
+#include "sem/smallstep.hh"
+#include "support/random.hh"
+#include "zasm/zasm.hh"
+
+namespace zarf
+{
+namespace
+{
+
+/** Anything the decoder accepts must be safe to validate and run
+ *  (bounded); engines may report errors but must not crash. */
+void
+exerciseAccepted(const Program &prog)
+{
+    ValidationReport vr = validateProgram(prog);
+    if (!vr.ok())
+        return; // decoder-accepted but scope-invalid: fine, rejected
+    NullBus bus;
+    SmallStepConfig scfg;
+    scfg.maxSteps = 200'000;
+    SmallStep ss(prog, bus, scfg);
+    (void)ss.runMain(); // any status is acceptable
+
+    MachineConfig mcfg;
+    mcfg.semispaceWords = 1 << 13;
+    Machine m(encodeProgram(prog), bus, mcfg);
+    (void)m.advance(500'000);
+}
+
+/** The machine is itself a loader of raw images; it must reject or
+ *  stop on anything, never crash the host. */
+void
+exerciseMachineRaw(const Image &img)
+{
+    NullBus bus;
+    MachineConfig mcfg;
+    mcfg.semispaceWords = 1 << 13;
+    Machine m(img, bus, mcfg);
+    (void)m.advance(300'000);
+}
+
+class FuzzRandomWords : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(FuzzRandomWords, NeverCrashes)
+{
+    Rng rng(GetParam() * 1000003 + 17);
+    Image img(rng.below(64) + 2);
+    for (Word &w : img)
+        w = Word(rng.next());
+    DecodeResult d = decodeProgram(img);
+    if (d.ok)
+        exerciseAccepted(d.program);
+    img[0] = kMagic; // push deeper into the machine's loader too
+    exerciseMachineRaw(img);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzRandomWords,
+                         ::testing::Range(uint64_t(0), uint64_t(150)));
+
+class FuzzHeaderedWords : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(FuzzHeaderedWords, NeverCrashes)
+{
+    Rng rng(GetParam() * 7777777 + 3);
+    Image img;
+    img.push_back(kMagic);
+    img.push_back(Word(rng.below(4) + 1));
+    size_t body = rng.below(96) + 2;
+    for (size_t i = 0; i < body; ++i) {
+        // Bias toward plausible opcodes so decoding goes deeper.
+        Word op = Word(rng.below(10)) << 28;
+        img.push_back(op | (Word(rng.next()) & 0x0fffffffu));
+    }
+    DecodeResult d = decodeProgram(img);
+    if (d.ok)
+        exerciseAccepted(d.program);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzHeaderedWords,
+                         ::testing::Range(uint64_t(0), uint64_t(300)));
+
+class FuzzMutations : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(FuzzMutations, MutatedValidImagesHandled)
+{
+    // Start from a real program; flip bits and re-decode.
+    testing::ProgramGenerator gen(GetParam() * 31 + 7);
+    BuildResult b = gen.generate().tryBuild();
+    ASSERT_TRUE(b.ok);
+    Image img = encodeProgram(b.program);
+
+    Rng rng(GetParam() * 65537 + 29);
+    for (int trial = 0; trial < 20; ++trial) {
+        Image mut = img;
+        int flips = 1 + int(rng.below(4));
+        for (int f = 0; f < flips; ++f) {
+            size_t at = rng.below(mut.size());
+            mut[size_t(at)] ^= Word(1) << rng.below(32);
+        }
+        DecodeResult d = decodeProgram(mut);
+        if (d.ok)
+            exerciseAccepted(d.program);
+        exerciseMachineRaw(mut);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzMutations,
+                         ::testing::Range(uint64_t(0), uint64_t(60)));
+
+TEST(FuzzDecoder, TruncationSweep)
+{
+    // Every prefix of a valid image is either rejected or safe.
+    Program p = assembleOrDie(testing::mapProgramText());
+    Image img = encodeProgram(p);
+    for (size_t n = 0; n <= img.size(); ++n) {
+        Image cut(img.begin(), img.begin() + ptrdiff_t(n));
+        DecodeResult d = decodeProgram(cut);
+        if (d.ok)
+            exerciseAccepted(d.program);
+    }
+}
+
+} // namespace
+} // namespace zarf

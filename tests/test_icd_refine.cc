@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Refinement tests (Sec. 5.1): the extracted Zarf assembly and the
+ * imperative baseline must produce bit-identical output streams to
+ * the executable specification, across synthetic ECG (normal, VT
+ * with therapy) and adversarial random inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ecg/synth.hh"
+#include "icd/spec.hh"
+#include "icd/zarf_icd.hh"
+#include "isa/validate.hh"
+#include "support/random.hh"
+#include "verify/refine.hh"
+
+namespace zarf
+{
+namespace
+{
+
+std::vector<SWord>
+heartSamples(ecg::Heart &heart, int n)
+{
+    std::vector<SWord> out;
+    out.reserve(size_t(n));
+    for (int i = 0; i < n; ++i)
+        out.push_back(heart.nextSample());
+    return out;
+}
+
+const Program &
+icdProgram()
+{
+    static Program p = icd::buildIcdStepProgram();
+    return p;
+}
+
+TEST(Refine, ExtractedProgramValidates)
+{
+    EXPECT_TRUE(validateProgram(icdProgram()).ok())
+        << validateProgram(icdProgram()).summary();
+}
+
+TEST(Refine, ZarfMatchesSpecOnNormalRhythm)
+{
+    ecg::ScriptedHeart heart({ { 20.0, 75.0 } }, 42);
+    auto inputs = heartSamples(heart, 20 * 200);
+    verify::RefinementReport r =
+        verify::checkSpecVsZarf(icdProgram(), inputs);
+    EXPECT_TRUE(r.ok) << r.detail;
+    EXPECT_EQ(r.samplesChecked, inputs.size());
+}
+
+TEST(Refine, ZarfMatchesSpecThroughTherapy)
+{
+    // Include a VT episode so the ATP machine's every transition is
+    // exercised in lock-step.
+    ecg::ScriptedHeart heart({ { 12.0, 75.0 }, { 40.0, 190.0 } }, 5);
+    auto inputs = heartSamples(heart, 52 * 200);
+    // Make sure the scenario actually triggers therapy.
+    icd::IcdSpec probe;
+    for (SWord x : inputs)
+        probe.step(x);
+    ASSERT_GE(probe.therapyCount(), 1u);
+
+    verify::RefinementReport r =
+        verify::checkSpecVsZarf(icdProgram(), inputs);
+    EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(Refine, ZarfMatchesSpecOnAdversarialInputs)
+{
+    // Extreme values, spikes, and steps stress the clamps.
+    Rng rng(77);
+    std::vector<SWord> inputs;
+    for (int i = 0; i < 1500; ++i) {
+        double roll = rng.real();
+        if (roll < 0.1)
+            inputs.push_back(SWord(rng.range(-4000, 4000)));
+        else if (roll < 0.2)
+            inputs.push_back(4000);
+        else if (roll < 0.3)
+            inputs.push_back(-4000);
+        else
+            inputs.push_back(SWord(rng.range(-50, 50)));
+    }
+    verify::RefinementReport r =
+        verify::checkSpecVsZarf(icdProgram(), inputs);
+    EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(Refine, BaselineMatchesSpecOnNormalRhythm)
+{
+    ecg::ScriptedHeart heart({ { 20.0, 75.0 } }, 42);
+    auto inputs = heartSamples(heart, 20 * 200);
+    verify::RefinementReport r = verify::checkSpecVsBaseline(inputs);
+    EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(Refine, BaselineMatchesSpecThroughTherapy)
+{
+    ecg::ScriptedHeart heart({ { 12.0, 75.0 }, { 40.0, 190.0 } }, 5);
+    auto inputs = heartSamples(heart, 52 * 200);
+    verify::RefinementReport r = verify::checkSpecVsBaseline(inputs);
+    EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(Refine, BaselineMatchesSpecOnAdversarialInputs)
+{
+    Rng rng(99);
+    std::vector<SWord> inputs;
+    for (int i = 0; i < 1500; ++i)
+        inputs.push_back(SWord(rng.range(-4000, 4000)));
+    verify::RefinementReport r = verify::checkSpecVsBaseline(inputs);
+    EXPECT_TRUE(r.ok) << r.detail;
+}
+
+class RefineSeeds : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(RefineSeeds, ZarfMatchesSpecOnRandomStreams)
+{
+    Rng rng(GetParam() * 31337 + 5);
+    std::vector<SWord> inputs;
+    for (int i = 0; i < 600; ++i)
+        inputs.push_back(SWord(rng.range(-300, 300)));
+    verify::RefinementReport r =
+        verify::checkSpecVsZarf(icdProgram(), inputs);
+    EXPECT_TRUE(r.ok) << r.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RefineSeeds,
+                         ::testing::Range(uint64_t(0), uint64_t(10)));
+
+} // namespace
+} // namespace zarf

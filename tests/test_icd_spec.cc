@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Specification-level ICD tests: QRS detection quality on synthetic
+ * ECG with ground truth, VT detection, and the ATP pulse-train
+ * prescription (3 × 8 pulses at 88% coupling, 20 ms decrement).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ecg/synth.hh"
+#include "icd/spec.hh"
+
+namespace zarf::icd
+{
+namespace
+{
+
+/** Run the spec over a scripted heart; returns outputs. */
+std::vector<SWord>
+runSpec(IcdSpec &spec, ecg::Heart &heart, int samples)
+{
+    std::vector<SWord> out;
+    out.reserve(size_t(samples));
+    for (int i = 0; i < samples; ++i)
+        out.push_back(spec.step(heart.nextSample()));
+    return out;
+}
+
+/** Fraction of true beats matched by a detection within ±60 ms. */
+double
+sensitivity(const std::vector<uint64_t> &truth,
+            const std::vector<uint64_t> &marks, uint64_t upTo)
+{
+    if (truth.empty())
+        return 1.0;
+    int hit = 0, total = 0;
+    for (uint64_t t : truth) {
+        if (t > upTo || t < 100)
+            continue; // skip warm-up and tail
+        ++total;
+        for (uint64_t m : marks) {
+            // Detection lags the peak by the filter-cascade delay
+            // (LPF 5 + HPF 16 + derivative + 150 ms integration
+            // window): 22-46 samples in practice.
+            int64_t d = int64_t(m) - int64_t(t);
+            if (d >= 0 && d <= 60) {
+                ++hit;
+                break;
+            }
+        }
+    }
+    return total ? double(hit) / total : 1.0;
+}
+
+TEST(IcdSpec, DetectsNormalSinusBeats)
+{
+    ecg::ScriptedHeart heart({ { 30.0, 75.0 } }, 42);
+    IcdSpec spec;
+    runSpec(spec, heart, 30 * 200);
+    // 30 s at 75 bpm ≈ 37 beats.
+    EXPECT_GT(spec.qrsCount(), 25u);
+    double sens = sensitivity(heart.rPeaks(), spec.detections(),
+                              30 * 200 - 400);
+    EXPECT_GT(sens, 0.90) << "QRS sensitivity too low";
+    EXPECT_EQ(spec.therapyCount(), 0u)
+        << "normal rhythm must not trigger therapy";
+}
+
+TEST(IcdSpec, MeasuresHeartRate)
+{
+    ecg::ScriptedHeart heart({ { 30.0, 100.0 } }, 7);
+    IcdSpec spec;
+    runSpec(spec, heart, 30 * 200);
+    // RR at 100 bpm is 600 ms; allow generous tolerance.
+    EXPECT_NEAR(spec.lastRrMs(), 600, 90);
+    EXPECT_NEAR(spec.heartRateBpm(), 100, 15);
+}
+
+TEST(IcdSpec, NoTherapyAtModeratelyFastRates)
+{
+    // 140 bpm (429 ms RR) is above the 360 ms VT limit.
+    ecg::ScriptedHeart heart({ { 40.0, 140.0 } }, 11);
+    IcdSpec spec;
+    runSpec(spec, heart, 40 * 200);
+    EXPECT_GT(spec.qrsCount(), 40u);
+    EXPECT_EQ(spec.therapyCount(), 0u);
+}
+
+TEST(IcdSpec, DetectsVtAndDeliversAtp)
+{
+    // 20 s sinus then sustained VT at 190 bpm (316 ms RR < 360 ms).
+    ecg::ScriptedHeart heart({ { 20.0, 75.0 }, { 60.0, 190.0 } }, 5);
+    IcdSpec spec;
+    std::vector<SWord> out = runSpec(spec, heart, 80 * 200);
+
+    ASSERT_GE(spec.therapyCount(), 1u) << "VT must trigger therapy";
+
+    // The first therapy episode: find the 2-marker and check the
+    // pulse train: 3 sequences x 8 pulses.
+    size_t start = 0;
+    while (start < out.size() && out[start] != kOutTherapyStart)
+        ++start;
+    ASSERT_LT(start, out.size());
+
+    // Gather pulses of this episode (until a long quiet gap).
+    std::vector<size_t> pulseAt;
+    size_t quiet = 0;
+    for (size_t i = start; i < out.size() && quiet < 300; ++i) {
+        if (out[i] != kOutNone) {
+            pulseAt.push_back(i);
+            quiet = 0;
+        } else {
+            ++quiet;
+        }
+    }
+    EXPECT_EQ(pulseAt.size(), size_t(kAtpSequences * kAtpPulses));
+
+    // Intra-sequence spacing is constant; the spacing of sequence
+    // k+1 is 4 samples (20 ms) shorter than sequence k's (until the
+    // floor).
+    ASSERT_GE(pulseAt.size(), 17u);
+    auto gap = [&](size_t i) {
+        return long(pulseAt[i + 1]) - long(pulseAt[i]);
+    };
+    long g0 = gap(0);
+    for (int i = 1; i < kAtpPulses - 1; ++i)
+        EXPECT_EQ(gap(size_t(i)), g0) << "unequal intra-burst gap";
+    long g1 = gap(kAtpPulses);
+    EXPECT_LE(g1, g0);
+    EXPECT_GE(g1, g0 - kAtpDecrementMs / kSampleMs);
+
+    // Coupling: the burst interval is 88% of the measured VT cycle
+    // length, floored at 150 ms. VT at 190 bpm ≈ 316 ms; 88% ≈ 278
+    // ms ≈ 55 samples.
+    EXPECT_GT(g0, 40);
+    EXPECT_LT(g0, 75);
+}
+
+TEST(IcdSpec, TherapyEndsAndDetectionRestarts)
+{
+    ecg::ScriptedHeart heart({ { 20.0, 75.0 }, { 120.0, 190.0 } }, 9);
+    IcdSpec spec;
+    runSpec(spec, heart, 140 * 200);
+    // Sustained VT: after each therapy the detector re-arms and
+    // fires again (needs to measure 18 fast beats again).
+    EXPECT_GE(spec.therapyCount(), 2u);
+    EXPECT_FALSE(spec.inTreatment() &&
+                 spec.therapyCount() == 0);
+}
+
+TEST(IcdSpec, ResponsiveHeartConverts)
+{
+    ecg::ResponsiveHeart heart(15.0, 75.0, 190.0, 8, 3);
+    IcdSpec spec;
+    bool converted = false;
+    for (int i = 0; i < 90 * 200; ++i) {
+        SWord out = spec.step(heart.nextSample());
+        heart.onShock(out);
+        if (!heart.inVt() && heart.pulsesReceived() > 0)
+            converted = true;
+    }
+    EXPECT_TRUE(converted) << "ATP should convert the VT";
+    EXPECT_GE(spec.therapyCount(), 1u);
+    // After conversion, no further therapy at sinus rhythm.
+    EXPECT_LE(spec.therapyCount(), 3u);
+}
+
+TEST(IcdSpec, StageTraceIsConsistent)
+{
+    ecg::ScriptedHeart heart({ { 5.0, 75.0 } }, 21);
+    IcdSpec a;
+    IcdSpec b;
+    for (int i = 0; i < 1000; ++i) {
+        SWord x = heart.nextSample();
+        StageTrace tr = a.stepTraced(x);
+        EXPECT_EQ(tr.output, b.step(x));
+        EXPECT_EQ(tr.input, x);
+        // Clamps hold.
+        EXPECT_LE(tr.squared, kSquareClamp);
+        EXPECT_LE(tr.derivative, kDerivClamp);
+        EXPECT_GE(tr.derivative, -kDerivClamp);
+    }
+}
+
+TEST(IcdSpec, QuietSignalProducesNothing)
+{
+    IcdSpec spec;
+    for (int i = 0; i < 5000; ++i) {
+        EXPECT_EQ(spec.step(0), kOutNone);
+    }
+    EXPECT_EQ(spec.qrsCount(), 0u);
+    EXPECT_EQ(spec.therapyCount(), 0u);
+}
+
+} // namespace
+} // namespace zarf::icd

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Validator tests: each malformed-program shape must be caught.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/validate.hh"
+
+namespace zarf
+{
+namespace
+{
+
+ExprPtr
+ret(Operand v)
+{
+    return std::make_unique<Expr>(Result{ v });
+}
+
+Decl
+mainWith(ExprPtr body, Word locals)
+{
+    Decl d;
+    d.isCons = false;
+    d.name = "main";
+    d.arity = 0;
+    d.numLocals = locals;
+    d.body = std::move(body);
+    return d;
+}
+
+TEST(Validate, AcceptsMinimalProgram)
+{
+    Program p;
+    p.decls.push_back(mainWith(ret(opImm(1)), 0));
+    EXPECT_TRUE(validateProgram(p).ok());
+}
+
+TEST(Validate, RejectsEmptyProgram)
+{
+    Program p;
+    EXPECT_FALSE(validateProgram(p).ok());
+}
+
+TEST(Validate, RejectsUnboundLocal)
+{
+    Program p;
+    p.decls.push_back(mainWith(ret(opLocal(0)), 1));
+    ValidationReport r = validateProgram(p);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.summary().find("local"), std::string::npos);
+}
+
+TEST(Validate, RejectsArgOutOfRange)
+{
+    Program p;
+    p.decls.push_back(mainWith(ret(opImm(0)), 0));
+    Decl f;
+    f.isCons = false;
+    f.name = "f";
+    f.arity = 1;
+    f.numLocals = 0;
+    f.body = ret(opArg(1)); // only arg 0 exists
+    p.decls.push_back(std::move(f));
+    EXPECT_FALSE(validateProgram(p).ok());
+}
+
+TEST(Validate, RejectsUnknownCallee)
+{
+    Program p;
+    Let l;
+    l.callee = calleeFunc(0x999); // no such declaration
+    l.body = ret(opLocal(0));
+    p.decls.push_back(
+        mainWith(std::make_unique<Expr>(std::move(l)), 1));
+    EXPECT_FALSE(validateProgram(p).ok());
+}
+
+TEST(Validate, RejectsUnknownPrimCallee)
+{
+    Program p;
+    Let l;
+    l.callee = calleeFunc(0xfe); // reserved but undefined prim slot
+    l.body = ret(opLocal(0));
+    p.decls.push_back(
+        mainWith(std::make_unique<Expr>(std::move(l)), 1));
+    EXPECT_FALSE(validateProgram(p).ok());
+}
+
+TEST(Validate, RejectsUnderdeclaredLocals)
+{
+    Program p;
+    Let l;
+    l.callee = calleeFunc(static_cast<Word>(Prim::Add));
+    l.args = { opImm(1), opImm(2) };
+    l.body = ret(opLocal(0));
+    // Fingerprint claims 0 locals, body binds 1.
+    p.decls.push_back(
+        mainWith(std::make_unique<Expr>(std::move(l)), 0));
+    ValidationReport r = validateProgram(p);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.summary().find("locals"), std::string::npos);
+}
+
+TEST(Validate, RejectsNonConstructorPattern)
+{
+    Program p;
+    p.decls.push_back(mainWith(ret(opImm(0)), 0));
+    Decl f;
+    f.isCons = false;
+    f.name = "f";
+    f.arity = 1;
+    f.numLocals = 0;
+    Case c;
+    c.scrut = opArg(0);
+    CaseBranch br;
+    br.isCons = true;
+    br.consId = Program::idOf(1); // f itself: a function, not a cons
+    br.body = ret(opImm(1));
+    c.branches.push_back(std::move(br));
+    c.elseBody = ret(opImm(2));
+    f.body = std::make_unique<Expr>(std::move(c));
+    p.decls.push_back(std::move(f));
+    EXPECT_FALSE(validateProgram(p).ok());
+}
+
+TEST(Validate, RejectsLiteralPatternOutOfRange)
+{
+    Program p;
+    Case c;
+    c.scrut = opImm(0);
+    c.branches.push_back(CaseBranch{ false, 1 << 20, 0,
+                                     ret(opImm(1)) });
+    c.elseBody = ret(opImm(2));
+    p.decls.push_back(
+        mainWith(std::make_unique<Expr>(std::move(c)), 0));
+    EXPECT_FALSE(validateProgram(p).ok());
+}
+
+TEST(Validate, ConstructorPatternBindsFieldsForBody)
+{
+    // Valid: fields bound by the pattern are referencable locals.
+    Program p;
+    Decl box;
+    box.isCons = true;
+    box.name = "Box";
+    box.arity = 2;
+    box.numLocals = 0;
+
+    Let mk;
+    mk.callee = calleeFunc(Program::idOf(1));
+    mk.args = { opImm(4), opImm(5) };
+    Case c;
+    c.scrut = opLocal(0);
+    c.branches.push_back(
+        CaseBranch{ true, 0, Program::idOf(1), ret(opLocal(2)) });
+    c.elseBody = ret(opImm(0));
+    mk.body = std::make_unique<Expr>(std::move(c));
+
+    p.decls.push_back(
+        mainWith(std::make_unique<Expr>(std::move(mk)), 3));
+    p.decls.push_back(std::move(box));
+    EXPECT_TRUE(validateProgram(p).ok())
+        << validateProgram(p).summary();
+}
+
+TEST(Validate, ErrorPatternIsAConstructor)
+{
+    // The reserved Error prim may be used in cons patterns.
+    Program p;
+    Case c;
+    c.scrut = opImm(0);
+    c.branches.push_back(CaseBranch{
+        true, 0, static_cast<Word>(Prim::Error), ret(opLocal(0)) });
+    c.elseBody = ret(opImm(2));
+    p.decls.push_back(
+        mainWith(std::make_unique<Expr>(std::move(c)), 1));
+    EXPECT_TRUE(validateProgram(p).ok())
+        << validateProgram(p).summary();
+}
+
+} // namespace
+} // namespace zarf

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Integrity typing with recursive data types: the prelude's list
+ * functions are typed with List = Nil | Cons(num^ℓ, List^ℓ),
+ * demonstrating self-referential DataDecls, at both trust levels.
+ *
+ * A documented limitation of the (monomorphic, as in the paper)
+ * checker shows up naturally here: a constructor belongs to exactly
+ * one data type, so `Cons` cannot simultaneously build a list of
+ * numbers and a list of pairs — `lookupL`, which pattern-matches
+ * `Pair` inside a generic list, is therefore untypeable under this
+ * instantiation and must be the only function reported.
+ */
+
+#include <gtest/gtest.h>
+
+#include "verify/itype.hh"
+#include "zasm/prelude.hh"
+#include "zasm/zasm.hh"
+
+namespace zarf::verify
+{
+namespace
+{
+
+struct PreludeTyping
+{
+    Program p;
+    TypeEnv env;
+    int dList = -1;
+    int dPair = -1;
+    int dOpt = -1;
+
+    Word
+    id(const char *name) const
+    {
+        int i = p.findByName(name);
+        EXPECT_GE(i, 0) << name;
+        return Program::idOf(size_t(std::max(i, 0)));
+    }
+};
+
+/** Type the whole prelude at element-trust ℓ. */
+PreludeTyping
+makeTyping(Label l)
+{
+    PreludeTyping t;
+    t.p = assembleOrDie(std::string("fun main =\n  result 0\n") +
+                        preludeText());
+
+    // Recursive list: the Cons tail field references the list's own
+    // dataId, registered before the fields are filled in.
+    t.dList = t.env.addData(DataDecl{ "List", {} });
+    t.dPair = t.env.addData(DataDecl{ "Pair", {} });
+    t.dOpt = t.env.addData(DataDecl{ "Option", {} });
+    ITypePtr n = tNum(l);
+    ITypePtr list = tData(t.dList, l);
+    ITypePtr pair = tData(t.dPair, l);
+    ITypePtr opt = tData(t.dOpt, l);
+    t.env.datas[size_t(t.dList)].conses[t.id("Nil")] = {};
+    t.env.datas[size_t(t.dList)].conses[t.id("Cons")] = { n, list };
+    t.env.datas[size_t(t.dPair)].conses[t.id("Pair")] = { n, n };
+    t.env.datas[size_t(t.dOpt)].conses[t.id("None")] = {};
+    t.env.datas[size_t(t.dOpt)].conses[t.id("Some")] = { n };
+
+    ITypePtr n2n = tFun({ n }, n, l);
+    ITypePtr n2n2n = tFun({ n, n }, n, l);
+    auto fn = [&](const char *name, std::vector<ITypePtr> ps,
+                  ITypePtr r) {
+        t.env.funs[t.id(name)] = FunSig{ std::move(ps),
+                                         std::move(r) };
+    };
+    fn("main", {}, tNum(Label::T));
+    fn("id", { n }, n);
+    fn("constK", { n, n }, n);
+    fn("compose", { n2n, n2n, n }, n);
+    fn("flip", { n2n2n, n, n }, n);
+    fn("applyFn", { n2n, n }, n);
+    fn("bnot01", { n }, n);
+    fn("fst", { pair }, n);
+    fn("snd", { pair }, n);
+    fn("fromSome", { n, opt }, n);
+    fn("length", { list }, n);
+    fn("append", { list, list }, list);
+    fn("revHelp", { list, list }, list);
+    fn("reverse", { list }, list);
+    fn("mapL", { n2n, list }, list);
+    fn("filterL", { n2n, list }, list);
+    fn("foldl", { n2n2n, n, list }, n);
+    fn("foldr", { n2n2n, n, list }, n);
+    fn("take", { n, list }, list);
+    fn("drop", { n, list }, list);
+    fn("rangeL", { n, n }, list);
+    fn("replicate", { n, n }, list);
+    fn("sum", { list }, n);
+    fn("addF", { n, n }, n);
+    fn("product", { list }, n);
+    fn("mulF", { n, n }, n);
+    fn("maximumL", { list }, opt);
+    fn("maxF", { n, n }, n);
+    fn("elemL", { n, list }, n);
+    fn("nth", { n, list }, opt);
+    fn("zipWith", { n2n2n, list, list }, list);
+    fn("allL", { n2n, list }, n);
+    fn("anyL", { n2n, list }, n);
+    fn("lookupL", { n, list }, opt); // untypeable body; see above
+    return t;
+}
+
+void
+expectOnlyLookupLErrors(const ITypeReport &r)
+{
+    EXPECT_FALSE(r.errors.empty())
+        << "lookupL should be untypeable here";
+    for (const auto &e : r.errors)
+        EXPECT_EQ(e.where, "lookupL") << e.where << ": " << e.what;
+}
+
+TEST(ITypeRecursive, PreludeWellTypedTrusted)
+{
+    PreludeTyping t = makeTyping(Label::T);
+    expectOnlyLookupLErrors(checkIntegrity(t.p, t.env));
+}
+
+TEST(ITypeRecursive, PreludeWellTypedUntrusted)
+{
+    PreludeTyping t = makeTyping(Label::U);
+    expectOnlyLookupLErrors(checkIntegrity(t.p, t.env));
+}
+
+TEST(ITypeRecursive, TrustedResultFromUntrustedListRejected)
+{
+    // sum over an untrusted list cannot produce a trusted number.
+    PreludeTyping t = makeTyping(Label::U);
+    t.env.funs[t.id("sum")] =
+        FunSig{ { tData(t.dList, Label::U) }, tNum(Label::T) };
+    ITypeReport r = checkIntegrity(t.p, t.env);
+    bool sumError = false;
+    for (const auto &e : r.errors)
+        sumError |= e.where == "sum";
+    EXPECT_TRUE(sumError) << r.summary();
+}
+
+TEST(ITypeRecursive, RecursiveFieldReferencesItsOwnType)
+{
+    // Direct algebra check: Cons's tail field *is* the list type.
+    PreludeTyping t = makeTyping(Label::T);
+    const auto &fields =
+        t.env.datas[size_t(t.dList)].conses.at(t.id("Cons"));
+    ASSERT_EQ(fields.size(), 2u);
+    EXPECT_EQ(fields[1]->kind, IType::Kind::Data);
+    EXPECT_EQ(fields[1]->dataId, t.dList);
+}
+
+} // namespace
+} // namespace zarf::verify

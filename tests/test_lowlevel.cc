@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Extractor tests: ANF conversion of the low-level IR, continuation
+ * duplication for iff, match lowering, sharing via letIn, and
+ * end-to-end execution of extracted programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/validate.hh"
+#include "lowlevel/extract.hh"
+#include "sem/bigstep.hh"
+#include "zasm/zasm.hh"
+
+namespace zarf::ll
+{
+namespace
+{
+
+SWord
+runMain(const LProgram &lp)
+{
+    Program p = extractOrDie(lp);
+    NullBus bus;
+    BigStep bs(p, bus);
+    EvalResult r = bs.runMain();
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.value && r.value->isInt())
+        << (r.value ? r.value->toString() : "<null>");
+    return r.value && r.value->isInt() ? r.value->intVal() : 0;
+}
+
+TEST(Extract, NestedCallsFlattenToAnf)
+{
+    LProgram lp;
+    // main = (1 + 2) * (10 - 3)
+    lp.fn("main", {}, (lit(1) + lit(2)) * (lit(10) - lit(3)));
+    EXPECT_EQ(runMain(lp), 21);
+
+    // The extracted body is a chain of single-application lets.
+    ExtractResult r = extract(lp);
+    ASSERT_TRUE(r.ok);
+    Program p = r.builder.build();
+    const Expr *e = p.decls[0].body.get();
+    int lets = 0;
+    while (e->isLet()) {
+        // Every let applies to already-bound atoms only.
+        ++lets;
+        e = e->asLet().body.get();
+    }
+    EXPECT_EQ(lets, 3); // add, sub, mul
+    EXPECT_TRUE(e->isResult());
+}
+
+TEST(Extract, FunctionsAndParams)
+{
+    LProgram lp;
+    lp.fn("main", {}, call("f", { lit(20), lit(1) }));
+    lp.fn("f", { "a", "b" }, v("a") * lit(2) + v("b") * lit(2));
+    EXPECT_EQ(runMain(lp), 42);
+}
+
+TEST(Extract, SelIsBranchFree)
+{
+    LProgram lp;
+    lp.fn("main", {},
+          sel(lit(1), lit(42), lit(7)) +
+              sel(lit(0), lit(100), lit(0)));
+    EXPECT_EQ(runMain(lp), 42);
+    // No case instructions in the extraction.
+    Program p = extractOrDie(lp);
+    const Expr *e = p.decls[0].body.get();
+    while (e->isLet())
+        e = e->asLet().body.get();
+    EXPECT_TRUE(e->isResult());
+}
+
+TEST(Extract, IffDuplicatesContinuation)
+{
+    LProgram lp;
+    // main = (if 1 then 40 else 1) + 2 — the +2 happens in both arms.
+    lp.fn("main", {}, iff(lit(1), lit(40), lit(1)) + lit(2));
+    EXPECT_EQ(runMain(lp), 42);
+
+    Program p = extractOrDie(lp);
+    // Expect a case with the add duplicated in branch and else.
+    size_t nodes = exprNodeCount(*p.decls[0].body);
+    EXPECT_GE(nodes, 5u); // case + 2 × (let add + result)
+}
+
+TEST(Extract, MatchBindsFields)
+{
+    LProgram lp;
+    lp.cons("Pair", 2);
+    lp.fn("main", {},
+          letIn("p", call("Pair", { lit(40), lit(2) }),
+                match(v("p"),
+                      { onCons("Pair", { "x", "y" },
+                               v("x") + v("y")) },
+                      nullptr)));
+    EXPECT_EQ(runMain(lp), 42);
+}
+
+TEST(Extract, MatchWithoutElseYieldsError)
+{
+    LProgram lp;
+    lp.cons("A", 0);
+    lp.cons("B", 0);
+    lp.fn("main", {},
+          letIn("a", call("A", {}),
+                match(v("a"), { onCons("B", {}, lit(1)) }, nullptr)));
+    Program p = extractOrDie(lp);
+    NullBus bus;
+    BigStep bs(p, bus);
+    EvalResult r = bs.runMain();
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value->isError());
+}
+
+TEST(Extract, LetInSharing)
+{
+    LProgram lp;
+    lp.fn("main", {},
+          letIn("x", lit(5) * lit(4),
+                v("x") + v("x") + lit(2)));
+    EXPECT_EQ(runMain(lp), 42);
+    // The rhs is computed once: exactly 3 lets (mul, add, add).
+    Program p = extractOrDie(lp);
+    const Expr *e = p.decls[0].body.get();
+    int lets = 0;
+    while (e->isLet()) {
+        ++lets;
+        e = e->asLet().body.get();
+    }
+    EXPECT_EQ(lets, 3);
+}
+
+TEST(Extract, HigherOrderThroughLocal)
+{
+    LProgram lp;
+    lp.fn("main", {},
+          letIn("f", call("adder", { lit(40) }),
+                call("f", { lit(2) })));
+    lp.fn("adder", { "a", "b" }, v("a") + v("b"));
+    EXPECT_EQ(runMain(lp), 42);
+}
+
+TEST(Extract, ReportsUnboundVariable)
+{
+    LProgram lp;
+    lp.fn("main", {}, v("ghost"));
+    ExtractResult r = extract(lp);
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("ghost"), std::string::npos);
+}
+
+TEST(Extract, ReportsUnknownCallee)
+{
+    LProgram lp;
+    lp.fn("main", {}, call("nachos", { lit(1) }));
+    ExtractResult r = extract(lp);
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("nachos"), std::string::npos);
+}
+
+TEST(Extract, ExtractedProgramsValidate)
+{
+    LProgram lp;
+    lp.cons("Triple", 3);
+    lp.fn("main", {},
+          letIn("t", call("Triple", { lit(1), lit(2), lit(3) }),
+                match(v("t"),
+                      { onCons("Triple", { "a", "b", "c" },
+                               iff(v("a") < v("b"),
+                                   v("b") * v("c"),
+                                   v("a"))) },
+                      lit(0))));
+    Program p = extractOrDie(lp);
+    EXPECT_TRUE(validateProgram(p).ok());
+    NullBus bus;
+    BigStep bs(p, bus);
+    EXPECT_EQ(bs.runMain().value->intVal(), 6);
+}
+
+TEST(Extract, PrintersProduceReadableForms)
+{
+    LProgram lp;
+    lp.cons("Pair", 2);
+    lp.fn("main", {},
+          letIn("p", call("Pair", { lit(1), lit(2) }),
+                match(v("p"),
+                      { onCons("Pair", { "x", "y" },
+                               v("x") + v("y")) },
+                      lit(0))));
+    std::string ir = printLProgram(lp);
+    EXPECT_NE(ir.find("Definition main"), std::string::npos);
+    EXPECT_NE(ir.find("match"), std::string::npos);
+    // The extracted assembly disassembles cleanly too.
+    std::string asmText = disassemble(extractOrDie(lp));
+    EXPECT_NE(asmText.find("main"), std::string::npos);
+}
+
+} // namespace
+} // namespace zarf::ll

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Heap and collector unit tests: tagged-word helpers, header
+ * packing, allocation, indirection chasing, and Cheney collection
+ * of object graphs with sharing and indirection chains.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/heap.hh"
+
+namespace zarf
+{
+namespace
+{
+
+TEST(MVal, TaggedWords)
+{
+    EXPECT_TRUE(mval::isInt(mval::mkInt(5)));
+    EXPECT_TRUE(mval::isInt(mval::mkInt(-5)));
+    EXPECT_TRUE(mval::isRef(mval::mkRef(123)));
+    EXPECT_EQ(mval::intOf(mval::mkInt(5)), 5);
+    EXPECT_EQ(mval::intOf(mval::mkInt(-5)), -5);
+    EXPECT_EQ(mval::intOf(mval::mkInt(kIntMin)), kIntMin);
+    EXPECT_EQ(mval::intOf(mval::mkInt(kIntMax)), kIntMax);
+    EXPECT_EQ(mval::refOf(mval::mkRef(123)), 123u);
+}
+
+TEST(MHdr, HeaderFields)
+{
+    Word h = mhdr::pack(ObjKind::Cons, 3, 0x104);
+    EXPECT_EQ(mhdr::kindOf(h), ObjKind::Cons);
+    EXPECT_EQ(mhdr::countOf(h), 3u);
+    EXPECT_EQ(mhdr::fnOf(h), 0x104u);
+    EXPECT_FALSE(mhdr::padOf(h));
+    EXPECT_EQ(mhdr::argsOf(h), 3u);
+
+    Word p = mhdr::pack(ObjKind::App, 1, 0x100, true);
+    EXPECT_TRUE(mhdr::padOf(p));
+    EXPECT_EQ(mhdr::countOf(p), 1u);
+    EXPECT_EQ(mhdr::argsOf(p), 0u);
+}
+
+struct HeapFixture : ::testing::Test
+{
+    TimingModel timing;
+    MachineStats stats;
+    Heap heap{ 4096, timing, stats };
+};
+
+TEST_F(HeapFixture, AllocAndRead)
+{
+    Word a = heap.alloc(ObjKind::Cons, 0x104,
+                        { mval::mkInt(1), mval::mkInt(2) });
+    EXPECT_EQ(mhdr::kindOf(heap.header(a)), ObjKind::Cons);
+    EXPECT_EQ(heap.payload(a, 0), mval::mkInt(1));
+    EXPECT_EQ(heap.payload(a, 1), mval::mkInt(2));
+    EXPECT_EQ(heap.usedWords(), 3u);
+    EXPECT_EQ(stats.allocations, 1u);
+}
+
+TEST_F(HeapFixture, ChaseFollowsIndirections)
+{
+    Word target = heap.alloc(ObjKind::Cons, 0x104, { mval::mkInt(9) });
+    Word ind1 = heap.alloc(ObjKind::Ind, 0, { mval::mkRef(target) });
+    Word ind2 = heap.alloc(ObjKind::Ind, 0, { mval::mkRef(ind1) });
+    EXPECT_EQ(heap.chase(mval::mkRef(ind2)), mval::mkRef(target));
+    // An indirection to an integer chases to the integer itself.
+    Word ind3 = heap.alloc(ObjKind::Ind, 0, { mval::mkInt(-7) });
+    EXPECT_EQ(heap.chase(mval::mkRef(ind3)), mval::mkInt(-7));
+}
+
+TEST_F(HeapFixture, CollectPreservesReachableGraph)
+{
+    // root -> Cons(1, inner), inner = Cons(2, shared), and a second
+    // root shares `shared`.
+    Word shared = heap.alloc(ObjKind::Cons, 0x105, { mval::mkInt(3) });
+    Word inner = heap.alloc(ObjKind::Cons, 0x104,
+                            { mval::mkInt(2), mval::mkRef(shared) });
+    Word outer = heap.alloc(ObjKind::Cons, 0x104,
+                            { mval::mkInt(1), mval::mkRef(inner) });
+    Word garbage = heap.alloc(ObjKind::Cons, 0x106,
+                              { mval::mkInt(99) });
+    (void)garbage;
+
+    Word root1 = mval::mkRef(outer);
+    Word root2 = mval::mkRef(shared);
+    heap.collect([&](const Heap::RootVisitor &v) {
+        v(root1);
+        v(root2);
+    });
+
+    // Garbage reclaimed: only outer (3 words) + inner (3 words) +
+    // shared (2 words) survive.
+    EXPECT_EQ(heap.usedWords(), 8u);
+
+    Word o = mval::refOf(root1);
+    EXPECT_EQ(heap.payload(o, 0), mval::mkInt(1));
+    Word i = mval::refOf(heap.payload(o, 1));
+    EXPECT_EQ(heap.payload(i, 0), mval::mkInt(2));
+    // Sharing is preserved: inner's tail is the same object root2
+    // points at.
+    EXPECT_EQ(heap.payload(i, 1), root2);
+    EXPECT_EQ(heap.payload(mval::refOf(root2), 0), mval::mkInt(3));
+}
+
+TEST_F(HeapFixture, CollectSquashesIndirectionChains)
+{
+    Word target = heap.alloc(ObjKind::Cons, 0x104, { mval::mkInt(5) });
+    Word ind = heap.alloc(ObjKind::Ind, 0, { mval::mkRef(target) });
+    Word root = mval::mkRef(ind);
+    heap.collect([&](const Heap::RootVisitor &v) { v(root); });
+    // The root now points directly at the constructor.
+    EXPECT_EQ(mhdr::kindOf(heap.header(mval::refOf(root))),
+              ObjKind::Cons);
+    EXPECT_EQ(heap.usedWords(), 2u);
+}
+
+TEST_F(HeapFixture, CollectChargesPaperCosts)
+{
+    Word a = heap.alloc(ObjKind::Cons, 0x104,
+                        { mval::mkInt(1), mval::mkInt(2) });
+    Word root = mval::mkRef(a);
+    Cycles before = stats.gcCycles;
+    heap.collect([&](const Heap::RootVisitor &v) { v(root); });
+    // One 3-word object: setup + (3+4) + one 2-cycle ref check.
+    Cycles expect = timing.gcSetup + (3 + 4) + timing.gcRefCheck;
+    EXPECT_EQ(stats.gcCycles - before, expect);
+    EXPECT_EQ(stats.gcObjectsCopied, 1u);
+    EXPECT_EQ(stats.gcWordsCopied, 3u);
+}
+
+TEST_F(HeapFixture, RepeatedCollectionsFlipSpaces)
+{
+    Word a = heap.alloc(ObjKind::Cons, 0x104, { mval::mkInt(4) });
+    Word root = mval::mkRef(a);
+    for (int i = 0; i < 6; ++i) {
+        heap.collect([&](const Heap::RootVisitor &v) { v(root); });
+        EXPECT_EQ(heap.payload(mval::refOf(root), 0), mval::mkInt(4));
+        EXPECT_EQ(heap.usedWords(), 2u);
+    }
+    EXPECT_EQ(stats.gcRuns, 6u);
+}
+
+TEST_F(HeapFixture, CyclicReferencesViaUpdateSurviveCollection)
+{
+    // Updates can create cycles (an object updated to point into a
+    // structure that references it); the copying collector must
+    // terminate and preserve the cycle.
+    Word a = heap.alloc(ObjKind::Cons, 0x104,
+                        { mval::mkInt(0), mval::mkInt(0) });
+    Word b = heap.alloc(ObjKind::Cons, 0x104,
+                        { mval::mkInt(1), mval::mkRef(a) });
+    heap.setPayload(a, 1, mval::mkRef(b)); // a <-> b cycle
+    Word root = mval::mkRef(a);
+    heap.collect([&](const Heap::RootVisitor &v) { v(root); });
+    Word na = mval::refOf(root);
+    Word nb = mval::refOf(heap.payload(na, 1));
+    EXPECT_EQ(heap.payload(nb, 1), mval::mkRef(na));
+    EXPECT_EQ(heap.usedWords(), 6u);
+}
+
+} // namespace
+} // namespace zarf

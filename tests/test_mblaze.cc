@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Imperative-core tests: assembler syntax, every instruction's
+ * semantics, timing model, memory protection, and I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mblaze/cpu.hh"
+#include "mblaze/isa.hh"
+
+namespace zarf::mblaze
+{
+namespace
+{
+
+/** Assemble, run to halt, and return the CPU for inspection. */
+MbCpu
+runAsm(const std::string &text, const MbProgram *&keep, IoBus &bus)
+{
+    static MbProgram prog; // storage outlives the cpu in each test
+    prog = assembleMbOrDie(text);
+    keep = &prog;
+    MbCpu cpu(prog, bus);
+    cpu.run();
+    return cpu;
+}
+
+SWord
+regAfter(const std::string &text, unsigned r)
+{
+    NullBus bus;
+    const MbProgram *p = nullptr;
+    MbCpu cpu = runAsm(text, p, bus);
+    EXPECT_EQ(cpu.status(), MbStatus::Halted);
+    return cpu.reg(r);
+}
+
+TEST(MbAsm, ParsesAndResolvesLabels)
+{
+    MbAsmResult r = assembleMb(R"(
+start:
+  movi r1, 5
+loop:
+  addi r1, r1, -1
+  bne r1, r0, loop
+  halt
+)");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.program.code.size(), 4u);
+    EXPECT_EQ(r.program.labelAt("loop"), 1);
+    // The branch's target was resolved to instruction index 1.
+    EXPECT_EQ(r.program.code[2].imm, 1);
+}
+
+TEST(MbAsm, RejectsBadInput)
+{
+    EXPECT_FALSE(assembleMb("frobnicate r1, r2").ok);
+    EXPECT_FALSE(assembleMb("add r1, r2").ok);       // arity
+    EXPECT_FALSE(assembleMb("add r1, r2, r99").ok);  // register
+    EXPECT_FALSE(assembleMb("j nowhere").ok);        // label
+    EXPECT_FALSE(assembleMb("movi r1, x").ok);       // immediate
+    EXPECT_FALSE(assembleMb("l: nop\nl: nop").ok);   // dup label
+}
+
+TEST(MbCpu, Arithmetic)
+{
+    EXPECT_EQ(regAfter("movi r1, 6\nmovi r2, 7\nmul r3, r1, r2\n"
+                       "halt", 3),
+              42);
+    EXPECT_EQ(regAfter("movi r1, 45\nmovi r2, 4\ndiv r3, r1, r2\n"
+                       "rem r4, r1, r2\nhalt", 3),
+              11);
+    EXPECT_EQ(regAfter("movi r1, -8\nsrai r2, r1, 1\nhalt", 2), -4);
+    EXPECT_EQ(regAfter("movi r1, -8\nshri r2, r1, 28\nhalt", 2), 15);
+    EXPECT_EQ(regAfter("movi r1, 3\nslti r2, r1, 5\nhalt", 2), 1);
+    EXPECT_EQ(regAfter("movi r1, 3\nmovi r2, 5\nslt r3, r2, r1\n"
+                       "halt", 3),
+              0);
+}
+
+TEST(MbCpu, DivideByZeroYieldsZero)
+{
+    EXPECT_EQ(regAfter("movi r1, 9\ndiv r2, r1, r0\nhalt", 2), 0);
+}
+
+TEST(MbCpu, RegisterZeroIsHardwired)
+{
+    EXPECT_EQ(regAfter("movi r0, 99\nadd r1, r0, r0\nhalt", 1), 0);
+}
+
+TEST(MbCpu, LoadStore)
+{
+    EXPECT_EQ(regAfter(R"(
+  movi r1, 100
+  movi r2, 42
+  sw r2, r1, 5
+  lw r3, r1, 5
+  halt
+)", 3),
+              42);
+}
+
+TEST(MbCpu, MemoryFaultDetected)
+{
+    NullBus bus;
+    MbProgram p = assembleMbOrDie("movi r1, -5\nlw r2, r1, 0\nhalt");
+    MbCpu cpu(p, bus);
+    EXPECT_EQ(cpu.run(), MbStatus::Fault);
+}
+
+TEST(MbCpu, LoopAndBranches)
+{
+    // Sum 1..10 = 55.
+    EXPECT_EQ(regAfter(R"(
+  movi r1, 10
+  movi r2, 0
+loop:
+  add r2, r2, r1
+  addi r1, r1, -1
+  bgt r1, r0, loop
+  halt
+)", 2),
+              55);
+}
+
+TEST(MbCpu, JalAndJr)
+{
+    EXPECT_EQ(regAfter(R"(
+  movi r1, 20
+  jal r15, double
+  addi r2, r1, 2
+  halt
+double:
+  add r1, r1, r1
+  jr r15
+)", 2),
+              42);
+}
+
+TEST(MbCpu, PortIo)
+{
+    ScriptBus bus;
+    bus.feed(0, { 7 });
+    const MbProgram *p = nullptr;
+    MbCpu cpu = runAsm(R"(
+  in r1, 0
+  addi r1, r1, 3
+  out r1, 2
+  halt
+)", p, bus);
+    EXPECT_EQ(cpu.status(), MbStatus::Halted);
+    EXPECT_EQ(bus.written(2), (std::vector<SWord>{ 10 }));
+}
+
+TEST(MbCpu, TimingModel)
+{
+    NullBus bus;
+    // movi(2) + add(1) + halt(1) = 4 cycles.
+    MbProgram p1 = assembleMbOrDie("movi r1, 1\nadd r2, r1, r1\nhalt");
+    MbCpu c1(p1, bus);
+    c1.run();
+    EXPECT_EQ(c1.cycles(), 4u);
+
+    // Taken branch pays +2: movi(2) + j(3) + halt(1) = 6.
+    MbProgram p2 = assembleMbOrDie("movi r1, 1\nj end\nnop\nend: halt");
+    MbCpu c2(p2, bus);
+    c2.run();
+    EXPECT_EQ(c2.cycles(), 6u);
+
+    // mul is 3 cycles, div is 34.
+    MbProgram p3 = assembleMbOrDie("mul r1, r2, r3\nhalt");
+    MbCpu c3(p3, bus);
+    c3.run();
+    EXPECT_EQ(c3.cycles(), 4u);
+    MbProgram p4 = assembleMbOrDie("div r1, r2, r3\nhalt");
+    MbCpu c4(p4, bus);
+    c4.run();
+    EXPECT_EQ(c4.cycles(), 35u);
+}
+
+TEST(MbCpu, AdvanceIsResumable)
+{
+    NullBus bus;
+    MbProgram p = assembleMbOrDie(R"(
+  movi r1, 100000
+loop:
+  addi r1, r1, -1
+  bgt r1, r0, loop
+  halt
+)");
+    MbCpu cpu(p, bus);
+    int slices = 0;
+    while (cpu.advance(10'000) == MbStatus::Running)
+        ++slices;
+    EXPECT_GT(slices, 5);
+    EXPECT_EQ(cpu.status(), MbStatus::Halted);
+    EXPECT_EQ(cpu.reg(1), 0);
+}
+
+TEST(MbCpu, UntakenBranchIsOneCycle)
+{
+    NullBus bus;
+    MbProgram p = assembleMbOrDie("beq r1, r2, t\nt: halt");
+    MbCpu cpu(p, bus);
+    cpu.run();
+    // beq taken (r1==r2==0): 1+2, halt 1 => 4. Branch to next instr
+    // still pays the flush in this simple model.
+    EXPECT_EQ(cpu.cycles(), 4u);
+
+    MbProgram p2 = assembleMbOrDie(
+        "movi r1, 1\nbeq r1, r0, t\nt: halt");
+    MbCpu cpu2(p2, bus);
+    cpu2.run();
+    // movi 2 + untaken beq 1 + halt 1 = 4.
+    EXPECT_EQ(cpu2.cycles(), 4u);
+}
+
+TEST(MbDisasm, MentionsLabelsAndOps)
+{
+    MbProgram p = assembleMbOrDie("start: movi r1, 5\nhalt");
+    std::string d = disassembleMb(p);
+    EXPECT_NE(d.find("start:"), std::string::npos);
+    EXPECT_NE(d.find("movi"), std::string::npos);
+}
+
+} // namespace
+} // namespace zarf::mblaze

@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Prelude tests: every library function exercised on the lazy
+ * engine, key programs cross-checked on the big-step oracle and the
+ * cycle-level machine, and algebraic properties (reverse involution,
+ * append/length homomorphism, fold/map fusion facts) property-tested
+ * over random lists.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/binary.hh"
+#include "machine/machine.hh"
+#include "sem/bigstep.hh"
+#include "sem/smallstep.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+#include "zasm/prelude.hh"
+#include "zasm/zasm.hh"
+
+namespace zarf
+{
+namespace
+{
+
+/** Assemble main-body text with the prelude appended. */
+Program
+prog(const std::string &mainText)
+{
+    return assembleOrDie(mainText + preludeText());
+}
+
+ValuePtr
+evalMain(const std::string &mainText)
+{
+    Program p = prog(mainText);
+    NullBus bus;
+    SmallStep ss(p, bus);
+    RunResult r = ss.runMain();
+    EXPECT_TRUE(r.ok()) << r.where;
+    return r.value;
+}
+
+SWord
+intMain(const std::string &mainText)
+{
+    ValuePtr v = evalMain(mainText);
+    EXPECT_TRUE(v && v->isInt())
+        << (v ? v->toString() : "<null>");
+    return v && v->isInt() ? v->intVal() : -999999;
+}
+
+TEST(Prelude, Combinators)
+{
+    EXPECT_EQ(intMain("fun main =\n  let r = id 42\n  result r\n"),
+              42);
+    EXPECT_EQ(intMain(
+                  "fun main =\n  let r = constK 42 7\n  result r\n"),
+              42);
+    EXPECT_EQ(intMain(R"(
+fun main =
+  let addOne = add 1
+  let dbl = dblF
+  let f = compose addOne dbl
+  let r = f 20
+  result r
+fun dblF x =
+  let y = add x x
+  result y
+)"),
+              41);
+    EXPECT_EQ(intMain(R"(
+fun main =
+  let sb = sub
+  let f = flip sb
+  let r = f 2 44
+  result r
+)"),
+              42);
+    EXPECT_EQ(intMain("fun main =\n  let a = bnot01 0\n"
+                      "  let b = bnot01 1\n  let r = sub a b\n"
+                      "  result r\n"),
+              1);
+}
+
+TEST(Prelude, PairsAndOptions)
+{
+    EXPECT_EQ(intMain(R"(
+fun main =
+  let p = Pair 40 2
+  let a = fst p
+  let b = snd p
+  let r = add a b
+  result r
+)"),
+              42);
+    EXPECT_EQ(intMain(R"(
+fun main =
+  let s = Some 42
+  let r = fromSome 0 s
+  result r
+)"),
+              42);
+    EXPECT_EQ(intMain(R"(
+fun main =
+  let n = None
+  let r = fromSome 42 n
+  result r
+)"),
+              42);
+}
+
+TEST(Prelude, RangeSumLength)
+{
+    // sum [1..20] = 210; length [1..20] = 20.
+    EXPECT_EQ(intMain(R"(
+fun main =
+  let xs = rangeL 1 20
+  let s = sum xs
+  let n = length xs
+  let r = add s n
+  result r
+)"),
+              230);
+    // Empty range.
+    EXPECT_EQ(intMain(R"(
+fun main =
+  let xs = rangeL 5 1
+  let n = length xs
+  result n
+)"),
+              0);
+}
+
+TEST(Prelude, MapFilterFold)
+{
+    // sum (map (*2) [1..10]) = 110
+    EXPECT_EQ(intMain(R"(
+fun main =
+  let dbl = mul 2
+  let xs = rangeL 1 10
+  let ys = mapL dbl xs
+  let s = sum ys
+  result s
+)"),
+              110);
+    // sum (filter even [1..10]) = 30
+    EXPECT_EQ(intMain(R"(
+fun main =
+  let xs = rangeL 1 10
+  let even = evenF
+  let ys = filterL even xs
+  let s = sum ys
+  result s
+fun evenF x =
+  let m = mod x 2
+  let r = eq m 0
+  result r
+)"),
+              30);
+    // foldr (-) 0 [1,2,3] = 1-(2-(3-0)) = 2
+    EXPECT_EQ(intMain(R"(
+fun main =
+  let xs = rangeL 1 3
+  let f = subF
+  let r = foldr f 0 xs
+  result r
+fun subF a b =
+  let r = sub a b
+  result r
+)"),
+              2);
+    EXPECT_EQ(intMain(R"(
+fun main =
+  let xs = rangeL 1 5
+  let r = product xs
+  result r
+)"),
+              120);
+}
+
+TEST(Prelude, TakeDropAppendReverse)
+{
+    // sum (take 3 [10..20]) = 33; sum (drop 8 [1..10]) = 19.
+    EXPECT_EQ(intMain(R"(
+fun main =
+  let xs = rangeL 10 20
+  let ys = take 3 xs
+  let s = sum ys
+  result s
+)"),
+              33);
+    EXPECT_EQ(intMain(R"(
+fun main =
+  let xs = rangeL 1 10
+  let ys = drop 8 xs
+  let s = sum ys
+  result s
+)"),
+              19);
+    // append/reverse: sum preserved, head of reverse = last.
+    EXPECT_EQ(intMain(R"(
+fun main =
+  let xs = rangeL 1 4
+  let ys = rangeL 5 8
+  let zs = append xs ys
+  let rz = reverse zs
+  case rz of
+    Cons h t =>
+      result h
+  else
+    result -1
+)"),
+              8);
+}
+
+TEST(Prelude, SearchFunctions)
+{
+    EXPECT_EQ(intMain(R"(
+fun main =
+  let xs = rangeL 1 10
+  let a = elemL 7 xs
+  let b = elemL 11 xs
+  let r = sub a b
+  result r
+)"),
+              1);
+    EXPECT_EQ(intMain(R"(
+fun main =
+  let xs = rangeL 10 20
+  let o = nth 5 xs
+  let r = fromSome -1 o
+  result r
+)"),
+              15);
+    EXPECT_EQ(intMain(R"(
+fun main =
+  let xs = rangeL 10 12
+  let o = nth 9 xs
+  let r = fromSome -1 o
+  result r
+)"),
+              -1);
+    EXPECT_EQ(intMain(R"(
+fun main =
+  let xs = rangeL 1 5
+  let m = maximumL xs
+  let r = fromSome -1 m
+  result r
+)"),
+              5);
+}
+
+TEST(Prelude, ZipAllAny)
+{
+    // sum (zipWith (*) [1..4] [10,20,30,40]) = 10+40+90+160 = 300.
+    EXPECT_EQ(intMain(R"(
+fun main =
+  let xs = rangeL 1 4
+  let t = mul 10
+  let ys = mapL t xs
+  let m = mulF
+  let zs = zipWith m xs ys
+  let s = sum zs
+  result s
+)"),
+              300);
+    EXPECT_EQ(intMain(R"(
+fun main =
+  let xs = rangeL 1 5
+  let pos = posF
+  let big = bigF
+  let a = allL pos xs
+  let b = anyL big xs
+  let r = add a b
+  result r
+fun posF x =
+  let r = gt x 0
+  result r
+fun bigF x =
+  let r = gt x 100
+  result r
+)"),
+              1);
+}
+
+TEST(Prelude, AssocLookup)
+{
+    EXPECT_EQ(intMain(R"(
+fun main =
+  let n = Nil
+  let p1 = Pair 1 10
+  let p2 = Pair 2 20
+  let l1 = Cons p2 n
+  let l2 = Cons p1 l1
+  let found = lookupL 2 l2
+  let missing = lookupL 3 l2
+  let a = fromSome -1 found
+  let b = fromSome -1 missing
+  let r = add a b
+  result r
+)"),
+              19);
+}
+
+// ----------------------------------------------------------------
+// Algebraic properties over random lists, on the machine.
+// ----------------------------------------------------------------
+
+class PreludeProps : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(PreludeProps, ReverseAndAppendLaws)
+{
+    Rng rng(GetParam() * 97 + 3);
+    int lo = int(rng.range(-20, 10));
+    int hi = lo + int(rng.range(0, 12));
+    std::string text = strprintf(R"(
+fun main =
+  let xs = rangeL %d %d
+  # reverse (reverse xs) == xs: compare sums and lengths and heads
+  let rr = reverse xs
+  let rrr = reverse rr
+  let s1 = sum xs
+  let s2 = sum rrr
+  let d1 = sub s1 s2
+  let n1 = length xs
+  let n2 = length rr
+  let d2 = sub n1 n2
+  # length (append xs xs) == 2 * length xs
+  let ap = append xs xs
+  let n3 = length ap
+  let n4 = mul n1 2
+  let d3 = sub n3 n4
+  # sum (map (+1) xs) == sum xs + length xs
+  let inc = add 1
+  let ms = mapL inc xs
+  let s3 = sum ms
+  let s4 = add s1 n1
+  let d4 = sub s3 s4
+  let e1 = add d1 d2
+  let e2 = add d3 d4
+  let r = add e1 e2
+  result r
+)",
+                                 lo, hi);
+    Program p = assembleOrDie(text + preludeText());
+
+    NullBus bus1, bus2;
+    BigStep bs(p, bus1);
+    EvalResult er = bs.runMain();
+    ASSERT_TRUE(er.ok());
+    EXPECT_EQ(er.value->intVal(), 0) << "law violated (bigstep)";
+
+    Machine m(encodeProgram(p), bus2);
+    Machine::Outcome o = m.run();
+    ASSERT_EQ(o.status, MachineStatus::Done) << o.diagnostic;
+    EXPECT_EQ(o.value->intVal(), 0) << "law violated (machine)";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreludeProps,
+                         ::testing::Range(uint64_t(0), uint64_t(40)));
+
+TEST(Prelude, WorksOnAllThreeEngines)
+{
+    std::string text = R"(
+fun main =
+  let xs = rangeL 1 12
+  let sq = sqF
+  let ys = mapL sq xs
+  let f = addF
+  let s = foldl f 0 ys
+  result s
+fun sqF x =
+  let y = mul x x
+  result y
+)";
+    Program p = assembleOrDie(text + preludeText());
+    NullBus b1, b2, b3;
+    BigStep bs(p, b1);
+    SmallStep ss(p, b2);
+    Machine m(encodeProgram(p), b3);
+    EvalResult er = bs.runMain();
+    RunResult rr = ss.runMain();
+    Machine::Outcome o = m.run();
+    ASSERT_TRUE(er.ok() && rr.ok());
+    ASSERT_EQ(o.status, MachineStatus::Done);
+    EXPECT_EQ(er.value->intVal(), 650); // sum of squares 1..12
+    EXPECT_TRUE(Value::equal(*er.value, *rr.value));
+    EXPECT_TRUE(Value::equal(*er.value, *o.value));
+}
+
+} // namespace
+} // namespace zarf

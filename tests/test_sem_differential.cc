@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Differential testing: the eager big-step oracle (Fig. 3) and the
+ * lazy small-step machine must agree on the final value of every
+ * pure, terminating program. Programs are generated randomly with
+ * an acyclic call graph (see common/genprog.hh), covering partial
+ * and over-application, higher-order calls, constructor matching,
+ * and error values.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/genprog.hh"
+#include "isa/binary.hh"
+#include "isa/validate.hh"
+#include "sem/bigstep.hh"
+#include "sem/smallstep.hh"
+
+namespace zarf
+{
+namespace
+{
+
+class Differential : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(Differential, BigStepAgreesWithSmallStep)
+{
+    testing::ProgramGenerator gen(GetParam());
+    ProgramBuilder pb = gen.generate();
+    BuildResult b = pb.tryBuild();
+    ASSERT_TRUE(b.ok) << b.error;
+    ASSERT_TRUE(validateProgram(b.program).ok())
+        << validateProgram(b.program).summary();
+
+    // The program must also survive an encode/decode round trip.
+    DecodeResult d = decodeProgram(encodeProgram(b.program));
+    ASSERT_TRUE(d.ok) << d.error;
+
+    NullBus bus1, bus2;
+    BigStep bs(b.program, bus1);
+    EvalResult er = bs.runMain();
+    ASSERT_TRUE(er.ok()) << "bigstep: " << er.where;
+
+    // Run the small-step engine on the *decoded* program so the
+    // binary round trip is part of the differential chain.
+    SmallStep ss(d.program, bus2);
+    RunResult rr = ss.runMain();
+    ASSERT_TRUE(rr.ok()) << "smallstep: " << rr.where;
+
+    EXPECT_TRUE(Value::equal(*er.value, *rr.value))
+        << "bigstep:  " << er.value->toString() << "\n"
+        << "smallstep: " << rr.value->toString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Differential,
+                         ::testing::Range(uint64_t(0), uint64_t(300)));
+
+class DifferentialDeep : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(DifferentialDeep, LargerPrograms)
+{
+    testing::GenConfig cfg;
+    cfg.numCons = 5;
+    cfg.numFuncs = 10;
+    cfg.maxDepth = 6;
+    testing::ProgramGenerator gen(GetParam() * 7919 + 13, cfg);
+    ProgramBuilder pb = gen.generate();
+    BuildResult b = pb.tryBuild();
+    ASSERT_TRUE(b.ok) << b.error;
+
+    NullBus bus1, bus2;
+    BigStep bs(b.program, bus1);
+    EvalResult er = bs.runMain();
+    ASSERT_TRUE(er.ok());
+
+    SmallStep ss(b.program, bus2);
+    RunResult rr = ss.runMain();
+    ASSERT_TRUE(rr.ok());
+
+    EXPECT_TRUE(Value::equal(*er.value, *rr.value))
+        << "bigstep:  " << er.value->toString() << "\n"
+        << "smallstep: " << rr.value->toString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialDeep,
+                         ::testing::Range(uint64_t(0), uint64_t(150)));
+
+} // namespace
+} // namespace zarf

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Small-step (lazy) semantics tests: the same observable behaviour
+ * as the big-step oracle on shared programs, plus the properties
+ * only a lazy engine has — unevaluated bindings cost nothing, tail
+ * recursion runs in constant continuation depth, and thunks are
+ * forced at most once.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/testprogs.hh"
+#include "sem/smallstep.hh"
+#include "zasm/zasm.hh"
+
+namespace zarf
+{
+namespace
+{
+
+ValuePtr
+runMain(const std::string &text, IoBus &bus,
+        SmallStepStats *stats = nullptr)
+{
+    Program p = assembleOrDie(text);
+    SmallStep ss(p, bus);
+    RunResult r = ss.runMain();
+    EXPECT_TRUE(r.ok()) << "status " << int(r.status) << " "
+                        << r.where;
+    if (stats)
+        *stats = ss.stats();
+    return r.value;
+}
+
+SWord
+intMain(const std::string &text)
+{
+    NullBus bus;
+    ValuePtr v = runMain(text, bus);
+    EXPECT_TRUE(v && v->isInt());
+    return v ? v->intVal() : 0;
+}
+
+TEST(SmallStep, BasicPrograms)
+{
+    EXPECT_EQ(intMain("fun main = result 7"), 7);
+    EXPECT_EQ(intMain("fun main = let x = add 2 3\n result x"), 5);
+    EXPECT_EQ(intMain(testing::mapProgramText()), 9);
+    EXPECT_EQ(intMain(testing::churchProgramText()), 256);
+}
+
+TEST(SmallStep, CountdownLoopCompletes)
+{
+    // 100k-iteration tail loop: must complete without exhausting
+    // host stack or continuation stack.
+    EXPECT_EQ(intMain(testing::countdownProgramText()), 42);
+}
+
+TEST(SmallStep, LazyUnusedBindingNotEvaluated)
+{
+    // The binding spins forever if forced; laziness must skip it.
+    EXPECT_EQ(intMain(R"(
+fun main =
+  let boom = spin 1
+  result 5
+fun spin n =
+  let m = spin n
+  result m
+)"),
+              5);
+}
+
+TEST(SmallStep, LazyUnusedIoNotPerformed)
+{
+    ScriptBus bus;
+    ValuePtr v = runMain(R"(
+fun main =
+  let unused = putint 1 99
+  result 3
+)",
+                         bus);
+    EXPECT_EQ(v->intVal(), 3);
+    // The putint was never demanded, so nothing was written.
+    EXPECT_TRUE(bus.written(1).empty());
+}
+
+TEST(SmallStep, SelfDependentThunkIsStuck)
+{
+    // A thunk that forces itself is the black-hole case.
+    Program p = assembleOrDie(R"(
+fun main =
+  let x = spin 0
+  result x
+fun spin n =
+  let m = spin n
+  result m
+)");
+    NullBus bus;
+    SmallStepConfig cfg;
+    cfg.maxSteps = 100000;
+    SmallStep ss(p, bus, cfg);
+    RunResult r = ss.runMain();
+    // Tail recursion through indirections: this loop never reaches
+    // WHNF, so it burns fuel rather than overflowing anything.
+    EXPECT_EQ(r.status, RunResult::Status::OutOfFuel);
+}
+
+TEST(SmallStep, ThunksForcedAtMostOnce)
+{
+    // `shared` is used three times; update-in-place must make the
+    // second and third uses free. We observe this through the I/O
+    // side effect: the putint inside must happen exactly once.
+    ScriptBus bus;
+    ValuePtr v = runMain(R"(
+fun main =
+  let shared = putint 2 11
+  let a = add shared shared
+  let b = add a shared
+  result b
+)",
+                         bus);
+    EXPECT_EQ(v->intVal(), 33);
+    EXPECT_EQ(bus.written(2).size(), 1u);
+}
+
+TEST(SmallStep, IoEchoOrdering)
+{
+    ScriptBus bus;
+    bus.feed(0, { 5, 7, 9, 11, 13 });
+    runMain(testing::ioEchoProgramText(), bus);
+    EXPECT_EQ(bus.written(1),
+              (std::vector<SWord>{ 15, 17, 19, 21, 23 }));
+}
+
+TEST(SmallStep, PartialApplicationDeepValue)
+{
+    NullBus bus;
+    ValuePtr v = runMain(R"(
+fun main =
+  let f = add3 1 2
+  result f
+fun add3 a b c =
+  let x = add a b
+  let y = add x c
+  result y
+)",
+                         bus);
+    ASSERT_TRUE(v->isClosure());
+    EXPECT_EQ(v->items().size(), 2u);
+    EXPECT_EQ(v->items()[0]->intVal(), 1);
+}
+
+TEST(SmallStep, ErrorPaths)
+{
+    NullBus bus;
+    ValuePtr v = runMain(
+        "fun main = let x = div 4 0\n result x", bus);
+    ASSERT_TRUE(v->isError());
+    EXPECT_EQ(v->items()[0]->intVal(), kErrDivZero);
+
+    v = runMain(R"(
+con Box x
+fun main =
+  let b = Box 1
+  let y = b 2
+  result y
+)",
+                bus);
+    ASSERT_TRUE(v->isError());
+    EXPECT_EQ(v->items()[0]->intVal(), kErrArity);
+}
+
+TEST(SmallStep, HigherOrderThroughThunkCallee)
+{
+    // The callee is an unevaluated thunk that computes a closure.
+    EXPECT_EQ(intMain(R"(
+fun main =
+  let f = pick 1
+  let x = f 40
+  result x
+fun pick n =
+  case n of
+    0 =>
+      let g = adder 1
+      result g
+  else
+    let g = adder 2
+    result g
+fun adder a b =
+  let s = add a b
+  result s
+)"),
+              42);
+}
+
+TEST(SmallStep, DirectCallWithConsArgs)
+{
+    Program p = assembleOrDie(testing::mapProgramText());
+    NullBus bus;
+    SmallStep ss(p, bus);
+    // sumList (Cons 4 (Cons 5 Nil)) == 9
+    int nil = p.findByName("Nil");
+    int cons = p.findByName("Cons");
+    ASSERT_GE(nil, 0);
+    ASSERT_GE(cons, 0);
+    ValuePtr list = Value::makeCons(
+        Program::idOf(size_t(cons)),
+        { Value::makeInt(4),
+          Value::makeCons(Program::idOf(size_t(cons)),
+                          { Value::makeInt(5),
+                            Value::makeCons(
+                                Program::idOf(size_t(nil)), {}) }) });
+    RunResult r = ss.call("sumList", { list });
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value->intVal(), 9);
+}
+
+TEST(SmallStep, StatsAreCounted)
+{
+    SmallStepStats stats;
+    NullBus bus;
+    runMain(testing::mapProgramText(), bus, &stats);
+    EXPECT_GT(stats.lets, 0u);
+    EXPECT_GT(stats.cases, 0u);
+    EXPECT_GT(stats.results, 0u);
+    EXPECT_GT(stats.allocations, 0u);
+    EXPECT_GT(stats.updates, 0u);
+}
+
+} // namespace
+} // namespace zarf

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Support-library tests: text helpers and deterministic PRNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+#include "support/random.hh"
+#include "support/text.hh"
+
+namespace zarf
+{
+namespace
+{
+
+TEST(Text, Split)
+{
+    auto v = split("a,b,,c", ',');
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[0], "a");
+    EXPECT_EQ(v[2], "");
+    EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Text, Trim)
+{
+    EXPECT_EQ(trim("  x  "), "x");
+    EXPECT_EQ(trim("x"), "x");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Text, IsInteger)
+{
+    EXPECT_TRUE(isInteger("42"));
+    EXPECT_TRUE(isInteger("-42"));
+    EXPECT_FALSE(isInteger(""));
+    EXPECT_FALSE(isInteger("-"));
+    EXPECT_FALSE(isInteger("4x"));
+}
+
+TEST(Text, Pad)
+{
+    EXPECT_EQ(padLeft("ab", 4), "  ab");
+    EXPECT_EQ(padRight("ab", 4), "ab  ");
+    EXPECT_EQ(padLeft("abcde", 4), "abcde");
+}
+
+TEST(Logging, Strprintf)
+{
+    EXPECT_EQ(strprintf("x=%d y=%s", 3, "q"), "x=3 y=q");
+    EXPECT_EQ(strprintf("%05u", 42u), "00042");
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        sawLo |= v == -3;
+        sawHi |= v == 3;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng r(11);
+    for (int i = 0; i < 1000; ++i) {
+        double d = r.real();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, GaussianRoughMoments)
+{
+    Rng r(13);
+    double sum = 0, sq = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double g = r.gaussian(2.0);
+        sum += g;
+        sq += g * g;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.1);
+    EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+} // namespace
+} // namespace zarf

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * End-to-end two-layer system tests: the λ-layer kernel (microkernel
+ * + coroutines + extracted ICD) co-simulated with the imperative
+ * monitor against synthetic hearts. Checks real-time deadlines,
+ * therapy delivery, inter-layer communication, and the diagnostic
+ * channel (paper, Sec. 4 and 5.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "icd/params.hh"
+#include "icd/spec.hh"
+#include "icd/zarf_icd.hh"
+#include "icd/baseline.hh"
+#include "system/system.hh"
+
+namespace zarf::sys
+{
+namespace
+{
+
+const Image &
+kernelImage()
+{
+    static Image img = icd::buildKernelImage();
+    return img;
+}
+
+TEST(System, BootsAndMeetsDeadlinesOnNormalRhythm)
+{
+    ecg::ScriptedHeart heart({ { 600.0, 75.0 } }, 42);
+    TwoLayerSystem sys(kernelImage(), icd::monitorProgram(), heart);
+    MachineStatus st = sys.runForMs(3000.0); // 3 s = 600 samples
+    EXPECT_EQ(st, MachineStatus::Running);
+
+    // One sample per 5 ms tick.
+    EXPECT_NEAR(double(sys.samplesRead()), 600.0, 3.0);
+    EXPECT_EQ(sys.samplesRead(), sys.ticksConsumed());
+    // Real-time: every tick consumed well before the next is due.
+    EXPECT_FALSE(sys.deadlineMissed());
+    EXPECT_LT(sys.maxTickLag(), kTickCycles / 4);
+    // One comm word per iteration.
+    EXPECT_NEAR(double(sys.commWords()), 600.0, 3.0);
+    // No pacing on normal rhythm (shock port writes all zero).
+    for (const ShockEvent &e : sys.shocks())
+        EXPECT_EQ(e.value, 0);
+}
+
+TEST(System, IterationComputeFitsWellWithinDeadline)
+{
+    ecg::ScriptedHeart heart({ { 600.0, 75.0 } }, 7);
+    TwoLayerSystem sys(kernelImage(), icd::monitorProgram(), heart);
+    sys.runForMs(2000.0);
+    // Paper, Sec. 5.2: one iteration's compute (including GC) is
+    // ~9k cycles against a 250k-cycle (5 ms) deadline — "over 25
+    // times faster than it needs to be". Require at least 10x.
+    EXPECT_GT(sys.maxIterationCycles(), 0u);
+    EXPECT_LT(sys.maxIterationCycles(), kTickCycles / 10);
+}
+
+TEST(System, GcRunsEveryIterationAndHeapStaysBounded)
+{
+    ecg::ScriptedHeart heart({ { 600.0, 75.0 } }, 9);
+    TwoLayerSystem sys(kernelImage(), icd::monitorProgram(), heart);
+    sys.runForMs(1000.0);
+    const MachineStats &s = sys.lambdaStats();
+    // The kernel invokes the collector once per iteration.
+    EXPECT_NEAR(double(s.gcRuns), double(sys.samplesRead()), 4.0);
+    // The live set is a bounded algorithm state, far below the
+    // semispace capacity.
+    EXPECT_LT(s.gcMaxLiveWords, (1u << 18) / 4);
+}
+
+TEST(System, DeliversTherapyAndConvertsVt)
+{
+    // VT at 15 s; the heart converts after one full burst.
+    ecg::ResponsiveHeart heart(15.0, 75.0, 190.0, 8, 3);
+    TwoLayerSystem sys(kernelImage(), icd::monitorProgram(), heart);
+    sys.runForMs(40000.0); // 40 s
+
+    // Pacing pulses were delivered and the heart converted.
+    uint64_t pulses = 0;
+    bool sawStart = false;
+    for (const ShockEvent &e : sys.shocks()) {
+        if (e.value == icd::kOutTherapyStart)
+            sawStart = true;
+        if (e.value != icd::kOutNone)
+            ++pulses;
+    }
+    EXPECT_TRUE(sawStart);
+    EXPECT_GE(pulses, uint64_t(icd::kAtpPulses));
+    EXPECT_FALSE(heart.inVt());
+    EXPECT_FALSE(sys.deadlineMissed());
+}
+
+TEST(System, MonitorCountsTherapiesAndAnswersDiagnostics)
+{
+    ecg::ResponsiveHeart heart(10.0, 75.0, 190.0, 8, 5);
+    TwoLayerSystem sys(kernelImage(), icd::monitorProgram(), heart);
+    sys.runForMs(30000.0);
+
+    auto count = sys.queryTreatments();
+    ASSERT_TRUE(count.has_value());
+    EXPECT_GE(*count, 1);
+    EXPECT_LE(*count, 3);
+
+    // Query again: the count is stable once the rhythm is sinus.
+    auto again = sys.queryTreatments();
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(*again, *count);
+}
+
+TEST(System, LambdaOutputsMatchSpecExactly)
+{
+    // The comm stream from the co-simulated λ-layer must equal the
+    // specification's output stream sample for sample — the
+    // refinement argument holds end-to-end, not just in the
+    // lock-step harness.
+    ecg::ScriptedHeart heartA({ { 20.0, 75.0 }, { 60.0, 190.0 } },
+                              13);
+    ecg::ScriptedHeart heartB({ { 20.0, 75.0 }, { 60.0, 190.0 } },
+                              13);
+
+    TwoLayerSystem sys(kernelImage(), icd::monitorProgram(), heartA);
+    // Drain the channel continuously via a monitor that just counts;
+    // we compare against the spec using the shock log instead (the
+    // pacing port sees lastOut, i.e. output n arrives at tick n+1).
+    sys.runForMs(40000.0);
+
+    icd::IcdSpec spec;
+    std::vector<SWord> want;
+    for (uint64_t i = 0; i < sys.samplesRead(); ++i)
+        want.push_back(spec.step(heartB.nextSample()));
+
+    const auto &log = sys.shocks();
+    ASSERT_GE(log.size(), 2u);
+    // shock[0] is the initial lastOut=0; shock[k] = out[k-1].
+    EXPECT_EQ(log[0].value, 0);
+    size_t n = std::min(log.size() - 1, want.size());
+    ASSERT_GT(n, 7000u);
+    for (size_t k = 0; k < n; ++k) {
+        ASSERT_EQ(log[k + 1].value, want[k])
+            << "mismatch at iteration " << k;
+    }
+}
+
+TEST(System, BaselineSystemAlsoRunsStandalone)
+{
+    // The all-imperative alternative: the baseline ICD on the
+    // imperative core with the same devices (no λ-layer). Reuses
+    // the λ-side port map.
+    ecg::ResponsiveHeart heart(10.0, 75.0, 190.0, 8, 5);
+
+    class Rig : public IoBus
+    {
+      public:
+        Rig(ecg::Heart &h, uint64_t totalTicks)
+            : heart(h), ticksLeft(totalTicks)
+        {}
+        SWord
+        getInt(SWord port) override
+        {
+            if (port == kPortTimer) {
+                if (ticksLeft == 0)
+                    return 0;
+                --ticksLeft;
+                return 1;
+            }
+            if (port == kPortEcgIn)
+                return heart.nextSample();
+            return 0;
+        }
+        void
+        putInt(SWord port, SWord value) override
+        {
+            if (port == kPortShockOut)
+                heart.onShock(value);
+            else if (port == kPortCommOut)
+                outs.push_back(value);
+        }
+        ecg::Heart &heart;
+        uint64_t ticksLeft;
+        std::vector<SWord> outs;
+    };
+
+    Rig rig(heart, 6000); // 30 s of samples
+    mblaze::MbCpu cpu(icd::baselineIcdProgram(), rig);
+    cpu.run(60'000'000ull);
+    ASSERT_EQ(rig.outs.size(), 6000u);
+    int pulses = 0;
+    for (SWord v : rig.outs)
+        pulses += v != 0;
+    EXPECT_GE(pulses, icd::kAtpPulses);
+    EXPECT_FALSE(heart.inVt());
+}
+
+} // namespace
+} // namespace zarf::sys

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Two-layer system under alternative GC policies (the Sec. 5.2
+ * ablation): the kernel variant without the per-iteration collector
+ * call must still behave identically (outputs are untouched by GC
+ * placement) and still meet deadlines when the machine's
+ * exhaustion/interval policies carry the collection load.
+ */
+
+#include <gtest/gtest.h>
+
+#include "icd/baseline.hh"
+#include "icd/spec.hh"
+#include "icd/zarf_icd.hh"
+#include "system/system.hh"
+
+namespace zarf::sys
+{
+namespace
+{
+
+TEST(SystemGcPolicy, NoExplicitGcKernelStillMeetsDeadlines)
+{
+    ecg::ScriptedHeart heart({ { 60.0, 75.0 } }, 11);
+    SystemConfig cfg;
+    cfg.semispaceWords = 1u << 16;
+    TwoLayerSystem sys(icd::buildKernelImage(false),
+                       icd::monitorProgram(), heart, cfg);
+    MachineStatus st = sys.runForMs(5000.0);
+    EXPECT_EQ(st, MachineStatus::Running);
+    EXPECT_FALSE(sys.deadlineMissed());
+    EXPECT_NEAR(double(sys.samplesRead()), 1000.0, 3.0);
+    // Collection happened on exhaustion only — note the idle
+    // timer-polling loop allocates too, so exhaustion still fires
+    // regularly, just less than once per iteration.
+    const MachineStats &s = sys.lambdaStats();
+    EXPECT_GT(s.gcRuns, 0u);
+    EXPECT_LT(s.gcRuns, sys.samplesRead());
+}
+
+TEST(SystemGcPolicy, OutputsIdenticalAcrossGcPolicies)
+{
+    // The same heart seed through both kernel variants: every comm
+    // word (ICD output) must be identical — GC placement must be
+    // semantically invisible.
+    ecg::ScriptedHeart ha({ { 10.0, 75.0 }, { 30.0, 190.0 } }, 13);
+    ecg::ScriptedHeart hb({ { 10.0, 75.0 }, { 30.0, 190.0 } }, 13);
+
+    TwoLayerSystem sysA(icd::buildKernelImage(true),
+                        icd::monitorProgram(), ha);
+    SystemConfig cfg;
+    cfg.semispaceWords = 1u << 16;
+    TwoLayerSystem sysB(icd::buildKernelImage(false),
+                        icd::monitorProgram(), hb, cfg);
+    sysA.runForMs(20000.0);
+    sysB.runForMs(20000.0);
+
+    // Compare via the pacing log (shock[k] = out[k-1]).
+    const auto &la = sysA.shocks();
+    const auto &lb = sysB.shocks();
+    size_t n = std::min(la.size(), lb.size());
+    ASSERT_GT(n, 3500u);
+    for (size_t i = 0; i < n; ++i)
+        ASSERT_EQ(la[i].value, lb[i].value) << "at tick " << i;
+}
+
+TEST(SystemGcPolicy, IntervalPolicyInSystem)
+{
+    // Interval collection every half tick keeps pauses frequent and
+    // small without the kernel's explicit call.
+    ecg::ScriptedHeart heart({ { 30.0, 75.0 } }, 17);
+    // Note: TwoLayerSystem fixes its own MachineConfig; drive the
+    // machine directly for this policy check.
+    class Rig : public IoBus
+    {
+      public:
+        explicit Rig(ecg::Heart &h) : heart(h) {}
+        SWord
+        getInt(SWord port) override
+        {
+            if (port == kPortTimer)
+                return 1;
+            if (port == kPortEcgIn)
+                return heart.nextSample();
+            return 0;
+        }
+        void
+        putInt(SWord port, SWord) override
+        {
+            if (port == kPortCommOut)
+                ++iters;
+        }
+        ecg::Heart &heart;
+        uint64_t iters = 0;
+    };
+    Rig rig(heart);
+    MachineConfig mcfg;
+    mcfg.semispaceWords = 1u << 16;
+    mcfg.gcIntervalCycles = 125'000;
+    Machine m(icd::buildKernelImage(false), rig, mcfg);
+    while (rig.iters < 1000 &&
+           m.advance(1'000'000) == MachineStatus::Running) {}
+    ASSERT_GE(rig.iters, 1000u);
+    const MachineStats &s = m.stats();
+    EXPECT_GT(s.gcRuns, 10u);
+    // Pauses bounded by the (small) live set.
+    EXPECT_LT(s.gcMaxPauseCycles, 20000u);
+}
+
+} // namespace
+} // namespace zarf::sys

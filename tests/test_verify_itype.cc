@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Integrity type system tests (Sec. 5.3): lattice and subtyping
+ * algebra, acceptance of well-typed flows, rejection of explicit and
+ * implicit untrusted-to-trusted flows, type-checking of the full ICD
+ * kernel program, and dynamic non-interference validation via the
+ * perturbation harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "icd/zarf_icd.hh"
+#include "lowlevel/extract.hh"
+#include "verify/icd_types.hh"
+#include "verify/itype.hh"
+#include "verify/nidemo.hh"
+#include "verify/noninterference.hh"
+
+namespace zarf::verify
+{
+namespace
+{
+
+TEST(ITypeAlgebra, Lattice)
+{
+    EXPECT_TRUE(flowsTo(Label::T, Label::U));
+    EXPECT_TRUE(flowsTo(Label::T, Label::T));
+    EXPECT_TRUE(flowsTo(Label::U, Label::U));
+    EXPECT_FALSE(flowsTo(Label::U, Label::T));
+    EXPECT_EQ(join(Label::T, Label::T), Label::T);
+    EXPECT_EQ(join(Label::T, Label::U), Label::U);
+}
+
+TEST(ITypeAlgebra, NumSubtyping)
+{
+    EXPECT_TRUE(subtype(tNum(Label::T), tNum(Label::U)));
+    EXPECT_FALSE(subtype(tNum(Label::U), tNum(Label::T)));
+    EXPECT_TRUE(subtype(tNum(Label::T), tNum(Label::T)));
+}
+
+TEST(ITypeAlgebra, BottomIsLeast)
+{
+    EXPECT_TRUE(subtype(tBottom(), tNum(Label::T)));
+    EXPECT_TRUE(subtype(tBottom(), tData(3, Label::T)));
+    ITypePtr j = joinTypes(tBottom(), tNum(Label::T));
+    ASSERT_TRUE(j);
+    EXPECT_EQ(j->kind, IType::Kind::Num);
+}
+
+TEST(ITypeAlgebra, FunSubtypingIsContravariant)
+{
+    // (num^U -> num^T) <= (num^T -> num^U)
+    ITypePtr a = tFun({ tNum(Label::U) }, tNum(Label::T));
+    ITypePtr b = tFun({ tNum(Label::T) }, tNum(Label::U));
+    EXPECT_TRUE(subtype(a, b));
+    EXPECT_FALSE(subtype(b, a));
+}
+
+TEST(ITypeAlgebra, JoinRejectsShapeMismatch)
+{
+    EXPECT_FALSE(joinTypes(tNum(Label::T), tData(0, Label::T)));
+    EXPECT_FALSE(joinTypes(tData(0, Label::T), tData(1, Label::T)));
+}
+
+TEST(ITypeAlgebra, RaiseTaints)
+{
+    ITypePtr t = raise(tNum(Label::T), Label::U);
+    EXPECT_EQ(t->label, Label::U);
+    EXPECT_EQ(raise(tNum(Label::T), Label::T)->label, Label::T);
+}
+
+// ----------------------------------------------------------------
+// Whole-program checking on the demo programs
+// ----------------------------------------------------------------
+
+TEST(ITypeCheck, CleanDemoIsWellTyped)
+{
+    Program p = buildNiDemo(NiVariant::Clean);
+    TypeEnv env = niDemoTypeEnv(p);
+    ITypeReport r = checkIntegrity(p, env);
+    EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(ITypeCheck, ExplicitFlowRejected)
+{
+    Program p = buildNiDemo(NiVariant::ExplicitFlow);
+    TypeEnv env = niDemoTypeEnv(p);
+    ITypeReport r = checkIntegrity(p, env);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.summary().find("putint"), std::string::npos)
+        << r.summary();
+}
+
+TEST(ITypeCheck, ImplicitFlowRejected)
+{
+    Program p = buildNiDemo(NiVariant::ImplicitFlow);
+    TypeEnv env = niDemoTypeEnv(p);
+    ITypeReport r = checkIntegrity(p, env);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(ITypeCheck, MissingSignatureReported)
+{
+    Program p = buildNiDemo(NiVariant::Clean);
+    TypeEnv env = niDemoTypeEnv(p);
+    env.funs.erase(env.funs.begin());
+    ITypeReport r = checkIntegrity(p, env);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.summary().find("signature"), std::string::npos);
+}
+
+// ----------------------------------------------------------------
+// The headline result: the ICD kernel type-checks
+// ----------------------------------------------------------------
+
+TEST(ITypeCheck, IcdStepProgramIsWellTyped)
+{
+    Program p = icd::buildIcdStepProgram();
+    TypeEnv env = icdKernelTypeEnv(p);
+    ITypeReport r = checkIntegrity(p, env);
+    EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(ITypeCheck, FullKernelIsWellTyped)
+{
+    Program p = ll::extractOrDie(icd::buildKernelLowLevel());
+    TypeEnv env = icdKernelTypeEnv(p);
+    ITypeReport r = checkIntegrity(p, env);
+    EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(ITypeCheck, CorruptedKernelRejected)
+{
+    // Relabel the ECG input port untrusted: the whole trusted
+    // pipeline is now fed by a U source and must fail to check.
+    Program p = ll::extractOrDie(icd::buildKernelLowLevel());
+    TypeEnv env = icdKernelTypeEnv(p);
+    env.ports[0] = Label::U; // sensor now untrusted
+    ITypeReport r = checkIntegrity(p, env);
+    EXPECT_FALSE(r.ok());
+}
+
+// ----------------------------------------------------------------
+// Dynamic non-interference (the soundness corollary)
+// ----------------------------------------------------------------
+
+std::vector<SWord>
+sensorStream()
+{
+    std::vector<SWord> s;
+    for (int i = 0; i < 64; ++i)
+        s.push_back(i * 13 % 97 - 40);
+    return s;
+}
+
+TEST(NonInterference, CleanDemoIsNonInterfering)
+{
+    Program p = buildNiDemo(NiVariant::Clean);
+    TypeEnv env = niDemoTypeEnv(p);
+    ASSERT_TRUE(checkIntegrity(p, env).ok());
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+        NiReport r = perturbUntrusted(p, env, sensorStream(),
+                                      seed * 2 + 1, seed * 2 + 2);
+        ASSERT_TRUE(r.ran) << r.detail;
+        EXPECT_FALSE(r.interference) << r.detail;
+    }
+}
+
+TEST(NonInterference, ExplicitFlowDetectedDynamically)
+{
+    Program p = buildNiDemo(NiVariant::ExplicitFlow);
+    TypeEnv env = niDemoTypeEnv(p);
+    NiReport r = perturbUntrusted(p, env, sensorStream(), 1, 2);
+    ASSERT_TRUE(r.ran) << r.detail;
+    EXPECT_TRUE(r.interference);
+}
+
+TEST(NonInterference, ImplicitFlowDetectedDynamically)
+{
+    Program p = buildNiDemo(NiVariant::ImplicitFlow);
+    TypeEnv env = niDemoTypeEnv(p);
+    NiReport r = perturbUntrusted(p, env, sensorStream(), 3, 4);
+    ASSERT_TRUE(r.ran) << r.detail;
+    EXPECT_TRUE(r.interference);
+}
+
+class NiSeeds : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(NiSeeds, SoundnessHoldsAcrossSeeds)
+{
+    // The theorem, sampled: a well-typed program's trusted outputs
+    // are identical under arbitrary untrusted perturbation.
+    Program p = buildNiDemo(NiVariant::Clean, 40);
+    TypeEnv env = niDemoTypeEnv(p);
+    NiReport r = perturbUntrusted(p, env, sensorStream(),
+                                  GetParam() * 7 + 1,
+                                  GetParam() * 11 + 5);
+    ASSERT_TRUE(r.ran) << r.detail;
+    EXPECT_FALSE(r.interference) << r.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NiSeeds,
+                         ::testing::Range(uint64_t(0), uint64_t(25)));
+
+} // namespace
+} // namespace zarf::verify

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Resource-model tests (Table 1): the λ-layer structure matches the
+ * paper's state inventory; the calibrated model reproduces the
+ * published synthesis numbers within tolerance; and the paper's
+ * relative claim — the λ-layer costs roughly twice a minimal
+ * imperative core and runs at half the clock — holds in the model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "verify/resource.hh"
+
+namespace zarf::verify
+{
+namespace
+{
+
+double
+relErr(double model, double paper)
+{
+    return std::abs(model - paper) / paper;
+}
+
+TEST(Resource, StateInventoryMatchesPaper)
+{
+    CoreStructure s = lambdaLayerStructure();
+    EXPECT_EQ(s.fsmStates, 66u);
+    EXPECT_EQ(kLoadStates, 4u);
+    EXPECT_EQ(kApplyStates, 15u);
+    EXPECT_EQ(kEvalStates, 18u);
+    EXPECT_EQ(kGcStates, 29u);
+}
+
+TEST(Resource, LambdaModelMatchesPaperWithinTolerance)
+{
+    ResourceEstimate m = estimateResources(lambdaLayerStructure());
+    ResourceEstimate p = paperLambdaLayer();
+    EXPECT_LT(relErr(m.gates, p.gates), 0.05) << m.gates;
+    EXPECT_LT(relErr(m.luts, p.luts), 0.05) << m.luts;
+    EXPECT_LT(relErr(m.ffs, p.ffs), 0.05) << m.ffs;
+    EXPECT_DOUBLE_EQ(m.cycleNs, p.cycleNs);
+}
+
+TEST(Resource, MicroBlazeModelIsInTheBallpark)
+{
+    ResourceEstimate m = estimateResources(mblazeStructure());
+    ResourceEstimate p = paperMicroBlaze();
+    // The vendor core's internals are opaque; require 25%.
+    EXPECT_LT(relErr(m.luts, p.luts), 0.25) << m.luts;
+    EXPECT_LT(relErr(m.ffs, p.ffs), 0.25) << m.ffs;
+    EXPECT_DOUBLE_EQ(m.cycleNs, p.cycleNs);
+}
+
+TEST(Resource, RelativeClaimHolds)
+{
+    // "our experimental prototype uses approximately twice the
+    // hardware resources" of the MicroBlaze, at half the clock.
+    ResourceEstimate l = estimateResources(lambdaLayerStructure());
+    ResourceEstimate m = estimateResources(mblazeStructure());
+    double lutRatio = double(l.luts) / m.luts;
+    EXPECT_GT(lutRatio, 1.5);
+    EXPECT_LT(lutRatio, 3.5);
+    EXPECT_DOUBLE_EQ(l.cycleNs, 2.0 * m.cycleNs);
+}
+
+TEST(Resource, TableRenders)
+{
+    std::string t = renderTable1();
+    EXPECT_NE(t.find("LUTs"), std::string::npos);
+    EXPECT_NE(t.find("66"), std::string::npos);
+    EXPECT_NE(t.find("cycle time"), std::string::npos);
+    EXPECT_NE(t.find("4337"), std::string::npos); // paper value shown
+}
+
+} // namespace
+} // namespace zarf::verify

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * WCET soundness property: on randomly generated first-order
+ * programs (the analyzer's domain), the static execution bound must
+ * dominate the cycles the machine actually spends, and the static
+ * allocation profile must dominate the machine's actual allocation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/genprog.hh"
+#include "isa/binary.hh"
+#include "machine/machine.hh"
+#include "verify/wcet.hh"
+
+namespace zarf::verify
+{
+namespace
+{
+
+class WcetProperty : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(WcetProperty, BoundDominatesMachine)
+{
+    testing::GenConfig gcfg;
+    gcfg.firstOrder = true;
+    gcfg.allowErrors = false;
+    gcfg.numCons = 3;
+    gcfg.numFuncs = 6;
+    gcfg.maxDepth = 5;
+    testing::ProgramGenerator gen(GetParam() * 48271 + 11, gcfg);
+    BuildResult b = gen.generate().tryBuild();
+    ASSERT_TRUE(b.ok) << b.error;
+
+    WcetReport r = analyzeWcet(b.program, "main");
+    ASSERT_TRUE(r.ok) << r.error;
+
+    NullBus bus;
+    MachineConfig mcfg;
+    mcfg.semispaceWords = 1u << 20; // no collection during the run
+    Machine m(encodeProgram(b.program), bus, mcfg);
+    Machine::Outcome o = m.run();
+    ASSERT_EQ(o.status, MachineStatus::Done) << o.diagnostic;
+
+    const MachineStats &s = m.stats();
+    ASSERT_EQ(s.gcRuns, 0u);
+    // Execution cycles exclude loading; allow the boot thunk's
+    // small constant.
+    // The analyzer assumes type-correct programs (the paper relies
+    // on Hindley-Milner typing to rule out runtime Error values);
+    // the generator is untyped, so allow for the machine's Error
+    // constructions (2 words each) and the boot thunk.
+    Cycles observed = m.cycles() - s.loadCycles;
+    EXPECT_GE(r.execBound + 16 + 8 * s.errorsCreated, observed)
+        << "bound " << r.execBound << " vs observed " << observed;
+
+    EXPECT_GE(r.allocWords + 2 + 2 * s.errorsCreated,
+              s.allocatedWords);
+    EXPECT_GE(r.allocObjects + 1 + s.errorsCreated, s.allocations);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WcetProperty,
+                         ::testing::Range(uint64_t(0), uint64_t(120)));
+
+} // namespace
+} // namespace zarf::verify

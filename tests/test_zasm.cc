@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Assembler tests: parse/print round trips, located parse errors,
+ * lowering errors, and disassembly of binaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/testprogs.hh"
+#include "isa/binary.hh"
+#include "isa/validate.hh"
+#include "zasm/zasm.hh"
+
+namespace zarf
+{
+namespace
+{
+
+TEST(Zasm, ParsesMapProgram)
+{
+    ParseResult r = parseAssembly(testing::mapProgramText());
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.builder.decls().size(), 6u);
+    EXPECT_TRUE(r.builder.decls()[0].isCons);
+    EXPECT_EQ(r.builder.decls()[0].name, "Nil");
+    EXPECT_EQ(r.builder.decls()[3].name, "addOne");
+}
+
+TEST(Zasm, PrintParseRoundTrip)
+{
+    for (const std::string &text : { testing::mapProgramText(),
+                                     testing::churchProgramText(),
+                                     testing::countdownProgramText(),
+                                     testing::ioEchoProgramText() }) {
+        ParseResult r1 = parseAssembly(text);
+        ASSERT_TRUE(r1.ok) << r1.error;
+        std::string printed = printAssembly(r1.builder);
+        ParseResult r2 = parseAssembly(printed);
+        ASSERT_TRUE(r2.ok) << r2.error << "\n" << printed;
+        // The two must lower to identical programs.
+        BuildResult b1 = r1.builder.tryBuild();
+        BuildResult b2 = r2.builder.tryBuild();
+        ASSERT_TRUE(b1.ok && b2.ok);
+        EXPECT_EQ(encodeProgram(b1.program), encodeProgram(b2.program));
+    }
+}
+
+TEST(Zasm, ReportsLocatedParseError)
+{
+    ParseResult r = parseAssembly("fun main =\n  let = add 1 2\n");
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("2:"), std::string::npos) << r.error;
+}
+
+TEST(Zasm, RejectsMissingElse)
+{
+    ParseResult r = parseAssembly(R"(
+fun main =
+  case 1 of
+    0 =>
+      result 1
+)");
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(Zasm, RejectsUnboundVariable)
+{
+    ParseResult r = parseAssembly("fun main =\n  result nope\n");
+    ASSERT_TRUE(r.ok);
+    BuildResult b = r.builder.tryBuild();
+    ASSERT_FALSE(b.ok);
+    EXPECT_NE(b.error.find("nope"), std::string::npos);
+}
+
+TEST(Zasm, RejectsPrimShadowing)
+{
+    ParseResult r = parseAssembly(
+        "fun main =\n  result 0\nfun add a b =\n  result a\n");
+    ASSERT_TRUE(r.ok);
+    BuildResult b = r.builder.tryBuild();
+    EXPECT_FALSE(b.ok);
+}
+
+TEST(Zasm, RejectsDuplicateNames)
+{
+    ParseResult r = parseAssembly(
+        "fun main =\n  result 0\nfun f a =\n  result a\n"
+        "fun f a =\n  result a\n");
+    ASSERT_TRUE(r.ok);
+    EXPECT_FALSE(r.builder.tryBuild().ok);
+}
+
+TEST(Zasm, RejectsWrongPatternFieldCount)
+{
+    ParseResult r = parseAssembly(R"(
+con Pair a b
+fun main =
+  let p = Pair 1 2
+  case p of
+    Pair x =>
+      result x
+  else
+    result 0
+)");
+    ASSERT_TRUE(r.ok);
+    BuildResult b = r.builder.tryBuild();
+    EXPECT_FALSE(b.ok);
+}
+
+TEST(Zasm, RejectsMainWithParams)
+{
+    ParseResult r = parseAssembly("fun main x =\n  result x\n");
+    ASSERT_TRUE(r.ok);
+    EXPECT_FALSE(r.builder.tryBuild().ok);
+}
+
+TEST(Zasm, CommentsAndWhitespaceIgnored)
+{
+    Program p = assembleOrDie(
+        "# leading comment\nfun main = # trailing\n"
+        "  let x = add 1 2 # comment\n  result x\n");
+    EXPECT_EQ(p.decls.size(), 1u);
+}
+
+TEST(Zasm, ShadowingParamWithLocalIsAllowed)
+{
+    // A let may rebind a name; later uses see the local.
+    Program p = assembleOrDie(R"(
+fun main =
+  let r = f 5
+  result r
+fun f x =
+  let x = add x 1
+  result x
+)");
+    EXPECT_TRUE(validateProgram(p).ok());
+    const Decl &f = p.decls[1];
+    // The result must reference local 0, not arg 0.
+    const Expr *e = f.body.get();
+    ASSERT_TRUE(e->isLet());
+    const Expr *res = e->asLet().body.get();
+    ASSERT_TRUE(res->isResult());
+    EXPECT_EQ(res->asResult().value.src, Src::Local);
+}
+
+TEST(Zasm, DisassembleMentionsEveryFunction)
+{
+    Program p = assembleOrDie(testing::mapProgramText());
+    std::string d = disassemble(p);
+    for (const char *n : { "Nil", "Cons", "main", "map", "sumList" })
+        EXPECT_NE(d.find(n), std::string::npos) << n;
+    // Machine-form operands appear.
+    EXPECT_NE(d.find("arg0"), std::string::npos);
+    EXPECT_NE(d.find("local0"), std::string::npos);
+}
+
+TEST(Zasm, DisassembleDecodedBinary)
+{
+    // Binary carries no names; disassembly synthesizes them.
+    Program p = assembleOrDie(testing::mapProgramText());
+    Program q = decodeProgramOrDie(encodeProgram(p));
+    std::string d = disassemble(q);
+    EXPECT_NE(d.find("main"), std::string::npos);
+    EXPECT_NE(d.find("fn_0x"), std::string::npos);
+    EXPECT_NE(d.find("con_0x"), std::string::npos);
+}
+
+TEST(Zasm, LocalsNumberingMatchesFootnote)
+{
+    // Fig. 4 footnote: pattern-bound fields take the next local
+    // slots; subsequent lets continue from there.
+    Program p = assembleOrDie(R"(
+con Cons head tail
+con Nil
+fun main =
+  result 0
+fun f list =
+  case list of
+    Cons h t =>
+      let s = add h 1
+      result s
+  else
+    result 0
+)");
+    const Decl &f = p.decls[3];
+    EXPECT_EQ(f.numLocals, 3u); // h, t, s on the cons path
+    const Case &c = f.body->asCase();
+    const Let &l = c.branches[0].body->asLet();
+    // `add h 1`: h is local 0; the bound s is local 2.
+    EXPECT_EQ(l.args[0], opLocal(0));
+    const Result &r = l.body->asResult().value.src == Src::Local
+                          ? l.body->asResult()
+                          : l.body->asResult();
+    EXPECT_EQ(r.value, opLocal(2));
+}
+
+} // namespace
+} // namespace zarf

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Assembler round-trip properties over randomly generated programs:
+ * printAssembly must re-parse and lower to a byte-identical binary,
+ * and the binary disassembly must render without loss of structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/genprog.hh"
+#include "isa/binary.hh"
+#include "zasm/zasm.hh"
+
+namespace zarf
+{
+namespace
+{
+
+class ZasmRoundTrip : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(ZasmRoundTrip, PrintParseLowerIdentical)
+{
+    testing::GenConfig cfg;
+    cfg.numCons = 4;
+    cfg.numFuncs = 6;
+    cfg.maxDepth = 5;
+    testing::ProgramGenerator gen(GetParam() * 611953 + 41, cfg);
+    ProgramBuilder pb = gen.generate();
+    BuildResult b1 = pb.tryBuild();
+    ASSERT_TRUE(b1.ok) << b1.error;
+    Image img1 = encodeProgram(b1.program);
+
+    std::string text = printAssembly(pb);
+    ParseResult pr = parseAssembly(text);
+    ASSERT_TRUE(pr.ok) << pr.error << "\n" << text;
+    BuildResult b2 = pr.builder.tryBuild();
+    ASSERT_TRUE(b2.ok) << b2.error;
+
+    EXPECT_EQ(encodeProgram(b2.program), img1)
+        << "printed assembly lowered differently:\n" << text;
+
+    // And the machine-form disassembly of the binary mentions every
+    // declaration.
+    Program dec = decodeProgramOrDie(img1);
+    std::string dis = disassemble(dec);
+    EXPECT_NE(dis.find("main"), std::string::npos);
+    for (size_t i = 0; i < dec.decls.size(); ++i) {
+        if (!dec.decls[i].isCons)
+            continue;
+        EXPECT_NE(dis.find(dec.decls[i].name), std::string::npos);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZasmRoundTrip,
+                         ::testing::Range(uint64_t(0), uint64_t(80)));
+
+} // namespace
+} // namespace zarf
