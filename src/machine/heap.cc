@@ -19,7 +19,14 @@ Word
 Heap::alloc(ObjKind kind, Word fn, const std::vector<Word> &payload,
             bool pad)
 {
-    size_t need = 1 + payload.size();
+    return alloc(kind, fn, payload.data(), payload.size(), pad);
+}
+
+Word
+Heap::alloc(ObjKind kind, Word fn, const Word *payload, size_t n,
+            bool pad)
+{
+    size_t need = 1 + n;
     if (allocPtr + need > limit) {
         if (hook)
             collect(hook);
@@ -29,9 +36,8 @@ Heap::alloc(ObjKind kind, Word fn, const std::vector<Word> &payload,
         }
     }
     Word addr = static_cast<Word>(allocPtr);
-    mem[allocPtr] = mhdr::pack(kind, static_cast<Word>(payload.size()),
-                               fn, pad);
-    for (size_t i = 0; i < payload.size(); ++i)
+    mem[allocPtr] = mhdr::pack(kind, static_cast<Word>(n), fn, pad);
+    for (size_t i = 0; i < n; ++i)
         mem[allocPtr + 1 + i] = payload[i];
     allocPtr += need;
     ++stats.allocations;

@@ -139,6 +139,11 @@ class Heap
     Word alloc(ObjKind kind, Word fn, const std::vector<Word> &payload,
                bool pad = false);
 
+    /** Span overload: the hot path allocates straight from reused
+     *  scratch buffers without materializing a payload vector. */
+    Word alloc(ObjKind kind, Word fn, const Word *payload, size_t n,
+               bool pad = false);
+
     /** Read the header of an object. */
     Word header(Word addr) const { return mem[addr]; }
     /** Read payload word i of an object. */

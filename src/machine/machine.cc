@@ -1,30 +1,38 @@
 #include "machine/machine.hh"
 
 #include <algorithm>
+#include <cassert>
 #include <map>
 #include <optional>
 
 #include "isa/encoding.hh"
+#include "isa/prims.hh"
+#include "machine/predecode.hh"
 #include "support/logging.hh"
 
 namespace zarf
 {
 
-namespace
-{
-
-/** Load-time view of one declaration. */
-struct FuncEntry
-{
-    bool isCons;
-    Word arity;
-    Word numLocals;
-    size_t bodyBegin; ///< Word index of the first body word.
-    size_t bodyEnd;
-};
-
-} // namespace
-
+/**
+ * The implementation carries two complete execution paths selected
+ * by MachineConfig::usePredecode:
+ *
+ *  - The µop path (the default): walks the predecoded streams of
+ *    machine/predecode.hh and runs on a pooled hot path — a
+ *    free-list continuation-frame stack, reused scratch buffers,
+ *    span-based heap allocation, and an identifier-metadata table
+ *    built once at load.
+ *
+ *  - The reference path: the original word-walking machine, kept
+ *    deliberately untouched (per-step vector construction, linear
+ *    primById lookups and all) so that differential tests compare
+ *    the new hot path against the unmodified seed semantics *and*
+ *    so the throughput benchmark measures the real cost delta.
+ *
+ * Both paths share load(), the heap, the timing model, and the
+ * cycle/statistics accounting, and are bit-identical in results,
+ * cycle counts, and statistics on every well-formed image.
+ */
 class Machine::Impl
 {
   public:
@@ -45,8 +53,13 @@ class Machine::Impl
     advance(Cycles budget)
     {
         Cycles target = total + budget;
-        while (status == MachineStatus::Running && total < target)
-            stepOnce();
+        if (cfg.usePredecode) {
+            while (status == MachineStatus::Running && total < target)
+                stepOnceU();
+        } else {
+            while (status == MachineStatus::Running && total < target)
+                stepOnceRef();
+        }
         return status;
     }
 
@@ -66,7 +79,14 @@ class Machine::Impl
     }
 
     Cycles cyclesTotal() const { return total; }
-    const MachineStats &stats() const { return machineStats; }
+
+    const MachineStats &
+    stats() const
+    {
+        syncStats();
+        return machineStats;
+    }
+
     size_t heapUsed() const { return heap.usedWords(); }
 
     void
@@ -99,7 +119,7 @@ class Machine::Impl
 
   private:
     // ------------------------------------------------------------
-    // Cycle accounting
+    // Cycle accounting (shared)
     // ------------------------------------------------------------
 
     enum class InstrClass { None, Let, Case, Result };
@@ -125,7 +145,7 @@ class Machine::Impl
     }
 
     // ------------------------------------------------------------
-    // Loading (the 4 load states)
+    // Loading (the 4 load states, shared)
     // ------------------------------------------------------------
 
     void
@@ -162,8 +182,9 @@ class Machine::Impl
                 fail("declaration body overruns image");
                 return;
             }
-            funcs.push_back(FuncEntry{ info.isCons, info.arity,
-                                       info.numLocals, pos, pos + m });
+            funcs.push_back(PredecodedFunc{ info.isCons, info.arity,
+                                            info.numLocals, pos,
+                                            pos + m });
             pos += m;
         }
         entry = ~Word(0);
@@ -173,22 +194,37 @@ class Machine::Impl
                 break;
             }
         }
-        if (entry == ~Word(0) || funcs[entry].arity != 0)
+        if (entry == ~Word(0) || funcs[entry].arity != 0) {
             fail("no zero-argument entry function");
+            return;
+        }
+
+        if (cfg.usePredecode) {
+            buildIdInfo();
+            callCounts.assign(funcs.size(), 0);
+            pre = predecodeImage(image, funcs);
+            if (!pre.ok) {
+                fail("predecode: " + pre.error);
+                return;
+            }
+        }
     }
 
     void
     boot()
     {
         // Allocate the entry thunk and start forcing it.
-        Word root = allocApp(kFirstUserFuncId + entry, {});
+        Word root = cfg.usePredecode
+                        ? allocApp(kFirstUserFuncId + entry, nullptr,
+                                   0)
+                        : allocAppRef(kFirstUserFuncId + entry, {});
         vreg = mval::mkRef(root);
         mode = Mode::EvalVal;
         status = MachineStatus::Running;
     }
 
     // ------------------------------------------------------------
-    // Machine structure (mirrors the hardware's stacks)
+    // Machine structure (mirrors the hardware's stacks; shared)
     // ------------------------------------------------------------
 
     struct Activation
@@ -203,7 +239,7 @@ class Machine::Impl
     {
         enum class Kind { Update, Case, PrimArgs, Apply };
 
-        Kind kind;
+        Kind kind = Kind::Update;
         Word target = 0; ///< Update: object address to overwrite.
         Activation act;  ///< Case resumption.
         Prim prim{};
@@ -211,90 +247,59 @@ class Machine::Impl
         std::vector<SWord> collected;
         size_t nextArg = 0;
         std::vector<Word> extra; ///< Apply leftovers.
+
+        /** Reset for reuse (µop path). clear() keeps vector
+         *  capacity, so a recycled frame allocates nothing on the
+         *  steady state. */
+        void
+        reset(Kind k)
+        {
+            kind = k;
+            target = 0;
+            act.funcId = 0;
+            act.pc = 0;
+            act.args.clear();
+            act.locals.clear();
+            primArgs.clear();
+            collected.clear();
+            nextArg = 0;
+            extra.clear();
+        }
+    };
+
+    /**
+     * The continuation stack as a free-list pool (µop path only):
+     * popping leaves the frame's storage in place for the next push
+     * to recycle, so the per-step construct/destroy of a Frame's
+     * vectors — a dominant host cost of the reference machine —
+     * disappears. Slots at or above size() hold stale data and are
+     * never visited by the GC root walk.
+     */
+    class FrameStack
+    {
+      public:
+        Frame &
+        push(Frame::Kind k)
+        {
+            if (n == store.size())
+                store.emplace_back();
+            Frame &f = store[n++];
+            f.reset(k);
+            return f;
+        }
+
+        Frame &top() { return store[n - 1]; }
+        void pop() { --n; }
+        bool empty() const { return n == 0; }
+        size_t size() const { return n; }
+        Frame &operator[](size_t i) { return store[i]; }
+
+      private:
+        std::vector<Frame> store;
+        size_t n = 0;
     };
 
     enum class Mode { EvalVal, Exec, Deliver };
-
-    // ------------------------------------------------------------
-    // Heap object construction
-    // ------------------------------------------------------------
-
-    Word
-    allocApp(Word fn, std::vector<Word> args)
-    {
-        bool pad = args.empty();
-        if (pad)
-            args.push_back(0);
-        charge(cfg.timing.allocHeader +
-               args.size() * cfg.timing.letPerArg);
-        return heap.alloc(ObjKind::App, fn, args, pad);
-    }
-
-    Word
-    allocAppV(Word callee, std::vector<Word> args)
-    {
-        args.insert(args.begin(), callee);
-        charge(cfg.timing.allocHeader +
-               args.size() * cfg.timing.letPerArg);
-        return heap.alloc(ObjKind::AppV, 0, args);
-    }
-
-    Word
-    allocCons(Word id, std::vector<Word> fields)
-    {
-        bool pad = fields.empty();
-        if (pad)
-            fields.push_back(0);
-        charge(cfg.timing.allocHeader +
-               fields.size() * cfg.timing.letPerArg);
-        return heap.alloc(ObjKind::Cons, id, fields, pad);
-    }
-
-    Word
-    allocError(SWord code)
-    {
-        ++machineStats.errorsCreated;
-        return allocCons(static_cast<Word>(Prim::Error),
-                         { mval::mkInt(code) });
-    }
-
-    // ------------------------------------------------------------
-    // Identifier metadata
-    // ------------------------------------------------------------
-
-    unsigned
-    arityOf(Word id) const
-    {
-        if (isPrimId(id)) {
-            auto p = primById(id);
-            return p ? p->arity : 0;
-        }
-        size_t idx = id - kFirstUserFuncId;
-        return idx < funcs.size() ? funcs[idx].arity : 0;
-    }
-
-    bool
-    isConsId(Word id) const
-    {
-        if (isPrimId(id)) {
-            auto p = primById(id);
-            return p && p->isConstructor;
-        }
-        size_t idx = id - kFirstUserFuncId;
-        return idx < funcs.size() && funcs[idx].isCons;
-    }
-
-    bool
-    idExists(Word id) const
-    {
-        if (isPrimId(id))
-            return primById(id).has_value();
-        return id - kFirstUserFuncId < funcs.size();
-    }
-
-    // ------------------------------------------------------------
-    // The driver
-    // ------------------------------------------------------------
 
     /**
      * GC safe-point margin. Collection only happens between machine
@@ -306,15 +311,151 @@ class Machine::Impl
      */
     static constexpr size_t kGcSafeMargin = 4096;
 
+    /**
+     * Distinguished word returned by operand resolution after a
+     * fail(): a reference to an address no configuration can reach,
+     * never the valid tagged integer 0 a malformed image could
+     * silently alias. Every resolve site checks the machine status
+     * before the word can be consumed; the poisonGuard asserts it.
+     */
+    static constexpr Word kPoisonOperand =
+        mval::kRefBit | 0x7fffffffu;
+
     void
-    stepOnce()
+    poisonGuard(Word v) const
+    {
+        assert(v != kPoisonOperand &&
+               "poisoned operand consumed after fail()");
+        (void)v;
+    }
+
+    void
+    blackhole(Word addr, Word h)
+    {
+        heap.setHeader(addr, mhdr::pack(ObjKind::Blackhole,
+                                        mhdr::countOf(h),
+                                        mhdr::fnOf(h), mhdr::padOf(h)));
+    }
+
+    size_t
+    frameCount() const
+    {
+        return cfg.usePredecode ? conts.size() : contsV.size();
+    }
+
+    void
+    stepOnceShared()
+    {
+        if (cfg.usePredecode)
+            stepOnceU();
+        else
+            stepOnceRef();
+    }
+
+    // ============================================================
+    // µop path: predecoded streams on the pooled hot path
+    // ============================================================
+
+    // ------------------------------------------------------------
+    // Heap object construction (span-based; scratch-buffer callers)
+    // ------------------------------------------------------------
+
+    Word
+    allocApp(Word fn, const Word *args, size_t n)
+    {
+        bool pad = n == 0;
+        Word zero = 0;
+        const Word *p = pad ? &zero : args;
+        size_t len = pad ? 1 : n;
+        charge(cfg.timing.allocHeader + len * cfg.timing.letPerArg);
+        return heap.alloc(ObjKind::App, fn, p, len, pad);
+    }
+
+    Word
+    allocAppV(Word callee, const Word *args, size_t n)
+    {
+        appvScratch.clear();
+        appvScratch.push_back(callee);
+        appvScratch.insert(appvScratch.end(), args, args + n);
+        charge(cfg.timing.allocHeader +
+               appvScratch.size() * cfg.timing.letPerArg);
+        return heap.alloc(ObjKind::AppV, 0, appvScratch.data(),
+                          appvScratch.size());
+    }
+
+    Word
+    allocCons(Word id, const Word *fields, size_t n)
+    {
+        bool pad = n == 0;
+        Word zero = 0;
+        const Word *p = pad ? &zero : fields;
+        size_t len = pad ? 1 : n;
+        charge(cfg.timing.allocHeader + len * cfg.timing.letPerArg);
+        return heap.alloc(ObjKind::Cons, id, p, len, pad);
+    }
+
+    Word
+    allocError(SWord code)
+    {
+        ++machineStats.errorsCreated;
+        Word field = mval::mkInt(code);
+        return allocCons(static_cast<Word>(Prim::Error), &field, 1);
+    }
+
+    // ------------------------------------------------------------
+    // Identifier metadata, resolved once at load
+    // ------------------------------------------------------------
+
+    struct IdInfo
+    {
+        Word arity = 0;
+        bool isCons = false;
+        bool exists = false;
+    };
+
+    void
+    buildIdInfo()
+    {
+        idInfo.assign(kFirstUserFuncId + funcs.size(), IdInfo{});
+        for (const PrimInfo &p : primTable()) {
+            IdInfo &e = idInfo[static_cast<Word>(p.id)];
+            e.arity = p.arity;
+            e.isCons = p.isConstructor;
+            e.exists = true;
+        }
+        for (size_t i = 0; i < funcs.size(); ++i) {
+            IdInfo &e = idInfo[kFirstUserFuncId + i];
+            e.arity = funcs[i].arity;
+            e.isCons = funcs[i].isCons;
+            e.exists = true;
+        }
+    }
+
+    Word
+    arityOf(Word id) const
+    {
+        return id < idInfo.size() ? idInfo[id].arity : 0;
+    }
+
+    bool
+    isConsId(Word id) const
+    {
+        return id < idInfo.size() && idInfo[id].isCons;
+    }
+
+    // ------------------------------------------------------------
+    // The driver (µop)
+    // ------------------------------------------------------------
+
+    void
+    stepOnceU()
     {
         if (heap.outOfMemory()) {
             status = MachineStatus::OutOfMemory;
             return;
         }
         if (cfg.gcOnExhaustion && heap.freeWords() < kGcSafeMargin) {
-            heap.collect(rootProvider());
+            heap.collect(rootProviderU());
             lastGcAt = total;
             if (heap.freeWords() < kGcSafeMargin) {
                 status = MachineStatus::OutOfMemory;
@@ -324,29 +465,29 @@ class Machine::Impl
         }
         if (cfg.gcIntervalCycles &&
             total - lastGcAt >= cfg.gcIntervalCycles) {
-            heap.collect(rootProvider());
+            heap.collect(rootProviderU());
             lastGcAt = total;
         }
         switch (mode) {
           case Mode::EvalVal:
-            stepEval();
+            stepEvalU();
             break;
           case Mode::Exec:
-            stepExec();
+            stepExecU();
             break;
           case Mode::Deliver:
             if (conts.empty()) {
                 status = MachineStatus::Done;
                 return;
             }
-            stepDeliver();
+            stepDeliverU();
             break;
         }
     }
 
     /** Is this object, as it stands, a WHNF value? */
     bool
-    objIsWhnf(Word h) const
+    objIsWhnfU(Word h) const
     {
         ObjKind k = mhdr::kindOf(h);
         if (k == ObjKind::Cons)
@@ -357,7 +498,7 @@ class Machine::Impl
     }
 
     void
-    stepEval()
+    stepEvalU()
     {
         vreg = heap.chase(vreg);
         if (mval::isInt(vreg)) {
@@ -372,7 +513,7 @@ class Machine::Impl
             fail("re-entered a thunk under evaluation");
             return;
         }
-        if (objIsWhnf(h)) {
+        if (objIsWhnfU(h)) {
             ++machineStats.whnfHits;
             mode = Mode::Deliver;
             return;
@@ -381,23 +522,18 @@ class Machine::Impl
         // A thunk: collapse pending update frames (EvCollapseUpd),
         // then enter it (EvEnterThunk + EvPushUpdate).
         while (!conts.empty() &&
-               conts.back().kind == Frame::Kind::Update) {
-            Word prev = conts.back().target;
+               conts.top().kind == Frame::Kind::Update) {
+            Word prev = conts.top().target;
             Word ph = heap.header(prev);
             heap.setHeader(prev, mhdr::pack(ObjKind::Ind,
                                             mhdr::countOf(ph), 0,
                                             mhdr::padOf(ph)));
             heap.setPayload(prev, 0, vreg);
-            conts.pop_back();
+            conts.pop();
             charge(cfg.timing.collapseUpdate);
             ++machineStats.updates;
         }
-        {
-            Frame f;
-            f.kind = Frame::Kind::Update;
-            f.target = addr;
-            conts.push_back(std::move(f));
-        }
+        conts.push(Frame::Kind::Update).target = addr;
         charge(cfg.timing.enterThunk);
         ++machineStats.forces;
 
@@ -407,27 +543,666 @@ class Machine::Impl
         if (kind == ObjKind::AppV) {
             // Evaluate the callee value, then apply the arguments.
             Word callee = heap.payload(addr, 0);
-            Frame f;
-            f.kind = Frame::Kind::Apply;
+            Frame &f = conts.push(Frame::Kind::Apply);
             for (Word i = 1; i < mhdr::countOf(h); ++i)
                 f.extra.push_back(heap.payload(addr, i));
             blackhole(addr, h);
-            conts.push_back(std::move(f));
             vreg = callee;
             return;
         }
 
         // App thunk on a global identifier.
+        evalScratch.clear();
+        evalScratch.reserve(count);
+        for (Word i = 0; i < count; ++i)
+            evalScratch.push_back(heap.payload(addr, i));
+        blackhole(addr, h);
+
+        Word arity = arityOf(fn);
+        if (isConsId(fn)) {
+            // Over-applied constructor (saturated ones are values).
+            vreg = mval::mkRef(allocError(kErrArity));
+            return;
+        }
+        if (evalScratch.size() > arity) {
+            Frame &f = conts.push(Frame::Kind::Apply);
+            f.extra.assign(evalScratch.begin() + arity,
+                           evalScratch.end());
+            evalScratch.resize(arity);
+            charge(cfg.timing.applyExtra);
+        }
+        if (isPrimId(fn)) {
+            beginPrimU(static_cast<Prim>(fn), evalScratch);
+            return;
+        }
+
+        // EvCallSetup: activate the function body.
+        size_t idx = fn - kFirstUserFuncId;
+        charge(cfg.timing.callSetup);
+        ++callCounts[idx];
+        act.funcId = fn;
+        act.args.swap(evalScratch);
+        act.locals.clear();
+        act.pc = funcs[idx].bodyBegin;
+        mode = Mode::Exec;
+    }
+
+    void
+    beginPrimU(Prim p, const std::vector<Word> &args)
+    {
+        // Primitive evaluation is accounted to the let class: the
+        // paper's "applying two arguments to a primitive ALU
+        // function and evaluating it" is a single let-application
+        // unit (Sec. 5.2).
+        curClass = InstrClass::Let;
+        charge(cfg.timing.primSetup);
+        if (args.empty()) {
+            fail("zero-arity primitive application");
+            return;
+        }
+        Frame &f = conts.push(Frame::Kind::PrimArgs);
+        f.prim = p;
+        f.primArgs.assign(args.begin(), args.end());
+        f.nextArg = 0;
+        vreg = f.primArgs[0];
+        mode = Mode::EvalVal;
+    }
+
+    // ------------------------------------------------------------
+    // Exec, µop path: walk the predecoded stream
+    // ------------------------------------------------------------
+
+    Word
+    resolveU(const UOperand &op)
+    {
+        switch (op.src) {
+          case Src::Imm:
+            return op.payload; // pre-tagged at predecode time
+          case Src::Arg:
+            if (op.payload >= act.args.size()) {
+                fail("argument index out of range");
+                return kPoisonOperand;
+            }
+            return act.args[op.payload];
+          case Src::Local:
+            if (op.payload >= act.locals.size()) {
+                fail("local index out of range");
+                return kPoisonOperand;
+            }
+            return act.locals[op.payload];
+        }
+        return kPoisonOperand;
+    }
+
+    void
+    stepExecU()
+    {
+        if (act.pc >= pre.uops.size()) {
+            fail("program counter ran off the image");
+            return;
+        }
+        const Uop &u = pre.uops[act.pc];
+        switch (u.kind) {
+          case UopKind::Let:
+            curClass = InstrClass::Let;
+            ++machineStats.let.count;
+            charge(cfg.timing.letBase);
+            execLetU(u);
+            return;
+          case UopKind::Case: {
+            curClass = InstrClass::Case;
+            ++machineStats.caseInstr.count;
+            charge(cfg.timing.caseBase);
+            Word scrut = resolveU(u.operand);
+            if (status != MachineStatus::Running)
+                return;
+            poisonGuard(scrut);
+            Frame &f = conts.push(Frame::Kind::Case);
+            f.act.funcId = act.funcId;
+            f.act.pc = act.pc;
+            f.act.args.assign(act.args.begin(), act.args.end());
+            f.act.locals.assign(act.locals.begin(),
+                                act.locals.end());
+            vreg = scrut;
+            mode = Mode::EvalVal;
+            return;
+          }
+          case UopKind::Result: {
+            curClass = InstrClass::Result;
+            ++machineStats.result.count;
+            charge(cfg.timing.resultBase);
+            Word v = resolveU(u.operand);
+            if (status != MachineStatus::Running)
+                return;
+            poisonGuard(v);
+            vreg = v;
+            mode = Mode::EvalVal;
+            return;
+          }
+          case UopKind::Invalid:
+            fail(strprintf("unexpected opcode at word %zu", act.pc));
+            return;
+        }
+    }
+
+    void
+    execLetU(const Uop &u)
+    {
+        letScratch.clear();
+        const UOperand *ops = pre.operands.data() + u.argsBegin;
+        for (uint32_t i = 0; i < u.nargs; ++i) {
+            charge(cfg.timing.letPerArg);
+            Word v = resolveU(ops[i]);
+            if (status != MachineStatus::Running)
+                return;
+            poisonGuard(v);
+            letScratch.push_back(v);
+        }
+        machineStats.letArgs += u.nargs;
+
+        Word bound = 0;
+        if (u.calleeKind == CalleeKind::Func) {
+            if (u.calleeClass == UCallee::Unknown) {
+                fail("let names an unknown function identifier");
+                return;
+            }
+            if (u.calleeClass == UCallee::Cons &&
+                letScratch.size() == u.calleeArity) {
+                bound = mval::mkRef(allocCons(
+                    u.calleeId, letScratch.data(), letScratch.size()));
+            } else if (u.calleeClass == UCallee::Cons &&
+                       letScratch.size() > u.calleeArity) {
+                bound = mval::mkRef(allocError(kErrArity));
+            } else {
+                bound = mval::mkRef(allocApp(
+                    u.calleeId, letScratch.data(), letScratch.size()));
+            }
+        } else {
+            Word callee;
+            if (u.calleeKind == CalleeKind::Local) {
+                if (u.calleeId >= act.locals.size()) {
+                    fail("callee local out of range");
+                    return;
+                }
+                callee = act.locals[u.calleeId];
+            } else {
+                if (u.calleeId >= act.args.size()) {
+                    fail("callee arg out of range");
+                    return;
+                }
+                callee = act.args[u.calleeId];
+            }
+            if (letScratch.empty()) {
+                charge(cfg.timing.collapseUpdate); // ApAliasLocal
+                bound = callee;
+            } else {
+                bound = bindApplyU(callee);
+            }
+        }
+        act.locals.push_back(bound);
+        act.pc = u.next;
+    }
+
+    /** Apply the letScratch arguments to a callee value. */
+    Word
+    bindApplyU(Word callee)
+    {
+        Word c = heap.chase(callee);
+        if (mval::isInt(c))
+            return mval::mkRef(allocError(kErrBadApply));
+        Word h = heap.header(mval::refOf(c));
+        ObjKind k = mhdr::kindOf(h);
+        if (k == ObjKind::App && objIsWhnfU(h)) {
+            // ApCopyPartial + ApExtendArgs.
+            Word fn = mhdr::fnOf(h);
+            Word have = mhdr::argsOf(h);
+            applyScratch.clear();
+            applyScratch.reserve(have + letScratch.size());
+            for (Word i = 0; i < have; ++i)
+                applyScratch.push_back(heap.payload(mval::refOf(c), i));
+            charge(have * cfg.timing.copyPartialPerWord);
+            applyScratch.insert(applyScratch.end(),
+                                letScratch.begin(), letScratch.end());
+            if (isConsId(fn) && applyScratch.size() == arityOf(fn)) {
+                return mval::mkRef(allocCons(fn, applyScratch.data(),
+                                             applyScratch.size()));
+            }
+            if (isConsId(fn) && applyScratch.size() > arityOf(fn))
+                return mval::mkRef(allocError(kErrArity));
+            return mval::mkRef(allocApp(fn, applyScratch.data(),
+                                        applyScratch.size()));
+        }
+        if (k == ObjKind::Cons) {
+            return mhdr::fnOf(h) == static_cast<Word>(Prim::Error)
+                       ? c
+                       : mval::mkRef(allocError(kErrArity));
+        }
+        // Callee is an unevaluated thunk: defer.
+        return mval::mkRef(allocAppV(callee, letScratch.data(),
+                                     letScratch.size()));
+    }
+
+    // ------------------------------------------------------------
+    // Deliver (µop)
+    // ------------------------------------------------------------
+
+    void
+    stepDeliverU()
+    {
+        Frame &f = conts.top();
+        switch (f.kind) {
+          case Frame::Kind::Update: {
+            Word target = f.target;
+            conts.pop();
+            Word h = heap.header(target);
+            heap.setHeader(target,
+                           mhdr::pack(ObjKind::Ind, mhdr::countOf(h),
+                                      0, mhdr::padOf(h)));
+            heap.setPayload(target, 0, vreg);
+            charge(cfg.timing.update);
+            ++machineStats.updates;
+            return; // stay in Deliver
+          }
+          case Frame::Kind::Case:
+            // Swap instead of move: the slot keeps the dead
+            // activation's buffers for the next push to recycle.
+            std::swap(act, f.act);
+            conts.pop();
+            charge(cfg.timing.returnToCase);
+            resumeCaseU();
+            return;
+          case Frame::Kind::PrimArgs:
+            resumePrimU();
+            return;
+          case Frame::Kind::Apply:
+            resumeApplyU();
+            return;
+        }
+    }
+
+    void
+    resumeCaseU()
+    {
+        curClass = InstrClass::Case;
+        const Uop &u = pre.uops[act.pc]; // saved at the case head
+        Word v = heap.chase(vreg);
+        bool isInt = mval::isInt(v);
+        Word h = 0;
+        if (!isInt)
+            h = heap.header(mval::refOf(v));
+
+        // Walk the flattened jump table; 1 cycle per branch head.
+        const UPattern *pats = pre.patterns.data() + u.patBegin;
+        for (uint32_t i = 0; i < u.patCount; ++i) {
+            charge(cfg.timing.branchHead);
+            ++machineStats.branchHeads;
+            const UPattern &pat = pats[i];
+            bool match;
+            if (pat.isCons) {
+                match = !isInt &&
+                        mhdr::kindOf(h) == ObjKind::Cons &&
+                        mhdr::fnOf(h) == pat.consId;
+            } else {
+                match = isInt && mval::intOf(v) == pat.lit;
+            }
+            if (match) {
+                if (pat.isCons) {
+                    Word addr = mval::refOf(v);
+                    Word n = mhdr::argsOf(h);
+                    for (Word j = 0; j < n; ++j) {
+                        act.locals.push_back(heap.payload(addr, j));
+                        charge(cfg.timing.fieldPush);
+                    }
+                }
+                act.pc = pat.body;
+                mode = Mode::Exec;
+                return;
+            }
+        }
+        act.pc = u.elseBody;
+        mode = Mode::Exec;
+    }
+
+    void
+    resumePrimU()
+    {
+        Frame &f = conts.top();
+        curClass = InstrClass::Let;
+        Word v = heap.chase(vreg);
+        Prim p = f.prim;
+        charge(cfg.timing.primPerArg);
+
+        if (mval::isRef(v)) {
+            Word h = heap.header(mval::refOf(v));
+            conts.pop();
+            if (mhdr::kindOf(h) == ObjKind::Cons &&
+                mhdr::fnOf(h) == static_cast<Word>(Prim::Error)) {
+                vreg = v;
+                mode = Mode::Deliver;
+                return;
+            }
+            SWord code = (p == Prim::GetInt || p == Prim::PutInt)
+                             ? kErrIoNotInt
+                             : kErrBadApply;
+            vreg = mval::mkRef(allocError(code));
+            mode = Mode::Deliver;
+            return;
+        }
+
+        f.collected.push_back(mval::intOf(v));
+        f.nextArg++;
+        if (f.nextArg < f.primArgs.size()) {
+            // More operands: keep the frame on the stack (the
+            // reference machine pops and re-pushes the identical
+            // frame).
+            vreg = f.primArgs[f.nextArg];
+            mode = Mode::EvalVal;
+            return;
+        }
+
+        conts.pop(); // popped slot stays readable until the next push
+        switch (p) {
+          case Prim::GetInt:
+            charge(cfg.timing.ioOp);
+            vreg = mval::mkInt(wrapInt31(bus.getInt(f.collected[0])));
+            break;
+          case Prim::PutInt:
+            charge(cfg.timing.ioOp);
+            bus.putInt(f.collected[0], f.collected[1]);
+            vreg = mval::mkInt(f.collected[1]);
+            break;
+          case Prim::InvokeGc:
+            // The hardware GC-invocation function: collect now.
+            heap.collect(rootProviderU());
+            lastGcAt = total;
+            vreg = mval::mkInt(f.collected[0]);
+            break;
+          default: {
+            charge(cfg.timing.aluOp);
+            PrimResult r = evalAlu(p, f.collected);
+            vreg = r.ok ? mval::mkInt(r.value)
+                        : mval::mkRef(allocError(r.errCode));
+            break;
+          }
+        }
+        mode = Mode::Deliver;
+    }
+
+    void
+    resumeApplyU()
+    {
+        Frame &f = conts.top();
+        conts.pop(); // slot storage stays valid; nothing pushes below
+        curClass = InstrClass::Let;
+        charge(cfg.timing.applyExtra);
+        Word v = heap.chase(vreg);
+        if (mval::isInt(v)) {
+            vreg = mval::mkRef(allocError(kErrBadApply));
+            mode = Mode::Deliver;
+            return;
+        }
+        Word addr = mval::refOf(v);
+        Word h = heap.header(addr);
+        if (mhdr::kindOf(h) == ObjKind::Cons) {
+            vreg = mhdr::fnOf(h) == static_cast<Word>(Prim::Error)
+                       ? v
+                       : mval::mkRef(allocError(kErrArity));
+            mode = Mode::Deliver;
+            return;
+        }
+        // Partial application: extend and re-evaluate.
+        Word fn = mhdr::fnOf(h);
+        Word have = mhdr::argsOf(h);
+        applyScratch.clear();
+        applyScratch.reserve(have + f.extra.size());
+        for (Word i = 0; i < have; ++i)
+            applyScratch.push_back(heap.payload(addr, i));
+        charge(have * cfg.timing.copyPartialPerWord);
+        applyScratch.insert(applyScratch.end(), f.extra.begin(),
+                            f.extra.end());
+        if (isConsId(fn) && applyScratch.size() == arityOf(fn)) {
+            vreg = mval::mkRef(allocCons(fn, applyScratch.data(),
+                                         applyScratch.size()));
+        } else if (isConsId(fn) && applyScratch.size() > arityOf(fn)) {
+            vreg = mval::mkRef(allocError(kErrArity));
+        } else {
+            vreg = mval::mkRef(allocApp(fn, applyScratch.data(),
+                                        applyScratch.size()));
+        }
+        mode = Mode::EvalVal;
+    }
+
+    Heap::RootProvider
+    rootProviderU()
+    {
+        return [this](const Heap::RootVisitor &visit) {
+            visit(vreg);
+            for (Word &w : act.args)
+                visit(w);
+            for (Word &w : act.locals)
+                visit(w);
+            for (size_t i = 0; i < conts.size(); ++i) {
+                Frame &f = conts[i];
+                switch (f.kind) {
+                  case Frame::Kind::Update: {
+                    Word slot = mval::mkRef(f.target);
+                    visit(slot);
+                    f.target = mval::refOf(slot);
+                    break;
+                  }
+                  case Frame::Kind::Case:
+                    for (Word &w : f.act.args)
+                        visit(w);
+                    for (Word &w : f.act.locals)
+                        visit(w);
+                    break;
+                  case Frame::Kind::PrimArgs:
+                    for (size_t j = f.nextArg; j < f.primArgs.size();
+                         ++j) {
+                        visit(f.primArgs[j]);
+                    }
+                    break;
+                  case Frame::Kind::Apply:
+                    for (Word &w : f.extra)
+                        visit(w);
+                    break;
+                }
+            }
+        };
+    }
+
+    // ============================================================
+    // Reference path: the original word-walking machine, unchanged
+    // except for the poisoned-operand fix in resolveOperand. Do not
+    // optimize this code — it is the baseline the differential
+    // suite and the throughput benchmark compare against.
+    // ============================================================
+
+    Word
+    allocAppRef(Word fn, std::vector<Word> args)
+    {
+        bool pad = args.empty();
+        if (pad)
+            args.push_back(0);
+        charge(cfg.timing.allocHeader +
+               args.size() * cfg.timing.letPerArg);
+        return heap.alloc(ObjKind::App, fn, args, pad);
+    }
+
+    Word
+    allocAppVRef(Word callee, std::vector<Word> args)
+    {
+        args.insert(args.begin(), callee);
+        charge(cfg.timing.allocHeader +
+               args.size() * cfg.timing.letPerArg);
+        return heap.alloc(ObjKind::AppV, 0, args);
+    }
+
+    Word
+    allocConsRef(Word id, std::vector<Word> fields)
+    {
+        bool pad = fields.empty();
+        if (pad)
+            fields.push_back(0);
+        charge(cfg.timing.allocHeader +
+               fields.size() * cfg.timing.letPerArg);
+        return heap.alloc(ObjKind::Cons, id, fields, pad);
+    }
+
+    Word
+    allocErrorRef(SWord code)
+    {
+        ++machineStats.errorsCreated;
+        return allocConsRef(static_cast<Word>(Prim::Error),
+                            { mval::mkInt(code) });
+    }
+
+    unsigned
+    arityOfRef(Word id) const
+    {
+        if (isPrimId(id)) {
+            auto p = primById(id);
+            return p ? p->arity : 0;
+        }
+        size_t idx = id - kFirstUserFuncId;
+        return idx < funcs.size() ? funcs[idx].arity : 0;
+    }
+
+    bool
+    isConsIdRef(Word id) const
+    {
+        if (isPrimId(id)) {
+            auto p = primById(id);
+            return p && p->isConstructor;
+        }
+        size_t idx = id - kFirstUserFuncId;
+        return idx < funcs.size() && funcs[idx].isCons;
+    }
+
+    bool
+    idExistsRef(Word id) const
+    {
+        if (isPrimId(id))
+            return primById(id).has_value();
+        return id - kFirstUserFuncId < funcs.size();
+    }
+
+    void
+    stepOnceRef()
+    {
+        if (heap.outOfMemory()) {
+            status = MachineStatus::OutOfMemory;
+            return;
+        }
+        if (cfg.gcOnExhaustion && heap.freeWords() < kGcSafeMargin) {
+            heap.collect(rootProviderRef());
+            lastGcAt = total;
+            if (heap.freeWords() < kGcSafeMargin) {
+                status = MachineStatus::OutOfMemory;
+                diagnostic = "live set exceeds semispace capacity";
+                return;
+            }
+        }
+        if (cfg.gcIntervalCycles &&
+            total - lastGcAt >= cfg.gcIntervalCycles) {
+            heap.collect(rootProviderRef());
+            lastGcAt = total;
+        }
+        switch (mode) {
+          case Mode::EvalVal:
+            stepEvalRef();
+            break;
+          case Mode::Exec:
+            stepExecRef();
+            break;
+          case Mode::Deliver:
+            if (contsV.empty()) {
+                status = MachineStatus::Done;
+                return;
+            }
+            stepDeliverRef();
+            break;
+        }
+    }
+
+    bool
+    objIsWhnfRef(Word h) const
+    {
+        ObjKind k = mhdr::kindOf(h);
+        if (k == ObjKind::Cons)
+            return true;
+        if (k != ObjKind::App)
+            return false;
+        return mhdr::argsOf(h) < arityOfRef(mhdr::fnOf(h));
+    }
+
+    void
+    stepEvalRef()
+    {
+        vreg = heap.chase(vreg);
+        if (mval::isInt(vreg)) {
+            mode = Mode::Deliver;
+            return;
+        }
+        Word addr = mval::refOf(vreg);
+        Word h = heap.header(addr);
+        charge(cfg.timing.whnfCheck); // EvWhnfHit / EvDispatch
+        ObjKind kind = mhdr::kindOf(h);
+        if (kind == ObjKind::Blackhole) {
+            fail("re-entered a thunk under evaluation");
+            return;
+        }
+        if (objIsWhnfRef(h)) {
+            ++machineStats.whnfHits;
+            mode = Mode::Deliver;
+            return;
+        }
+
+        while (!contsV.empty() &&
+               contsV.back().kind == Frame::Kind::Update) {
+            Word prev = contsV.back().target;
+            Word ph = heap.header(prev);
+            heap.setHeader(prev, mhdr::pack(ObjKind::Ind,
+                                            mhdr::countOf(ph), 0,
+                                            mhdr::padOf(ph)));
+            heap.setPayload(prev, 0, vreg);
+            contsV.pop_back();
+            charge(cfg.timing.collapseUpdate);
+            ++machineStats.updates;
+        }
+        {
+            Frame f;
+            f.kind = Frame::Kind::Update;
+            f.target = addr;
+            contsV.push_back(std::move(f));
+        }
+        charge(cfg.timing.enterThunk);
+        ++machineStats.forces;
+
+        Word count = mhdr::argsOf(h);
+        Word fn = mhdr::fnOf(h);
+
+        if (kind == ObjKind::AppV) {
+            Word callee = heap.payload(addr, 0);
+            Frame f;
+            f.kind = Frame::Kind::Apply;
+            for (Word i = 1; i < mhdr::countOf(h); ++i)
+                f.extra.push_back(heap.payload(addr, i));
+            blackhole(addr, h);
+            contsV.push_back(std::move(f));
+            vreg = callee;
+            return;
+        }
+
         std::vector<Word> args;
         args.reserve(count);
         for (Word i = 0; i < count; ++i)
             args.push_back(heap.payload(addr, i));
         blackhole(addr, h);
 
-        unsigned arity = arityOf(fn);
-        if (isConsId(fn)) {
-            // Over-applied constructor (saturated ones are values).
-            vreg = mval::mkRef(allocError(kErrArity));
+        unsigned arity = arityOfRef(fn);
+        if (isConsIdRef(fn)) {
+            vreg = mval::mkRef(allocErrorRef(kErrArity));
             return;
         }
         if (args.size() > arity) {
@@ -435,16 +1210,15 @@ class Machine::Impl
             f.kind = Frame::Kind::Apply;
             f.extra.assign(args.begin() + arity, args.end());
             args.resize(arity);
-            conts.push_back(std::move(f));
+            contsV.push_back(std::move(f));
             charge(cfg.timing.applyExtra);
         }
         if (isPrimId(fn)) {
-            beginPrim(static_cast<Prim>(fn), std::move(args));
+            beginPrimRef(static_cast<Prim>(fn), std::move(args));
             return;
         }
 
-        // EvCallSetup: activate the function body.
-        const FuncEntry &fe = funcs[fn - kFirstUserFuncId];
+        const PredecodedFunc &fe = funcs[fn - kFirstUserFuncId];
         charge(cfg.timing.callSetup);
         ++machineStats.callsPerFunc[fn];
         act = Activation{};
@@ -455,20 +1229,8 @@ class Machine::Impl
     }
 
     void
-    blackhole(Word addr, Word h)
+    beginPrimRef(Prim p, std::vector<Word> args)
     {
-        heap.setHeader(addr, mhdr::pack(ObjKind::Blackhole,
-                                        mhdr::countOf(h),
-                                        mhdr::fnOf(h), mhdr::padOf(h)));
-    }
-
-    void
-    beginPrim(Prim p, std::vector<Word> args)
-    {
-        // Primitive evaluation is accounted to the let class: the
-        // paper's "applying two arguments to a primitive ALU
-        // function and evaluating it" is a single let-application
-        // unit (Sec. 5.2).
         curClass = InstrClass::Let;
         charge(cfg.timing.primSetup);
         Frame f;
@@ -481,14 +1243,10 @@ class Machine::Impl
             return;
         }
         Word first = f.primArgs[0];
-        conts.push_back(std::move(f));
+        contsV.push_back(std::move(f));
         vreg = first;
         mode = Mode::EvalVal;
     }
-
-    // ------------------------------------------------------------
-    // Exec: fetch/decode instruction words from the image
-    // ------------------------------------------------------------
 
     /** Reserved 2-bit source/kind encodings (value 3) are invalid. */
     static bool
@@ -506,21 +1264,21 @@ class Machine::Impl
           case Src::Arg:
             if (size_t(op.val) >= act.args.size()) {
                 fail("argument index out of range");
-                return 0;
+                return kPoisonOperand;
             }
             return act.args[size_t(op.val)];
           case Src::Local:
             if (size_t(op.val) >= act.locals.size()) {
                 fail("local index out of range");
-                return 0;
+                return kPoisonOperand;
             }
             return act.locals[size_t(op.val)];
         }
-        return 0;
+        return kPoisonOperand;
     }
 
     void
-    stepExec()
+    stepExecRef()
     {
         if (act.pc >= image.size()) {
             fail("program counter ran off the image");
@@ -538,18 +1296,21 @@ class Machine::Impl
             curClass = InstrClass::Let;
             ++machineStats.let.count;
             charge(cfg.timing.letBase);
-            execLet(w);
+            execLetRef(w);
             return;
           case Op::Case: {
             curClass = InstrClass::Case;
             ++machineStats.caseInstr.count;
             charge(cfg.timing.caseBase);
-            Operand scrut = unpackCaseScrut(w);
+            Word scrut = resolveOperand(unpackCaseScrut(w));
+            if (status != MachineStatus::Running)
+                return;
+            poisonGuard(scrut);
             Frame f;
             f.kind = Frame::Kind::Case;
             f.act = act;
-            vreg = resolveOperand(scrut);
-            conts.push_back(std::move(f));
+            vreg = scrut;
+            contsV.push_back(std::move(f));
             mode = Mode::EvalVal;
             return;
           }
@@ -557,7 +1318,11 @@ class Machine::Impl
             curClass = InstrClass::Result;
             ++machineStats.result.count;
             charge(cfg.timing.resultBase);
-            vreg = resolveOperand(unpackResult(w));
+            Word v = resolveOperand(unpackResult(w));
+            if (status != MachineStatus::Running)
+                return;
+            poisonGuard(v);
+            vreg = v;
             mode = Mode::EvalVal;
             return;
           }
@@ -568,7 +1333,7 @@ class Machine::Impl
     }
 
     void
-    execLet(Word head)
+    execLetRef(Word head)
     {
         LetWord lw = unpackLet(head);
         if (act.pc + 1 + lw.nargs > image.size()) {
@@ -584,25 +1349,28 @@ class Machine::Impl
                 return;
             }
             charge(cfg.timing.letPerArg);
-            args.push_back(resolveOperand(unpackOperand(aw)));
+            Word v = resolveOperand(unpackOperand(aw));
             if (status != MachineStatus::Running)
                 return;
+            poisonGuard(v);
+            args.push_back(v);
         }
         machineStats.letArgs += lw.nargs;
 
         Word bound = 0;
         if (lw.kind == CalleeKind::Func) {
             Word fn = lw.id;
-            if (!idExists(fn)) {
+            if (!idExistsRef(fn)) {
                 fail("let names an unknown function identifier");
                 return;
             }
-            if (isConsId(fn) && args.size() == arityOf(fn)) {
-                bound = mval::mkRef(allocCons(fn, std::move(args)));
-            } else if (isConsId(fn) && args.size() > arityOf(fn)) {
-                bound = mval::mkRef(allocError(kErrArity));
+            if (isConsIdRef(fn) && args.size() == arityOfRef(fn)) {
+                bound = mval::mkRef(allocConsRef(fn, std::move(args)));
+            } else if (isConsIdRef(fn) &&
+                       args.size() > arityOfRef(fn)) {
+                bound = mval::mkRef(allocErrorRef(kErrArity));
             } else {
-                bound = mval::mkRef(allocApp(fn, std::move(args)));
+                bound = mval::mkRef(allocAppRef(fn, std::move(args)));
             }
         } else {
             Word callee =
@@ -621,11 +1389,11 @@ class Machine::Impl
             } else {
                 Word c = heap.chase(callee);
                 if (mval::isInt(c)) {
-                    bound = mval::mkRef(allocError(kErrBadApply));
+                    bound = mval::mkRef(allocErrorRef(kErrBadApply));
                 } else {
                     Word h = heap.header(mval::refOf(c));
                     ObjKind k = mhdr::kindOf(h);
-                    if (k == ObjKind::App && objIsWhnf(h)) {
+                    if (k == ObjKind::App && objIsWhnfRef(h)) {
                         // ApCopyPartial + ApExtendArgs.
                         Word fn = mhdr::fnOf(h);
                         Word have = mhdr::argsOf(h);
@@ -638,27 +1406,28 @@ class Machine::Impl
                         charge(have * cfg.timing.copyPartialPerWord);
                         all.insert(all.end(), args.begin(),
                                    args.end());
-                        if (isConsId(fn) &&
-                            all.size() == arityOf(fn)) {
+                        if (isConsIdRef(fn) &&
+                            all.size() == arityOfRef(fn)) {
                             bound = mval::mkRef(
-                                allocCons(fn, std::move(all)));
-                        } else if (isConsId(fn) &&
-                                   all.size() > arityOf(fn)) {
-                            bound = mval::mkRef(allocError(kErrArity));
+                                allocConsRef(fn, std::move(all)));
+                        } else if (isConsIdRef(fn) &&
+                                   all.size() > arityOfRef(fn)) {
+                            bound =
+                                mval::mkRef(allocErrorRef(kErrArity));
                         } else {
                             bound = mval::mkRef(
-                                allocApp(fn, std::move(all)));
+                                allocAppRef(fn, std::move(all)));
                         }
                     } else if (k == ObjKind::Cons) {
                         bound = mhdr::fnOf(h) ==
                                         static_cast<Word>(Prim::Error)
                                     ? c
                                     : mval::mkRef(
-                                          allocError(kErrArity));
+                                          allocErrorRef(kErrArity));
                     } else {
                         // Callee is an unevaluated thunk: defer.
                         bound = mval::mkRef(
-                            allocAppV(callee, std::move(args)));
+                            allocAppVRef(callee, std::move(args)));
                     }
                 }
             }
@@ -667,15 +1436,11 @@ class Machine::Impl
         act.pc += 1 + lw.nargs;
     }
 
-    // ------------------------------------------------------------
-    // Deliver
-    // ------------------------------------------------------------
-
     void
-    stepDeliver()
+    stepDeliverRef()
     {
-        Frame f = std::move(conts.back());
-        conts.pop_back();
+        Frame f = std::move(contsV.back());
+        contsV.pop_back();
         switch (f.kind) {
           case Frame::Kind::Update: {
             Word h = heap.header(f.target);
@@ -690,19 +1455,19 @@ class Machine::Impl
           case Frame::Kind::Case:
             act = std::move(f.act);
             charge(cfg.timing.returnToCase);
-            resumeCase();
+            resumeCaseRef();
             return;
           case Frame::Kind::PrimArgs:
-            resumePrim(std::move(f));
+            resumePrimRef(std::move(f));
             return;
           case Frame::Kind::Apply:
-            resumeApply(std::move(f));
+            resumeApplyRef(std::move(f));
             return;
         }
     }
 
     void
-    resumeCase()
+    resumeCaseRef()
     {
         curClass = InstrClass::Case;
         Word v = heap.chase(vreg);
@@ -758,7 +1523,7 @@ class Machine::Impl
     }
 
     void
-    resumePrim(Frame f)
+    resumePrimRef(Frame f)
     {
         curClass = InstrClass::Let;
         Word v = heap.chase(vreg);
@@ -776,7 +1541,7 @@ class Machine::Impl
             SWord code = (p == Prim::GetInt || p == Prim::PutInt)
                              ? kErrIoNotInt
                              : kErrBadApply;
-            vreg = mval::mkRef(allocError(code));
+            vreg = mval::mkRef(allocErrorRef(code));
             mode = Mode::Deliver;
             return;
         }
@@ -785,7 +1550,7 @@ class Machine::Impl
         f.nextArg++;
         if (f.nextArg < f.primArgs.size()) {
             Word next = f.primArgs[f.nextArg];
-            conts.push_back(std::move(f));
+            contsV.push_back(std::move(f));
             vreg = next;
             mode = Mode::EvalVal;
             return;
@@ -803,7 +1568,7 @@ class Machine::Impl
             break;
           case Prim::InvokeGc:
             // The hardware GC-invocation function: collect now.
-            heap.collect(rootProvider());
+            heap.collect(rootProviderRef());
             lastGcAt = total;
             vreg = mval::mkInt(f.collected[0]);
             break;
@@ -811,7 +1576,7 @@ class Machine::Impl
             charge(cfg.timing.aluOp);
             PrimResult r = evalAlu(p, f.collected);
             vreg = r.ok ? mval::mkInt(r.value)
-                        : mval::mkRef(allocError(r.errCode));
+                        : mval::mkRef(allocErrorRef(r.errCode));
             break;
           }
         }
@@ -819,13 +1584,13 @@ class Machine::Impl
     }
 
     void
-    resumeApply(Frame f)
+    resumeApplyRef(Frame f)
     {
         curClass = InstrClass::Let;
         charge(cfg.timing.applyExtra);
         Word v = heap.chase(vreg);
         if (mval::isInt(v)) {
-            vreg = mval::mkRef(allocError(kErrBadApply));
+            vreg = mval::mkRef(allocErrorRef(kErrBadApply));
             mode = Mode::Deliver;
             return;
         }
@@ -834,7 +1599,7 @@ class Machine::Impl
         if (mhdr::kindOf(h) == ObjKind::Cons) {
             vreg = mhdr::fnOf(h) == static_cast<Word>(Prim::Error)
                        ? v
-                       : mval::mkRef(allocError(kErrArity));
+                       : mval::mkRef(allocErrorRef(kErrArity));
             mode = Mode::Deliver;
             return;
         }
@@ -847,21 +1612,17 @@ class Machine::Impl
             all.push_back(heap.payload(addr, i));
         charge(have * cfg.timing.copyPartialPerWord);
         all.insert(all.end(), f.extra.begin(), f.extra.end());
-        if (isConsId(fn) && all.size() == arityOf(fn))
-            vreg = mval::mkRef(allocCons(fn, std::move(all)));
-        else if (isConsId(fn) && all.size() > arityOf(fn))
-            vreg = mval::mkRef(allocError(kErrArity));
+        if (isConsIdRef(fn) && all.size() == arityOfRef(fn))
+            vreg = mval::mkRef(allocConsRef(fn, std::move(all)));
+        else if (isConsIdRef(fn) && all.size() > arityOfRef(fn))
+            vreg = mval::mkRef(allocErrorRef(kErrArity));
         else
-            vreg = mval::mkRef(allocApp(fn, std::move(all)));
+            vreg = mval::mkRef(allocAppRef(fn, std::move(all)));
         mode = Mode::EvalVal;
     }
 
-    // ------------------------------------------------------------
-    // GC roots
-    // ------------------------------------------------------------
-
     Heap::RootProvider
-    rootProvider()
+    rootProviderRef()
     {
         return [this](const Heap::RootVisitor &visit) {
             visit(vreg);
@@ -869,7 +1630,7 @@ class Machine::Impl
                 visit(w);
             for (Word &w : act.locals)
                 visit(w);
-            for (Frame &f : conts) {
+            for (Frame &f : contsV) {
                 switch (f.kind) {
                   case Frame::Kind::Update: {
                     Word slot = mval::mkRef(f.target);
@@ -899,8 +1660,14 @@ class Machine::Impl
     }
 
     // ------------------------------------------------------------
-    // Export the final value to the host
+    // Shared: GC roots dispatch, export, stats folding
     // ------------------------------------------------------------
+
+    Heap::RootProvider
+    rootProvider()
+    {
+        return cfg.usePredecode ? rootProviderU() : rootProviderRef();
+    }
 
     ValuePtr
     exportValue(Word v, unsigned depth)
@@ -942,28 +1709,52 @@ class Machine::Impl
         vreg = v;
         mode = Mode::EvalVal;
         status = MachineStatus::Running;
-        size_t base = conts.size();
+        size_t base = frameCount();
         for (;;) {
             if (status != MachineStatus::Running)
                 return false;
-            if (mode == Mode::Deliver && conts.size() == base) {
+            if (mode == Mode::Deliver && frameCount() == base) {
                 status = MachineStatus::Done;
                 return true;
             }
-            stepOnce();
+            stepOnceShared();
+        }
+    }
+
+    /** Fold the µop path's flat per-function activation counters
+     *  into the stats map (kept flat on the hot path, folded on
+     *  demand; the reference path writes the map directly). */
+    void
+    syncStats() const
+    {
+        for (size_t i = 0; i < callCounts.size(); ++i) {
+            if (callCounts[i]) {
+                machineStats.callsPerFunc[Word(kFirstUserFuncId + i)] +=
+                    callCounts[i];
+                callCounts[i] = 0;
+            }
         }
     }
 
     const Image image;
     IoBus &bus;
     MachineConfig cfg;
-    MachineStats machineStats;
+    mutable MachineStats machineStats;
     Heap heap;
 
-    std::vector<FuncEntry> funcs;
+    std::vector<PredecodedFunc> funcs;
     Word entry = 0;
 
-    std::vector<Frame> conts;
+    // µop path state.
+    Predecoded pre;
+    std::vector<IdInfo> idInfo;
+    mutable std::vector<uint64_t> callCounts;
+    FrameStack conts;
+
+    // Reference path state.
+    std::vector<Frame> contsV;
+
+    // Shared machine registers.
     Activation act;
     Word vreg = 0;
     Mode mode = Mode::EvalVal;
@@ -972,6 +1763,14 @@ class Machine::Impl
     std::string diagnostic;
     Cycles total = 0;
     Cycles lastGcAt = 0;
+
+    // Reused scratch buffers (µop path; capacity persists across
+    // steps; never GC roots — every word they hold is dead or also
+    // rooted by the time a collection can run).
+    std::vector<Word> evalScratch;
+    std::vector<Word> letScratch;
+    std::vector<Word> applyScratch;
+    std::vector<Word> appvScratch;
 };
 
 Machine::Machine(const Image &image, IoBus &bus, MachineConfig config)

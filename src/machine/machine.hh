@@ -44,6 +44,14 @@ struct MachineConfig
     /** Collect every N cycles (0 disables) — the paper's
      *  "configured to run at specific intervals" policy. */
     Cycles gcIntervalCycles = 0;
+    /** Execute predecoded µop streams (machine/predecode.hh)
+     *  instead of re-fetching and re-decoding raw image words every
+     *  step. Bit-identical results, cycle counts, and statistics on
+     *  every well-formed image; structurally invalid bodies are
+     *  rejected at load instead of at first execution. The
+     *  word-walking path remains available (false) for one release
+     *  as the differential-testing reference. */
+    bool usePredecode = true;
 };
 
 /** Current condition of the machine. */

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Seed-sharded parallel driver for the dynamic verification
+ * harnesses.
+ *
+ * The refinement checker (verify/refine.hh) and the perturbation
+ * harness (verify/noninterference.hh) are embarrassingly parallel
+ * over seeds: each shard constructs its own engines from a shared
+ * read-only Program, so shards never touch shared mutable state.
+ * This driver fans a campaign of shards across a pool of
+ * std::jthread workers while keeping results fully deterministic:
+ *
+ *   - every shard's PRNG stream is derived from (seedBase, shard
+ *     index) alone, never from scheduling order;
+ *   - results are written into a preallocated slot per shard and
+ *     reported in shard order, so the merged report is identical no
+ *     matter how the OS interleaves the workers.
+ *
+ * A campaign with the same configuration therefore produces the same
+ * report on 1 thread and on 64.
+ */
+
+#ifndef ZARF_VERIFY_PARALLEL_HH
+#define ZARF_VERIFY_PARALLEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/ast.hh"
+#include "verify/itype.hh"
+
+namespace zarf::verify
+{
+
+/** Campaign sizing. */
+struct ParallelConfig
+{
+    /** Worker threads; 0 means hardware_concurrency (at least 1).
+     *  Never affects results, only wall-clock time. */
+    unsigned threads = 0;
+    /** Base of the deterministic per-shard seed derivation. */
+    uint64_t seedBase = 1;
+    /** Number of independent shards to run. */
+    size_t shards = 16;
+};
+
+/** Result of one shard. */
+struct ShardOutcome
+{
+    uint64_t seed = 0;  ///< The shard's derived seed.
+    bool ok = false;
+    std::string detail; ///< Failure context; empty when ok.
+};
+
+/** Merged campaign result, in shard order. */
+struct ParallelReport
+{
+    std::vector<ShardOutcome> outcomes;
+
+    size_t passed() const;
+    size_t failed() const { return outcomes.size() - passed(); }
+    bool allOk() const { return passed() == outcomes.size(); }
+    /** One line: pass count plus the first failure's detail. */
+    std::string summary() const;
+};
+
+/**
+ * Run `shards` invocations of `fn` across the worker pool.
+ *
+ * @param cfg sizing; fn receives (shardIndex, derivedSeed)
+ * @param fn the shard body; must not touch shared mutable state.
+ *           A thrown exception is recorded as a failed outcome.
+ */
+using ShardFn = std::function<ShardOutcome(size_t, uint64_t)>;
+ParallelReport runSharded(const ParallelConfig &cfg,
+                          const ShardFn &fn);
+
+/**
+ * Refinement campaign (Sec. 5.1): each shard drives the extracted
+ * Zarf program and the executable specification in lock-step over
+ * its own adversarial random input stream.
+ *
+ * @param icdProgram the extracted program (icd::buildIcdStepProgram)
+ * @param samplesPerShard input-stream length per shard
+ */
+ParallelReport refinementCampaign(const Program &icdProgram,
+                                  size_t samplesPerShard,
+                                  const ParallelConfig &cfg);
+
+/**
+ * Non-interference campaign (Sec. 5.3): each shard runs one
+ * perturbation experiment with its own pair of untrusted-input
+ * seeds. A shard passes when both executions complete and no
+ * trusted output interferes.
+ */
+ParallelReport
+noninterferenceCampaign(const Program &program, const TypeEnv &env,
+                        const std::vector<SWord> &trustedInputs,
+                        const ParallelConfig &cfg);
+
+} // namespace zarf::verify
+
+#endif // ZARF_VERIFY_PARALLEL_HH

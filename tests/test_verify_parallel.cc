@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The seed-sharded parallel verification driver (verify/parallel.hh):
+ * determinism across thread counts, campaign pass/fail behaviour on
+ * clean and deliberately interfering programs, and exception capture.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "icd/zarf_icd.hh"
+#include "verify/nidemo.hh"
+#include "verify/parallel.hh"
+
+namespace zarf
+{
+namespace
+{
+
+using namespace verify;
+
+std::vector<SWord>
+sensorStream()
+{
+    std::vector<SWord> s;
+    for (int i = 0; i < 64; ++i)
+        s.push_back(i * 13 % 97 - 40);
+    return s;
+}
+
+bool
+sameReport(const ParallelReport &a, const ParallelReport &b)
+{
+    if (a.outcomes.size() != b.outcomes.size())
+        return false;
+    for (size_t i = 0; i < a.outcomes.size(); ++i) {
+        if (a.outcomes[i].seed != b.outcomes[i].seed ||
+            a.outcomes[i].ok != b.outcomes[i].ok ||
+            a.outcomes[i].detail != b.outcomes[i].detail) {
+            return false;
+        }
+    }
+    return true;
+}
+
+TEST(ParallelRunner, DeterministicAcrossThreadCounts)
+{
+    // The merged report must not depend on scheduling: 1 worker and
+    // many workers see identical per-shard seeds and outcomes.
+    auto fn = [](size_t i, uint64_t seed) {
+        ShardOutcome o;
+        o.ok = (seed % 3) != 0;
+        o.detail = o.ok ? "" : std::to_string(i);
+        return o;
+    };
+    ParallelConfig serial{ 1, 77, 32 };
+    ParallelConfig wide{ 8, 77, 32 };
+    ParallelReport a = runSharded(serial, fn);
+    ParallelReport b = runSharded(wide, fn);
+    EXPECT_TRUE(sameReport(a, b)) << a.summary() << "\n"
+                                  << b.summary();
+    EXPECT_EQ(a.outcomes.size(), 32u);
+}
+
+TEST(ParallelRunner, SeedsDependOnBaseAndIndexOnly)
+{
+    auto fn = [](size_t, uint64_t) { return ShardOutcome{ 0, true,
+                                                          "" }; };
+    ParallelReport a = runSharded({ 4, 5, 8 }, fn);
+    ParallelReport b = runSharded({ 2, 5, 8 }, fn);
+    ParallelReport c = runSharded({ 4, 6, 8 }, fn);
+    EXPECT_TRUE(sameReport(a, b));
+    EXPECT_NE(a.outcomes[0].seed, c.outcomes[0].seed);
+}
+
+TEST(ParallelRunner, ExceptionsBecomeFailedShards)
+{
+    auto fn = [](size_t i, uint64_t) -> ShardOutcome {
+        if (i == 2)
+            throw std::runtime_error("boom");
+        return { 0, true, "" };
+    };
+    ParallelReport r = runSharded({ 4, 1, 4 }, fn);
+    EXPECT_EQ(r.failed(), 1u);
+    EXPECT_FALSE(r.outcomes[2].ok);
+    EXPECT_NE(r.outcomes[2].detail.find("boom"), std::string::npos);
+    EXPECT_NE(r.summary().find("3/4"), std::string::npos);
+}
+
+TEST(ParallelRunner, ZeroShardsIsEmptySuccess)
+{
+    auto fn = [](size_t, uint64_t) { return ShardOutcome{}; };
+    ParallelReport r = runSharded({ 4, 1, 0 }, fn);
+    EXPECT_TRUE(r.allOk());
+    EXPECT_EQ(r.outcomes.size(), 0u);
+}
+
+// ----------------------------------------------------------------
+// Campaigns
+// ----------------------------------------------------------------
+
+TEST(ParallelCampaigns, RefinementHoldsAcrossShards)
+{
+    Program p = icd::buildIcdStepProgram();
+    ParallelConfig cfg{ 0, 11, 8 };
+    ParallelReport r = refinementCampaign(p, 300, cfg);
+    EXPECT_TRUE(r.allOk()) << r.summary();
+    EXPECT_EQ(r.outcomes.size(), 8u);
+}
+
+TEST(ParallelCampaigns, CleanDemoIsNonInterferingEverywhere)
+{
+    Program p = buildNiDemo(NiVariant::Clean);
+    TypeEnv env = niDemoTypeEnv(p);
+    ParallelConfig cfg{ 0, 3, 12 };
+    ParallelReport r =
+        noninterferenceCampaign(p, env, sensorStream(), cfg);
+    EXPECT_TRUE(r.allOk()) << r.summary();
+}
+
+TEST(ParallelCampaigns, ExplicitFlowCaughtByCampaign)
+{
+    Program p = buildNiDemo(NiVariant::ExplicitFlow);
+    TypeEnv env = niDemoTypeEnv(p);
+    ParallelConfig cfg{ 0, 3, 8 };
+    ParallelReport r =
+        noninterferenceCampaign(p, env, sensorStream(), cfg);
+    EXPECT_GT(r.failed(), 0u) << r.summary();
+    EXPECT_FALSE(r.allOk());
+}
+
+} // namespace
+} // namespace zarf
