@@ -1,0 +1,295 @@
+#include "fault/campaign.hh"
+
+#include <memory>
+
+#include "ecg/synth.hh"
+#include "icd/baseline.hh"
+#include "icd/zarf_icd.hh"
+#include "support/logging.hh"
+#include "system/system.hh"
+#include "verify/parallel.hh"
+
+namespace zarf::fault
+{
+
+namespace
+{
+
+/** Fixed heart seeds: every scenario of a flavor shares the clean
+ *  rhythm, so one golden run per flavor serves the whole campaign. */
+constexpr uint64_t kSinusHeartSeed = 42;
+constexpr uint64_t kVtHeartSeed = 5;
+
+/** VT onset for the episode flavor; the sweep window then spans
+ *  detection and therapy delivery. */
+constexpr double kVtOnsetSeconds = 1.0;
+
+/** Injection windows in λ cycles. Sinus: [0.3 s, 1.5 s) of a 2 s
+ *  run; VT: [1.5 s, 7.5 s) of a 9 s run — across VT onset,
+ *  detection, and the ATP burst (therapy starts near 7 s), where a
+ *  fault can do the most damage. */
+constexpr FaultWindow kSinusWindow{ 15'000'000, 75'000'000 };
+constexpr FaultWindow kVtWindow{ 75'000'000, 375'000'000 };
+
+std::unique_ptr<ecg::Heart>
+makeHeart(bool vtFlavor)
+{
+    if (vtFlavor)
+        return std::make_unique<ecg::ResponsiveHeart>(
+            kVtOnsetSeconds, 75.0, 190.0, 8, kVtHeartSeed);
+    return std::make_unique<ecg::ScriptedHeart>(
+        std::vector<ecg::ScriptedHeart::Segment>{ { 600.0, 75.0 } },
+        kSinusHeartSeed);
+}
+
+/** The fault-free reference output for one rhythm flavor. */
+struct Golden
+{
+    std::vector<sys::ShockEvent> shocks;
+};
+
+Golden
+goldenRun(const Image &image, const mblaze::MbProgram &monitor,
+          const mblaze::MbProgram &fallback, bool vtFlavor,
+          const CampaignConfig &ccfg)
+{
+    auto heart = makeHeart(vtFlavor);
+    sys::SystemConfig scfg;
+    scfg.fallbackProgram = fallback;
+    sys::TwoLayerSystem system(image, monitor, *heart, scfg);
+    double seconds = vtFlavor ? ccfg.vtSeconds : ccfg.sinusSeconds;
+    system.runForMs(seconds * 1000.0);
+    return Golden{ system.shocks() };
+}
+
+ScenarioResult
+runScenario(const Image &image, const mblaze::MbProgram &monitor,
+            const mblaze::MbProgram &fallback, const Golden &golden,
+            size_t index, uint64_t seed, const CampaignConfig &ccfg)
+{
+    ScenarioResult r;
+    r.index = index;
+    r.seed = seed;
+    // The scenario space cycles through kind, then rhythm flavor,
+    // then protection model, with period 44.
+    r.kind = FaultKind(index % kNumFaultKinds);
+    r.vtFlavor = (index / kNumFaultKinds) % 2 == 1;
+    r.protectedMemory = (index / (2 * kNumFaultKinds)) % 2 == 0;
+
+    FaultPlan plan = singleKindPlan(
+        r.kind, seed, r.vtFlavor ? kVtWindow : kSinusWindow, 1);
+    plan.heapEcc = r.protectedMemory;
+    plan.operandParity = r.protectedMemory;
+
+    auto heart = makeHeart(r.vtFlavor);
+    sys::SystemConfig scfg;
+    scfg.fallbackProgram = fallback;
+    scfg.faultPlan = std::move(plan);
+    sys::TwoLayerSystem system(image, monitor, *heart, scfg);
+    double seconds = r.vtFlavor ? ccfg.vtSeconds : ccfg.sinusSeconds;
+    system.runForMs(seconds * 1000.0);
+
+    // Output integrity: bit-diff of the pacing log (timestamps and
+    // values) against the fault-free golden run.
+    {
+        const auto &log = system.shocks();
+        r.shockEvents = log.size();
+        r.outputMatchesGolden = log.size() == golden.shocks.size();
+        if (r.outputMatchesGolden) {
+            for (size_t k = 0; k < log.size(); ++k) {
+                if (log[k].lambdaCycle !=
+                        golden.shocks[k].lambdaCycle ||
+                    log[k].value != golden.shocks[k].value) {
+                    r.outputMatchesGolden = false;
+                    break;
+                }
+            }
+        }
+    }
+
+    r.restarts = system.watchdogRestarts();
+    r.degraded = system.degraded();
+    r.lambdaDown = system.lambdaDown();
+    r.missedDeadline = system.missedDeadlineOutsideRecovery();
+    r.eccCorrected = system.eccCorrectedFaults();
+    r.eccUncorrectable = system.eccUncorrectableFaults();
+    r.chanOverflows = system.channelOverflows();
+    r.chanFaults = system.channelFaultsDetected();
+    r.sensorAlerts = system.sensorAlerts().size();
+    r.episodes = system.persistedEpisodes();
+
+    // Cross-check the monitor's episode count against the system's
+    // persisted count; a disagreement means an undetected flip got
+    // into one of them — detect it here and repair by state replay.
+    auto q = system.queryTreatments();
+    r.monitorFaulted = system.monitorFault().has_value();
+    if (q.has_value() && *q != system.persistedEpisodes()) {
+        r.countMismatch = true;
+        system.resyncMonitor();
+        system.runForMs(5.0);
+        auto again = system.queryTreatments();
+        r.resyncRepaired = again.has_value() &&
+                           *again == system.persistedEpisodes();
+    }
+
+    r.detected = r.restarts > 0 || r.eccCorrected > 0 ||
+                 r.eccUncorrectable > 0 || r.chanFaults > 0 ||
+                 r.chanOverflows > 0 || r.sensorAlerts > 0 ||
+                 r.monitorFaulted || r.countMismatch;
+
+    bool missed = r.missedDeadline || r.lambdaDown;
+    if (missed)
+        r.outcome = Outcome::MissedDeadline;
+    else if (!r.outputMatchesGolden && !r.detected)
+        r.outcome = Outcome::SilentCorruption;
+    else if (r.detected)
+        r.outcome = Outcome::DetectedRecovered;
+    else
+        r.outcome = Outcome::Masked;
+    return r;
+}
+
+} // namespace
+
+const char *
+outcomeName(Outcome o)
+{
+    switch (o) {
+      case Outcome::Masked:
+        return "masked";
+      case Outcome::DetectedRecovered:
+        return "detected-recovered";
+      case Outcome::MissedDeadline:
+        return "missed-deadline";
+      case Outcome::SilentCorruption:
+        return "silent-corruption";
+    }
+    return "?";
+}
+
+size_t
+CampaignReport::count(Outcome o) const
+{
+    size_t n = 0;
+    for (const ScenarioResult &r : results)
+        n += r.outcome == o ? 1 : 0;
+    return n;
+}
+
+size_t
+CampaignReport::protectedSilentCorruptions() const
+{
+    size_t n = 0;
+    for (const ScenarioResult &r : results)
+        n += (r.protectedMemory &&
+              r.outcome == Outcome::SilentCorruption)
+                 ? 1
+                 : 0;
+    return n;
+}
+
+std::string
+CampaignReport::toJson() const
+{
+    std::string s;
+    s += "{\n";
+    s += strprintf("  \"scenarios\": %llu,\n",
+                   (unsigned long long)results.size());
+    s += strprintf("  \"seedBase\": %llu,\n",
+                   (unsigned long long)config.seedBase);
+    s += "  \"outcomes\": {";
+    for (size_t o = 0; o < kNumOutcomes; ++o) {
+        s += strprintf("%s\"%s\": %llu", o ? ", " : " ",
+                       outcomeName(Outcome(o)),
+                       (unsigned long long)count(Outcome(o)));
+    }
+    s += " },\n";
+    s += strprintf("  \"protectedSilentCorruptions\": %llu,\n",
+                   (unsigned long long)protectedSilentCorruptions());
+
+    // Outcome counts per fault kind, in kind order.
+    s += "  \"byKind\": [\n";
+    for (size_t k = 0; k < kNumFaultKinds; ++k) {
+        size_t per[kNumOutcomes] = {};
+        for (const ScenarioResult &r : results)
+            if (r.kind == FaultKind(k))
+                ++per[size_t(r.outcome)];
+        s += strprintf("    { \"kind\": \"%s\"",
+                       faultKindName(FaultKind(k)));
+        for (size_t o = 0; o < kNumOutcomes; ++o)
+            s += strprintf(", \"%s\": %llu",
+                           outcomeName(Outcome(o)),
+                           (unsigned long long)per[o]);
+        s += k + 1 < kNumFaultKinds ? " },\n" : " }\n";
+    }
+    s += "  ],\n";
+
+    s += "  \"results\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const ScenarioResult &r = results[i];
+        s += strprintf(
+            "    { \"index\": %llu, \"seed\": %llu, "
+            "\"kind\": \"%s\", \"vt\": %d, \"protected\": %d, "
+            "\"outcome\": \"%s\", \"outputMatch\": %d, "
+            "\"detected\": %d, \"restarts\": %u, \"degraded\": %d, "
+            "\"lambdaDown\": %d, \"monitorFault\": %d, "
+            "\"countMismatch\": %d, \"resyncRepaired\": %d, "
+            "\"missedDeadline\": %d, \"eccCorrected\": %llu, "
+            "\"eccUncorrectable\": %llu, \"chanOverflows\": %llu, "
+            "\"chanFaults\": %llu, \"sensorAlerts\": %llu, "
+            "\"episodes\": %lld, \"shockEvents\": %llu }%s\n",
+            (unsigned long long)r.index, (unsigned long long)r.seed,
+            faultKindName(r.kind), int(r.vtFlavor),
+            int(r.protectedMemory), outcomeName(r.outcome),
+            int(r.outputMatchesGolden), int(r.detected), r.restarts,
+            int(r.degraded), int(r.lambdaDown), int(r.monitorFaulted),
+            int(r.countMismatch), int(r.resyncRepaired),
+            int(r.missedDeadline),
+            (unsigned long long)r.eccCorrected,
+            (unsigned long long)r.eccUncorrectable,
+            (unsigned long long)r.chanOverflows,
+            (unsigned long long)r.chanFaults,
+            (unsigned long long)r.sensorAlerts,
+            (long long)r.episodes,
+            (unsigned long long)r.shockEvents,
+            i + 1 < results.size() ? "," : "");
+    }
+    s += "  ]\n";
+    s += "}\n";
+    return s;
+}
+
+CampaignReport
+runCampaign(const CampaignConfig &cfg)
+{
+    const Image image = icd::buildKernelImage();
+    const mblaze::MbProgram monitor = icd::monitorProgram();
+    const mblaze::MbProgram fallback = icd::baselineIcdProgram();
+
+    const Golden goldenSinus =
+        goldenRun(image, monitor, fallback, false, cfg);
+    // Scenario indices 11..21 (mod 44) are the VT flavor; skip its
+    // golden when a tiny campaign never reaches them.
+    const bool anyVt = cfg.scenarios > kNumFaultKinds;
+    const Golden goldenVt =
+        anyVt ? goldenRun(image, monitor, fallback, true, cfg)
+              : Golden{};
+
+    verify::ParallelConfig pcfg;
+    pcfg.threads = cfg.threads;
+    pcfg.seedBase = cfg.seedBase;
+    pcfg.shards = cfg.scenarios;
+
+    CampaignReport report;
+    report.config = cfg;
+    report.results =
+        verify::shardMap(pcfg, [&](size_t i, uint64_t seed) {
+            bool vt = (i / kNumFaultKinds) % 2 == 1;
+            return runScenario(image, monitor, fallback,
+                               vt ? goldenVt : goldenSinus, i, seed,
+                               cfg);
+        });
+    return report;
+}
+
+} // namespace zarf::fault

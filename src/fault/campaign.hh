@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Seeded fault-injection campaigns over the two-layer ICD system.
+ *
+ * A campaign sweeps thousands of independent scenarios. Each
+ * scenario derives — from its index and seed alone — a heart rhythm
+ * flavor (steady sinus, or a VT episode that draws therapy), a
+ * memory-protection model, and a single-kind FaultPlan, then runs
+ * the full co-simulation under that plan and classifies the result
+ * against a fault-free golden run of the same flavor:
+ *
+ *  - Masked: no detection fired and the pacing output is
+ *    bit-identical to golden (the fault landed in dead state);
+ *  - DetectedRecovered: some detector fired (ECC, watchdog, sensor
+ *    integrity, FIFO tags, monitor cross-check) and the system kept
+ *    meeting its deadlines outside the bounded recovery blackouts;
+ *  - MissedDeadline: a 5 ms deadline was missed outside every
+ *    recovery-grace window, or the λ-layer died with no fallback;
+ *  - SilentCorruption: the pacing output diverged from golden and
+ *    *nothing* detected it — the failure mode the architecture's
+ *    protections exist to rule out.
+ *
+ * Campaigns are deterministic: the same (scenarios, seedBase) yields
+ * a bit-identical report — including the JSON rendering — on any
+ * thread count (verify/parallel.hh's shardMap discipline).
+ */
+
+#ifndef ZARF_FAULT_CAMPAIGN_HH
+#define ZARF_FAULT_CAMPAIGN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/plan.hh"
+
+namespace zarf::fault
+{
+
+/** Scenario classification (see file comment). */
+enum class Outcome : uint8_t
+{
+    Masked = 0,
+    DetectedRecovered,
+    MissedDeadline,
+    SilentCorruption,
+};
+
+constexpr size_t kNumOutcomes = 4;
+
+/** Stable display name (JSON keys). */
+const char *outcomeName(Outcome o);
+
+/** Campaign sizing. */
+struct CampaignConfig
+{
+    /** Independent scenarios to run. The scenario space cycles with
+     *  period 44 (11 fault kinds x 2 rhythm flavors x 2 protection
+     *  models), so any multiple of 44 covers every combination
+     *  evenly. */
+    size_t scenarios = 1012;
+    /** Worker threads; 0 = hardware concurrency. Never affects the
+     *  report, only wall-clock time. */
+    unsigned threads = 0;
+    /** Base of the deterministic per-scenario seed derivation. */
+    uint64_t seedBase = 1;
+    /** Simulated seconds for steady-sinus scenarios. */
+    double sinusSeconds = 2.0;
+    /** Simulated seconds for VT-episode scenarios. Detection needs
+     *  18 of 24 RR intervals under 360 ms — about 6 s of VT after
+     *  the 1 s onset — so 9 s covers detection, the ATP burst, and
+     *  conversion. */
+    double vtSeconds = 9.0;
+};
+
+/** One scenario's derivation plus everything observed. */
+struct ScenarioResult
+{
+    size_t index = 0;
+    uint64_t seed = 0;
+    FaultKind kind = FaultKind::HeapSeu;
+    bool vtFlavor = false;        ///< VT episode vs steady sinus.
+    bool protectedMemory = true;  ///< heap ECC + operand parity on.
+
+    Outcome outcome = Outcome::Masked;
+    bool outputMatchesGolden = true; ///< Shock log bit-identical.
+    bool detected = false;           ///< Any detector fired.
+
+    unsigned restarts = 0;
+    bool degraded = false;
+    bool lambdaDown = false;
+    bool monitorFaulted = false;
+    bool countMismatch = false;   ///< Monitor/system episode counts
+                                  ///< disagreed (cross-check).
+    bool resyncRepaired = false;  ///< A resync fixed the mismatch.
+    bool missedDeadline = false;  ///< Outside recovery grace.
+    uint64_t eccCorrected = 0;
+    uint64_t eccUncorrectable = 0;
+    uint64_t chanOverflows = 0;
+    uint64_t chanFaults = 0;
+    uint64_t sensorAlerts = 0;
+    int64_t episodes = 0;         ///< Therapy episodes delivered.
+    uint64_t shockEvents = 0;
+};
+
+/** Full campaign result. */
+struct CampaignReport
+{
+    CampaignConfig config;
+    std::vector<ScenarioResult> results; ///< In scenario order.
+
+    size_t count(Outcome o) const;
+    /** Silent corruptions among protected-memory scenarios. The
+     *  architecture's hard gate: must be zero — every protected
+     *  fault class is either masked or detected. */
+    size_t protectedSilentCorruptions() const;
+
+    /** Deterministic JSON rendering: fixed key order, integers
+     *  only, scenario records in index order. Identical for
+     *  identical (scenarios, seedBase) on any thread count. */
+    std::string toJson() const;
+};
+
+/** Run a campaign (builds the kernel image, monitor, fallback, and
+ *  golden runs internally). */
+CampaignReport runCampaign(const CampaignConfig &cfg);
+
+} // namespace zarf::fault
+
+#endif // ZARF_FAULT_CAMPAIGN_HH

@@ -1,0 +1,109 @@
+#include "fault/plan.hh"
+
+#include <algorithm>
+
+#include "support/random.hh"
+
+namespace zarf::fault
+{
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::HeapSeu:
+        return "heap-seu";
+      case FaultKind::HeapSeuDouble:
+        return "heap-seu-double";
+      case FaultKind::OperandSeu:
+        return "operand-seu";
+      case FaultKind::SensorDropout:
+        return "sensor-dropout";
+      case FaultKind::SensorStuck:
+        return "sensor-stuck";
+      case FaultKind::SensorNoise:
+        return "sensor-noise";
+      case FaultKind::ChanDrop:
+        return "chan-drop";
+      case FaultKind::ChanDup:
+        return "chan-dup";
+      case FaultKind::ChanOverflowBurst:
+        return "chan-overflow";
+      case FaultKind::MbMemSeu:
+        return "mb-mem-seu";
+      case FaultKind::LambdaWedge:
+        return "lambda-wedge";
+    }
+    return "?";
+}
+
+FaultPlan
+singleKindPlan(FaultKind kind, uint64_t seed, FaultWindow window,
+               size_t count)
+{
+    FaultPlan plan;
+    plan.seed = seed;
+    Rng rng(seed);
+    Cycles span = window.end > window.begin
+                      ? window.end - window.begin
+                      : 1;
+    for (size_t i = 0; i < count; ++i) {
+        FaultEvent e;
+        e.atCycle = window.begin + rng.below(span);
+        e.kind = kind;
+        switch (kind) {
+          case FaultKind::HeapSeu:
+            e.a = rng.next();
+            e.b = rng.below(32);
+            break;
+          case FaultKind::HeapSeuDouble: {
+            e.a = rng.next();
+            uint64_t b1 = rng.below(32);
+            // A distinct second bit, so the flip is genuinely
+            // two-bit and defeats SECDED correction.
+            uint64_t b2 = (b1 + 1 + rng.below(31)) % 32;
+            e.b = b1 | (b2 << 8);
+            break;
+          }
+          case FaultKind::OperandSeu:
+            e.b = rng.below(32);
+            break;
+          case FaultKind::SensorDropout:
+          case FaultKind::SensorStuck:
+            // Long enough that the flatline detector (40 identical
+            // samples) is guaranteed to trip.
+            e.a = 60 + rng.below(60);
+            break;
+          case FaultKind::SensorNoise:
+            // Burst length >= 4 guarantees three consecutive
+            // alternating-sign jumps for the integrity monitor.
+            e.a = 80 + rng.below(80);
+            e.b = 1600 + rng.below(800);
+            break;
+          case FaultKind::ChanDrop:
+          case FaultKind::ChanDup:
+            break;
+          case FaultKind::ChanOverflowBurst:
+            // More junk words than any sane channelCapacity.
+            e.a = 24 + rng.below(24);
+            break;
+          case FaultKind::MbMemSeu:
+            e.a = rng.next();
+            e.b = rng.below(32);
+            break;
+          case FaultKind::LambdaWedge:
+            // Longer than the default watchdog timeout (8 ticks =
+            // 2M cycles), so the hang is detected, never ridden out.
+            e.a = 2'500'000 + rng.below(1'000'000);
+            break;
+        }
+        plan.events.push_back(e);
+    }
+    std::stable_sort(plan.events.begin(), plan.events.end(),
+                     [](const FaultEvent &x, const FaultEvent &y) {
+                         return x.atCycle < y.atCycle;
+                     });
+    return plan;
+}
+
+} // namespace zarf::fault

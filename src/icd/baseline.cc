@@ -33,6 +33,9 @@ constexpr int kCountdown = 144;
 constexpr int kFirst = 145;
 constexpr int kLastOut = 200;
 
+// Monitor program data memory.
+constexpr int kMonitorCountAddr = int(kMonitorCountWord);
+
 /** Emit a newest-first delay-line shift with unrolled lw/sw pairs,
  *  then store the new head value from `srcReg`. */
 void
@@ -320,23 +323,36 @@ monitorAsmText()
 {
     std::string s;
     s += "# Monitoring software for the imperative layer\n";
-    s += "# r1 = therapy episode count\n";
+    s += "# dmem[0] = therapy episode count (persistent state)\n";
     s += "  movi r1, 0\n";
+    s += strprintf("  sw r1, r0, %d\n", kMonitorCountAddr);
     s += "poll:\n";
     // Drain the inter-layer channel.
     s += strprintf("  in r2, %d\n", int(sys::kMbChanStatus));
     s += "  beq r2, r0, diag\n";
     s += strprintf("  in r3, %d\n", int(sys::kMbChanData));
-    s += "  movi r4, 2\n";
+    s += strprintf("  movi r4, %d\n", int(sys::kTherapyStartMarker));
     s += "  bne r3, r4, poll\n";
+    s += strprintf("  lw r1, r0, %d\n", kMonitorCountAddr);
     s += "  addi r1, r1, 1\n"; // therapy-start marker seen
+    s += strprintf("  sw r1, r0, %d\n", kMonitorCountAddr);
     s += "  j poll\n";
-    // Diagnostic channel: command 1 => report the count.
+    // Diagnostic channel: command 1 => report the count; command 2
+    // => adopt the next command word as the authoritative count
+    // (state replay from the system's persistent store after a
+    // λ-layer restart or a detected count mismatch).
     s += "diag:\n";
     s += strprintf("  in r2, %d\n", int(sys::kMbDiagCmd));
-    s += "  movi r4, 1\n";
-    s += "  bne r2, r4, poll\n";
+    s += strprintf("  movi r4, %d\n", int(sys::kDiagCmdReport));
+    s += "  bne r2, r4, try_resync\n";
+    s += strprintf("  lw r1, r0, %d\n", kMonitorCountAddr);
     s += strprintf("  out r1, %d\n", int(sys::kMbDiagResp));
+    s += "  j poll\n";
+    s += "try_resync:\n";
+    s += strprintf("  movi r4, %d\n", int(sys::kDiagCmdResync));
+    s += "  bne r2, r4, poll\n";
+    s += strprintf("  in r1, %d\n", int(sys::kMbDiagCmd));
+    s += strprintf("  sw r1, r0, %d\n", kMonitorCountAddr);
     s += "  j poll\n";
     return s;
 }

@@ -42,10 +42,20 @@ mblaze::MbProgram baselineIcdProgram();
  * The monitoring software for the imperative layer of the two-layer
  * system: drains the inter-layer channel, counts therapy episodes
  * (value 2 = first pulse of a burst), and answers diagnostic
- * queries (command 1 -> respond with the episode count).
+ * queries (command 1 -> respond with the episode count; command 2 ->
+ * adopt the following word as the authoritative count — the state
+ * replay half of the watchdog recovery protocol).
+ *
+ * The episode count lives in data memory at kMonitorCountWord (not
+ * in a register), so an SEU in the unprotected BRAM can corrupt it —
+ * which the system-level count cross-check then detects and a resync
+ * repairs (docs/RESILIENCE.md).
  */
 std::string monitorAsmText();
 mblaze::MbProgram monitorProgram();
+
+/** Data-memory word holding the monitor's episode count. */
+constexpr unsigned kMonitorCountWord = 0;
 
 } // namespace zarf::icd
 

@@ -5,10 +5,23 @@
 namespace zarf
 {
 
+namespace
+{
+
+// Largest possible object: header + 0x7ff payload words. The backing
+// store carries this much slack past the second semispace so that
+// payload reads through a corrupted-but-validated base address can
+// never leave the allocation (base validity is checked where words
+// become addresses; payload offsets are bounded by the header count
+// field, which cannot exceed 0x7ff).
+constexpr size_t kMaxObjWords = 1 + 0x7ff;
+
+} // namespace
+
 Heap::Heap(size_t semispaceWords, const TimingModel &timing,
            MachineStats &stats)
-    : mem(semispaceWords * 2, 0), semiWords(semispaceWords),
-      timing(timing), stats(stats)
+    : mem(semispaceWords * 2 + kMaxObjWords, 0),
+      semiWords(semispaceWords), timing(timing), stats(stats)
 {
     base = 0;
     allocPtr = 0;
@@ -48,80 +61,129 @@ Heap::alloc(ObjKind kind, Word fn, const Word *payload, size_t n,
 Word
 Heap::chase(Word value) const
 {
+    // A valid chain visits each Ind object at most once and the
+    // smallest Ind is two words, so any walk longer than the
+    // semispace word count must be a cycle.
+    size_t steps = 0;
     while (mval::isRef(value)) {
         Word addr = mval::refOf(value);
+        if (!validAddr(addr)) {
+            markCorrupt("chase: reference outside the heap");
+            return mval::mkInt(0);
+        }
         Word h = mem[addr];
         if (mhdr::kindOf(h) != ObjKind::Ind)
             break;
+        if (++steps > semiWords) {
+            markCorrupt("chase: indirection cycle");
+            return mval::mkInt(0);
+        }
         value = mem[addr + 1];
     }
     return value;
 }
 
+void
+Heap::flipBit(size_t offset, unsigned bit)
+{
+    if (usedWords() == 0)
+        return;
+    mem[base + offset % usedWords()] ^= 1u << (bit & 31u);
+}
+
 Word
 Heap::evacuate(Word addr)
 {
-    // Charge the 2-cycle "already collected?" check for this ref.
-    stats.gcCycles += timing.gcRefCheck;
-    ++stats.gcRefChecks;
+    // Walk indirection chains iteratively (the natural recursive
+    // formulation would overflow the host stack on a corrupted Ind
+    // cycle), remembering every chain link so all of them can be
+    // forwarded to the final address. Cycle charges are identical to
+    // the recursive version on any valid heap: one gcRefCheck per
+    // chain link visited plus one for the final object.
+    indChain.clear();
+    Word fwdTo = 0; // final to-space address every link forwards to
+    for (;;) {
+        // Charge the 2-cycle "already collected?" check for this ref.
+        stats.gcCycles += timing.gcRefCheck;
+        ++stats.gcRefChecks;
 
-    Word h = mem[addr];
-    ObjKind kind = mhdr::kindOf(h);
-    if (kind == ObjKind::Fwd)
-        return mem[addr + 1];
-
-    // Skip indirections: copy the target instead so chains die.
-    if (kind == ObjKind::Ind) {
-        Word target = mem[addr + 1];
-        Word out;
-        if (mval::isRef(target)) {
-            out = mval::mkRef(evacuate(mval::refOf(target)));
-        } else {
-            out = target;
+        if (!validAddr(addr)) {
+            markCorrupt("GC: reference outside the heap");
+            return 0;
         }
-        // Forward the indirection to the (possibly integer) value
-        // by materializing a one-word Ind in to-space only when the
-        // target is an integer; references forward directly.
-        if (mval::isRef(out)) {
+
+        Word h = mem[addr];
+        ObjKind kind = mhdr::kindOf(h);
+        if (kind == ObjKind::Fwd) {
+            fwdTo = mem[addr + 1];
+            break;
+        }
+
+        // Skip indirections: copy the target instead so chains die.
+        if (kind == ObjKind::Ind) {
+            Word target = mem[addr + 1];
+            if (mval::isRef(target)) {
+                indChain.push_back(addr);
+                // A valid chain visits each (≥2-word) Ind at most
+                // once; longer means a cycle.
+                if (indChain.size() > semiWords / 2 + 1) {
+                    markCorrupt("GC: indirection cycle");
+                    return addr;
+                }
+                addr = mval::refOf(target);
+                continue;
+            }
+            // Integer behind an indirection: copy a tiny Ind object.
+            if (toPtr + 2 > toBase + semiWords) {
+                markCorrupt(
+                    "GC to-space overflow: live set exceeds a semispace");
+                return addr;
+            }
+            Word naddr = static_cast<Word>(toPtr);
+            mem[toPtr] = mhdr::pack(ObjKind::Ind, 1, 0);
+            mem[toPtr + 1] = target;
+            toPtr += 2;
+            stats.gcCycles +=
+                timing.gcPerObjectFixed + 2 * timing.gcPerWordCopied;
+            ++stats.gcObjectsCopied;
+            stats.gcWordsCopied += 2;
             mem[addr] = mhdr::pack(ObjKind::Fwd, 1, 0);
-            mem[addr + 1] = mval::refOf(out);
-            return mval::refOf(out);
+            mem[addr + 1] = naddr;
+            fwdTo = naddr;
+            break;
         }
-        // Integer behind an indirection: copy a tiny Ind object.
-        Word count = 1;
+
+        Word count = mhdr::countOf(h);
+        size_t need = 1 + count;
+        if (toPtr + need > toBase + semiWords) {
+            markCorrupt(
+                "GC to-space overflow: live set exceeds a semispace");
+            return addr;
+        }
+
         Word naddr = static_cast<Word>(toPtr);
-        mem[toPtr] = mhdr::pack(ObjKind::Ind, count, 0);
-        mem[toPtr + 1] = out;
-        toPtr += 2;
-        stats.gcCycles += timing.gcPerObjectFixed +
-                          2 * timing.gcPerWordCopied;
+        mem[toPtr] = h;
+        for (Word i = 0; i < count; ++i)
+            mem[toPtr + 1 + i] = mem[addr + 1 + i];
+        toPtr += need;
+
+        // N+4 cycles for an N-word object (Sec. 5.2).
+        stats.gcCycles +=
+            timing.gcPerObjectFixed + need * timing.gcPerWordCopied;
         ++stats.gcObjectsCopied;
-        stats.gcWordsCopied += 2;
+        stats.gcWordsCopied += need;
+
         mem[addr] = mhdr::pack(ObjKind::Fwd, 1, 0);
         mem[addr + 1] = naddr;
-        return naddr;
+        fwdTo = naddr;
+        break;
     }
 
-    Word count = mhdr::countOf(h);
-    size_t need = 1 + count;
-    if (toPtr + need > toBase + semiWords)
-        panic("GC to-space overflow: live set exceeds a semispace");
-
-    Word naddr = static_cast<Word>(toPtr);
-    mem[toPtr] = h;
-    for (Word i = 0; i < count; ++i)
-        mem[toPtr + 1 + i] = mem[addr + 1 + i];
-    toPtr += need;
-
-    // N+4 cycles for an N-word object (Sec. 5.2).
-    stats.gcCycles +=
-        timing.gcPerObjectFixed + need * timing.gcPerWordCopied;
-    ++stats.gcObjectsCopied;
-    stats.gcWordsCopied += need;
-
-    mem[addr] = mhdr::pack(ObjKind::Fwd, 1, 0);
-    mem[addr + 1] = naddr;
-    return naddr;
+    for (Word link : indChain) {
+        mem[link] = mhdr::pack(ObjKind::Fwd, 1, 0);
+        mem[link + 1] = fwdTo;
+    }
+    return fwdTo;
 }
 
 void
@@ -136,13 +198,15 @@ Heap::collect(const RootProvider &roots)
 
     // Evacuate roots.
     roots([this](Word &slot) {
+        if (corruptFlag)
+            return;
         if (mval::isRef(slot))
             slot = mval::mkRef(evacuate(mval::refOf(slot)));
     });
 
     // Cheney scan of to-space.
     size_t scan = toBase;
-    while (scan < toPtr) {
+    while (scan < toPtr && !corruptFlag) {
         Word h = mem[scan];
         Word count = mhdr::countOf(h);
         ObjKind kind = mhdr::kindOf(h);
@@ -160,6 +224,14 @@ Heap::collect(const RootProvider &roots)
             }
         }
         scan += 1 + count;
+    }
+
+    if (corruptFlag) {
+        // Abort the collection without flipping spaces: the heap is
+        // untrustworthy either way, but the allocator bookkeeping
+        // stays self-consistent and the machine halts with
+        // HeapCorrupt at its next step instead of crashing the host.
+        return;
     }
 
     size_t live = toPtr - toBase;

@@ -22,6 +22,17 @@
  * Collection is a Cheney-style semispace copy. Costs follow Sec.
  * 5.2: N+4 cycles to copy an N-word object and 2 cycles to check a
  * reference that may already have been collected.
+ *
+ * Integrity: a structurally valid heap can never overflow to-space
+ * (the live set is bounded by the from-space allocation) or contain
+ * an indirection cycle. Both *can* happen once a single-event upset
+ * has corrupted a header or payload word, so instead of aborting the
+ * host, the heap detects these conditions — to-space overflow,
+ * indirection cycles during evacuation, and runaway indirection
+ * chains during chase() — and latches a sticky corruption flag with
+ * a reason. The machine surfaces the flag as the recoverable
+ * MachineStatus::HeapCorrupt so the system layer's watchdog can
+ * restart the λ-layer (docs/RESILIENCE.md).
  */
 
 #ifndef ZARF_MACHINE_HEAP_HH
@@ -153,7 +164,11 @@ class Heap
     /** Overwrite payload word i. */
     void setPayload(Word addr, Word i, Word v) { mem[addr + 1 + i] = v; }
 
-    /** Follow indirections to a representative value word. */
+    /** Follow indirections to a representative value word. Walks at
+     *  most one chain link per live object; a longer walk (possible
+     *  only on a corrupted heap: an Ind cycle) or a reference outside
+     *  the heap latches the corruption flag and yields integer 0 so
+     *  the machine can halt with HeapCorrupt instead of spinning. */
     Word chase(Word value) const;
 
     /**
@@ -189,6 +204,16 @@ class Heap
     size_t capacity() const { return semiWords; }
     /** True once an allocation has failed irrecoverably. */
     bool outOfMemory() const { return oom; }
+    /** True once heap corruption has been detected (GC to-space
+     *  overflow, indirection cycle, out-of-range reference). Sticky;
+     *  the heap contents are untrustworthy once set. */
+    bool corrupt() const { return corruptFlag; }
+    /** Human-readable reason for the latched corruption, or "". */
+    const char *corruptWhy() const { return corruptWhyStr; }
+    /** Flip one bit of an allocated word in the active space (SEU
+     *  injection). `offset` is reduced modulo usedWords(); no-op on
+     *  an empty heap. */
+    void flipBit(size_t offset, unsigned bit);
     /** Cycles consumed by collections so far. */
     Cycles gcCycles() const { return stats.gcCycles; }
 
@@ -196,16 +221,35 @@ class Heap
     /** Copy one object into to-space; returns its new address. */
     Word evacuate(Word addr);
 
+    /** A header address is valid iff it lies inside the two
+     *  semispaces (the trailing slack words are never object
+     *  bases). */
+    bool validAddr(Word addr) const { return addr < 2 * semiWords; }
+
+    /** Latch the corruption flag (first reason wins). Const because
+     *  detection can happen on read paths (chase). */
+    void
+    markCorrupt(const char *why) const
+    {
+        if (!corruptFlag) {
+            corruptFlag = true;
+            corruptWhyStr = why;
+        }
+    }
+
     std::vector<Word> mem;
     size_t semiWords; // semispace size in words
     size_t base = 0;
     size_t allocPtr = 0;
     size_t limit = 0;
     bool oom = false;
+    mutable bool corruptFlag = false;
+    mutable const char *corruptWhyStr = "";
 
     // GC working state.
     size_t toBase = 0;
     size_t toPtr = 0;
+    std::vector<Word> indChain; // evacuate() scratch: Ind-chain links
 
     RootProvider hook;
     const TimingModel &timing;

@@ -13,6 +13,26 @@
 namespace zarf
 {
 
+const char *
+machineStatusName(MachineStatus st)
+{
+    switch (st) {
+      case MachineStatus::Running:
+        return "Running";
+      case MachineStatus::Done:
+        return "Done";
+      case MachineStatus::OutOfMemory:
+        return "OutOfMemory";
+      case MachineStatus::Stuck:
+        return "Stuck";
+      case MachineStatus::HeapCorrupt:
+        return "HeapCorrupt";
+      case MachineStatus::MemFault:
+        return "MemFault";
+    }
+    return "?";
+}
+
 /**
  * The implementation carries two complete execution paths selected
  * by MachineConfig::usePredecode:
@@ -352,6 +372,59 @@ class Machine::Impl
             stepOnceRef();
     }
 
+    /** Step-top health gate: latch HeapCorrupt/OutOfMemory into the
+     *  machine status. Corruption wins — an aborted collection can
+     *  leave both conditions set, and the corruption is the cause. */
+    bool
+    heapHealthy()
+    {
+        if (heap.corrupt()) {
+            status = MachineStatus::HeapCorrupt;
+            if (diagnostic.empty())
+                diagnostic = heap.corruptWhy();
+            return false;
+        }
+        if (heap.outOfMemory()) {
+            status = MachineStatus::OutOfMemory;
+            return false;
+        }
+        return true;
+    }
+
+  public:
+    // ------------------------------------------------------------
+    // Fault injection (see machine.hh)
+    // ------------------------------------------------------------
+
+    bool
+    injectHeapBitFlip(size_t wordIndex, unsigned bit)
+    {
+        if (heap.usedWords() == 0)
+            return false;
+        heap.flipBit(wordIndex, bit);
+        return true;
+    }
+
+    void
+    injectOperandBitFlip(unsigned bit)
+    {
+        vreg ^= Word(1) << (bit & 31u);
+    }
+
+    void
+    raiseMemFault(const std::string &why)
+    {
+        if (status != MachineStatus::Running)
+            return;
+        status = MachineStatus::MemFault;
+        diagnostic = why;
+    }
+
+    MachineStatus currentStatus() const { return status; }
+    const std::string &currentDiagnostic() const { return diagnostic; }
+
+  private:
+
     // ============================================================
     // µop path: predecoded streams on the pooled hot path
     // ============================================================
@@ -450,13 +523,13 @@ class Machine::Impl
     void
     stepOnceU()
     {
-        if (heap.outOfMemory()) {
-            status = MachineStatus::OutOfMemory;
+        if (!heapHealthy())
             return;
-        }
         if (cfg.gcOnExhaustion && heap.freeWords() < kGcSafeMargin) {
             heap.collect(rootProviderU());
             lastGcAt = total;
+            if (!heapHealthy())
+                return;
             if (heap.freeWords() < kGcSafeMargin) {
                 status = MachineStatus::OutOfMemory;
                 diagnostic = "live set exceeds semispace capacity";
@@ -467,6 +540,8 @@ class Machine::Impl
             total - lastGcAt >= cfg.gcIntervalCycles) {
             heap.collect(rootProviderU());
             lastGcAt = total;
+            if (!heapHealthy())
+                return;
         }
         switch (mode) {
           case Mode::EvalVal:
@@ -1090,13 +1165,13 @@ class Machine::Impl
     void
     stepOnceRef()
     {
-        if (heap.outOfMemory()) {
-            status = MachineStatus::OutOfMemory;
+        if (!heapHealthy())
             return;
-        }
         if (cfg.gcOnExhaustion && heap.freeWords() < kGcSafeMargin) {
             heap.collect(rootProviderRef());
             lastGcAt = total;
+            if (!heapHealthy())
+                return;
             if (heap.freeWords() < kGcSafeMargin) {
                 status = MachineStatus::OutOfMemory;
                 diagnostic = "live set exceeds semispace capacity";
@@ -1107,6 +1182,8 @@ class Machine::Impl
             total - lastGcAt >= cfg.gcIntervalCycles) {
             heap.collect(rootProviderRef());
             lastGcAt = total;
+            if (!heapHealthy())
+                return;
         }
         switch (mode) {
           case Mode::EvalVal:
@@ -1795,6 +1872,36 @@ Cycles
 Machine::cycles() const
 {
     return impl->cyclesTotal();
+}
+
+MachineStatus
+Machine::status() const
+{
+    return impl->currentStatus();
+}
+
+const std::string &
+Machine::diagnostic() const
+{
+    return impl->currentDiagnostic();
+}
+
+bool
+Machine::injectHeapBitFlip(size_t wordIndex, unsigned bit)
+{
+    return impl->injectHeapBitFlip(wordIndex, bit);
+}
+
+void
+Machine::injectOperandBitFlip(unsigned bit)
+{
+    impl->injectOperandBitFlip(bit);
+}
+
+void
+Machine::raiseMemFault(const std::string &why)
+{
+    impl->raiseMemFault(why);
 }
 
 const MachineStats &

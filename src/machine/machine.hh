@@ -61,7 +61,15 @@ enum class MachineStatus
     Done,        ///< The program reduced to a value.
     OutOfMemory, ///< A collection could not make room.
     Stuck,       ///< Semantically undefined state (malformed image).
+    HeapCorrupt, ///< Detected heap-integrity failure (GC to-space
+                 ///< overflow, indirection cycle, wild reference).
+                 ///< Recoverable by a system-level restart.
+    MemFault,    ///< Uncorrectable memory fault signalled by the
+                 ///< ECC/parity machinery (fault injection).
 };
+
+/** Name of a MachineStatus value, for diagnostics and reports. */
+const char *machineStatusName(MachineStatus st);
 
 /** The λ-execution layer. */
 class Machine
@@ -95,8 +103,34 @@ class Machine
     /** Total cycles elapsed (load + execution + GC). */
     Cycles cycles() const;
 
+    /** Current status without advancing. */
+    MachineStatus status() const;
+
+    /** Diagnostic string for the last non-Running status ("" while
+     *  healthy). */
+    const std::string &diagnostic() const;
+
     /** Dynamic statistics. */
     const MachineStats &stats() const;
+
+    // --------------------------------------------------------------
+    // Fault injection (src/fault). These model physical upsets; none
+    // of them is reachable from program execution.
+    // --------------------------------------------------------------
+
+    /** Flip one bit of an allocated heap word (single-event upset).
+     *  `wordIndex` selects among the currently allocated words
+     *  (reduced modulo the live allocation); `bit` is reduced modulo
+     *  32. Returns false (no-op) if the heap is empty. */
+    bool injectHeapBitFlip(size_t wordIndex, unsigned bit);
+
+    /** Flip one bit of the value register (in-flight operand SEU). */
+    void injectOperandBitFlip(unsigned bit);
+
+    /** Signal an uncorrectable memory fault, as the ECC/parity
+     *  hardware would: the machine halts with MachineStatus::MemFault
+     *  and `why` as its diagnostic. No-op unless Running. */
+    void raiseMemFault(const std::string &why);
 
     /** Force a collection now (used by tests). */
     void collectNow();

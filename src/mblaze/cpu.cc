@@ -52,6 +52,7 @@ MbCpu::step()
 {
     if (pc >= prog.code.size()) {
         st = MbStatus::Fault;
+        fault = { MbFaultInfo::Cause::PcOutOfRange, pc, 0 };
         return;
     }
     const Instr &ins = prog.code[pc];
@@ -111,6 +112,7 @@ MbCpu::step()
         int64_t addr = int64_t(a) + ins.imm;
         if (addr < 0 || size_t(addr) >= dmem.size()) {
             st = MbStatus::Fault;
+            fault = { MbFaultInfo::Cause::LoadOutOfRange, pc, addr };
             return;
         }
         wr(dmem[size_t(addr)]);
@@ -120,6 +122,7 @@ MbCpu::step()
         int64_t addr = int64_t(a) + ins.imm;
         if (addr < 0 || size_t(addr) >= dmem.size()) {
             st = MbStatus::Fault;
+            fault = { MbFaultInfo::Cause::StoreOutOfRange, pc, addr };
             return;
         }
         dmem[size_t(addr)] = regs[ins.rd];

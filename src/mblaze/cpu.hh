@@ -42,6 +42,27 @@ enum class MbStatus
     Fault, ///< Bad memory access or pc out of range.
 };
 
+/**
+ * Structured record of a fault. A bare MbStatus::Fault is useless to
+ * the system layer's recovery logic; this carries the cause, the
+ * faulting pc, and (for memory faults) the offending data address so
+ * it can be reported over the diagnostic channel.
+ */
+struct MbFaultInfo
+{
+    enum class Cause
+    {
+        None = 0,
+        PcOutOfRange = 1,
+        LoadOutOfRange = 2,
+        StoreOutOfRange = 3,
+    };
+
+    Cause cause = Cause::None;
+    size_t pc = 0;     ///< pc of the faulting instruction.
+    int64_t addr = 0;  ///< Faulting data address (load/store only).
+};
+
 /** The imperative core. */
 class MbCpu
 {
@@ -66,6 +87,10 @@ class MbCpu
     Cycles cycles() const { return total; }
     uint64_t instructionsRetired() const { return retired; }
     MbStatus status() const { return st; }
+    /** Cause/pc/address of the fault; Cause::None while healthy. */
+    const MbFaultInfo &faultInfo() const { return fault; }
+    /** Data memory size in words. */
+    size_t memWords() const { return dmem.size(); }
 
     /** Register read (tests). */
     SWord reg(unsigned i) const { return regs[i]; }
@@ -86,6 +111,7 @@ class MbCpu
     std::vector<SWord> dmem;
     size_t pc = 0;
     MbStatus st = MbStatus::Running;
+    MbFaultInfo fault{};
     Cycles total = 0;
     uint64_t retired = 0;
 };

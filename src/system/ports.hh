@@ -29,6 +29,22 @@ constexpr SWord kMbDiagCmd = 2;    ///< in: diagnostic command (0 =
                                    ///< none, 1 = report treatments).
 constexpr SWord kMbDiagResp = 3;   ///< out: diagnostic response.
 
+// Diagnostic-channel protocol words.
+constexpr SWord kDiagCmdReport = 1; ///< Monitor answers with its
+                                    ///< therapy-episode count.
+constexpr SWord kDiagCmdResync = 2; ///< The next command word is the
+                                    ///< authoritative episode count;
+                                    ///< the monitor adopts it (state
+                                    ///< replay after a restart).
+/** Marker pushed on the diagnostic response queue by the system's
+ *  exception unit when the imperative core faults, followed by three
+ *  words: cause, faulting pc, faulting address. */
+constexpr SWord kDiagFaultMark = 0x46544c54; // "FTLT"
+
+/** Pacing/channel word announcing the first pulse of a therapy burst
+ *  (the monitor counts these as therapy episodes). */
+constexpr SWord kTherapyStartMarker = 2;
+
 /** λ-layer clock: 50 MHz (20 ns); 5 ms tick period in λ cycles. */
 constexpr Cycles kLambdaHz = 50'000'000;
 constexpr Cycles kTickCycles = 250'000; // 5 ms at 50 MHz

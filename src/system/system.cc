@@ -1,42 +1,51 @@
 #include "system/system.hh"
 
+#include <algorithm>
+
 namespace zarf::sys
 {
+
+namespace
+{
+
+/** Sensor integrity thresholds (docs/RESILIENCE.md). A healthy
+ *  synthetic ECG never repeats 40 identical samples (noiseSigma 2.0)
+ *  and its steepest R-wave edge moves a few hundred units per
+ *  sample, far under the jump limit. */
+constexpr unsigned kFlatlineRun = 40;
+constexpr SWord kJumpLimit = 800;
+constexpr unsigned kJumpRun = 3;
+
+bool
+isFailureStatus(MachineStatus st)
+{
+    return st == MachineStatus::OutOfMemory ||
+           st == MachineStatus::Stuck ||
+           st == MachineStatus::HeapCorrupt ||
+           st == MachineStatus::MemFault;
+}
+
+} // namespace
 
 TwoLayerSystem::TwoLayerSystem(const Image &zarfImage,
                                const mblaze::MbProgram &monitor,
                                ecg::Heart &heart, Config config)
-    : heart(heart), cfg(config),
-      machine(zarfImage, lambdaBus,
-              MachineConfig{ config.semispaceWords, {}, true }),
-      cpu(monitor, mbBus)
-{}
+    : heart(heart), cfg(config), image(zarfImage),
+      cpu(monitor, mbBus), faultRng(config.faultPlan.seed)
+{
+    machine.emplace(image, lambdaBus,
+                    MachineConfig{ cfg.semispaceWords,
+                                   cfg.lambdaTiming, true });
+}
 
 SWord
 TwoLayerSystem::LambdaBus::getInt(SWord port)
 {
     switch (port) {
-      case kPortEcgIn: {
-        ++sys.nSamples;
-        sys.lastSampleCycle = sys.machine.cycles();
-        return sys.heart.nextSample();
-      }
-      case kPortTimer: {
-        Cycles now = sys.machine.cycles();
-        if (now >= sys.nextTickDue) {
-            Cycles lag = now - sys.nextTickDue;
-            if (lag > sys.maxLag)
-                sys.maxLag = lag;
-            // Consumed after the *next* tick was already due: the
-            // 5 ms deadline was missed.
-            if (lag >= kTickCycles)
-                sys.missedDeadline = true;
-            sys.nextTickDue += kTickCycles;
-            ++sys.nTicks;
-            return 1;
-        }
-        return 0;
-      }
+      case kPortEcgIn:
+        return sys.ecgRead();
+      case kPortTimer:
+        return sys.timerRead();
       default:
         return 0;
     }
@@ -45,18 +54,10 @@ TwoLayerSystem::LambdaBus::getInt(SWord port)
 void
 TwoLayerSystem::LambdaBus::putInt(SWord port, SWord value)
 {
-    if (port == kPortShockOut) {
-        sys.shockLog.push_back({ sys.machine.cycles(), value });
-        sys.heart.onShock(value);
-    } else if (port == kPortCommOut) {
-        sys.channel.push_back(value);
-        ++sys.nComm;
-        if (sys.nSamples > 0) {
-            Cycles it = sys.machine.cycles() - sys.lastSampleCycle;
-            if (it > sys.maxIterCycles)
-                sys.maxIterCycles = it;
-        }
-    }
+    if (port == kPortShockOut)
+        sys.shockWrite(value);
+    else if (port == kPortCommOut)
+        sys.commWrite(value);
 }
 
 SWord
@@ -91,24 +92,373 @@ TwoLayerSystem::MbBus::putInt(SWord port, SWord value)
         sys.diagResps.push_back(value);
 }
 
+SWord
+TwoLayerSystem::ecgRead()
+{
+    ++nSamples;
+    Cycles now = lambdaNow();
+    lastSampleCycle = now;
+    SWord raw = heart.nextSample();
+    SWord sample = raw;
+    if (now < sensorFaultUntil) {
+        switch (sensorFaultKind) {
+          case fault::FaultKind::SensorDropout:
+            sample = 0;
+            break;
+          case fault::FaultKind::SensorStuck:
+            sample = sensorStuckValue;
+            break;
+          case fault::FaultKind::SensorNoise: {
+            // Alternating-sign magnitudes in [amp/2, amp]:
+            // consecutive deltas of at least ~amp, guaranteed past
+            // the jump limit for the planned amplitudes.
+            uint64_t lo = sensorNoiseAmp / 2;
+            SWord mag =
+                SWord(lo + faultRng.below(sensorNoiseAmp - lo + 1));
+            sample = raw + (sensorNoiseFlip ? -mag : mag);
+            sensorNoiseFlip = !sensorNoiseFlip;
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    sensorIntegrity(sample, now);
+    return sample;
+}
+
+void
+TwoLayerSystem::sensorIntegrity(SWord sample, Cycles now)
+{
+    if (haveSample) {
+        if (sample == prevSample) {
+            if (++flatRun == kFlatlineRun)
+                sensorAlertLog.push_back(
+                    { SensorAlert::Kind::Flatline, now });
+        } else {
+            flatRun = 0;
+        }
+        SWord delta = sample - prevSample;
+        if (delta > kJumpLimit || delta < -kJumpLimit) {
+            if (++jumpRun == kJumpRun)
+                sensorAlertLog.push_back(
+                    { SensorAlert::Kind::NoiseBurst, now });
+        } else {
+            jumpRun = 0;
+        }
+    }
+    prevSample = sample;
+    haveSample = true;
+}
+
+SWord
+TwoLayerSystem::timerRead()
+{
+    Cycles now = lambdaNow();
+    if (now >= nextTickDue) {
+        Cycles lag = now - nextTickDue;
+        if (lag > maxLag)
+            maxLag = lag;
+        // Consumed after the *next* tick was already due: the
+        // 5 ms deadline was missed.
+        if (lag >= kTickCycles)
+            missedDeadline = true;
+        // Lag inside the post-recovery grace window is blackout
+        // backlog, not a steady-state miss.
+        bool inGrace = restarts > 0 &&
+                       now - lastRecoveryAt < cfg.recoveryGraceCycles;
+        if (!inGrace) {
+            if (lag > steadyMaxLag)
+                steadyMaxLag = lag;
+            if (lag >= kTickCycles)
+                missedOutsideGrace = true;
+        }
+        nextTickDue += kTickCycles;
+        ++nTicks;
+        lastTickConsumed = now;
+        return 1;
+    }
+    return 0;
+}
+
+void
+TwoLayerSystem::shockWrite(SWord value)
+{
+    shockLog.push_back({ lambdaNow(), value });
+    persistLastPace = value;
+    if (value == kTherapyStartMarker)
+        ++persistEpisodes;
+    heart.onShock(value);
+}
+
+void
+TwoLayerSystem::commWrite(SWord value)
+{
+    channelPush(value);
+    ++nComm;
+    if (nSamples > 0) {
+        Cycles it = lambdaNow() - lastSampleCycle;
+        if (it > maxIterCycles)
+            maxIterCycles = it;
+    }
+}
+
+void
+TwoLayerSystem::channelPush(SWord value)
+{
+    // Armed drop/dup faults hit the next word through the FIFO; the
+    // hardware tags flag them, so they count as detected.
+    if (chanDropArmed > 0) {
+        --chanDropArmed;
+        ++chanFaultCount;
+        return;
+    }
+    unsigned copies = 1;
+    if (chanDupArmed > 0) {
+        --chanDupArmed;
+        ++chanFaultCount;
+        copies = 2;
+    }
+    for (unsigned i = 0; i < copies; ++i) {
+        if (channel.size() >= cfg.channelCapacity) {
+            ++chanOverflowCount;
+            continue;
+        }
+        channel.push_back(value);
+        if (channel.size() > maxChanDepth)
+            maxChanDepth = channel.size();
+    }
+}
+
+void
+TwoLayerSystem::applyDueFaults()
+{
+    const auto &events = cfg.faultPlan.events;
+    Cycles now = lambdaNow();
+    while (planCursor < events.size() &&
+           events[planCursor].atCycle <= now) {
+        applyFault(events[planCursor]);
+        ++planCursor;
+    }
+}
+
+void
+TwoLayerSystem::applyFault(const fault::FaultEvent &e)
+{
+    using fault::FaultKind;
+    bool alive = !degradedMode && !lambdaDead;
+    switch (e.kind) {
+      case FaultKind::HeapSeu:
+        if (!alive)
+            break;
+        if (cfg.faultPlan.heapEcc) {
+            // SECDED corrects the single-bit flip in place.
+            ++eccCorrected;
+        } else {
+            machine->injectHeapBitFlip(size_t(e.a), unsigned(e.b));
+        }
+        break;
+      case FaultKind::HeapSeuDouble:
+        if (!alive)
+            break;
+        if (cfg.faultPlan.heapEcc) {
+            ++eccUncorrectable;
+            machine->raiseMemFault(
+                "uncorrectable double-bit SEU in heap word");
+        } else {
+            machine->injectHeapBitFlip(size_t(e.a),
+                                       unsigned(e.b & 0xff));
+            machine->injectHeapBitFlip(size_t(e.a),
+                                       unsigned((e.b >> 8) & 0xff));
+        }
+        break;
+      case FaultKind::OperandSeu:
+        if (!alive)
+            break;
+        if (cfg.faultPlan.operandParity) {
+            ++eccUncorrectable;
+            machine->raiseMemFault("operand parity error");
+        } else {
+            machine->injectOperandBitFlip(unsigned(e.b));
+        }
+        break;
+      case FaultKind::SensorDropout:
+      case FaultKind::SensorStuck:
+      case FaultKind::SensorNoise:
+        sensorFaultKind = e.kind;
+        // Duration is in samples; one sample per 5 ms tick.
+        sensorFaultUntil = lambdaNow() + Cycles(e.a) * kTickCycles;
+        sensorStuckValue = prevSample;
+        sensorNoiseAmp = e.b;
+        sensorNoiseFlip = false;
+        break;
+      case FaultKind::ChanDrop:
+        ++chanDropArmed;
+        break;
+      case FaultKind::ChanDup:
+        ++chanDupArmed;
+        break;
+      case FaultKind::ChanOverflowBurst:
+        // Junk words slam the FIFO. 7 is not a therapy marker, so
+        // any that squeeze in inflate the monitor's drain work but
+        // not its episode count.
+        for (uint64_t i = 0; i < e.a; ++i)
+            channelPush(7);
+        break;
+      case FaultKind::MbMemSeu: {
+        // The monitor's live state sits in the first few data words
+        // (kMonitorCountWord and scratch); target that region so the
+        // flip can actually matter.
+        size_t w = size_t(e.a % 8) % cpu.memWords();
+        cpu.setMem(w, cpu.mem(w) ^ (SWord(1) << (e.b & 31u)));
+        ++mbMemFlipCount;
+        break;
+      }
+      case FaultKind::LambdaWedge:
+        if (!alive)
+            break;
+        {
+            Cycles until = lambdaNow() + Cycles(e.a);
+            if (until > wedgeUntil)
+                wedgeUntil = until;
+        }
+        break;
+    }
+}
+
+void
+TwoLayerSystem::advanceMonitor(Cycles mbCycles)
+{
+    if (monFault)
+        return;
+    cpu.advance(mbCycles);
+    if (cpu.status() == mblaze::MbStatus::Fault) {
+        monFault = cpu.faultInfo();
+        // Report the structured fault record on the diagnostic
+        // response queue: marker, cause, pc, address.
+        diagResps.push_back(SWord(kDiagFaultMark));
+        diagResps.push_back(SWord(int(monFault->cause)));
+        diagResps.push_back(SWord(monFault->pc));
+        diagResps.push_back(SWord(monFault->addr));
+    }
+}
+
+void
+TwoLayerSystem::watchdogCheck()
+{
+    if (degradedMode || lambdaDead)
+        return;
+    MachineStatus st = machine->status();
+    Cycles now = lambdaNow();
+    Cycles lastAlive = std::max(lastTickConsumed, lastRecoveryAt);
+    bool hung = now > lastAlive + cfg.watchdogTimeoutCycles;
+    if (isFailureStatus(st) || hung)
+        triggerRestart(st);
+}
+
+void
+TwoLayerSystem::triggerRestart(MachineStatus st)
+{
+    ++restarts;
+    WatchdogEvent ev;
+    ev.atCycle = lambdaNow();
+    ev.machineStatus = st;
+    ev.diagnostic = machine->diagnostic();
+    ev.restartIndex = restarts;
+    ev.flushedChannelWords = channel.size();
+    // In-flight words are part of the failed incarnation's state.
+    channel.clear();
+    Cycles tripAt = ev.atCycle;
+
+    if (restarts > cfg.watchdogMaxRestarts) {
+        // The λ-layer is beyond saving: degrade to the imperative
+        // fallback detector on the same device rig, or — with no
+        // fallback configured — mark the λ-layer dead and keep the
+        // monitor/diagnostics alive.
+        ev.blackoutCycles = cfg.restartLatencyCycles;
+        machineEpoch = tripAt + cfg.restartLatencyCycles;
+        degradedClock = 0;
+        wedgeUntil = 0;
+        if (cfg.fallbackProgram.code.empty()) {
+            lambdaDead = true;
+        } else {
+            degradedMode = true;
+            baselineCpu.emplace(cfg.fallbackProgram, lambdaBus);
+            resyncMonitor();
+        }
+        ev.degraded = degradedMode;
+    } else {
+        // Bounded-blackout restart: exponential backoff penalty,
+        // image reload, state replay to the monitor.
+        unsigned shift = std::min(restarts - 1, 16u);
+        Cycles penalty = cfg.restartLatencyCycles << shift;
+        machine.emplace(image, lambdaBus,
+                        MachineConfig{ cfg.semispaceWords,
+                                       cfg.lambdaTiming, true });
+        machineEpoch = tripAt + penalty;
+        wedgeUntil = 0;
+        resyncMonitor();
+        ev.blackoutCycles = penalty;
+        // The monitor is not restarted; it runs through the blackout
+        // and processes the replay before the λ-layer resumes.
+        advanceMonitor(penalty * kMbCyclesPerLambdaCycle);
+    }
+
+    lastRecoveryAt = lambdaNow();
+    if (lastRecoveryAt > lastTickConsumed)
+        lastTickConsumed = lastRecoveryAt;
+    wdLog.push_back(std::move(ev));
+}
+
+void
+TwoLayerSystem::resyncMonitor()
+{
+    diagCmds.push_back(kDiagCmdResync);
+    diagCmds.push_back(persistEpisodes);
+}
+
 MachineStatus
 TwoLayerSystem::runForMs(double ms)
 {
     Cycles target =
-        machine.cycles() + Cycles(ms * double(kLambdaHz) / 1000.0);
-    MachineStatus st = MachineStatus::Running;
-    while (machine.cycles() < target &&
-           st == MachineStatus::Running) {
-        st = machine.advance(cfg.sliceCycles);
-        cpu.advance(cfg.sliceCycles * kMbCyclesPerLambdaCycle);
+        lambdaNow() + Cycles(ms * double(kLambdaHz) / 1000.0);
+    while (lambdaNow() < target) {
+        applyDueFaults();
+        if (degradedMode || lambdaDead) {
+            degradedClock += cfg.sliceCycles;
+            if (degradedMode)
+                baselineCpu->advance(cfg.sliceCycles *
+                                     kMbCyclesPerLambdaCycle);
+            advanceMonitor(cfg.sliceCycles * kMbCyclesPerLambdaCycle);
+            continue;
+        }
+        MachineStatus st;
+        if (wedgeUntil > lambdaNow()) {
+            // Wedged pipeline: the clock counts, nothing retires.
+            machineEpoch += cfg.sliceCycles;
+            st = machine->status();
+        } else {
+            st = machine->advance(cfg.sliceCycles);
+        }
+        advanceMonitor(cfg.sliceCycles * kMbCyclesPerLambdaCycle);
+        if (st == MachineStatus::Done)
+            break;
+        if (cfg.watchdogEnabled)
+            watchdogCheck();
+        else if (st != MachineStatus::Running)
+            break;
     }
-    return st;
+    if (degradedMode)
+        return MachineStatus::Running;
+    return machine->status();
 }
 
 std::optional<SWord>
 TwoLayerSystem::queryTreatments()
 {
-    diagCmds.push_back(1);
+    if (monFault)
+        return std::nullopt;
+    diagCmds.push_back(kDiagCmdReport);
     // Give the monitor a few milliseconds to notice and answer.
     for (int i = 0; i < 10 && diagResps.empty(); ++i)
         runForMs(1.0);

@@ -11,6 +11,31 @@
  * The rig records pacing events with timestamps and tracks timer
  * lag, so real-time-deadline adherence (Sec. 5.2) is directly
  * observable.
+ *
+ * Resilience (docs/RESILIENCE.md): the system carries the
+ * detection-and-recovery machinery that makes every modelled failure
+ * explicit rather than a host crash —
+ *
+ *  - the λ->mb FIFO is bounded (SystemConfig::channelCapacity) with
+ *    overflow accounting, and drop/duplicate faults are flagged by
+ *    the FIFO's integrity tags;
+ *  - the ECG front-end has an integrity monitor (flatline and
+ *    noise-burst detectors) that raises SensorAlerts;
+ *  - a hardware watchdog detects a failed λ-layer (machine status)
+ *    or a hung one (no tick consumed within the timeout) and
+ *    performs a bounded-blackout restart: flush the channel, reload
+ *    the image, resume the λ clock from an epoch base, and replay
+ *    the persisted therapy state to the monitor over the diagnostic
+ *    channel. Repeated restarts back off exponentially; past
+ *    watchdogMaxRestarts the system degrades to the imperative
+ *    fallback detector (SystemConfig::fallbackProgram) on the same
+ *    device rig;
+ *  - an imperative-core fault is captured as a structured record and
+ *    reported on the diagnostic response queue.
+ *
+ * With an empty FaultPlan and a healthy kernel none of this
+ * machinery perturbs the simulation: cycles, statistics, and shock
+ * logs are bit-identical to the pre-resilience system.
  */
 
 #ifndef ZARF_SYSTEM_SYSTEM_HH
@@ -18,12 +43,15 @@
 
 #include <deque>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "ecg/synth.hh"
+#include "fault/plan.hh"
 #include "machine/machine.hh"
 #include "mblaze/cpu.hh"
 #include "sem/io.hh"
+#include "support/random.hh"
 #include "system/ports.hh"
 
 namespace zarf::sys
@@ -36,11 +64,70 @@ struct ShockEvent
     SWord value;
 };
 
-/** Co-simulation sizing knobs. */
+/** One watchdog trip and the recovery it performed. */
+struct WatchdogEvent
+{
+    Cycles atCycle = 0;      ///< λ clock at the trip.
+    MachineStatus machineStatus =
+        MachineStatus::Running; ///< Status that tripped it (Running
+                                ///< means a hang, not a failure).
+    std::string diagnostic;  ///< The failed machine's diagnostic.
+    Cycles blackoutCycles = 0; ///< Backoff penalty + image reload.
+    unsigned restartIndex = 0; ///< 1-based restart ordinal.
+    size_t flushedChannelWords = 0; ///< In-flight words discarded.
+    bool degraded = false;   ///< This trip engaged the fallback.
+};
+
+/** One ECG front-end integrity alert. */
+struct SensorAlert
+{
+    enum class Kind
+    {
+        Flatline,   ///< Stuck-at / dropout: long identical run.
+        NoiseBurst, ///< Repeated physiologically impossible jumps.
+    };
+    Kind kind;
+    Cycles atCycle;
+};
+
+/** Default λ->mb FIFO depth. The clean-system worst observed depth
+ *  is 1 (the monitor drains within microseconds of a push); 8 gives
+ *  ample headroom while keeping overflow observable under fault
+ *  injection. */
+constexpr size_t kDefaultChannelCapacity = 8;
+
+/** Co-simulation sizing and resilience knobs. */
 struct SystemConfig
 {
     size_t semispaceWords = 1u << 18;
     Cycles sliceCycles = 2000; ///< λ cycles per co-sim slice.
+
+    /** λ-layer timing override (tests slow the kernel down to trip
+     *  the deadline machinery). */
+    TimingModel lambdaTiming{};
+
+    /** Bounded λ->mb FIFO depth; pushes beyond it are dropped and
+     *  counted (channelOverflows). */
+    size_t channelCapacity = kDefaultChannelCapacity;
+
+    /** Watchdog: detect a failed/hung λ-layer and restart it. */
+    bool watchdogEnabled = true;
+    /** No tick consumed for this long => the λ-layer is hung. */
+    Cycles watchdogTimeoutCycles = 8 * kTickCycles; // 40 ms
+    /** Blackout floor for the first restart; doubles per restart. */
+    Cycles restartLatencyCycles = kTickCycles / 5; // 1 ms
+    /** Restarts beyond this engage the fallback (or give up). */
+    unsigned watchdogMaxRestarts = 3;
+    /** Tick lag inside this window after a recovery is attributed
+     *  to the blackout backlog, not a steady-state deadline miss. */
+    Cycles recoveryGraceCycles = 10 * kTickCycles; // 50 ms
+
+    /** Imperative fallback detector (icd::baselineIcdProgram); an
+     *  empty program disables graceful degradation. */
+    mblaze::MbProgram fallbackProgram{};
+
+    /** Scheduled fault injections; empty by default. */
+    fault::FaultPlan faultPlan{};
 };
 
 /** Co-simulation of the two layers plus devices. */
@@ -58,17 +145,25 @@ class TwoLayerSystem
                    const mblaze::MbProgram &monitor, ecg::Heart &heart,
                    SystemConfig config = SystemConfig());
 
-    /** Advance the whole system by `ms` milliseconds of λ time. */
+    /** Advance the whole system by `ms` milliseconds of λ time.
+     *  Returns the λ-machine's status (Running while degraded: the
+     *  system as a whole is still alive on the fallback). */
     MachineStatus runForMs(double ms);
 
     /** Send a diagnostic command and collect the response (runs the
      *  system a little to let the monitor answer). */
     std::optional<SWord> queryTreatments();
 
-    // Observers.
+    /** Replay the persisted therapy state to the monitor over the
+     *  diagnostic channel (watchdog recovery does this
+     *  automatically; campaigns call it after detecting a count
+     *  mismatch). */
+    void resyncMonitor();
+
+    // Observers (pre-resilience set; semantics unchanged).
     const std::vector<ShockEvent> &shocks() const { return shockLog; }
-    const MachineStats &lambdaStats() const { return machine.stats(); }
-    Cycles lambdaCycles() const { return machine.cycles(); }
+    const MachineStats &lambdaStats() const { return machine->stats(); }
+    Cycles lambdaCycles() const { return lambdaNow(); }
     Cycles mbCycles() const { return cpu.cycles(); }
     uint64_t samplesRead() const { return nSamples; }
     uint64_t ticksConsumed() const { return nTicks; }
@@ -83,8 +178,67 @@ class TwoLayerSystem
     Cycles maxIterationCycles() const { return maxIterCycles; }
     uint64_t commWords() const { return nComm; }
 
+    // Resilience observers.
+    unsigned watchdogRestarts() const { return restarts; }
+    const std::vector<WatchdogEvent> &watchdogLog() const
+    {
+        return wdLog;
+    }
+    /** True once the fallback detector has taken over. */
+    bool degraded() const { return degradedMode; }
+    /** True if the λ-layer is permanently down with no fallback. */
+    bool lambdaDown() const { return lambdaDead; }
+    const std::vector<SensorAlert> &sensorAlerts() const
+    {
+        return sensorAlertLog;
+    }
+    /** Words dropped because the bounded FIFO was full. */
+    uint64_t channelOverflows() const { return chanOverflowCount; }
+    /** Drop/duplicate faults flagged by the FIFO integrity tags. */
+    uint64_t channelFaultsDetected() const { return chanFaultCount; }
+    /** Single-bit heap SEUs corrected by the SECDED code. */
+    uint64_t eccCorrectedFaults() const { return eccCorrected; }
+    /** Uncorrectable memory faults surfaced as MemFault. */
+    uint64_t eccUncorrectableFaults() const { return eccUncorrectable; }
+    /** Raw bit flips applied to the imperative core's data memory. */
+    uint64_t mbMemFlips() const { return mbMemFlipCount; }
+    /** The imperative core's fault record, if it has faulted. */
+    const std::optional<mblaze::MbFaultInfo> &monitorFault() const
+    {
+        return monFault;
+    }
+    /** System-persisted therapy state (the "NVRAM" the watchdog
+     *  replays on recovery). */
+    SWord persistedEpisodes() const { return persistEpisodes; }
+    SWord persistedLastPace() const { return persistLastPace; }
+    /** Worst tick lag observed outside recovery-grace windows. */
+    Cycles steadyStateMaxLag() const { return steadyMaxLag; }
+    /** deadlineMissed() restricted to outside grace windows. */
+    bool missedDeadlineOutsideRecovery() const
+    {
+        return missedOutsideGrace;
+    }
+    /** λ clock at the most recent tick consumption. */
+    Cycles lastTickConsumedAt() const { return lastTickConsumed; }
+    /** Worst FIFO depth observed at push time. */
+    size_t maxChannelDepth() const { return maxChanDepth; }
+
   private:
-    /** The λ-layer's view of the devices. */
+    /** The devices' view of λ time. Equals the machine's own cycle
+     *  counter until the first watchdog restart; afterwards the
+     *  epoch base keeps the clock monotonic across machine
+     *  incarnations (and across degradation, where a slice counter
+     *  stands in for the dead machine). */
+    Cycles
+    lambdaNow() const
+    {
+        if (degradedMode || lambdaDead)
+            return machineEpoch + degradedClock;
+        return machineEpoch + machine->cycles();
+    }
+
+    /** The λ-layer's (and the fallback detector's) view of the
+     *  devices. */
     class LambdaBus : public IoBus
     {
       public:
@@ -108,20 +262,41 @@ class TwoLayerSystem
         TwoLayerSystem &sys;
     };
 
+    SWord ecgRead();
+    SWord timerRead();
+    void shockWrite(SWord value);
+    void commWrite(SWord value);
+    void channelPush(SWord value);
+    void sensorIntegrity(SWord sample, Cycles now);
+    void applyDueFaults();
+    void applyFault(const fault::FaultEvent &e);
+    void advanceMonitor(Cycles mbCycles);
+    void watchdogCheck();
+    void triggerRestart(MachineStatus st);
+
     ecg::Heart &heart;
     Config cfg;
 
     LambdaBus lambdaBus{ *this };
     MbBus mbBus{ *this };
-    Machine machine;
-    mblaze::MbCpu cpu;
+    const Image image; ///< Owned copy for watchdog reload.
+    std::optional<Machine> machine;
+    mblaze::MbCpu cpu; ///< The monitor; never restarted.
+    std::optional<mblaze::MbCpu> baselineCpu; ///< Degraded mode.
+
+    // λ clock epoch machinery (see lambdaNow()).
+    Cycles machineEpoch = 0;
+    Cycles degradedClock = 0;
+    Cycles wedgeUntil = 0; ///< λ pipeline wedged until this cycle.
+    bool degradedMode = false;
+    bool lambdaDead = false;
 
     // Devices.
     Cycles nextTickDue = kTickCycles;
     uint64_t nTicks = 0;
     Cycles maxLag = 0;
     bool missedDeadline = false;
-    std::deque<SWord> channel; ///< λ -> imperative FIFO.
+    std::deque<SWord> channel; ///< λ -> imperative FIFO (bounded).
     std::deque<SWord> diagCmds;
     std::deque<SWord> diagResps;
     std::vector<ShockEvent> shockLog;
@@ -129,6 +304,43 @@ class TwoLayerSystem
     uint64_t nComm = 0;
     Cycles lastSampleCycle = 0;
     Cycles maxIterCycles = 0;
+    size_t maxChanDepth = 0;
+
+    // Persistent therapy state (the watchdog's replay source).
+    SWord persistLastPace = 0;
+    SWord persistEpisodes = 0;
+
+    // Watchdog state.
+    unsigned restarts = 0;
+    std::vector<WatchdogEvent> wdLog;
+    Cycles lastTickConsumed = 0;
+    Cycles lastRecoveryAt = 0;
+    Cycles steadyMaxLag = 0;
+    bool missedOutsideGrace = false;
+
+    // Sensor front-end integrity monitor.
+    std::vector<SensorAlert> sensorAlertLog;
+    SWord prevSample = 0;
+    bool haveSample = false;
+    unsigned flatRun = 0;
+    unsigned jumpRun = 0;
+
+    // Fault injection state.
+    size_t planCursor = 0;
+    Rng faultRng;
+    fault::FaultKind sensorFaultKind = fault::FaultKind::SensorDropout;
+    Cycles sensorFaultUntil = 0;
+    SWord sensorStuckValue = 0;
+    uint64_t sensorNoiseAmp = 0;
+    bool sensorNoiseFlip = false;
+    unsigned chanDropArmed = 0;
+    unsigned chanDupArmed = 0;
+    uint64_t chanOverflowCount = 0;
+    uint64_t chanFaultCount = 0;
+    uint64_t eccCorrected = 0;
+    uint64_t eccUncorrectable = 0;
+    uint64_t mbMemFlipCount = 0;
+    std::optional<mblaze::MbFaultInfo> monFault;
 };
 
 } // namespace zarf::sys

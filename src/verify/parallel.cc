@@ -11,12 +11,8 @@
 namespace zarf::verify
 {
 
-namespace
-{
-
-/** Derive a shard's seed from the base and its index only. The Rng
- *  constructor splitmixes its seed, so consecutive values here still
- *  yield decorrelated streams. */
+// The Rng constructor splitmixes its seed, so consecutive values
+// here still yield decorrelated streams.
 uint64_t
 shardSeed(uint64_t seedBase, size_t shard)
 {
@@ -24,7 +20,7 @@ shardSeed(uint64_t seedBase, size_t shard)
 }
 
 unsigned
-workerCount(const ParallelConfig &cfg)
+shardWorkerCount(const ParallelConfig &cfg)
 {
     unsigned n = cfg.threads ? cfg.threads
                              : std::thread::hardware_concurrency();
@@ -34,8 +30,6 @@ workerCount(const ParallelConfig &cfg)
         n = unsigned(cfg.shards ? cfg.shards : 1);
     return n;
 }
-
-} // namespace
 
 size_t
 ParallelReport::passed() const
@@ -93,7 +87,7 @@ runSharded(const ParallelConfig &cfg, const ShardFn &fn)
         }
     };
 
-    unsigned nWorkers = workerCount(cfg);
+    unsigned nWorkers = shardWorkerCount(cfg);
     if (nWorkers <= 1) {
         worker();
         return report;

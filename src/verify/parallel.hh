@@ -23,9 +23,11 @@
 #ifndef ZARF_VERIFY_PARALLEL_HH
 #define ZARF_VERIFY_PARALLEL_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "isa/ast.hh"
@@ -76,6 +78,59 @@ struct ParallelReport
 using ShardFn = std::function<ShardOutcome(size_t, uint64_t)>;
 ParallelReport runSharded(const ParallelConfig &cfg,
                           const ShardFn &fn);
+
+/** The deterministic per-shard seed derivation runSharded uses:
+ *  a function of (seedBase, shard index) only, never of scheduling
+ *  order. */
+uint64_t shardSeed(uint64_t seedBase, size_t shard);
+
+/** Worker-pool size for a config (threads clamped to shards). */
+unsigned shardWorkerCount(const ParallelConfig &cfg);
+
+/**
+ * Generic deterministic fan-out: run cfg.shards invocations of
+ * `fn(shardIndex, derivedSeed)` across the worker pool and return
+ * the results in shard order. Same determinism contract as
+ * runSharded — identical results on 1 thread and on 64 — but with a
+ * caller-chosen result type (e.g. the fault campaign's per-scenario
+ * records, fault/campaign.hh). `fn` must not throw and must not
+ * touch shared mutable state.
+ */
+template <typename Fn>
+auto
+shardMap(const ParallelConfig &cfg, Fn &&fn)
+    -> std::vector<decltype(fn(size_t{}, uint64_t{}))>
+{
+    using Result = decltype(fn(size_t{}, uint64_t{}));
+    std::vector<Result> results(cfg.shards);
+    if (cfg.shards == 0)
+        return results;
+
+    // Work-stealing over an atomic shard counter; every result goes
+    // to its preallocated slot, so the merged vector never depends
+    // on the interleaving.
+    std::atomic<size_t> next{ 0 };
+    auto worker = [&]() {
+        for (;;) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= cfg.shards)
+                return;
+            results[i] = fn(i, shardSeed(cfg.seedBase, i));
+        }
+    };
+    unsigned nWorkers = shardWorkerCount(cfg);
+    if (nWorkers <= 1) {
+        worker();
+        return results;
+    }
+    {
+        std::vector<std::jthread> pool;
+        pool.reserve(nWorkers);
+        for (unsigned t = 0; t < nWorkers; ++t)
+            pool.emplace_back(worker);
+    } // jthreads join here
+    return results;
+}
 
 /**
  * Refinement campaign (Sec. 5.1): each shard drives the extracted

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fault-campaign determinism: the campaign runner must produce a
+ * bit-identical report — including its JSON rendering — for the
+ * same (scenarios, seedBase) regardless of worker-thread count.
+ * The full-size sweep lives in bench/bench_fault_campaign; this
+ * keeps a small always-on regression in the test suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/campaign.hh"
+
+namespace zarf::fault
+{
+namespace
+{
+
+TEST(FaultCampaign, ReportIdenticalAcrossThreadCounts)
+{
+    CampaignConfig cfg;
+    cfg.scenarios = 3; // heap-seu, heap-seu-double, operand-seu
+    cfg.seedBase = 9;
+
+    cfg.threads = 1;
+    CampaignReport a = runCampaign(cfg);
+    cfg.threads = 3;
+    CampaignReport b = runCampaign(cfg);
+
+    ASSERT_EQ(a.results.size(), 3u);
+    EXPECT_EQ(a.toJson(), b.toJson());
+
+    // Protected-memory scenarios never silently corrupt output.
+    EXPECT_EQ(a.protectedSilentCorruptions(), 0u);
+    for (const ScenarioResult &r : a.results) {
+        EXPECT_TRUE(r.protectedMemory);
+        EXPECT_FALSE(r.vtFlavor);
+    }
+}
+
+} // namespace
+} // namespace zarf::fault

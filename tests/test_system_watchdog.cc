@@ -1,0 +1,346 @@
+/**
+ * @file
+ * System-level resilience tests: watchdog detection and
+ * bounded-blackout restart, state replay over the diagnostic
+ * channel, graceful degradation to the imperative baseline, the
+ * bounded inter-layer FIFO, the ECG front-end integrity monitor,
+ * and the real-time deadline detectors (docs/RESILIENCE.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ecg/synth.hh"
+#include "fault/plan.hh"
+#include "icd/baseline.hh"
+#include "icd/zarf_icd.hh"
+#include "mblaze/isa.hh"
+#include "system/system.hh"
+
+namespace zarf::sys
+{
+namespace
+{
+
+const Image &
+kernelImage()
+{
+    static Image img = icd::buildKernelImage();
+    return img;
+}
+
+SystemConfig
+resilientConfig()
+{
+    SystemConfig cfg;
+    cfg.fallbackProgram = icd::baselineIcdProgram();
+    return cfg;
+}
+
+fault::FaultEvent
+memFaultAt(Cycles cycle)
+{
+    // A double-bit heap SEU: uncorrectable under ECC, so the machine
+    // raises MemFault at the scheduled cycle.
+    return { cycle, fault::FaultKind::HeapSeuDouble, 1, 0x0102 };
+}
+
+TEST(Watchdog, RestartsOnMemFaultAndKeepsPacing)
+{
+    ecg::ScriptedHeart heart({ { 600.0, 75.0 } }, 42);
+    SystemConfig cfg = resilientConfig();
+    cfg.faultPlan.events.push_back(memFaultAt(25'000'000));
+    TwoLayerSystem sys(kernelImage(), icd::monitorProgram(), heart,
+                       cfg);
+
+    MachineStatus st = sys.runForMs(2000.0);
+    EXPECT_EQ(st, MachineStatus::Running);
+    ASSERT_EQ(sys.watchdogRestarts(), 1u);
+
+    const WatchdogEvent &ev = sys.watchdogLog().front();
+    EXPECT_EQ(ev.machineStatus, MachineStatus::MemFault);
+    EXPECT_GE(ev.atCycle, Cycles(25'000'000));
+    // Bounded blackout: well under one 5 ms tick period.
+    EXPECT_LT(ev.blackoutCycles, kTickCycles);
+    EXPECT_FALSE(ev.degraded);
+
+    // The system kept meeting deadlines outside the recovery grace
+    // window, and kept consuming ticks after the restart.
+    EXPECT_FALSE(sys.missedDeadlineOutsideRecovery());
+    EXPECT_GT(sys.lastTickConsumedAt(), ev.atCycle);
+    EXPECT_NEAR(double(sys.ticksConsumed()), 400.0, 8.0);
+}
+
+TEST(Watchdog, ResyncReplaysEpisodeCountAfterRestart)
+{
+    // VT at 1 s draws a therapy episode around 7 s (detection needs
+    // ~6 s of VT beats); the λ-layer then dies at 8.5 s. The
+    // watchdog restart replays the persisted episode count to the
+    // monitor, so diagnostics still agree with the system's own
+    // record.
+    ecg::ResponsiveHeart heart(1.0, 75.0, 190.0, 8, 5);
+    SystemConfig cfg = resilientConfig();
+    cfg.faultPlan.events.push_back(memFaultAt(425'000'000));
+    TwoLayerSystem sys(kernelImage(), icd::monitorProgram(), heart,
+                       cfg);
+
+    sys.runForMs(10000.0);
+    ASSERT_EQ(sys.watchdogRestarts(), 1u);
+    ASSERT_GE(sys.persistedEpisodes(), 1);
+
+    auto count = sys.queryTreatments();
+    ASSERT_TRUE(count.has_value());
+    EXPECT_EQ(*count, sys.persistedEpisodes());
+}
+
+TEST(Watchdog, DetectsWedgedPipelineAsHang)
+{
+    ecg::ScriptedHeart heart({ { 600.0, 75.0 } }, 42);
+    SystemConfig cfg = resilientConfig();
+    // The λ pipeline stops retiring for 2.5M cycles (50 ms) while
+    // its clock counts: no failure status, just silence. The
+    // watchdog's tick-starvation detector must catch it.
+    cfg.faultPlan.events.push_back(
+        { 25'000'000, fault::FaultKind::LambdaWedge, 2'500'000, 0 });
+    TwoLayerSystem sys(kernelImage(), icd::monitorProgram(), heart,
+                       cfg);
+
+    sys.runForMs(2000.0);
+    ASSERT_GE(sys.watchdogRestarts(), 1u);
+    // A hang trips with the machine still notionally Running.
+    EXPECT_EQ(sys.watchdogLog().front().machineStatus,
+              MachineStatus::Running);
+    // Pacing resumed after the restart.
+    EXPECT_GT(sys.lastTickConsumedAt(),
+              sys.watchdogLog().front().atCycle);
+    EXPECT_FALSE(sys.missedDeadlineOutsideRecovery());
+}
+
+TEST(Watchdog, DegradesToBaselineAfterRepeatedFailures)
+{
+    ecg::ScriptedHeart heart({ { 600.0, 75.0 } }, 42);
+    SystemConfig cfg = resilientConfig();
+    for (Cycles c : { 25'000'000, 50'000'000, 75'000'000,
+                      100'000'000 })
+        cfg.faultPlan.events.push_back(memFaultAt(c));
+    TwoLayerSystem sys(kernelImage(), icd::monitorProgram(), heart,
+                       cfg);
+
+    MachineStatus st = sys.runForMs(3000.0);
+    // The system as a whole stays alive on the fallback detector.
+    EXPECT_EQ(st, MachineStatus::Running);
+    EXPECT_EQ(sys.watchdogRestarts(), 4u);
+    EXPECT_TRUE(sys.degraded());
+    EXPECT_FALSE(sys.lambdaDown());
+    EXPECT_TRUE(sys.watchdogLog().back().degraded);
+
+    // The baseline keeps consuming ticks (pacing continues).
+    uint64_t before = sys.ticksConsumed();
+    sys.runForMs(500.0);
+    EXPECT_GE(sys.ticksConsumed(), before + 80);
+}
+
+TEST(Watchdog, NoFallbackMeansLambdaDown)
+{
+    ecg::ScriptedHeart heart({ { 600.0, 75.0 } }, 42);
+    SystemConfig cfg; // no fallbackProgram
+    for (Cycles c : { 25'000'000, 50'000'000, 75'000'000,
+                      100'000'000 })
+        cfg.faultPlan.events.push_back(memFaultAt(c));
+    TwoLayerSystem sys(kernelImage(), icd::monitorProgram(), heart,
+                       cfg);
+
+    MachineStatus st = sys.runForMs(3000.0);
+    EXPECT_TRUE(sys.lambdaDown());
+    EXPECT_FALSE(sys.degraded());
+    EXPECT_EQ(st, MachineStatus::MemFault);
+
+    // With the λ-layer dead and nothing standing in, ticks stop.
+    uint64_t before = sys.ticksConsumed();
+    sys.runForMs(500.0);
+    EXPECT_EQ(sys.ticksConsumed(), before);
+}
+
+// Satellite (c): the λ->mb FIFO is bounded; overflow drops are
+// counted instead of growing the queue without bound.
+TEST(BoundedChannel, OverflowBurstIsDetectedAndBounded)
+{
+    ecg::ScriptedHeart heart({ { 600.0, 75.0 } }, 42);
+    SystemConfig cfg = resilientConfig();
+    cfg.channelCapacity = 4;
+    cfg.faultPlan.events.push_back(
+        { 30'000'000, fault::FaultKind::ChanOverflowBurst, 32, 0 });
+    TwoLayerSystem sys(kernelImage(), icd::monitorProgram(), heart,
+                       cfg);
+
+    sys.runForMs(1000.0);
+    EXPECT_GE(sys.channelOverflows(), 20u);
+    EXPECT_LE(sys.maxChannelDepth(), 4u);
+    // The monitor rides out the junk burst and still answers.
+    auto count = sys.queryTreatments();
+    ASSERT_TRUE(count.has_value());
+    EXPECT_EQ(*count, sys.persistedEpisodes());
+}
+
+TEST(BoundedChannel, DropAndDuplicateFaultsAreFlagged)
+{
+    ecg::ScriptedHeart heart({ { 600.0, 75.0 } }, 42);
+    SystemConfig cfg = resilientConfig();
+    cfg.faultPlan.events.push_back(
+        { 20'000'000, fault::FaultKind::ChanDrop, 0, 0 });
+    cfg.faultPlan.events.push_back(
+        { 40'000'000, fault::FaultKind::ChanDup, 0, 0 });
+    TwoLayerSystem sys(kernelImage(), icd::monitorProgram(), heart,
+                       cfg);
+
+    sys.runForMs(1000.0);
+    EXPECT_EQ(sys.channelFaultsDetected(), 2u);
+}
+
+TEST(SensorIntegrity, FlatlineAndNoiseBurstsRaiseAlerts)
+{
+    {
+        ecg::ScriptedHeart heart({ { 600.0, 75.0 } }, 42);
+        SystemConfig cfg = resilientConfig();
+        cfg.faultPlan.events.push_back(
+            { 25'000'000, fault::FaultKind::SensorDropout, 80, 0 });
+        TwoLayerSystem sys(kernelImage(), icd::monitorProgram(),
+                           heart, cfg);
+        sys.runForMs(2000.0);
+        ASSERT_GE(sys.sensorAlerts().size(), 1u);
+        EXPECT_EQ(sys.sensorAlerts().front().kind,
+                  SensorAlert::Kind::Flatline);
+    }
+    {
+        ecg::ScriptedHeart heart({ { 600.0, 75.0 } }, 42);
+        SystemConfig cfg = resilientConfig();
+        cfg.faultPlan.events.push_back(
+            { 25'000'000, fault::FaultKind::SensorNoise, 100, 2000 });
+        TwoLayerSystem sys(kernelImage(), icd::monitorProgram(),
+                           heart, cfg);
+        sys.runForMs(2000.0);
+        ASSERT_GE(sys.sensorAlerts().size(), 1u);
+        EXPECT_EQ(sys.sensorAlerts().front().kind,
+                  SensorAlert::Kind::NoiseBurst);
+    }
+}
+
+// Satellite (b), at system level: an SEU in the monitor's episode
+// counter is caught by the count cross-check and repaired by a
+// state replay over the diagnostic channel.
+TEST(MonitorResync, MemoryFlipDetectedByCrossCheckAndRepaired)
+{
+    ecg::ScriptedHeart heart({ { 600.0, 75.0 } }, 42);
+    SystemConfig cfg = resilientConfig();
+    // Flip bit 3 of data-memory word 0 — the episode count.
+    cfg.faultPlan.events.push_back(
+        { 30'000'000, fault::FaultKind::MbMemSeu,
+          icd::kMonitorCountWord, 3 });
+    TwoLayerSystem sys(kernelImage(), icd::monitorProgram(), heart,
+                       cfg);
+
+    sys.runForMs(1000.0);
+    auto count = sys.queryTreatments();
+    ASSERT_TRUE(count.has_value());
+    EXPECT_EQ(*count, 8); // corrupted: 0 with bit 3 flipped
+    EXPECT_NE(*count, sys.persistedEpisodes());
+
+    sys.resyncMonitor();
+    sys.runForMs(5.0);
+    auto repaired = sys.queryTreatments();
+    ASSERT_TRUE(repaired.has_value());
+    EXPECT_EQ(*repaired, sys.persistedEpisodes());
+}
+
+TEST(MonitorResync, FaultingMonitorSurfacesStructuredRecord)
+{
+    ecg::ScriptedHeart heart({ { 600.0, 75.0 } }, 42);
+    // A "monitor" that dies on a wild load: the system captures the
+    // structured fault record instead of looping on a dead core.
+    mblaze::MbProgram bad = mblaze::assembleMbOrDie(R"(
+        movi r1, 99999999
+        lw r2, r1, 0
+        halt
+    )");
+    TwoLayerSystem sys(kernelImage(), bad, heart,
+                       resilientConfig());
+
+    sys.runForMs(10.0);
+    ASSERT_TRUE(sys.monitorFault().has_value());
+    EXPECT_EQ(sys.monitorFault()->cause,
+              mblaze::MbFaultInfo::Cause::LoadOutOfRange);
+    EXPECT_EQ(sys.monitorFault()->addr, 99999999);
+    // Diagnostics are off the table with a dead monitor.
+    EXPECT_FALSE(sys.queryTreatments().has_value());
+}
+
+// Satellite (d): the deadline detectors actually trip. A kernel
+// slowed ~2000x via the timing model cannot meet the 5 ms tick.
+TEST(Deadlines, DetectorsTripUnderArtificiallySlowKernel)
+{
+    ecg::ScriptedHeart heart({ { 600.0, 75.0 } }, 42);
+    SystemConfig cfg;
+    cfg.watchdogEnabled = false; // isolate the detectors
+    cfg.lambdaTiming.letBase = 5000;
+    cfg.lambdaTiming.caseBase = 5000;
+    cfg.lambdaTiming.whnfCheck = 5000;
+    TwoLayerSystem sys(kernelImage(), icd::monitorProgram(), heart,
+                       cfg);
+
+    sys.runForMs(150.0);
+    EXPECT_TRUE(sys.deadlineMissed());
+    EXPECT_GE(sys.maxTickLag(), kTickCycles);
+    EXPECT_GT(sys.maxIterationCycles(), kTickCycles);
+}
+
+TEST(Deadlines, HealthyKernelTripsNothing)
+{
+    ecg::ScriptedHeart heart({ { 600.0, 75.0 } }, 42);
+    TwoLayerSystem sys(kernelImage(), icd::monitorProgram(), heart,
+                       resilientConfig());
+    sys.runForMs(1000.0);
+    EXPECT_FALSE(sys.deadlineMissed());
+    EXPECT_FALSE(sys.missedDeadlineOutsideRecovery());
+    EXPECT_EQ(sys.watchdogRestarts(), 0u);
+    EXPECT_FALSE(sys.degraded());
+    EXPECT_EQ(sys.channelOverflows(), 0u);
+    EXPECT_EQ(sys.channelFaultsDetected(), 0u);
+    EXPECT_EQ(sys.eccCorrectedFaults(), 0u);
+    EXPECT_EQ(sys.eccUncorrectableFaults(), 0u);
+    EXPECT_TRUE(sys.sensorAlerts().empty());
+    EXPECT_FALSE(sys.monitorFault().has_value());
+}
+
+TEST(Deadlines, ResilienceMachineryIsTransparentOnCleanRuns)
+{
+    // The empty-plan guarantee: a system with the full resilience
+    // configuration produces a bit-identical pacing log and λ cycle
+    // count to a plain default system.
+    ecg::ScriptedHeart heartA({ { 20.0, 75.0 }, { 60.0, 190.0 } },
+                              13);
+    ecg::ScriptedHeart heartB({ { 20.0, 75.0 }, { 60.0, 190.0 } },
+                              13);
+
+    TwoLayerSystem plain(kernelImage(), icd::monitorProgram(),
+                         heartA);
+    SystemConfig cfg = resilientConfig();
+    cfg.channelCapacity = 16;
+    TwoLayerSystem resilient(kernelImage(), icd::monitorProgram(),
+                             heartB, cfg);
+
+    plain.runForMs(2000.0);
+    resilient.runForMs(2000.0);
+
+    EXPECT_EQ(plain.lambdaCycles(), resilient.lambdaCycles());
+    ASSERT_EQ(plain.shocks().size(), resilient.shocks().size());
+    for (size_t i = 0; i < plain.shocks().size(); ++i) {
+        EXPECT_EQ(plain.shocks()[i].lambdaCycle,
+                  resilient.shocks()[i].lambdaCycle);
+        EXPECT_EQ(plain.shocks()[i].value,
+                  resilient.shocks()[i].value);
+    }
+    EXPECT_EQ(plain.lambdaStats().gcRuns,
+              resilient.lambdaStats().gcRuns);
+}
+
+} // namespace
+} // namespace zarf::sys
