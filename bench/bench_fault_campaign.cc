@@ -14,7 +14,8 @@
  * either masked or detected, never silently corrupting therapy.
  *
  *   bench_fault_campaign [--scenarios N] [--threads N] [--seed N]
- *                        [--json FILE] [--smoke]
+ *                        [--json FILE] [--metrics-json FILE]
+ *                        [--smoke]
  *
  * --smoke runs one full 44-scenario cycle of the scenario space
  * (11 fault kinds x 2 rhythm flavors x 2 protection models) — the
@@ -35,6 +36,7 @@ main(int argc, char **argv)
 {
     fault::CampaignConfig cfg;
     const char *jsonPath = nullptr;
+    const char *metricsPath = nullptr;
     for (int i = 1; i < argc; ++i) {
         if (!strcmp(argv[i], "--scenarios") && i + 1 < argc) {
             cfg.scenarios = size_t(atoll(argv[++i]));
@@ -44,13 +46,17 @@ main(int argc, char **argv)
             cfg.seedBase = uint64_t(atoll(argv[++i]));
         } else if (!strcmp(argv[i], "--json") && i + 1 < argc) {
             jsonPath = argv[++i];
+        } else if (!strcmp(argv[i], "--metrics-json") &&
+                   i + 1 < argc) {
+            metricsPath = argv[++i];
         } else if (!strcmp(argv[i], "--smoke")) {
             // One full cycle of the scenario space.
             cfg.scenarios = 44;
         } else {
             fprintf(stderr,
                     "usage: %s [--scenarios N] [--threads N] "
-                    "[--seed N] [--json FILE] [--smoke]\n",
+                    "[--seed N] [--json FILE] "
+                    "[--metrics-json FILE] [--smoke]\n",
                     argv[0]);
             return 2;
         }
@@ -79,6 +85,18 @@ main(int argc, char **argv)
         fwrite(json.data(), 1, json.size(), f);
         fclose(f);
         printf("  report: %s\n", jsonPath);
+    }
+
+    if (metricsPath) {
+        FILE *f = fopen(metricsPath, "w");
+        if (!f) {
+            fprintf(stderr, "cannot write %s\n", metricsPath);
+            return 2;
+        }
+        std::string json = report.metricsJson();
+        fwrite(json.data(), 1, json.size(), f);
+        fclose(f);
+        printf("  metrics: %s\n", metricsPath);
     }
 
     return silentProtected == 0 ? 0 : 1;

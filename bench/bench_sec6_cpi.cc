@@ -12,6 +12,7 @@
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include <algorithm>
 
@@ -20,6 +21,7 @@
 #include "lowlevel/extract.hh"
 #include "isa/binary.hh"
 #include "machine/machine.hh"
+#include "obs/metrics.hh"
 #include "support/random.hh"
 #include "system/ports.hh"
 #include "zasm/prelude.hh"
@@ -62,15 +64,28 @@ class BusyRig : public IoBus
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const char *metricsPath = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--metrics-json") && i + 1 < argc) {
+            metricsPath = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--metrics-json FILE]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
     std::printf("=== Sec. 6: dynamic CPI of the lambda-execution "
                 "layer ===\n\n");
 
     ecg::ScriptedHeart heart({ { 60.0, 75.0 }, { 120.0, 190.0 } },
                              42);
     BusyRig rig(heart);
-    Machine m(icd::buildKernelImage(), rig);
+    MachineConfig mcfg;
+    mcfg.fsmTally = metricsPath != nullptr;
+    Machine m(icd::buildKernelImage(), rig, mcfg);
 
     // A trace of several million cycles, including VT + therapy so
     // every code path contributes.
@@ -178,5 +193,20 @@ main()
     std::printf("  total CPI %.2f (no GC), branch heads %.1f%% of "
                 "dynamic instructions (paper: ~33%%)\n",
                 d.cpiNoGc(), 100.0 * d.branchHeadFraction());
+
+    if (metricsPath) {
+        obs::Metrics metrics;
+        m.exportMetrics(metrics, "icd.");
+        vm.exportMetrics(metrics, "vm.");
+        FILE *f = std::fopen(metricsPath, "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", metricsPath);
+            return 2;
+        }
+        std::string json = metrics.toJson();
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("\nmetrics: %s\n", metricsPath);
+    }
     return 0;
 }

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Canary for the observability layer's disabled-path cost
+ * (docs/OBSERVABILITY.md): the trace/tally hooks compiled into the
+ * λ-machine hot loop must be ~free when no recorder wants the
+ * events. Three configurations drive the same back-to-back ICD
+ * workload:
+ *
+ *  - off:    no recorder attached, tally off (the production
+ *            default — one predicted-false branch per hook);
+ *  - masked: a recorder attached whose category mask excludes every
+ *            machine category, so the cached per-category flags are
+ *            false (same cost shape as `off`);
+ *  - full:   all categories recorded plus the per-FSM-state tally
+ *            (the upper bound anyone pays for full visibility).
+ *
+ * Samples interleave the configurations and keep the per-config
+ * minimum, so coarse host noise cancels. The process exits nonzero
+ * if the masked path costs more than kMaxMaskedOverhead over `off` —
+ * that would mean a hook escaped the cached-flag discipline.
+ *
+ *   bench_trace_overhead [--smoke]
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include <algorithm>
+#include <chrono>
+
+#include "ecg/synth.hh"
+#include "icd/zarf_icd.hh"
+#include "machine/machine.hh"
+#include "obs/trace.hh"
+#include "system/ports.hh"
+
+using namespace zarf;
+
+namespace
+{
+
+/** Disabled-path overhead gate. Generous against host noise; a hook
+ *  that actually formats or stores events blows way past it. */
+constexpr double kMaxMaskedOverhead = 0.10;
+
+class BusyRig : public IoBus
+{
+  public:
+    explicit BusyRig(ecg::Heart &h) : heart(h) {}
+
+    SWord
+    getInt(SWord port) override
+    {
+        if (port == sys::kPortTimer)
+            return 1;
+        if (port == sys::kPortEcgIn)
+            return heart.nextSample();
+        return 0;
+    }
+
+    void putInt(SWord, SWord) override {}
+
+    ecg::Heart &heart;
+};
+
+double
+now()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+/** One timed ICD run under `cfg`; returns host seconds. */
+double
+runOnce(const Image &img, Cycles simCycles, MachineConfig cfg)
+{
+    ecg::ScriptedHeart heart({ { 20.0, 75.0 }, { 40.0, 190.0 } },
+                             42);
+    BusyRig rig(heart);
+    Machine m(img, rig, cfg);
+    double t0 = now();
+    while (m.cycles() < simCycles &&
+           m.advance(500'000) == MachineStatus::Running) {}
+    return now() - t0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    }
+    const Cycles simCycles = smoke ? 600'000 : 8'000'000;
+    const int reps = smoke ? 4 : 7;
+
+    const Image img = icd::buildKernelImage();
+
+    // The masked recorder wants only System events — none of which
+    // the bare machine emits — so every cached machine flag is off.
+    obs::TraceConfig maskedCfg;
+    maskedCfg.mask = unsigned(obs::Cat::System);
+    obs::Recorder masked(maskedCfg);
+    obs::Recorder full{ obs::TraceConfig{} };
+
+    MachineConfig off;
+    MachineConfig withMasked;
+    withMasked.trace = &masked;
+    MachineConfig withFull;
+    withFull.trace = &full;
+    withFull.fsmTally = true;
+
+    struct Config
+    {
+        const char *name;
+        MachineConfig cfg;
+        double best = 1e30;
+    };
+    Config configs[] = {
+        { "off", off, 1e30 },
+        { "masked", withMasked, 1e30 },
+        { "full", withFull, 1e30 },
+    };
+
+    // Warm-up, then interleaved repetitions keeping the minimum.
+    for (Config &c : configs)
+        runOnce(img, simCycles / 4, c.cfg);
+    for (int r = 0; r < reps; ++r) {
+        for (Config &c : configs) {
+            full.clear();
+            double t = runOnce(img, simCycles, c.cfg);
+            c.best = std::min(c.best, t);
+        }
+    }
+
+    std::printf("=== trace hook overhead (%llu sim cycles, best of "
+                "%d)%s ===\n\n",
+                (unsigned long long)simCycles, reps,
+                smoke ? " (smoke)" : "");
+    double base = configs[0].best;
+    for (const Config &c : configs) {
+        double overhead = c.best / base - 1.0;
+        std::printf("  %-8s %8.4f s  (%+.2f%% vs off)\n", c.name,
+                    c.best, 100.0 * overhead);
+    }
+    std::printf("\n  full-config events recorded: %llu "
+                "(+%llu dropped)\n",
+                (unsigned long long)full.emitted(),
+                (unsigned long long)full.dropped());
+
+    double maskedOverhead = configs[1].best / base - 1.0;
+    if (maskedOverhead > kMaxMaskedOverhead) {
+        std::fprintf(stderr,
+                     "FAIL: masked-recorder overhead %.2f%% exceeds "
+                     "%.0f%% — a hook bypasses the cached flags\n",
+                     100.0 * maskedOverhead,
+                     100.0 * kMaxMaskedOverhead);
+        return 1;
+    }
+    std::printf("  masked overhead within the %.0f%% gate\n",
+                100.0 * kMaxMaskedOverhead);
+    return 0;
+}

@@ -5,6 +5,7 @@
 #include "ecg/synth.hh"
 #include "icd/baseline.hh"
 #include "icd/zarf_icd.hh"
+#include "obs/metrics.hh"
 #include "support/logging.hh"
 #include "system/system.hh"
 #include "verify/parallel.hh"
@@ -257,6 +258,68 @@ CampaignReport::toJson() const
     s += "  ]\n";
     s += "}\n";
     return s;
+}
+
+std::string
+CampaignReport::metricsJson() const
+{
+    obs::Metrics m;
+    m.setCounter("campaign.scenarios", results.size());
+    m.setCounter("campaign.seed-base", config.seedBase);
+    m.setCounter("campaign.protected-silent-corruptions",
+                 protectedSilentCorruptions());
+    for (size_t o = 0; o < kNumOutcomes; ++o)
+        m.setCounter(std::string("campaign.outcome.") +
+                         outcomeName(Outcome(o)),
+                     count(Outcome(o)));
+
+    uint64_t restarts = 0, degraded = 0, lambdaDown = 0;
+    uint64_t monFaults = 0, mismatches = 0, repaired = 0, missed = 0;
+    uint64_t ecc = 0, eccU = 0, overflows = 0, chanFaults = 0;
+    uint64_t alerts = 0, shocks = 0;
+    for (const ScenarioResult &r : results) {
+        restarts += r.restarts;
+        degraded += r.degraded ? 1 : 0;
+        lambdaDown += r.lambdaDown ? 1 : 0;
+        monFaults += r.monitorFaulted ? 1 : 0;
+        mismatches += r.countMismatch ? 1 : 0;
+        repaired += r.resyncRepaired ? 1 : 0;
+        missed += r.missedDeadline ? 1 : 0;
+        ecc += r.eccCorrected;
+        eccU += r.eccUncorrectable;
+        overflows += r.chanOverflows;
+        chanFaults += r.chanFaults;
+        alerts += r.sensorAlerts;
+        shocks += r.shockEvents;
+    }
+    m.setCounter("campaign.watchdog-restarts", restarts);
+    m.setCounter("campaign.degraded", degraded);
+    m.setCounter("campaign.lambda-down", lambdaDown);
+    m.setCounter("campaign.monitor-faults", monFaults);
+    m.setCounter("campaign.count-mismatches", mismatches);
+    m.setCounter("campaign.resync-repaired", repaired);
+    m.setCounter("campaign.missed-deadlines", missed);
+    m.setCounter("campaign.ecc-corrected", ecc);
+    m.setCounter("campaign.ecc-uncorrectable", eccU);
+    m.setCounter("campaign.chan-overflows", overflows);
+    m.setCounter("campaign.chan-faults", chanFaults);
+    m.setCounter("campaign.sensor-alerts", alerts);
+    m.setCounter("campaign.shock-events", shocks);
+
+    // One histogram per outcome, bucketed by fault kind (kind order).
+    for (size_t o = 0; o < kNumOutcomes; ++o) {
+        std::string hist =
+            std::string("campaign.by-kind.") + outcomeName(Outcome(o));
+        for (size_t k = 0; k < kNumFaultKinds; ++k) {
+            uint64_t n = 0;
+            for (const ScenarioResult &r : results)
+                if (r.kind == FaultKind(k) &&
+                    r.outcome == Outcome(o))
+                    ++n;
+            m.addBucket(hist, faultKindName(FaultKind(k)), n);
+        }
+    }
+    return m.toJson();
 }
 
 CampaignReport

@@ -119,6 +119,12 @@ struct CampaignReport
      *  only, scenario records in index order. Identical for
      *  identical (scenarios, seedBase) on any thread count. */
     std::string toJson() const;
+
+    /** Aggregate metrics rendering (obs::Metrics::toJson schema):
+     *  outcome counts, per-kind outcome histograms, and summed
+     *  detector counters. Deterministic on any thread count, like
+     *  toJson(). */
+    std::string metricsJson() const;
 };
 
 /** Run a campaign (builds the kernel image, monitor, fallback, and

@@ -106,6 +106,8 @@ Heap::evacuate(Word addr)
         // Charge the 2-cycle "already collected?" check for this ref.
         stats.gcCycles += timing.gcRefCheck;
         ++stats.gcRefChecks;
+        if (tally)
+            tally->add(MState::GcCheckRef, timing.gcRefCheck);
 
         if (!validAddr(addr)) {
             markCorrupt("GC: reference outside the heap");
@@ -147,6 +149,12 @@ Heap::evacuate(Word addr)
                 timing.gcPerObjectFixed + 2 * timing.gcPerWordCopied;
             ++stats.gcObjectsCopied;
             stats.gcWordsCopied += 2;
+            if (tally) {
+                tally->add(MState::GcCopyHeader,
+                           timing.gcPerObjectFixed);
+                tally->addN(MState::GcCopyWord, 2,
+                            2 * timing.gcPerWordCopied);
+            }
             mem[addr] = mhdr::pack(ObjKind::Fwd, 1, 0);
             mem[addr + 1] = naddr;
             fwdTo = naddr;
@@ -172,6 +180,11 @@ Heap::evacuate(Word addr)
             timing.gcPerObjectFixed + need * timing.gcPerWordCopied;
         ++stats.gcObjectsCopied;
         stats.gcWordsCopied += need;
+        if (tally) {
+            tally->add(MState::GcCopyHeader, timing.gcPerObjectFixed);
+            tally->addN(MState::GcCopyWord, need,
+                        need * timing.gcPerWordCopied);
+        }
 
         mem[addr] = mhdr::pack(ObjKind::Fwd, 1, 0);
         mem[addr + 1] = naddr;
@@ -192,6 +205,8 @@ Heap::collect(const RootProvider &roots)
     ++stats.gcRuns;
     Cycles pauseStart = stats.gcCycles;
     stats.gcCycles += timing.gcSetup;
+    if (tally)
+        tally->add(MState::GcStart, timing.gcSetup);
 
     toBase = base == 0 ? semiWords : 0;
     toPtr = toBase;

@@ -217,6 +217,10 @@ class Heap
     /** Cycles consumed by collections so far. */
     Cycles gcCycles() const { return stats.gcCycles; }
 
+    /** Attribute GC cycle charges to FSM states in t (null to stop).
+     *  The tally partitions stats.gcCycles exactly. */
+    void setTally(FsmTally *t) { tally = t; }
+
   private:
     /** Copy one object into to-space; returns its new address. */
     Word evacuate(Word addr);
@@ -254,6 +258,7 @@ class Heap
     RootProvider hook;
     const TimingModel &timing;
     MachineStats &stats;
+    FsmTally *tally = nullptr;
 };
 
 } // namespace zarf

@@ -8,6 +8,8 @@
 #include "isa/encoding.hh"
 #include "isa/prims.hh"
 #include "machine/predecode.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "support/logging.hh"
 
 namespace zarf
@@ -64,6 +66,17 @@ class Machine::Impl
             fatal("semispace of %zu words is below the minimum %zu",
                   cfg.semispaceWords, 2 * kGcSafeMargin);
         }
+        // Resolve the observability hooks once: the hot path tests
+        // one cached bool per category instead of consulting the
+        // recorder's mask per event.
+        trace = cfg.trace;
+        tbias = cfg.traceBias;
+        traceLife = trace && trace->wants(obs::Cat::MachineLife);
+        traceExec = trace && trace->wants(obs::Cat::MachineExec);
+        traceGc = trace && trace->wants(obs::Cat::MachineGc);
+        tallyOn = cfg.fsmTally;
+        if (tallyOn)
+            heap.setTally(&tally);
         load();
         if (status != MachineStatus::Stuck)
             boot();
@@ -109,6 +122,26 @@ class Machine::Impl
 
     size_t heapUsed() const { return heap.usedWords(); }
 
+    const FsmTally &tallyRef() const { return tally; }
+
+    void
+    exportMetricsImpl(obs::Metrics &m, const std::string &prefix) const
+    {
+        syncStats();
+        exportStats(machineStats, m, prefix);
+        m.setCounter(prefix + "cycles", total);
+        m.setCounter(prefix + "status",
+                     static_cast<uint64_t>(status));
+        m.setGauge(prefix + "heap.used-words",
+                   static_cast<int64_t>(heap.usedWords()));
+        m.setGauge(prefix + "heap.free-words",
+                   static_cast<int64_t>(heap.freeWords()));
+        m.setGauge(prefix + "heap.capacity-words",
+                   static_cast<int64_t>(heap.capacity()));
+        if (tallyOn)
+            exportTally(tally, m, prefix + "fsm");
+    }
+
     void
     collectNow()
     {
@@ -145,7 +178,7 @@ class Machine::Impl
     enum class InstrClass { None, Let, Case, Result };
 
     void
-    charge(Cycles n)
+    chargeRaw(Cycles n)
     {
         total += n;
         machineStats.execCycles += n;
@@ -164,6 +197,75 @@ class Machine::Impl
         }
     }
 
+    /** Charge one visit of control state s costing n cycles. Every
+     *  execution charge names its state so the FSM tally partitions
+     *  the cycle ledger exactly (tested by the obs property suite). */
+    void
+    charge(Cycles n, MState s)
+    {
+        if (tallyOn)
+            tally.add(s, n);
+        chargeRaw(n);
+    }
+
+    /** Charge `visits` visits of s costing n cycles in total (per-
+     *  word loops accounted in one step). */
+    void
+    chargeN(MState s, uint64_t visits, Cycles n)
+    {
+        if (tallyOn)
+            tally.addN(s, visits, n);
+        chargeRaw(n);
+    }
+
+    // ------------------------------------------------------------
+    // Observability (docs/OBSERVABILITY.md). All hooks are gated on
+    // bools cached at construction; with no recorder configured the
+    // cost is one predicted branch per site.
+    // ------------------------------------------------------------
+
+    /** Stamp an event with the machine clock (plus the system
+     *  layer's epoch bias). Callers guard on traceLife/Exec/Gc. */
+    void
+    emitT(obs::EventKind k, int64_t a = 0, int64_t b = 0)
+    {
+        trace->emit(k, tbias + total, a, b);
+    }
+
+    /** Record a status transition about to happen (MachDone for
+     *  Done, MachFail with the status code otherwise). No-op unless
+     *  currently Running, so latched conditions emit once. */
+    void
+    noteStatus(MachineStatus st)
+    {
+        if (!traceLife || status != MachineStatus::Running)
+            return;
+        emitT(st == MachineStatus::Done ? obs::EventKind::MachDone
+                                        : obs::EventKind::MachFail,
+              static_cast<int64_t>(st));
+    }
+
+    /** Collect with begin/end trace events: GcBegin carries the live
+     *  words before, GcEnd the live words after and the pause cost.
+     *  GC runs off the mutator clock (see Machine::cycles()), so the
+     *  end timestamp extends begin by the pause. */
+    void
+    runGc(const Heap::RootProvider &roots)
+    {
+        if (traceGc)
+            emitT(obs::EventKind::GcBegin,
+                  static_cast<int64_t>(heap.usedWords()));
+        Cycles before = machineStats.gcCycles;
+        heap.collect(roots);
+        lastGcAt = total;
+        if (traceGc) {
+            Cycles pause = machineStats.gcCycles - before;
+            trace->emit(obs::EventKind::GcEnd, tbias + total + pause,
+                        static_cast<int64_t>(heap.usedWords()),
+                        static_cast<int64_t>(pause));
+        }
+    }
+
     // ------------------------------------------------------------
     // Loading (the 4 load states, shared)
     // ------------------------------------------------------------
@@ -171,6 +273,7 @@ class Machine::Impl
     void
     fail(std::string why)
     {
+        noteStatus(MachineStatus::Stuck);
         status = MachineStatus::Stuck;
         if (diagnostic.empty())
             diagnostic = std::move(why);
@@ -180,9 +283,18 @@ class Machine::Impl
     load()
     {
         // LoadMagic / LoadCount / LoadInfo / LoadBody: one cycle per
-        // word streamed in.
+        // word streamed in. The tally books the stream against
+        // LoadBody (the dominant state; the header states are a
+        // handful of its words).
         machineStats.loadCycles = image.size() * cfg.timing.loadWord;
         total += machineStats.loadCycles;
+        if (tallyOn)
+            tally.addN(MState::LoadBody, image.size(),
+                       machineStats.loadCycles);
+        if (traceLife)
+            emitT(obs::EventKind::MachLoad,
+                  static_cast<int64_t>(image.size()),
+                  static_cast<int64_t>(machineStats.loadCycles));
 
         if (image.size() < 2 || image[0] != kMagic) {
             fail("bad magic word");
@@ -241,6 +353,9 @@ class Machine::Impl
         vreg = mval::mkRef(root);
         mode = Mode::EvalVal;
         status = MachineStatus::Running;
+        if (traceLife)
+            emitT(obs::EventKind::MachBoot,
+                  static_cast<int64_t>(entry));
     }
 
     // ------------------------------------------------------------
@@ -379,12 +494,14 @@ class Machine::Impl
     heapHealthy()
     {
         if (heap.corrupt()) {
+            noteStatus(MachineStatus::HeapCorrupt);
             status = MachineStatus::HeapCorrupt;
             if (diagnostic.empty())
                 diagnostic = heap.corruptWhy();
             return false;
         }
         if (heap.outOfMemory()) {
+            noteStatus(MachineStatus::OutOfMemory);
             status = MachineStatus::OutOfMemory;
             return false;
         }
@@ -416,6 +533,7 @@ class Machine::Impl
     {
         if (status != MachineStatus::Running)
             return;
+        noteStatus(MachineStatus::MemFault);
         status = MachineStatus::MemFault;
         diagnostic = why;
     }
@@ -440,7 +558,8 @@ class Machine::Impl
         Word zero = 0;
         const Word *p = pad ? &zero : args;
         size_t len = pad ? 1 : n;
-        charge(cfg.timing.allocHeader + len * cfg.timing.letPerArg);
+        charge(cfg.timing.allocHeader, MState::ApAllocHeader);
+        chargeN(MState::ApWriteArg, len, len * cfg.timing.letPerArg);
         return heap.alloc(ObjKind::App, fn, p, len, pad);
     }
 
@@ -450,8 +569,9 @@ class Machine::Impl
         appvScratch.clear();
         appvScratch.push_back(callee);
         appvScratch.insert(appvScratch.end(), args, args + n);
-        charge(cfg.timing.allocHeader +
-               appvScratch.size() * cfg.timing.letPerArg);
+        charge(cfg.timing.allocHeader, MState::ApAllocHeader);
+        chargeN(MState::ApWriteArg, appvScratch.size(),
+                appvScratch.size() * cfg.timing.letPerArg);
         return heap.alloc(ObjKind::AppV, 0, appvScratch.data(),
                           appvScratch.size());
     }
@@ -463,7 +583,8 @@ class Machine::Impl
         Word zero = 0;
         const Word *p = pad ? &zero : fields;
         size_t len = pad ? 1 : n;
-        charge(cfg.timing.allocHeader + len * cfg.timing.letPerArg);
+        charge(cfg.timing.allocHeader, MState::ApAllocHeader);
+        chargeN(MState::ApWriteArg, len, len * cfg.timing.letPerArg);
         return heap.alloc(ObjKind::Cons, id, p, len, pad);
     }
 
@@ -526,11 +647,11 @@ class Machine::Impl
         if (!heapHealthy())
             return;
         if (cfg.gcOnExhaustion && heap.freeWords() < kGcSafeMargin) {
-            heap.collect(rootProviderU());
-            lastGcAt = total;
+            runGc(rootProviderU());
             if (!heapHealthy())
                 return;
             if (heap.freeWords() < kGcSafeMargin) {
+                noteStatus(MachineStatus::OutOfMemory);
                 status = MachineStatus::OutOfMemory;
                 diagnostic = "live set exceeds semispace capacity";
                 return;
@@ -538,8 +659,7 @@ class Machine::Impl
         }
         if (cfg.gcIntervalCycles &&
             total - lastGcAt >= cfg.gcIntervalCycles) {
-            heap.collect(rootProviderU());
-            lastGcAt = total;
+            runGc(rootProviderU());
             if (!heapHealthy())
                 return;
         }
@@ -552,6 +672,7 @@ class Machine::Impl
             break;
           case Mode::Deliver:
             if (conts.empty()) {
+                noteStatus(MachineStatus::Done);
                 status = MachineStatus::Done;
                 return;
             }
@@ -582,7 +703,8 @@ class Machine::Impl
         }
         Word addr = mval::refOf(vreg);
         Word h = heap.header(addr);
-        charge(cfg.timing.whnfCheck); // EvWhnfHit / EvDispatch
+        charge(cfg.timing.whnfCheck,
+               MState::EvWhnfHit); // EvWhnfHit / EvDispatch
         ObjKind kind = mhdr::kindOf(h);
         if (kind == ObjKind::Blackhole) {
             fail("re-entered a thunk under evaluation");
@@ -605,15 +727,19 @@ class Machine::Impl
                                             mhdr::padOf(ph)));
             heap.setPayload(prev, 0, vreg);
             conts.pop();
-            charge(cfg.timing.collapseUpdate);
+            charge(cfg.timing.collapseUpdate, MState::EvCollapseUpd);
             ++machineStats.updates;
         }
         conts.push(Frame::Kind::Update).target = addr;
-        charge(cfg.timing.enterThunk);
+        charge(cfg.timing.enterThunk, MState::EvEnterThunk);
         ++machineStats.forces;
 
         Word count = mhdr::argsOf(h);
         Word fn = mhdr::fnOf(h);
+        if (traceExec)
+            emitT(obs::EventKind::EvalEnter,
+                  static_cast<int64_t>(fn),
+                  static_cast<int64_t>(count));
 
         if (kind == ObjKind::AppV) {
             // Evaluate the callee value, then apply the arguments.
@@ -644,7 +770,7 @@ class Machine::Impl
             f.extra.assign(evalScratch.begin() + arity,
                            evalScratch.end());
             evalScratch.resize(arity);
-            charge(cfg.timing.applyExtra);
+            charge(cfg.timing.applyExtra, MState::EvApplyExtra);
         }
         if (isPrimId(fn)) {
             beginPrimU(static_cast<Prim>(fn), evalScratch);
@@ -653,7 +779,7 @@ class Machine::Impl
 
         // EvCallSetup: activate the function body.
         size_t idx = fn - kFirstUserFuncId;
-        charge(cfg.timing.callSetup);
+        charge(cfg.timing.callSetup, MState::EvCallSetup);
         ++callCounts[idx];
         act.funcId = fn;
         act.args.swap(evalScratch);
@@ -670,7 +796,7 @@ class Machine::Impl
         // function and evaluating it" is a single let-application
         // unit (Sec. 5.2).
         curClass = InstrClass::Let;
-        charge(cfg.timing.primSetup);
+        charge(cfg.timing.primSetup, MState::EvPrimSetup);
         if (args.empty()) {
             fail("zero-arity primitive application");
             return;
@@ -721,13 +847,20 @@ class Machine::Impl
           case UopKind::Let:
             curClass = InstrClass::Let;
             ++machineStats.let.count;
-            charge(cfg.timing.letBase);
+            charge(cfg.timing.letBase, MState::ApFetchLet);
+            if (traceExec)
+                emitT(obs::EventKind::ExecLet,
+                      static_cast<int64_t>(act.funcId),
+                      static_cast<int64_t>(u.nargs));
             execLetU(u);
             return;
           case UopKind::Case: {
             curClass = InstrClass::Case;
             ++machineStats.caseInstr.count;
-            charge(cfg.timing.caseBase);
+            charge(cfg.timing.caseBase, MState::EvFetchCase);
+            if (traceExec)
+                emitT(obs::EventKind::ExecCase,
+                      static_cast<int64_t>(act.funcId));
             Word scrut = resolveU(u.operand);
             if (status != MachineStatus::Running)
                 return;
@@ -745,7 +878,10 @@ class Machine::Impl
           case UopKind::Result: {
             curClass = InstrClass::Result;
             ++machineStats.result.count;
-            charge(cfg.timing.resultBase);
+            charge(cfg.timing.resultBase, MState::EvFetchResult);
+            if (traceExec)
+                emitT(obs::EventKind::ExecResult,
+                      static_cast<int64_t>(act.funcId));
             Word v = resolveU(u.operand);
             if (status != MachineStatus::Running)
                 return;
@@ -766,7 +902,7 @@ class Machine::Impl
         letScratch.clear();
         const UOperand *ops = pre.operands.data() + u.argsBegin;
         for (uint32_t i = 0; i < u.nargs; ++i) {
-            charge(cfg.timing.letPerArg);
+            charge(cfg.timing.letPerArg, MState::ApFetchArg);
             Word v = resolveU(ops[i]);
             if (status != MachineStatus::Running)
                 return;
@@ -808,7 +944,8 @@ class Machine::Impl
                 callee = act.args[u.calleeId];
             }
             if (letScratch.empty()) {
-                charge(cfg.timing.collapseUpdate); // ApAliasLocal
+                charge(cfg.timing.collapseUpdate,
+                       MState::ApAliasLocal);
                 bound = callee;
             } else {
                 bound = bindApplyU(callee);
@@ -835,7 +972,8 @@ class Machine::Impl
             applyScratch.reserve(have + letScratch.size());
             for (Word i = 0; i < have; ++i)
                 applyScratch.push_back(heap.payload(mval::refOf(c), i));
-            charge(have * cfg.timing.copyPartialPerWord);
+            chargeN(MState::ApCopyPartial, have,
+                    have * cfg.timing.copyPartialPerWord);
             applyScratch.insert(applyScratch.end(),
                                 letScratch.begin(), letScratch.end());
             if (isConsId(fn) && applyScratch.size() == arityOf(fn)) {
@@ -874,7 +1012,7 @@ class Machine::Impl
                            mhdr::pack(ObjKind::Ind, mhdr::countOf(h),
                                       0, mhdr::padOf(h)));
             heap.setPayload(target, 0, vreg);
-            charge(cfg.timing.update);
+            charge(cfg.timing.update, MState::EvUpdate);
             ++machineStats.updates;
             return; // stay in Deliver
           }
@@ -883,7 +1021,7 @@ class Machine::Impl
             // activation's buffers for the next push to recycle.
             std::swap(act, f.act);
             conts.pop();
-            charge(cfg.timing.returnToCase);
+            charge(cfg.timing.returnToCase, MState::EvReturn);
             resumeCaseU();
             return;
           case Frame::Kind::PrimArgs:
@@ -909,7 +1047,7 @@ class Machine::Impl
         // Walk the flattened jump table; 1 cycle per branch head.
         const UPattern *pats = pre.patterns.data() + u.patBegin;
         for (uint32_t i = 0; i < u.patCount; ++i) {
-            charge(cfg.timing.branchHead);
+            charge(cfg.timing.branchHead, MState::EvBranchHead);
             ++machineStats.branchHeads;
             const UPattern &pat = pats[i];
             bool match;
@@ -926,7 +1064,8 @@ class Machine::Impl
                     Word n = mhdr::argsOf(h);
                     for (Word j = 0; j < n; ++j) {
                         act.locals.push_back(heap.payload(addr, j));
-                        charge(cfg.timing.fieldPush);
+                        charge(cfg.timing.fieldPush,
+                               MState::EvFieldPush);
                     }
                 }
                 act.pc = pat.body;
@@ -945,7 +1084,7 @@ class Machine::Impl
         curClass = InstrClass::Let;
         Word v = heap.chase(vreg);
         Prim p = f.prim;
-        charge(cfg.timing.primPerArg);
+        charge(cfg.timing.primPerArg, MState::EvPrimArg);
 
         if (mval::isRef(v)) {
             Word h = heap.header(mval::refOf(v));
@@ -976,24 +1115,26 @@ class Machine::Impl
         }
 
         conts.pop(); // popped slot stays readable until the next push
+        if (traceExec)
+            emitT(obs::EventKind::PrimOp, static_cast<int64_t>(p),
+                  static_cast<int64_t>(f.collected.size()));
         switch (p) {
           case Prim::GetInt:
-            charge(cfg.timing.ioOp);
+            charge(cfg.timing.ioOp, MState::EvIoOp);
             vreg = mval::mkInt(wrapInt31(bus.getInt(f.collected[0])));
             break;
           case Prim::PutInt:
-            charge(cfg.timing.ioOp);
+            charge(cfg.timing.ioOp, MState::EvIoOp);
             bus.putInt(f.collected[0], f.collected[1]);
             vreg = mval::mkInt(f.collected[1]);
             break;
           case Prim::InvokeGc:
             // The hardware GC-invocation function: collect now.
-            heap.collect(rootProviderU());
-            lastGcAt = total;
+            runGc(rootProviderU());
             vreg = mval::mkInt(f.collected[0]);
             break;
           default: {
-            charge(cfg.timing.aluOp);
+            charge(cfg.timing.aluOp, MState::EvAluOp);
             PrimResult r = evalAlu(p, f.collected);
             vreg = r.ok ? mval::mkInt(r.value)
                         : mval::mkRef(allocError(r.errCode));
@@ -1009,7 +1150,7 @@ class Machine::Impl
         Frame &f = conts.top();
         conts.pop(); // slot storage stays valid; nothing pushes below
         curClass = InstrClass::Let;
-        charge(cfg.timing.applyExtra);
+        charge(cfg.timing.applyExtra, MState::EvApplyExtra);
         Word v = heap.chase(vreg);
         if (mval::isInt(v)) {
             vreg = mval::mkRef(allocError(kErrBadApply));
@@ -1032,7 +1173,8 @@ class Machine::Impl
         applyScratch.reserve(have + f.extra.size());
         for (Word i = 0; i < have; ++i)
             applyScratch.push_back(heap.payload(addr, i));
-        charge(have * cfg.timing.copyPartialPerWord);
+        chargeN(MState::ApCopyPartial, have,
+                have * cfg.timing.copyPartialPerWord);
         applyScratch.insert(applyScratch.end(), f.extra.begin(),
                             f.extra.end());
         if (isConsId(fn) && applyScratch.size() == arityOf(fn)) {
@@ -1099,8 +1241,9 @@ class Machine::Impl
         bool pad = args.empty();
         if (pad)
             args.push_back(0);
-        charge(cfg.timing.allocHeader +
-               args.size() * cfg.timing.letPerArg);
+        charge(cfg.timing.allocHeader, MState::ApAllocHeader);
+        chargeN(MState::ApWriteArg, args.size(),
+                args.size() * cfg.timing.letPerArg);
         return heap.alloc(ObjKind::App, fn, args, pad);
     }
 
@@ -1108,8 +1251,9 @@ class Machine::Impl
     allocAppVRef(Word callee, std::vector<Word> args)
     {
         args.insert(args.begin(), callee);
-        charge(cfg.timing.allocHeader +
-               args.size() * cfg.timing.letPerArg);
+        charge(cfg.timing.allocHeader, MState::ApAllocHeader);
+        chargeN(MState::ApWriteArg, args.size(),
+                args.size() * cfg.timing.letPerArg);
         return heap.alloc(ObjKind::AppV, 0, args);
     }
 
@@ -1119,8 +1263,9 @@ class Machine::Impl
         bool pad = fields.empty();
         if (pad)
             fields.push_back(0);
-        charge(cfg.timing.allocHeader +
-               fields.size() * cfg.timing.letPerArg);
+        charge(cfg.timing.allocHeader, MState::ApAllocHeader);
+        chargeN(MState::ApWriteArg, fields.size(),
+                fields.size() * cfg.timing.letPerArg);
         return heap.alloc(ObjKind::Cons, id, fields, pad);
     }
 
@@ -1168,11 +1313,11 @@ class Machine::Impl
         if (!heapHealthy())
             return;
         if (cfg.gcOnExhaustion && heap.freeWords() < kGcSafeMargin) {
-            heap.collect(rootProviderRef());
-            lastGcAt = total;
+            runGc(rootProviderRef());
             if (!heapHealthy())
                 return;
             if (heap.freeWords() < kGcSafeMargin) {
+                noteStatus(MachineStatus::OutOfMemory);
                 status = MachineStatus::OutOfMemory;
                 diagnostic = "live set exceeds semispace capacity";
                 return;
@@ -1180,8 +1325,7 @@ class Machine::Impl
         }
         if (cfg.gcIntervalCycles &&
             total - lastGcAt >= cfg.gcIntervalCycles) {
-            heap.collect(rootProviderRef());
-            lastGcAt = total;
+            runGc(rootProviderRef());
             if (!heapHealthy())
                 return;
         }
@@ -1194,6 +1338,7 @@ class Machine::Impl
             break;
           case Mode::Deliver:
             if (contsV.empty()) {
+                noteStatus(MachineStatus::Done);
                 status = MachineStatus::Done;
                 return;
             }
@@ -1223,7 +1368,8 @@ class Machine::Impl
         }
         Word addr = mval::refOf(vreg);
         Word h = heap.header(addr);
-        charge(cfg.timing.whnfCheck); // EvWhnfHit / EvDispatch
+        charge(cfg.timing.whnfCheck,
+               MState::EvWhnfHit); // EvWhnfHit / EvDispatch
         ObjKind kind = mhdr::kindOf(h);
         if (kind == ObjKind::Blackhole) {
             fail("re-entered a thunk under evaluation");
@@ -1244,7 +1390,7 @@ class Machine::Impl
                                             mhdr::padOf(ph)));
             heap.setPayload(prev, 0, vreg);
             contsV.pop_back();
-            charge(cfg.timing.collapseUpdate);
+            charge(cfg.timing.collapseUpdate, MState::EvCollapseUpd);
             ++machineStats.updates;
         }
         {
@@ -1253,11 +1399,15 @@ class Machine::Impl
             f.target = addr;
             contsV.push_back(std::move(f));
         }
-        charge(cfg.timing.enterThunk);
+        charge(cfg.timing.enterThunk, MState::EvEnterThunk);
         ++machineStats.forces;
 
         Word count = mhdr::argsOf(h);
         Word fn = mhdr::fnOf(h);
+        if (traceExec)
+            emitT(obs::EventKind::EvalEnter,
+                  static_cast<int64_t>(fn),
+                  static_cast<int64_t>(count));
 
         if (kind == ObjKind::AppV) {
             Word callee = heap.payload(addr, 0);
@@ -1288,7 +1438,7 @@ class Machine::Impl
             f.extra.assign(args.begin() + arity, args.end());
             args.resize(arity);
             contsV.push_back(std::move(f));
-            charge(cfg.timing.applyExtra);
+            charge(cfg.timing.applyExtra, MState::EvApplyExtra);
         }
         if (isPrimId(fn)) {
             beginPrimRef(static_cast<Prim>(fn), std::move(args));
@@ -1296,7 +1446,7 @@ class Machine::Impl
         }
 
         const PredecodedFunc &fe = funcs[fn - kFirstUserFuncId];
-        charge(cfg.timing.callSetup);
+        charge(cfg.timing.callSetup, MState::EvCallSetup);
         ++machineStats.callsPerFunc[fn];
         act = Activation{};
         act.funcId = fn;
@@ -1309,7 +1459,7 @@ class Machine::Impl
     beginPrimRef(Prim p, std::vector<Word> args)
     {
         curClass = InstrClass::Let;
-        charge(cfg.timing.primSetup);
+        charge(cfg.timing.primSetup, MState::EvPrimSetup);
         Frame f;
         f.kind = Frame::Kind::PrimArgs;
         f.prim = p;
@@ -1372,13 +1522,20 @@ class Machine::Impl
           case Op::Let:
             curClass = InstrClass::Let;
             ++machineStats.let.count;
-            charge(cfg.timing.letBase);
+            charge(cfg.timing.letBase, MState::ApFetchLet);
+            if (traceExec)
+                emitT(obs::EventKind::ExecLet,
+                      static_cast<int64_t>(act.funcId),
+                      static_cast<int64_t>(unpackLet(w).nargs));
             execLetRef(w);
             return;
           case Op::Case: {
             curClass = InstrClass::Case;
             ++machineStats.caseInstr.count;
-            charge(cfg.timing.caseBase);
+            charge(cfg.timing.caseBase, MState::EvFetchCase);
+            if (traceExec)
+                emitT(obs::EventKind::ExecCase,
+                      static_cast<int64_t>(act.funcId));
             Word scrut = resolveOperand(unpackCaseScrut(w));
             if (status != MachineStatus::Running)
                 return;
@@ -1394,7 +1551,10 @@ class Machine::Impl
           case Op::Result: {
             curClass = InstrClass::Result;
             ++machineStats.result.count;
-            charge(cfg.timing.resultBase);
+            charge(cfg.timing.resultBase, MState::EvFetchResult);
+            if (traceExec)
+                emitT(obs::EventKind::ExecResult,
+                      static_cast<int64_t>(act.funcId));
             Word v = resolveOperand(unpackResult(w));
             if (status != MachineStatus::Running)
                 return;
@@ -1425,7 +1585,7 @@ class Machine::Impl
                 fail("malformed let argument word");
                 return;
             }
-            charge(cfg.timing.letPerArg);
+            charge(cfg.timing.letPerArg, MState::ApFetchArg);
             Word v = resolveOperand(unpackOperand(aw));
             if (status != MachineStatus::Running)
                 return;
@@ -1461,7 +1621,8 @@ class Machine::Impl
             if (status != MachineStatus::Running)
                 return;
             if (args.empty()) {
-                charge(cfg.timing.collapseUpdate); // ApAliasLocal
+                charge(cfg.timing.collapseUpdate,
+                       MState::ApAliasLocal);
                 bound = callee;
             } else {
                 Word c = heap.chase(callee);
@@ -1480,7 +1641,8 @@ class Machine::Impl
                             all.push_back(
                                 heap.payload(mval::refOf(c), i));
                         }
-                        charge(have * cfg.timing.copyPartialPerWord);
+                        chargeN(MState::ApCopyPartial, have,
+                                have * cfg.timing.copyPartialPerWord);
                         all.insert(all.end(), args.begin(),
                                    args.end());
                         if (isConsIdRef(fn) &&
@@ -1525,13 +1687,13 @@ class Machine::Impl
                            mhdr::pack(ObjKind::Ind, mhdr::countOf(h),
                                       0, mhdr::padOf(h)));
             heap.setPayload(f.target, 0, vreg);
-            charge(cfg.timing.update);
+            charge(cfg.timing.update, MState::EvUpdate);
             ++machineStats.updates;
             return; // stay in Deliver
           }
           case Frame::Kind::Case:
             act = std::move(f.act);
-            charge(cfg.timing.returnToCase);
+            charge(cfg.timing.returnToCase, MState::EvReturn);
             resumeCaseRef();
             return;
           case Frame::Kind::PrimArgs:
@@ -1571,7 +1733,7 @@ class Machine::Impl
                 fail("malformed case pattern word");
                 return;
             }
-            charge(cfg.timing.branchHead);
+            charge(cfg.timing.branchHead, MState::EvBranchHead);
             ++machineStats.branchHeads;
             PatWord pat = unpackPat(pw);
             bool match;
@@ -1588,7 +1750,8 @@ class Machine::Impl
                     Word n = mhdr::argsOf(h);
                     for (Word i = 0; i < n; ++i) {
                         act.locals.push_back(heap.payload(addr, i));
-                        charge(cfg.timing.fieldPush);
+                        charge(cfg.timing.fieldPush,
+                               MState::EvFieldPush);
                     }
                 }
                 act.pc = pc + 1;
@@ -1605,7 +1768,7 @@ class Machine::Impl
         curClass = InstrClass::Let;
         Word v = heap.chase(vreg);
         Prim p = f.prim;
-        charge(cfg.timing.primPerArg);
+        charge(cfg.timing.primPerArg, MState::EvPrimArg);
 
         if (mval::isRef(v)) {
             Word h = heap.header(mval::refOf(v));
@@ -1633,24 +1796,26 @@ class Machine::Impl
             return;
         }
 
+        if (traceExec)
+            emitT(obs::EventKind::PrimOp, static_cast<int64_t>(p),
+                  static_cast<int64_t>(f.collected.size()));
         switch (p) {
           case Prim::GetInt:
-            charge(cfg.timing.ioOp);
+            charge(cfg.timing.ioOp, MState::EvIoOp);
             vreg = mval::mkInt(wrapInt31(bus.getInt(f.collected[0])));
             break;
           case Prim::PutInt:
-            charge(cfg.timing.ioOp);
+            charge(cfg.timing.ioOp, MState::EvIoOp);
             bus.putInt(f.collected[0], f.collected[1]);
             vreg = mval::mkInt(f.collected[1]);
             break;
           case Prim::InvokeGc:
             // The hardware GC-invocation function: collect now.
-            heap.collect(rootProviderRef());
-            lastGcAt = total;
+            runGc(rootProviderRef());
             vreg = mval::mkInt(f.collected[0]);
             break;
           default: {
-            charge(cfg.timing.aluOp);
+            charge(cfg.timing.aluOp, MState::EvAluOp);
             PrimResult r = evalAlu(p, f.collected);
             vreg = r.ok ? mval::mkInt(r.value)
                         : mval::mkRef(allocErrorRef(r.errCode));
@@ -1664,7 +1829,7 @@ class Machine::Impl
     resumeApplyRef(Frame f)
     {
         curClass = InstrClass::Let;
-        charge(cfg.timing.applyExtra);
+        charge(cfg.timing.applyExtra, MState::EvApplyExtra);
         Word v = heap.chase(vreg);
         if (mval::isInt(v)) {
             vreg = mval::mkRef(allocErrorRef(kErrBadApply));
@@ -1687,7 +1852,8 @@ class Machine::Impl
         all.reserve(have + f.extra.size());
         for (Word i = 0; i < have; ++i)
             all.push_back(heap.payload(addr, i));
-        charge(have * cfg.timing.copyPartialPerWord);
+        chargeN(MState::ApCopyPartial, have,
+                have * cfg.timing.copyPartialPerWord);
         all.insert(all.end(), f.extra.begin(), f.extra.end());
         if (isConsIdRef(fn) && all.size() == arityOfRef(fn))
             vreg = mval::mkRef(allocConsRef(fn, std::move(all)));
@@ -1841,6 +2007,15 @@ class Machine::Impl
     Cycles total = 0;
     Cycles lastGcAt = 0;
 
+    // Observability (cached from cfg at construction; see charge()).
+    obs::Recorder *trace = nullptr;
+    Cycles tbias = 0;
+    bool traceLife = false;
+    bool traceExec = false;
+    bool traceGc = false;
+    bool tallyOn = false;
+    FsmTally tally;
+
     // Reused scratch buffers (µop path; capacity persists across
     // steps; never GC roots — every word they hold is dead or also
     // rooted by the time a collection can run).
@@ -1908,6 +2083,19 @@ const MachineStats &
 Machine::stats() const
 {
     return impl->stats();
+}
+
+const FsmTally &
+Machine::fsmTally() const
+{
+    return impl->tallyRef();
+}
+
+void
+Machine::exportMetrics(obs::Metrics &metrics,
+                       const std::string &prefix) const
+{
+    impl->exportMetricsImpl(metrics, prefix);
 }
 
 void

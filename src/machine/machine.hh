@@ -29,6 +29,12 @@
 #include "sem/io.hh"
 #include "sem/value.hh"
 
+namespace zarf::obs
+{
+class Metrics;
+class Recorder;
+} // namespace zarf::obs
+
 namespace zarf
 {
 
@@ -52,6 +58,16 @@ struct MachineConfig
      *  word-walking path remains available (false) for one release
      *  as the differential-testing reference. */
     bool usePredecode = true;
+    /** Event sink for lifecycle/exec/GC events (null = tracing off;
+     *  docs/OBSERVABILITY.md). Not owned; must outlive the machine. */
+    obs::Recorder *trace = nullptr;
+    /** Added to cycles() when stamping trace events — the system
+     *  layer passes its epoch so timestamps share the λ clock across
+     *  watchdog restarts. */
+    Cycles traceBias = 0;
+    /** Maintain the per-FSM-state visit/cycle tally (fsmTally()).
+     *  Off by default: the hot path stays branch-only-on-a-bool. */
+    bool fsmTally = false;
 };
 
 /** Current condition of the machine. */
@@ -100,7 +116,11 @@ class Machine
     };
     Outcome run(Cycles maxCycles = 2'000'000'000ull);
 
-    /** Total cycles elapsed (load + execution + GC). */
+    /** Total cycles elapsed on the machine clock: load + execution.
+     *  GC time is accounted separately in stats().gcCycles — the
+     *  paper's WCET story (Sec. 5.2) bounds mutator execution and
+     *  collection independently, and the system layer schedules
+     *  against the mutator clock. */
     Cycles cycles() const;
 
     /** Current status without advancing. */
@@ -112,6 +132,16 @@ class Machine
 
     /** Dynamic statistics. */
     const MachineStats &stats() const;
+
+    /** Per-FSM-state tally (all-zero unless MachineConfig::fsmTally).
+     *  Partitions the cycle ledger: loadCycles()/execCycles()/
+     *  gcCycles() match the corresponding stats() fields. */
+    const FsmTally &fsmTally() const;
+
+    /** Export stats() (and the tally, when enabled) into a metrics
+     *  registry under `prefix`. */
+    void exportMetrics(obs::Metrics &metrics,
+                       const std::string &prefix = "lambda.") const;
 
     // --------------------------------------------------------------
     // Fault injection (src/fault). These model physical upsets; none

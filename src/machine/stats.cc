@@ -1,9 +1,89 @@
 #include "machine/stats.hh"
 
+#include <algorithm>
+
+#include "obs/metrics.hh"
 #include "support/logging.hh"
 
 namespace zarf
 {
+
+namespace
+{
+
+/** One stable name per control state, in enum order. */
+constexpr const char *kStateNames[kTotalStates] = {
+    // Loading.
+    "load.magic", "load.count", "load.info", "load.body",
+    // Application.
+    "ap.fetch-let", "ap.fetch-arg", "ap.alloc-header", "ap.write-arg",
+    "ap.bind-local", "ap.alias-local", "ap.copy-partial",
+    "ap.extend-args", "ap.sat-check", "ap.cons-build",
+    "ap.overflow-chk", "ap.bad-apply", "ap.callee-fetch",
+    "ap.defer-callee", "ap.error-build",
+    // Evaluation.
+    "ev.dispatch", "ev.whnf-hit", "ev.enter-thunk", "ev.push-update",
+    "ev.collapse-upd", "ev.call-setup", "ev.fetch-case",
+    "ev.branch-head", "ev.field-push", "ev.fetch-result", "ev.update",
+    "ev.return", "ev.prim-setup", "ev.prim-arg", "ev.alu-op",
+    "ev.io-op", "ev.apply-extra", "ev.deep-force",
+    // Garbage collection.
+    "gc.idle", "gc.start", "gc.flip-spaces", "gc.root-vreg",
+    "gc.root-locals", "gc.root-args", "gc.root-frames",
+    "gc.scan-object", "gc.read-header", "gc.check-ref",
+    "gc.copy-header", "gc.copy-word", "gc.write-fwd", "gc.follow-fwd",
+    "gc.skip-ind", "gc.scan-payload", "gc.advance-scan",
+    "gc.copy-done", "gc.fixup-root", "gc.fixup-frame",
+    "gc.fixup-local", "gc.fixup-arg", "gc.bump-alloc",
+    "gc.check-limit", "gc.out-of-mem", "gc.finish", "gc.invoke-entry",
+    "gc.invoke-exit", "gc.account",
+};
+
+Cycles
+sumRange(const std::array<Cycles, kTotalStates> &cycles, unsigned lo,
+         unsigned n)
+{
+    Cycles total = 0;
+    for (unsigned i = lo; i < lo + n; ++i)
+        total += cycles[i];
+    return total;
+}
+
+} // namespace
+
+const char *
+mstateName(MState s)
+{
+    return kStateNames[static_cast<size_t>(s)];
+}
+
+void
+FsmTally::accumulate(const FsmTally &other)
+{
+    for (size_t i = 0; i < kTotalStates; ++i) {
+        visits[i] += other.visits[i];
+        cycles[i] += other.cycles[i];
+    }
+}
+
+Cycles
+FsmTally::loadCycles() const
+{
+    return sumRange(cycles, 0, kLoadStates);
+}
+
+Cycles
+FsmTally::execCycles() const
+{
+    return sumRange(cycles, kLoadStates, kApplyStates + kEvalStates);
+}
+
+Cycles
+FsmTally::gcCycles() const
+{
+    return sumRange(cycles, kLoadStates + kApplyStates + kEvalStates,
+                    kGcStates);
+}
 
 std::string
 MachineStats::report() const
@@ -46,6 +126,87 @@ MachineStats::report() const
                      (unsigned long long)gcRefChecks,
                      (unsigned long long)gcMaxLiveWords);
     return out;
+}
+
+void
+MachineStats::accumulate(const MachineStats &other)
+{
+    let.count += other.let.count;
+    let.cycles += other.let.cycles;
+    caseInstr.count += other.caseInstr.count;
+    caseInstr.cycles += other.caseInstr.cycles;
+    result.count += other.result.count;
+    result.cycles += other.result.cycles;
+    branchHeads += other.branchHeads;
+    letArgs += other.letArgs;
+    allocations += other.allocations;
+    allocatedWords += other.allocatedWords;
+    forces += other.forces;
+    whnfHits += other.whnfHits;
+    updates += other.updates;
+    errorsCreated += other.errorsCreated;
+    loadCycles += other.loadCycles;
+    execCycles += other.execCycles;
+    for (const auto &[fn, n] : other.callsPerFunc)
+        callsPerFunc[fn] += n;
+    gcRuns += other.gcRuns;
+    gcCycles += other.gcCycles;
+    gcObjectsCopied += other.gcObjectsCopied;
+    gcWordsCopied += other.gcWordsCopied;
+    gcRefChecks += other.gcRefChecks;
+    gcMaxLiveWords = std::max(gcMaxLiveWords, other.gcMaxLiveWords);
+    gcMaxPauseCycles =
+        std::max(gcMaxPauseCycles, other.gcMaxPauseCycles);
+}
+
+void
+exportStats(const MachineStats &stats, obs::Metrics &metrics,
+            const std::string &prefix)
+{
+    auto c = [&](const char *name, uint64_t v) {
+        metrics.setCounter(prefix + name, v);
+    };
+    c("let.count", stats.let.count);
+    c("let.cycles", stats.let.cycles);
+    c("case.count", stats.caseInstr.count);
+    c("case.cycles", stats.caseInstr.cycles);
+    c("result.count", stats.result.count);
+    c("result.cycles", stats.result.cycles);
+    c("branch-heads", stats.branchHeads);
+    c("let-args", stats.letArgs);
+    c("allocations", stats.allocations);
+    c("allocated-words", stats.allocatedWords);
+    c("forces", stats.forces);
+    c("whnf-hits", stats.whnfHits);
+    c("updates", stats.updates);
+    c("errors-created", stats.errorsCreated);
+    c("load-cycles", stats.loadCycles);
+    c("exec-cycles", stats.execCycles);
+    c("dynamic-instructions", stats.dynamicInstructions());
+    c("gc.runs", stats.gcRuns);
+    c("gc.cycles", stats.gcCycles);
+    c("gc.objects-copied", stats.gcObjectsCopied);
+    c("gc.words-copied", stats.gcWordsCopied);
+    c("gc.ref-checks", stats.gcRefChecks);
+    c("gc.max-live-words", stats.gcMaxLiveWords);
+    c("gc.max-pause-cycles", stats.gcMaxPauseCycles);
+    for (const auto &[fn, n] : stats.callsPerFunc)
+        metrics.addBucket(prefix + "calls",
+                          strprintf("fn%llu", (unsigned long long)fn),
+                          n);
+}
+
+void
+exportTally(const FsmTally &tally, obs::Metrics &metrics,
+            const std::string &histogram)
+{
+    for (size_t i = 0; i < kTotalStates; ++i) {
+        MState s = static_cast<MState>(i);
+        metrics.addBucket(histogram + ".visits", mstateName(s),
+                          tally.visits[i]);
+        metrics.addBucket(histogram + ".cycles", mstateName(s),
+                          tally.cycles[i]);
+    }
 }
 
 } // namespace zarf

@@ -10,13 +10,64 @@
 #ifndef ZARF_MACHINE_STATS_HH
 #define ZARF_MACHINE_STATS_HH
 
+#include <array>
 #include <map>
 #include <string>
 
+#include "machine/timing.hh"
 #include "support/types.hh"
+
+namespace zarf::obs
+{
+class Metrics;
+} // namespace zarf::obs
 
 namespace zarf
 {
+
+/** Stable lowercase name of a control state ("ap.fetch-let"). */
+const char *mstateName(MState s);
+
+/**
+ * Per-control-state visit and cycle tally.
+ *
+ * Optional instrumentation (MachineConfig::fsmTally): every cycle
+ * the machine charges is attributed to one of the 66 FSM states, so
+ * the tally partitions the cycle ledger exactly —
+ * loadCycles() == stats.loadCycles, execCycles() == stats.execCycles
+ * and gcCycles() == stats.gcCycles (asserted by the obs property
+ * suite).
+ */
+struct FsmTally
+{
+    std::array<uint64_t, kTotalStates> visits{};
+    std::array<Cycles, kTotalStates> cycles{};
+
+    /** One visit of s costing n cycles. */
+    void
+    add(MState s, Cycles n)
+    {
+        addN(s, 1, n);
+    }
+
+    /** v visits of s costing n cycles in total. */
+    void
+    addN(MState s, uint64_t v, Cycles n)
+    {
+        visits[static_cast<size_t>(s)] += v;
+        cycles[static_cast<size_t>(s)] += n;
+    }
+
+    /** Merge another tally into this one. */
+    void accumulate(const FsmTally &other);
+
+    /** Cycles across the load states. */
+    Cycles loadCycles() const;
+    /** Cycles across the apply + eval states. */
+    Cycles execCycles() const;
+    /** Cycles across the GC states. */
+    Cycles gcCycles() const;
+};
 
 /** Counters for one instruction class. */
 struct ClassStats
@@ -106,7 +157,21 @@ struct MachineStats
 
     /** Render a human-readable report. */
     std::string report() const;
+
+    /** Merge another run's statistics into this one (counters sum,
+     *  high-water marks take the max, per-function profiles merge by
+     *  key). Used to aggregate across watchdog restarts. */
+    void accumulate(const MachineStats &other);
 };
+
+/** Export the statistics as "<prefix>..." counters. */
+void exportStats(const MachineStats &stats, obs::Metrics &metrics,
+                 const std::string &prefix);
+
+/** Export the tally as paired "<histogram>.visits"/".cycles"
+ *  histograms with one bucket per state, in state order. */
+void exportTally(const FsmTally &tally, obs::Metrics &metrics,
+                 const std::string &histogram);
 
 } // namespace zarf
 

@@ -1,5 +1,7 @@
 #include "mblaze/cpu.hh"
 
+#include "obs/trace.hh"
+
 namespace zarf::mblaze
 {
 
@@ -48,11 +50,30 @@ MbCpu::setMem(size_t wordIndex, SWord v)
 }
 
 void
+MbCpu::setTrace(obs::Recorder *r, Cycles div, Cycles bias)
+{
+    trace = r;
+    tsDiv = div ? div : 1;
+    tsBias = bias;
+    traceOn = trace && trace->wants(obs::Cat::Mblaze);
+}
+
+void
+MbCpu::emitMb(obs::EventKind k, int64_t a, int64_t b) const
+{
+    trace->emit(k, tsBias + total / tsDiv, a, b);
+}
+
+void
 MbCpu::step()
 {
     if (pc >= prog.code.size()) {
         st = MbStatus::Fault;
         fault = { MbFaultInfo::Cause::PcOutOfRange, pc, 0 };
+        if (traceOn)
+            emitMb(obs::EventKind::MbTrap,
+                   static_cast<int64_t>(fault.cause),
+                   static_cast<int64_t>(pc));
         return;
     }
     const Instr &ins = prog.code[pc];
@@ -113,6 +134,10 @@ MbCpu::step()
         if (addr < 0 || size_t(addr) >= dmem.size()) {
             st = MbStatus::Fault;
             fault = { MbFaultInfo::Cause::LoadOutOfRange, pc, addr };
+            if (traceOn)
+                emitMb(obs::EventKind::MbTrap,
+                       static_cast<int64_t>(fault.cause),
+                       static_cast<int64_t>(pc));
             return;
         }
         wr(dmem[size_t(addr)]);
@@ -123,6 +148,10 @@ MbCpu::step()
         if (addr < 0 || size_t(addr) >= dmem.size()) {
             st = MbStatus::Fault;
             fault = { MbFaultInfo::Cause::StoreOutOfRange, pc, addr };
+            if (traceOn)
+                emitMb(obs::EventKind::MbTrap,
+                       static_cast<int64_t>(fault.cause),
+                       static_cast<int64_t>(pc));
             return;
         }
         dmem[size_t(addr)] = regs[ins.rd];
@@ -151,6 +180,10 @@ MbCpu::step()
         if (taken) {
             next = size_t(ins.imm);
             cost += timing.takenBranchPenalty;
+            if (traceOn)
+                emitMb(obs::EventKind::MbBranch,
+                       static_cast<int64_t>(pc),
+                       static_cast<int64_t>(next));
         }
         break;
       }
@@ -168,18 +201,31 @@ MbCpu::step()
         cost += timing.takenBranchPenalty;
         break;
 
-      case Opc::In:
-        wr(bus.getInt(ins.imm));
+      case Opc::In: {
+        SWord v = bus.getInt(ins.imm);
+        wr(v);
         cost += timing.ioExtra;
+        if (traceOn)
+            emitMb(obs::EventKind::MbIn,
+                   static_cast<int64_t>(ins.imm),
+                   static_cast<int64_t>(v));
         break;
+      }
       case Opc::Out:
         bus.putInt(ins.imm, regs[ins.rd]);
         cost += timing.ioExtra;
+        if (traceOn)
+            emitMb(obs::EventKind::MbOut,
+                   static_cast<int64_t>(ins.imm),
+                   static_cast<int64_t>(regs[ins.rd]));
         break;
 
       case Opc::Halt:
         st = MbStatus::Halted;
         total += cost;
+        if (traceOn)
+            emitMb(obs::EventKind::MbHalt,
+                   static_cast<int64_t>(pc), 0);
         return;
       case Opc::Nop:
         break;

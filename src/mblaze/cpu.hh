@@ -20,6 +20,12 @@
 #include "sem/io.hh"
 #include "support/types.hh"
 
+namespace zarf::obs
+{
+class Recorder;
+enum class EventKind : uint8_t;
+} // namespace zarf::obs
+
 namespace zarf::mblaze
 {
 
@@ -100,8 +106,18 @@ class MbCpu
     SWord mem(size_t wordIndex) const;
     void setMem(size_t wordIndex, SWord v);
 
+    /**
+     * Attach an event recorder (null detaches). Event timestamps are
+     * tsBias + cycles()/tsDiv: the system layer passes the
+     * mblaze-to-λ clock ratio and its epoch so both layers stamp one
+     * shared timeline (docs/OBSERVABILITY.md).
+     */
+    void setTrace(obs::Recorder *r, Cycles tsDiv = 1,
+                  Cycles tsBias = 0);
+
   private:
     void step();
+    void emitMb(obs::EventKind k, int64_t a, int64_t b) const;
 
     MbProgram prog;
     IoBus &bus;
@@ -114,6 +130,12 @@ class MbCpu
     MbFaultInfo fault{};
     Cycles total = 0;
     uint64_t retired = 0;
+
+    // Observability (setTrace).
+    obs::Recorder *trace = nullptr;
+    Cycles tsDiv = 1;
+    Cycles tsBias = 0;
+    bool traceOn = false;
 };
 
 } // namespace zarf::mblaze

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The structured event vocabulary of the observability layer
+ * (docs/OBSERVABILITY.md).
+ *
+ * Every event is a fixed-size record: a timestamp in simulated
+ * λ cycles (20 ns each; the two-layer system's shared timeline), an
+ * event kind, and two kind-specific integer arguments. Events carry
+ * no strings and no host-side state, so recording is allocation-free
+ * and traces are bit-deterministic across runs and thread counts.
+ *
+ * Kinds are grouped into categories (Cat) that can be masked
+ * independently — the hot execution-step events (MachineExec,
+ * Mblaze) are high-volume and usually off, while the system-level
+ * and lifecycle categories are cheap enough to keep on for golden
+ * traces — and into display tracks (Track) so a λ-layer GC pause
+ * lines up visually against an mblaze pacing deadline in Perfetto.
+ */
+
+#ifndef ZARF_OBS_EVENTS_HH
+#define ZARF_OBS_EVENTS_HH
+
+#include <cstdint>
+
+#include "support/types.hh"
+
+namespace zarf::obs
+{
+
+/** Maskable event categories (bitmask values). */
+enum class Cat : uint32_t
+{
+    MachineLife = 1u << 0, ///< λ-machine load/boot/done/fail.
+    MachineGc = 1u << 1,   ///< λ-machine collection pauses.
+    MachineExec = 1u << 2, ///< Per-instruction λ events (high volume).
+    System = 1u << 3,      ///< Devices, channel, watchdog, faults.
+    Mblaze = 1u << 4,      ///< Imperative-core branches/traps/IO.
+};
+
+constexpr uint32_t kAllCats = 0x1fu;
+
+/** Display tracks (Chrome-trace tids). */
+enum class Track : uint8_t
+{
+    Lambda = 0, ///< λ-machine execution.
+    LambdaGc,   ///< λ-machine collection pauses.
+    Mblaze,     ///< Imperative core.
+    System,     ///< Devices, watchdog, fault injection.
+    NumTracks,
+};
+
+/** Event kinds. The `a`/`b` argument meanings are listed per kind. */
+enum class EventKind : uint8_t
+{
+    // MachineLife (Track::Lambda).
+    MachLoad = 0,    ///< a = image words, b = load cycles.
+    MachBoot,        ///< a = entry function index.
+    MachDone,        ///< Program reduced to a value.
+    MachFail,        ///< a = MachineStatus that latched.
+
+    // MachineGc (Track::LambdaGc). Begin/End always pair, never
+    // nest; End.ts = Begin.ts + End.b (pause cycles).
+    GcBegin,         ///< a = used words before the collection.
+    GcEnd,           ///< a = live words after, b = pause cycles.
+
+    // MachineExec (Track::Lambda; instants, high volume).
+    ExecLet,         ///< a = callee identifier, b = argument count.
+    ExecCase,        ///< a = executing function identifier.
+    ExecResult,      ///< a = executing function identifier.
+    EvalEnter,       ///< Thunk entry. a = function id, b = args.
+    PrimOp,          ///< Primitive executes. a = prim identifier.
+
+    // System (Track::System).
+    TickConsumed,    ///< a = lag behind the due time, λ cycles.
+    DeadlineMiss,    ///< a = lag (>= one tick period).
+    Shock,           ///< a = pacing value written.
+    ChanPush,        ///< a = word, b = FIFO depth after the push.
+    ChanPop,         ///< a = word, b = FIFO depth after the pop.
+    ChanOverflow,    ///< a = word dropped by the full FIFO.
+    ChanFaultDrop,   ///< a = word lost to an injected drop fault.
+    ChanFaultDup,    ///< a = word duplicated by an injected fault.
+    SensorAlert,     ///< a = SensorAlert::Kind.
+    FaultInjected,   ///< a = fault::FaultKind of the injection.
+    MonitorFault,    ///< a = MbFaultInfo::Cause, b = faulting pc.
+    WatchdogTrip,    ///< a = MachineStatus seen, b = restart ordinal.
+    WatchdogRestart, ///< a = blackout cycles, b = restart ordinal.
+    Degraded,        ///< a = restart ordinal that degraded.
+    LambdaDead,      ///< a = restart ordinal that gave up.
+    Resync,          ///< a = episode count replayed to the monitor.
+
+    // Mblaze (Track::Mblaze).
+    MbBranch,        ///< Taken conditional branch. a = pc, b = target.
+    MbTrap,          ///< a = MbFaultInfo::Cause, b = faulting pc.
+    MbHalt,          ///< a = pc of the halt.
+    MbIn,            ///< a = port, b = value read.
+    MbOut,           ///< a = port, b = value written.
+
+    NumKinds,
+};
+
+constexpr size_t kNumEventKinds =
+    static_cast<size_t>(EventKind::NumKinds);
+
+/** One recorded event. */
+struct Event
+{
+    Cycles ts = 0;   ///< Simulated λ cycles (plus any epoch bias).
+    int64_t a = 0;   ///< Kind-specific argument.
+    int64_t b = 0;   ///< Kind-specific argument.
+    EventKind kind = EventKind::MachLoad;
+};
+
+/** Stable display name (Chrome-trace "name" field). */
+const char *eventName(EventKind k);
+
+/** Category of a kind (mask checks). */
+Cat eventCat(EventKind k);
+
+/** Display track of a kind. */
+Track eventTrack(EventKind k);
+
+/** Stable display name of a track (thread_name metadata). */
+const char *trackName(Track t);
+
+/** Chrome-trace phase: 'B'/'E' for the GC pair, 'i' otherwise. */
+char eventPhase(EventKind k);
+
+} // namespace zarf::obs
+
+#endif // ZARF_OBS_EVENTS_HH

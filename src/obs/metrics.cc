@@ -1,0 +1,85 @@
+#include "obs/metrics.hh"
+
+#include "support/logging.hh"
+
+namespace zarf::obs
+{
+
+void
+Metrics::setCounter(const std::string &name, uint64_t value)
+{
+    counters[name] = value;
+}
+
+void
+Metrics::setGauge(const std::string &name, int64_t value)
+{
+    gauges[name] = value;
+}
+
+void
+Metrics::addBucket(const std::string &histogram,
+                   const std::string &bucket, uint64_t value)
+{
+    histograms[histogram].push_back({ bucket, value });
+}
+
+uint64_t
+Metrics::counter(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+}
+
+std::string
+Metrics::toJson() const
+{
+    std::string s;
+    s += "{\n";
+
+    s += "  \"counters\": {";
+    {
+        bool first = true;
+        for (const auto &[k, v] : counters) {
+            s += strprintf("%s\n    \"%s\": %llu", first ? "" : ",",
+                           k.c_str(), (unsigned long long)v);
+            first = false;
+        }
+        s += counters.empty() ? "},\n" : "\n  },\n";
+    }
+
+    s += "  \"gauges\": {";
+    {
+        bool first = true;
+        for (const auto &[k, v] : gauges) {
+            s += strprintf("%s\n    \"%s\": %lld", first ? "" : ",",
+                           k.c_str(), (long long)v);
+            first = false;
+        }
+        s += gauges.empty() ? "},\n" : "\n  },\n";
+    }
+
+    s += "  \"histograms\": {";
+    {
+        bool firstH = true;
+        for (const auto &[name, buckets] : histograms) {
+            s += strprintf("%s\n    \"%s\": {", firstH ? "" : ",",
+                           name.c_str());
+            bool firstB = true;
+            for (const auto &[bucket, v] : buckets) {
+                s += strprintf("%s\n      \"%s\": %llu",
+                               firstB ? "" : ",", bucket.c_str(),
+                               (unsigned long long)v);
+                firstB = false;
+            }
+            s += buckets.empty() ? "}" : "\n    }";
+            firstH = false;
+        }
+        s += histograms.empty() ? "}\n" : "\n  }\n";
+    }
+
+    s += "}\n";
+    return s;
+}
+
+} // namespace zarf::obs

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Metrics registry with stable JSON export (docs/OBSERVABILITY.md).
+ *
+ * A Metrics object is a point-in-time snapshot assembled by the
+ * components' exportMetrics() methods: monotonic counters, level
+ * gauges, and labelled histograms (e.g. the per-FSM-state cycle
+ * distribution of the λ-machine). Values are integers only and the
+ * JSON rendering is deterministic — counters and gauges sorted by
+ * name, histogram buckets in registration order — so metric dumps
+ * diff cleanly and serve as golden test fixtures on any host or
+ * thread count.
+ */
+
+#ifndef ZARF_OBS_METRICS_HH
+#define ZARF_OBS_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace zarf::obs
+{
+
+/** The registry (see file comment). */
+class Metrics
+{
+  public:
+    /** Set a monotonic counter (last write wins). */
+    void setCounter(const std::string &name, uint64_t value);
+
+    /** Set a level gauge (last write wins; may be negative). */
+    void setGauge(const std::string &name, int64_t value);
+
+    /** Append one bucket to a histogram, creating the histogram on
+     *  first use. Buckets render in registration order (the caller's
+     *  order is meaningful, e.g. FSM state order). */
+    void addBucket(const std::string &histogram,
+                   const std::string &bucket, uint64_t value);
+
+    size_t counterCount() const { return counters.size(); }
+    /** Counter value, or 0 if absent. */
+    uint64_t counter(const std::string &name) const;
+
+    /**
+     * Deterministic JSON: {"counters": {...}, "gauges": {...},
+     * "histograms": {...}} with sorted keys, integers only.
+     */
+    std::string toJson() const;
+
+  private:
+    using Buckets = std::vector<std::pair<std::string, uint64_t>>;
+
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, int64_t> gauges;
+    std::map<std::string, Buckets> histograms;
+};
+
+} // namespace zarf::obs
+
+#endif // ZARF_OBS_METRICS_HH

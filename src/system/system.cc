@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
 namespace zarf::sys
 {
 
@@ -33,9 +36,28 @@ TwoLayerSystem::TwoLayerSystem(const Image &zarfImage,
     : heart(heart), cfg(config), image(zarfImage),
       cpu(monitor, mbBus), faultRng(config.faultPlan.seed)
 {
-    machine.emplace(image, lambdaBus,
-                    MachineConfig{ cfg.semispaceWords,
-                                   cfg.lambdaTiming, true });
+    traceSys = cfg.trace && cfg.trace->wants(obs::Cat::System);
+    cpu.setTrace(cfg.trace, kMbCyclesPerLambdaCycle, 0);
+    machine.emplace(image, lambdaBus, lambdaConfig(0));
+}
+
+MachineConfig
+TwoLayerSystem::lambdaConfig(Cycles epoch) const
+{
+    MachineConfig mc;
+    mc.semispaceWords = cfg.semispaceWords;
+    mc.timing = cfg.lambdaTiming;
+    mc.gcOnExhaustion = true;
+    mc.trace = cfg.trace;
+    mc.traceBias = epoch;
+    mc.fsmTally = cfg.lambdaFsmTally;
+    return mc;
+}
+
+void
+TwoLayerSystem::emitSys(obs::EventKind k, int64_t a, int64_t b)
+{
+    cfg.trace->emit(k, lambdaNow(), a, b);
 }
 
 SWord
@@ -71,6 +93,9 @@ TwoLayerSystem::MbBus::getInt(SWord port)
             return 0;
         SWord v = sys.channel.front();
         sys.channel.pop_front();
+        if (sys.traceSys)
+            sys.emitSys(obs::EventKind::ChanPop, v,
+                        int64_t(sys.channel.size()));
         return v;
       }
       case kMbDiagCmd: {
@@ -132,17 +157,27 @@ TwoLayerSystem::sensorIntegrity(SWord sample, Cycles now)
 {
     if (haveSample) {
         if (sample == prevSample) {
-            if (++flatRun == kFlatlineRun)
+            if (++flatRun == kFlatlineRun) {
                 sensorAlertLog.push_back(
                     { SensorAlert::Kind::Flatline, now });
+                if (traceSys)
+                    emitSys(obs::EventKind::SensorAlert,
+                            int64_t(SensorAlert::Kind::Flatline),
+                            sample);
+            }
         } else {
             flatRun = 0;
         }
         SWord delta = sample - prevSample;
         if (delta > kJumpLimit || delta < -kJumpLimit) {
-            if (++jumpRun == kJumpRun)
+            if (++jumpRun == kJumpRun) {
                 sensorAlertLog.push_back(
                     { SensorAlert::Kind::NoiseBurst, now });
+                if (traceSys)
+                    emitSys(obs::EventKind::SensorAlert,
+                            int64_t(SensorAlert::Kind::NoiseBurst),
+                            sample);
+            }
         } else {
             jumpRun = 0;
         }
@@ -176,6 +211,13 @@ TwoLayerSystem::timerRead()
         nextTickDue += kTickCycles;
         ++nTicks;
         lastTickConsumed = now;
+        if (traceSys) {
+            emitSys(obs::EventKind::TickConsumed, int64_t(lag),
+                    int64_t(nTicks));
+            if (lag >= kTickCycles)
+                emitSys(obs::EventKind::DeadlineMiss, int64_t(lag),
+                        int64_t(nTicks));
+        }
         return 1;
     }
     return 0;
@@ -188,6 +230,8 @@ TwoLayerSystem::shockWrite(SWord value)
     persistLastPace = value;
     if (value == kTherapyStartMarker)
         ++persistEpisodes;
+    if (traceSys)
+        emitSys(obs::EventKind::Shock, value, persistEpisodes);
     heart.onShock(value);
 }
 
@@ -211,6 +255,9 @@ TwoLayerSystem::channelPush(SWord value)
     if (chanDropArmed > 0) {
         --chanDropArmed;
         ++chanFaultCount;
+        if (traceSys)
+            emitSys(obs::EventKind::ChanFaultDrop, value,
+                    int64_t(chanFaultCount));
         return;
     }
     unsigned copies = 1;
@@ -218,15 +265,24 @@ TwoLayerSystem::channelPush(SWord value)
         --chanDupArmed;
         ++chanFaultCount;
         copies = 2;
+        if (traceSys)
+            emitSys(obs::EventKind::ChanFaultDup, value,
+                    int64_t(chanFaultCount));
     }
     for (unsigned i = 0; i < copies; ++i) {
         if (channel.size() >= cfg.channelCapacity) {
             ++chanOverflowCount;
+            if (traceSys)
+                emitSys(obs::EventKind::ChanOverflow, value,
+                        int64_t(channel.size()));
             continue;
         }
         channel.push_back(value);
         if (channel.size() > maxChanDepth)
             maxChanDepth = channel.size();
+        if (traceSys)
+            emitSys(obs::EventKind::ChanPush, value,
+                    int64_t(channel.size()));
     }
 }
 
@@ -247,6 +303,9 @@ TwoLayerSystem::applyFault(const fault::FaultEvent &e)
 {
     using fault::FaultKind;
     bool alive = !degradedMode && !lambdaDead;
+    if (traceSys)
+        emitSys(obs::EventKind::FaultInjected, int64_t(e.kind),
+                int64_t(e.a));
     switch (e.kind) {
       case FaultKind::HeapSeu:
         if (!alive)
@@ -334,6 +393,10 @@ TwoLayerSystem::advanceMonitor(Cycles mbCycles)
     cpu.advance(mbCycles);
     if (cpu.status() == mblaze::MbStatus::Fault) {
         monFault = cpu.faultInfo();
+        if (traceSys)
+            emitSys(obs::EventKind::MonitorFault,
+                    int64_t(monFault->cause),
+                    int64_t(monFault->pc));
         // Report the structured fault record on the diagnostic
         // response queue: marker, cause, pc, address.
         diagResps.push_back(SWord(kDiagFaultMark));
@@ -366,6 +429,9 @@ TwoLayerSystem::triggerRestart(MachineStatus st)
     ev.diagnostic = machine->diagnostic();
     ev.restartIndex = restarts;
     ev.flushedChannelWords = channel.size();
+    if (traceSys)
+        emitSys(obs::EventKind::WatchdogTrip, int64_t(st),
+                int64_t(restarts));
     // In-flight words are part of the failed incarnation's state.
     channel.clear();
     Cycles tripAt = ev.atCycle;
@@ -381,10 +447,18 @@ TwoLayerSystem::triggerRestart(MachineStatus st)
         wedgeUntil = 0;
         if (cfg.fallbackProgram.code.empty()) {
             lambdaDead = true;
+            if (traceSys)
+                emitSys(obs::EventKind::LambdaDead,
+                        int64_t(restarts), 0);
         } else {
             degradedMode = true;
             baselineCpu.emplace(cfg.fallbackProgram, lambdaBus);
+            baselineCpu->setTrace(cfg.trace, kMbCyclesPerLambdaCycle,
+                                  machineEpoch);
             resyncMonitor();
+            if (traceSys)
+                emitSys(obs::EventKind::Degraded,
+                        int64_t(restarts), 0);
         }
         ev.degraded = degradedMode;
     } else {
@@ -392,13 +466,20 @@ TwoLayerSystem::triggerRestart(MachineStatus st)
         // image reload, state replay to the monitor.
         unsigned shift = std::min(restarts - 1, 16u);
         Cycles penalty = cfg.restartLatencyCycles << shift;
-        machine.emplace(image, lambdaBus,
-                        MachineConfig{ cfg.semispaceWords,
-                                       cfg.lambdaTiming, true });
-        machineEpoch = tripAt + penalty;
+        // Retire the dying incarnation's counters before the reload
+        // replaces it — aggregatedLambdaStats() keeps the full
+        // history where lambdaStats() alone would silently reset.
+        retiredLambda.accumulate(machine->stats());
+        retiredTally.accumulate(machine->fsmTally());
+        Cycles newEpoch = tripAt + penalty;
+        machine.emplace(image, lambdaBus, lambdaConfig(newEpoch));
+        machineEpoch = newEpoch;
         wedgeUntil = 0;
         resyncMonitor();
         ev.blackoutCycles = penalty;
+        if (traceSys)
+            cfg.trace->emit(obs::EventKind::WatchdogRestart, newEpoch,
+                            int64_t(penalty), int64_t(restarts));
         // The monitor is not restarted; it runs through the blackout
         // and processes the replay before the λ-layer resumes.
         advanceMonitor(penalty * kMbCyclesPerLambdaCycle);
@@ -415,6 +496,68 @@ TwoLayerSystem::resyncMonitor()
 {
     diagCmds.push_back(kDiagCmdResync);
     diagCmds.push_back(persistEpisodes);
+    if (traceSys)
+        emitSys(obs::EventKind::Resync, persistEpisodes,
+                persistLastPace);
+}
+
+MachineStats
+TwoLayerSystem::aggregatedLambdaStats() const
+{
+    MachineStats s = retiredLambda;
+    s.accumulate(machine->stats());
+    return s;
+}
+
+FsmTally
+TwoLayerSystem::aggregatedLambdaTally() const
+{
+    FsmTally t = retiredTally;
+    t.accumulate(machine->fsmTally());
+    return t;
+}
+
+void
+TwoLayerSystem::exportMetrics(obs::Metrics &m) const
+{
+    exportStats(aggregatedLambdaStats(), m, "lambda.");
+    if (cfg.lambdaFsmTally)
+        exportTally(aggregatedLambdaTally(), m, "lambda.fsm");
+    m.setCounter("lambda.status", uint64_t(machine->status()));
+    m.setGauge("lambda.heap.used-words",
+               int64_t(machine->heapUsedWords()));
+
+    m.setCounter("system.lambda-cycles", lambdaNow());
+    m.setCounter("system.ticks", nTicks);
+    m.setCounter("system.samples", nSamples);
+    m.setCounter("system.comm-words", nComm);
+    m.setCounter("system.shocks", shockLog.size());
+    m.setCounter("system.max-tick-lag", maxLag);
+    m.setCounter("system.steady-max-tick-lag", steadyMaxLag);
+    m.setCounter("system.deadline-missed", missedDeadline ? 1 : 0);
+    m.setCounter("system.deadline-missed-outside-recovery",
+                 missedOutsideGrace ? 1 : 0);
+    m.setCounter("system.max-iteration-cycles", maxIterCycles);
+
+    m.setCounter("chan.overflows", chanOverflowCount);
+    m.setCounter("chan.faults-detected", chanFaultCount);
+    m.setCounter("chan.max-depth", maxChanDepth);
+    m.setGauge("chan.depth", int64_t(channel.size()));
+
+    m.setCounter("watchdog.restarts", restarts);
+    m.setCounter("watchdog.degraded", degradedMode ? 1 : 0);
+    m.setCounter("watchdog.lambda-dead", lambdaDead ? 1 : 0);
+    m.setCounter("sensor.alerts", sensorAlertLog.size());
+    m.setCounter("ecc.corrected", eccCorrected);
+    m.setCounter("ecc.uncorrectable", eccUncorrectable);
+    m.setCounter("mb.mem-flips", mbMemFlipCount);
+
+    m.setCounter("mb.cycles", cpu.cycles());
+    m.setCounter("mb.instructions", cpu.instructionsRetired());
+    m.setCounter("mb.fault", monFault ? 1 : 0);
+
+    m.setGauge("persist.episodes", persistEpisodes);
+    m.setGauge("persist.last-pace", persistLastPace);
 }
 
 MachineStatus

@@ -54,6 +54,11 @@
 #include "support/random.hh"
 #include "system/ports.hh"
 
+namespace zarf::obs
+{
+enum class EventKind : uint8_t;
+} // namespace zarf::obs
+
 namespace zarf::sys
 {
 
@@ -128,6 +133,16 @@ struct SystemConfig
 
     /** Scheduled fault injections; empty by default. */
     fault::FaultPlan faultPlan{};
+
+    /** Event sink shared by both layers and the device rig (null =
+     *  tracing off). Machine events are stamped with the epoch-based
+     *  λ clock, imperative-core events with mbCycles/2, so every
+     *  incarnation lands on one timeline (docs/OBSERVABILITY.md).
+     *  Not owned; must outlive the system. */
+    obs::Recorder *trace = nullptr;
+    /** Maintain the λ-machine's per-FSM-state tally (it survives
+     *  watchdog restarts via aggregatedLambdaTally()). */
+    bool lambdaFsmTally = false;
 };
 
 /** Co-simulation of the two layers plus devices. */
@@ -223,6 +238,20 @@ class TwoLayerSystem
     /** Worst FIFO depth observed at push time. */
     size_t maxChannelDepth() const { return maxChanDepth; }
 
+    // Observability.
+    /** λ-machine statistics summed across every incarnation this
+     *  system has run (watchdog restarts retire the dying machine's
+     *  counters into the sum instead of losing them). Equals
+     *  lambdaStats() until the first restart. */
+    MachineStats aggregatedLambdaStats() const;
+    /** Per-FSM-state tally summed across incarnations (all-zero
+     *  unless SystemConfig::lambdaFsmTally). */
+    FsmTally aggregatedLambdaTally() const;
+    /** Export the full system metric set — aggregated λ counters,
+     *  channel/watchdog/sensor/ECC counters, deadline stats, and the
+     *  imperative core's cycle and instruction counts. */
+    void exportMetrics(obs::Metrics &metrics) const;
+
   private:
     /** The devices' view of λ time. Equals the machine's own cycle
      *  counter until the first watchdog restart; afterwards the
@@ -261,6 +290,12 @@ class TwoLayerSystem
       private:
         TwoLayerSystem &sys;
     };
+
+    /** MachineConfig for a (re)started λ incarnation whose trace
+     *  timestamps must begin at `epoch` on the shared clock. */
+    MachineConfig lambdaConfig(Cycles epoch) const;
+    /** Emit a System-category event stamped with lambdaNow(). */
+    void emitSys(obs::EventKind k, int64_t a = 0, int64_t b = 0);
 
     SWord ecgRead();
     SWord timerRead();
@@ -341,6 +376,13 @@ class TwoLayerSystem
     uint64_t eccUncorrectable = 0;
     uint64_t mbMemFlipCount = 0;
     std::optional<mblaze::MbFaultInfo> monFault;
+
+    // Observability (SystemConfig::trace / lambdaFsmTally).
+    bool traceSys = false; ///< Cached trace->wants(Cat::System).
+    /** Counters retired from machine incarnations the watchdog has
+     *  replaced; aggregatedLambdaStats() adds the live machine's. */
+    MachineStats retiredLambda{};
+    FsmTally retiredTally{};
 };
 
 } // namespace zarf::sys

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Golden-trace regression tests (docs/OBSERVABILITY.md): two fixed
+ * co-simulation scenarios whose trace and metrics JSON are checked
+ * in under tests/golden/ and byte-diffed on every run. Any change to
+ * event emission points, timestamps, cycle accounting, or JSON
+ * rendering shows up here as a readable diff.
+ *
+ * Regenerating after an intentional change:
+ *
+ *   ZARF_OBS_REGEN=1 ctest -R ObsGolden
+ *
+ * (or run the test binary directly with the variable set), then
+ * review the fixture diff like any other code change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "ecg/synth.hh"
+#include "fault/plan.hh"
+#include "icd/baseline.hh"
+#include "icd/zarf_icd.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "system/system.hh"
+
+#ifndef ZARF_OBS_FIXTURE_DIR
+#error "ZARF_OBS_FIXTURE_DIR must point at tests/golden"
+#endif
+
+namespace zarf
+{
+namespace
+{
+
+bool
+regenerating()
+{
+    const char *v = std::getenv("ZARF_OBS_REGEN");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+std::string
+fixturePath(const std::string &name)
+{
+    return std::string(ZARF_OBS_FIXTURE_DIR) + "/" + name;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << content;
+}
+
+/** Compare `produced` against the checked-in fixture, or rewrite the
+ *  fixture under ZARF_OBS_REGEN=1. */
+void
+checkGolden(const std::string &name, const std::string &produced)
+{
+    std::string path = fixturePath(name);
+    if (regenerating()) {
+        writeFile(path, produced);
+        std::printf("regenerated %s (%zu bytes)\n", path.c_str(),
+                    produced.size());
+        return;
+    }
+    std::string expected = readFile(path);
+    ASSERT_FALSE(expected.empty())
+        << path << " is missing or empty; regenerate with "
+        << "ZARF_OBS_REGEN=1";
+    // Byte-for-byte. On mismatch print a targeted diff hint rather
+    // than two multi-kilobyte blobs.
+    if (produced != expected) {
+        size_t i = 0;
+        while (i < produced.size() && i < expected.size() &&
+               produced[i] == expected[i])
+            ++i;
+        size_t from = i < 80 ? 0 : i - 80;
+        FAIL() << name << " diverged from the golden fixture at "
+               << "byte " << i << "\n  expected ..."
+               << expected.substr(from, 160) << "\n  produced ..."
+               << produced.substr(from, 160)
+               << "\nIf the change is intentional, regenerate with "
+               << "ZARF_OBS_REGEN=1 and review the fixture diff.";
+    }
+}
+
+/** The golden scenarios trace the cheap categories only: lifecycle,
+ *  GC, and system events are low-volume and fully deterministic;
+ *  per-instruction exec events would blow the ring on a 250 ms run
+ *  without adding regression value beyond the property suite. */
+obs::TraceConfig
+goldenTraceConfig()
+{
+    obs::TraceConfig tcfg;
+    tcfg.capacity = 1u << 16;
+    tcfg.mask = uint32_t(obs::Cat::System) |
+                uint32_t(obs::Cat::MachineLife) |
+                uint32_t(obs::Cat::MachineGc);
+    return tcfg;
+}
+
+TEST(ObsGolden, IcdHalfCycleTraceAndMetrics)
+{
+    // A clean quarter-second of the ICD kernel on a steady sinus
+    // rhythm: ticks, channel traffic, GC pauses — no faults.
+    ecg::ScriptedHeart heart({ { 600.0, 75.0 } }, 42);
+    sys::SystemConfig cfg;
+    cfg.lambdaFsmTally = true;
+    obs::Recorder rec(goldenTraceConfig());
+    cfg.trace = &rec;
+    sys::TwoLayerSystem system(icd::buildKernelImage(),
+                               icd::monitorProgram(), heart, cfg);
+    EXPECT_EQ(system.runForMs(250.0), MachineStatus::Running);
+    ASSERT_EQ(rec.dropped(), 0u)
+        << "golden trace must hold every event";
+
+    checkGolden("obs_icd_halfcycle.trace.json", rec.toChromeJson());
+    obs::Metrics m;
+    system.exportMetrics(m);
+    checkGolden("obs_icd_halfcycle.metrics.json", m.toJson());
+}
+
+TEST(ObsGolden, FaultScenarioTraceAndMetrics)
+{
+    // A fixed fault scenario: an uncorrectable double-bit heap SEU
+    // under ECC at 0.5 s — MemFault, watchdog trip, bounded-blackout
+    // restart, resync — over 600 ms.
+    ecg::ScriptedHeart heart({ { 600.0, 75.0 } }, 42);
+    sys::SystemConfig cfg;
+    cfg.fallbackProgram = icd::baselineIcdProgram();
+    cfg.faultPlan.heapEcc = true;
+    cfg.faultPlan.events.push_back(
+        { 25'000'000, fault::FaultKind::HeapSeuDouble, 1, 0x0102 });
+    cfg.lambdaFsmTally = true;
+    obs::Recorder rec(goldenTraceConfig());
+    cfg.trace = &rec;
+    sys::TwoLayerSystem system(icd::buildKernelImage(),
+                               icd::monitorProgram(), heart, cfg);
+    EXPECT_EQ(system.runForMs(600.0), MachineStatus::Running);
+    EXPECT_EQ(system.watchdogRestarts(), 1u);
+    ASSERT_EQ(rec.dropped(), 0u)
+        << "golden trace must hold every event";
+
+    checkGolden("obs_fault_scenario.trace.json", rec.toChromeJson());
+    obs::Metrics m;
+    system.exportMetrics(m);
+    checkGolden("obs_fault_scenario.metrics.json", m.toJson());
+}
+
+} // namespace
+} // namespace zarf

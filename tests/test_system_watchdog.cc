@@ -14,6 +14,7 @@
 #include "icd/baseline.hh"
 #include "icd/zarf_icd.hh"
 #include "mblaze/isa.hh"
+#include "obs/trace.hh"
 #include "system/system.hh"
 
 namespace zarf::sys
@@ -308,6 +309,107 @@ TEST(Deadlines, HealthyKernelTripsNothing)
     EXPECT_EQ(sys.eccUncorrectableFaults(), 0u);
     EXPECT_TRUE(sys.sensorAlerts().empty());
     EXPECT_FALSE(sys.monitorFault().has_value());
+}
+
+// Observability: watchdog episodes appear in the event trace with
+// epoch-correct timestamps that match the watchdog log.
+TEST(WatchdogTrace, EpisodesStampedOnTheSharedTimeline)
+{
+    ecg::ScriptedHeart heart({ { 600.0, 75.0 } }, 42);
+    SystemConfig cfg = resilientConfig();
+    cfg.faultPlan.events.push_back(memFaultAt(25'000'000));
+    cfg.faultPlan.events.push_back(memFaultAt(60'000'000));
+    obs::TraceConfig tcfg;
+    tcfg.mask = uint32_t(obs::Cat::System);
+    obs::Recorder rec(tcfg);
+    cfg.trace = &rec;
+    TwoLayerSystem sys(kernelImage(), icd::monitorProgram(), heart,
+                       cfg);
+
+    sys.runForMs(2000.0);
+    ASSERT_EQ(sys.watchdogRestarts(), 2u);
+
+    std::vector<obs::Event> trips, restarts;
+    rec.forEach([&](const obs::Event &e) {
+        if (e.kind == obs::EventKind::WatchdogTrip)
+            trips.push_back(e);
+        else if (e.kind == obs::EventKind::WatchdogRestart)
+            restarts.push_back(e);
+    });
+    const auto &log = sys.watchdogLog();
+    ASSERT_EQ(trips.size(), log.size());
+    ASSERT_EQ(restarts.size(), log.size());
+    for (size_t i = 0; i < log.size(); ++i) {
+        // The trip is stamped at the λ cycle the watchdog fired.
+        EXPECT_EQ(trips[i].ts, log[i].atCycle);
+        EXPECT_EQ(trips[i].a, int64_t(log[i].machineStatus));
+        EXPECT_EQ(trips[i].b, int64_t(i + 1));
+        // The restart is stamped at the new incarnation's epoch:
+        // trip cycle plus the blackout penalty.
+        EXPECT_EQ(restarts[i].ts,
+                  log[i].atCycle + log[i].blackoutCycles);
+        EXPECT_EQ(restarts[i].a, int64_t(log[i].blackoutCycles));
+        EXPECT_EQ(restarts[i].b, int64_t(i + 1));
+    }
+}
+
+TEST(WatchdogTrace, DegradationEmitsAnEpochStampedEvent)
+{
+    ecg::ScriptedHeart heart({ { 600.0, 75.0 } }, 42);
+    SystemConfig cfg = resilientConfig();
+    for (Cycles c : { 25'000'000, 50'000'000, 75'000'000,
+                      100'000'000 })
+        cfg.faultPlan.events.push_back(memFaultAt(c));
+    obs::TraceConfig tcfg;
+    tcfg.mask = uint32_t(obs::Cat::System);
+    obs::Recorder rec(tcfg);
+    cfg.trace = &rec;
+    TwoLayerSystem sys(kernelImage(), icd::monitorProgram(), heart,
+                       cfg);
+
+    sys.runForMs(3000.0);
+    ASSERT_TRUE(sys.degraded());
+
+    std::vector<obs::Event> degraded;
+    rec.forEach([&](const obs::Event &e) {
+        if (e.kind == obs::EventKind::Degraded)
+            degraded.push_back(e);
+    });
+    ASSERT_EQ(degraded.size(), 1u);
+    const WatchdogEvent &last = sys.watchdogLog().back();
+    EXPECT_TRUE(last.degraded);
+    EXPECT_EQ(degraded[0].ts, last.atCycle + last.blackoutCycles);
+    EXPECT_EQ(degraded[0].a, int64_t(last.restartIndex));
+}
+
+// Counter lifecycle across restarts: lambdaStats() alone resets with
+// each incarnation; the aggregated view keeps the full history, and
+// the FSM tally partitions it exactly.
+TEST(WatchdogTrace, AggregatedStatsSurviveRestart)
+{
+    ecg::ScriptedHeart heart({ { 600.0, 75.0 } }, 42);
+    SystemConfig cfg = resilientConfig();
+    cfg.lambdaFsmTally = true;
+    cfg.faultPlan.events.push_back(memFaultAt(25'000'000));
+    TwoLayerSystem sys(kernelImage(), icd::monitorProgram(), heart,
+                       cfg);
+
+    sys.runForMs(2000.0);
+    ASSERT_EQ(sys.watchdogRestarts(), 1u);
+
+    MachineStats agg = sys.aggregatedLambdaStats();
+    const MachineStats &live = sys.lambdaStats();
+    // Both incarnations loaded the same image, so the aggregated
+    // view carries exactly twice the live machine's load cost —
+    // the pre-fix code lost the first incarnation entirely.
+    EXPECT_EQ(agg.loadCycles, 2 * live.loadCycles);
+    EXPECT_GT(agg.execCycles, live.execCycles);
+    EXPECT_GE(agg.gcRuns, live.gcRuns);
+
+    FsmTally tally = sys.aggregatedLambdaTally();
+    EXPECT_EQ(tally.loadCycles(), agg.loadCycles);
+    EXPECT_EQ(tally.execCycles(), agg.execCycles);
+    EXPECT_EQ(tally.gcCycles(), agg.gcCycles);
 }
 
 TEST(Deadlines, ResilienceMachineryIsTransparentOnCleanRuns)
