@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_paths.hh"
 #include "common_progs.hh"
 #include "ecg/synth.hh"
 #include "icd/zarf_icd.hh"
@@ -336,10 +337,13 @@ main(int argc, char **argv)
     double geomean = std::exp(logSpeedup / workloads.size());
     std::printf("  geomean speedup %.2fx\n\n", geomean);
 
-    // Machine-readable results for trend tracking.
-    FILE *f = std::fopen("BENCH_host_throughput.json", "w");
+    // Machine-readable results for trend tracking, at the repo root
+    // so CI can archive them from a fixed location.
+    std::string outPath =
+        benchio::repoRootedPath("BENCH_host_throughput.json");
+    FILE *f = std::fopen(outPath.c_str(), "w");
     if (!f) {
-        std::perror("BENCH_host_throughput.json");
+        std::perror(outPath.c_str());
         return 1;
     }
     std::fprintf(f, "{\n  \"smoke\": %s,\n  \"rows\": [\n",
@@ -360,6 +364,6 @@ main(int argc, char **argv)
     std::fprintf(f, "  ],\n  \"geomean_speedup\": %.3f\n}\n",
                  geomean);
     std::fclose(f);
-    std::printf("wrote BENCH_host_throughput.json\n");
+    std::printf("wrote %s\n", outPath.c_str());
     return 0;
 }

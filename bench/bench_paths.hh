@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Where bench binaries write their machine-readable results.
+ *
+ * CI runs benches from the build tree but archives BENCH_*.json
+ * artifacts from the repository root, so the JSON lands next to
+ * ROADMAP.md wherever the binary was launched from: walk up from
+ * the working directory to the first ancestor holding ROADMAP.md,
+ * falling back to the working directory itself.
+ */
+
+#ifndef ZARF_BENCH_PATHS_HH
+#define ZARF_BENCH_PATHS_HH
+
+#include <filesystem>
+#include <string>
+
+namespace zarf::benchio
+{
+
+inline std::string
+repoRootedPath(const std::string &filename)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::path dir = fs::current_path(ec);
+    if (ec)
+        return filename;
+    for (fs::path d = dir;; d = d.parent_path()) {
+        if (fs::exists(d / "ROADMAP.md", ec))
+            return (d / filename).string();
+        if (!d.has_parent_path() || d == d.parent_path())
+            break;
+    }
+    return filename;
+}
+
+} // namespace zarf::benchio
+
+#endif // ZARF_BENCH_PATHS_HH

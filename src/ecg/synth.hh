@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "support/random.hh"
@@ -106,6 +107,11 @@ class Heart
     virtual void onShock(SWord) {}
     /** Ground truth for evaluation. */
     virtual const std::vector<uint64_t> &rPeaks() const = 0;
+    /** Deep-copy the heart mid-stream: the clone produces the exact
+     *  sample sequence the original would have from here on (system
+     *  snapshot/fork, docs/PERF.md). Null when the concrete heart
+     *  does not support cloning. */
+    virtual std::unique_ptr<Heart> clone() const { return nullptr; }
 };
 
 /** A heart following a fixed (seconds, bpm) schedule. */
@@ -123,6 +129,12 @@ class ScriptedHeart : public Heart
 
     SWord nextSample() override;
     const std::vector<uint64_t> &rPeaks() const override;
+
+    std::unique_ptr<Heart>
+    clone() const override
+    {
+        return std::make_unique<ScriptedHeart>(*this);
+    }
 
     /** True once the schedule has been exhausted (rate holds). */
     bool scheduleDone() const { return seg >= schedule.size(); }
@@ -154,6 +166,12 @@ class ResponsiveHeart : public Heart
     SWord nextSample() override;
     void onShock(SWord v) override;
     const std::vector<uint64_t> &rPeaks() const override;
+
+    std::unique_ptr<Heart>
+    clone() const override
+    {
+        return std::make_unique<ResponsiveHeart>(*this);
+    }
 
     bool inVt() const { return vtActive; }
     int pulsesReceived() const { return pulses; }

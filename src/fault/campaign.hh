@@ -51,6 +51,29 @@ constexpr size_t kNumOutcomes = 4;
 /** Stable display name (JSON keys). */
 const char *outcomeName(Outcome o);
 
+/**
+ * How scenarios obtain a warm machine (docs/PERF.md,
+ * "Campaign-scale execution"). Strategies trade construction work
+ * for shared artifacts; none of them may affect the report — the
+ * differential suite (tests/test_machine_snapshot.cc) holds all
+ * three to byte-identical JSON on every thread count.
+ */
+enum class LoadStrategy : uint8_t
+{
+    /** Parse and predecode the image per scenario, rebuild golden
+     *  runs per campaign (the original path; kept as the reference
+     *  for the differential suite). */
+    Cold = 0,
+    /** Build one immutable machine::LoadedImage per campaign and
+     *  share it across scenarios and goldens; golden shock logs are
+     *  cached process-wide by content. */
+    Shared,
+    /** Shared, plus each scenario forks from a warm system snapshot
+     *  the golden run captured at its fault window's start, skipping
+     *  re-execution of the fault-free prefix. */
+    Fork,
+};
+
 /** Campaign sizing. */
 struct CampaignConfig
 {
@@ -71,6 +94,10 @@ struct CampaignConfig
      *  the 1 s onset — so 9 s covers detection, the ATP burst, and
      *  conversion. */
     double vtSeconds = 9.0;
+    /** Warm-machine strategy. Not part of the report's JSON: the
+     *  report is a function of (scenarios, seedBase, seconds) only,
+     *  whatever strategy produced it. */
+    LoadStrategy strategy = LoadStrategy::Fork;
 };
 
 /** One scenario's derivation plus everything observed. */

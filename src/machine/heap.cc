@@ -1,5 +1,8 @@
 #include "machine/heap.hh"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "support/logging.hh"
 
 namespace zarf
@@ -18,9 +21,19 @@ constexpr size_t kMaxObjWords = 1 + 0x7ff;
 
 } // namespace
 
+Heap::WordStore::WordStore(size_t words)
+    : p(static_cast<Word *>(std::calloc(words, sizeof(Word)))),
+      n(words)
+{
+    if (!p)
+        fatal("heap: cannot allocate a %zu-word store", words);
+}
+
+Heap::WordStore::~WordStore() { std::free(p); }
+
 Heap::Heap(size_t semispaceWords, const TimingModel &timing,
            MachineStats &stats)
-    : mem(semispaceWords * 2 + kMaxObjWords, 0),
+    : store(semispaceWords * 2 + kMaxObjWords), mem(store.data()),
       semiWords(semispaceWords), timing(timing), stats(stats)
 {
     base = 0;
@@ -36,17 +49,15 @@ Heap::alloc(ObjKind kind, Word fn, const std::vector<Word> &payload,
 }
 
 Word
-Heap::alloc(ObjKind kind, Word fn, const Word *payload, size_t n,
-            bool pad)
+Heap::allocSlow(ObjKind kind, Word fn, const Word *payload, size_t n,
+                bool pad)
 {
+    if (hook)
+        collect(hook);
     size_t need = 1 + n;
     if (allocPtr + need > limit) {
-        if (hook)
-            collect(hook);
-        if (allocPtr + need > limit) {
-            oom = true;
-            return 0;
-        }
+        oom = true;
+        return 0;
     }
     Word addr = static_cast<Word>(allocPtr);
     mem[allocPtr] = mhdr::pack(kind, static_cast<Word>(n), fn, pad);
@@ -59,7 +70,7 @@ Heap::alloc(ObjKind kind, Word fn, const Word *payload, size_t n,
 }
 
 Word
-Heap::chase(Word value) const
+Heap::chaseSlow(Word value) const
 {
     // A valid chain visits each Ind object at most once and the
     // smallest Ind is two words, so any walk longer than the
@@ -94,27 +105,86 @@ Heap::flipBit(size_t offset, unsigned bit)
 Word
 Heap::evacuate(Word addr)
 {
+    // Charge the 2-cycle "already collected?" check for this ref.
+    stats.gcCycles += timing.gcRefCheck;
+    ++stats.gcRefChecks;
+    if (tally)
+        tally->add(MState::GcCheckRef, timing.gcRefCheck);
+
+    if (!validAddr(addr)) {
+        markCorrupt("GC: reference outside the heap");
+        return 0;
+    }
+
+    Word h = mem[addr];
+    ObjKind kind = mhdr::kindOf(h);
+    if (kind == ObjKind::Fwd)
+        return mem[addr + 1];
+    if (kind == ObjKind::Ind) [[unlikely]]
+        return evacuateInd(addr, h);
+
+    // Common case — a plain object: straight Cheney copy, no chain
+    // scratch touched. Charges are identical to the chain walk's
+    // final-object copy.
+    Word count = mhdr::countOf(h);
+    size_t need = 1 + count;
+    if (toPtr + need > toBase + semiWords) {
+        markCorrupt(
+            "GC to-space overflow: live set exceeds a semispace");
+        return addr;
+    }
+
+    Word naddr = static_cast<Word>(toPtr);
+    mem[toPtr] = h;
+    for (Word i = 0; i < count; ++i)
+        mem[toPtr + 1 + i] = mem[addr + 1 + i];
+    toPtr += need;
+
+    // N+4 cycles for an N-word object (Sec. 5.2).
+    stats.gcCycles +=
+        timing.gcPerObjectFixed + need * timing.gcPerWordCopied;
+    ++stats.gcObjectsCopied;
+    stats.gcWordsCopied += need;
+    if (tally) {
+        tally->add(MState::GcCopyHeader, timing.gcPerObjectFixed);
+        tally->addN(MState::GcCopyWord, need,
+                    need * timing.gcPerWordCopied);
+    }
+
+    mem[addr] = mhdr::pack(ObjKind::Fwd, 1, 0);
+    mem[addr + 1] = naddr;
+    return naddr;
+}
+
+Word
+Heap::evacuateInd(Word addr, Word h)
+{
     // Walk indirection chains iteratively (the natural recursive
     // formulation would overflow the host stack on a corrupted Ind
     // cycle), remembering every chain link so all of them can be
     // forwarded to the final address. Cycle charges are identical to
     // the recursive version on any valid heap: one gcRefCheck per
-    // chain link visited plus one for the final object.
+    // chain link visited plus one for the final object. The first
+    // link's charge, validity check, and header read already
+    // happened in evacuate().
     indChain.clear();
     Word fwdTo = 0; // final to-space address every link forwards to
+    bool first = true;
     for (;;) {
-        // Charge the 2-cycle "already collected?" check for this ref.
-        stats.gcCycles += timing.gcRefCheck;
-        ++stats.gcRefChecks;
-        if (tally)
-            tally->add(MState::GcCheckRef, timing.gcRefCheck);
+        if (!first) {
+            stats.gcCycles += timing.gcRefCheck;
+            ++stats.gcRefChecks;
+            if (tally)
+                tally->add(MState::GcCheckRef, timing.gcRefCheck);
 
-        if (!validAddr(addr)) {
-            markCorrupt("GC: reference outside the heap");
-            return 0;
+            if (!validAddr(addr)) {
+                markCorrupt("GC: reference outside the heap");
+                return 0;
+            }
+            h = mem[addr];
         }
+        first = false;
 
-        Word h = mem[addr];
         ObjKind kind = mhdr::kindOf(h);
         if (kind == ObjKind::Fwd) {
             fwdTo = mem[addr + 1];
@@ -260,6 +330,35 @@ Heap::collect(const RootProvider &roots)
     Cycles pause = stats.gcCycles - pauseStart;
     if (pause > stats.gcMaxPauseCycles)
         stats.gcMaxPauseCycles = pause;
+}
+
+void
+Heap::save(Snapshot &out) const
+{
+    out.semiWords = semiWords;
+    out.base = base;
+    out.allocPtr = allocPtr;
+    out.limit = limit;
+    out.oom = oom;
+    out.corruptFlag = corruptFlag;
+    out.corruptWhyStr = corruptWhyStr;
+    out.words.assign(mem, mem + store.size());
+}
+
+void
+Heap::restore(const Snapshot &s)
+{
+    if (s.semiWords != semiWords) {
+        fatal("heap restore: semispace mismatch (%zu vs %zu words)",
+              s.semiWords, semiWords);
+    }
+    std::memcpy(mem, s.words.data(), s.words.size() * sizeof(Word));
+    base = s.base;
+    allocPtr = s.allocPtr;
+    limit = s.limit;
+    oom = s.oom;
+    corruptFlag = s.corruptFlag;
+    corruptWhyStr = s.corruptWhyStr;
 }
 
 } // namespace zarf

@@ -33,6 +33,15 @@
  * a reason. The machine surfaces the flag as the recoverable
  * MachineStatus::HeapCorrupt so the system layer's watchdog can
  * restart the λ-layer (docs/RESILIENCE.md).
+ *
+ * Host hot paths (docs/PERF.md, "Campaign-scale execution"): the
+ * backing store is calloc-backed, so semispaces are zeroed lazily by
+ * the OS instead of eagerly at construction; allocation and chase()
+ * are inlined bump/short-circuit fast paths that fall out of line
+ * only on overflow or an actual indirection; evacuation copies the
+ * common non-indirection object without touching the chain scratch.
+ * None of this changes a modelled cycle — the charge sequence is
+ * byte-for-byte the seed's.
  */
 
 #ifndef ZARF_MACHINE_HEAP_HH
@@ -151,9 +160,25 @@ class Heap
                bool pad = false);
 
     /** Span overload: the hot path allocates straight from reused
-     *  scratch buffers without materializing a payload vector. */
-    Word alloc(ObjKind kind, Word fn, const Word *payload, size_t n,
-               bool pad = false);
+     *  scratch buffers without materializing a payload vector. The
+     *  bump fast path is inlined; only an exhausted space falls into
+     *  the collect-hook slow path. */
+    Word
+    alloc(ObjKind kind, Word fn, const Word *payload, size_t n,
+          bool pad = false)
+    {
+        size_t need = 1 + n;
+        if (allocPtr + need > limit) [[unlikely]]
+            return allocSlow(kind, fn, payload, n, pad);
+        Word addr = static_cast<Word>(allocPtr);
+        mem[allocPtr] = mhdr::pack(kind, static_cast<Word>(n), fn, pad);
+        for (size_t i = 0; i < n; ++i)
+            mem[allocPtr + 1 + i] = payload[i];
+        allocPtr += need;
+        ++stats.allocations;
+        stats.allocatedWords += need;
+        return addr;
+    }
 
     /** Read the header of an object. */
     Word header(Word addr) const { return mem[addr]; }
@@ -168,8 +193,20 @@ class Heap
      *  most one chain link per live object; a longer walk (possible
      *  only on a corrupted heap: an Ind cycle) or a reference outside
      *  the heap latches the corruption flag and yields integer 0 so
-     *  the machine can halt with HeapCorrupt instead of spinning. */
-    Word chase(Word value) const;
+     *  the machine can halt with HeapCorrupt instead of spinning.
+     *  The common case — an integer, or a reference to a non-Ind
+     *  object — is decided inline without entering the walk. */
+    Word
+    chase(Word value) const
+    {
+        if (mval::isInt(value))
+            return value;
+        Word addr = mval::refOf(value);
+        if (validAddr(addr) &&
+            mhdr::kindOf(mem[addr]) != ObjKind::Ind) [[likely]]
+            return value;
+        return chaseSlow(value);
+    }
 
     /**
      * Run a collection. The root provider must call the supplied
@@ -221,9 +258,66 @@ class Heap
      *  The tally partitions stats.gcCycles exactly. */
     void setTally(FsmTally *t) { tally = t; }
 
+    /**
+     * A captured heap state (Machine::snapshot). The words vector
+     * holds the *entire* backing store, not just the active space:
+     * after a restore, a fault campaign may inject upsets whose
+     * corrupted references read the inactive space or the slack
+     * region, and those reads must see exactly what a never-restored
+     * run would have seen there.
+     */
+    struct Snapshot
+    {
+        size_t semiWords = 0;
+        size_t base = 0;
+        size_t allocPtr = 0;
+        size_t limit = 0;
+        bool oom = false;
+        bool corruptFlag = false;
+        const char *corruptWhyStr = "";
+        std::vector<Word> words;
+    };
+
+    /** Capture the complete heap state into `out`. */
+    void save(Snapshot &out) const;
+    /** Restore a state captured by save(). The snapshot must come
+     *  from a heap of the same semispace size (fatal otherwise). */
+    void restore(const Snapshot &s);
+
   private:
-    /** Copy one object into to-space; returns its new address. */
+    /** The calloc-backed word store: pages are zeroed lazily by the
+     *  OS on first touch instead of eagerly at construction. */
+    class WordStore
+    {
+      public:
+        explicit WordStore(size_t words);
+        ~WordStore();
+        WordStore(const WordStore &) = delete;
+        WordStore &operator=(const WordStore &) = delete;
+        Word *data() const { return p; }
+        size_t size() const { return n; }
+
+      private:
+        Word *p = nullptr;
+        size_t n = 0;
+    };
+
+    /** Out-of-line alloc tail: collect via the hook and retry, or
+     *  latch outOfMemory. */
+    Word allocSlow(ObjKind kind, Word fn, const Word *payload,
+                   size_t n, bool pad);
+
+    /** Out-of-line chase tail: the full guarded indirection walk. */
+    Word chaseSlow(Word value) const;
+
+    /** Copy one object into to-space; returns its new address. The
+     *  inline body handles forwarding pointers and plain objects;
+     *  indirections fall into evacuateInd. */
     Word evacuate(Word addr);
+
+    /** Evacuate tail for indirection chains. `h` is the (already
+     *  charged and validated) header of `addr`, known to be Ind. */
+    Word evacuateInd(Word addr, Word h);
 
     /** A header address is valid iff it lies inside the two
      *  semispaces (the trailing slack words are never object
@@ -241,7 +335,8 @@ class Heap
         }
     }
 
-    std::vector<Word> mem;
+    WordStore store;
+    Word *mem; // = store.data(); the hot-path alias
     size_t semiWords; // semispace size in words
     size_t base = 0;
     size_t allocPtr = 0;
@@ -253,7 +348,7 @@ class Heap
     // GC working state.
     size_t toBase = 0;
     size_t toPtr = 0;
-    std::vector<Word> indChain; // evacuate() scratch: Ind-chain links
+    std::vector<Word> indChain; // evacuateInd scratch: chain links
 
     RootProvider hook;
     const TimingModel &timing;

@@ -1,0 +1,82 @@
+#include "machine/loaded_image.hh"
+
+#include "isa/encoding.hh"
+#include "isa/prims.hh"
+
+namespace zarf
+{
+
+std::shared_ptr<const LoadedImage>
+LoadedImage::load(const Image &image, bool predecode)
+{
+    auto li = std::make_shared<LoadedImage>();
+    li->image = image;
+    li->hasPredecode = predecode;
+
+    // Header parse — the same checks, in the same order, as the
+    // machine's load() performed before this artifact existed, so
+    // Machine::load can replay the first failure verbatim.
+    auto fail = [&](std::string why) {
+        li->headerOk = false;
+        li->headerError = std::move(why);
+    };
+
+    if (image.size() < 2 || image[0] != kMagic) {
+        fail("bad magic word");
+        return li;
+    }
+    Word n = image[1];
+    size_t pos = 2;
+    for (Word i = 0; i < n; ++i) {
+        if (pos + 2 > image.size()) {
+            fail("truncated declaration header");
+            return li;
+        }
+        InfoWord info = unpackInfo(image[pos]);
+        Word m = image[pos + 1];
+        pos += 2;
+        if (pos + m > image.size()) {
+            fail("declaration body overruns image");
+            return li;
+        }
+        li->funcs.push_back(PredecodedFunc{
+            info.isCons, info.arity, info.numLocals, pos, pos + m });
+        pos += m;
+    }
+    Word entry = ~Word(0);
+    for (size_t i = 0; i < li->funcs.size(); ++i) {
+        if (!li->funcs[i].isCons) {
+            entry = Word(i);
+            break;
+        }
+    }
+    if (entry == ~Word(0) || li->funcs[entry].arity != 0) {
+        fail("no zero-argument entry function");
+        return li;
+    }
+    li->entry = entry;
+    li->headerOk = true;
+
+    if (!predecode)
+        return li;
+
+    // Identifier metadata: primitives, then user declarations.
+    li->idInfo.assign(kFirstUserFuncId + li->funcs.size(), IdInfo{});
+    for (const PrimInfo &p : primTable()) {
+        IdInfo &e = li->idInfo[static_cast<Word>(p.id)];
+        e.arity = p.arity;
+        e.isCons = p.isConstructor;
+        e.exists = true;
+    }
+    for (size_t i = 0; i < li->funcs.size(); ++i) {
+        IdInfo &e = li->idInfo[kFirstUserFuncId + i];
+        e.arity = li->funcs[i].arity;
+        e.isCons = li->funcs[i].isCons;
+        e.exists = true;
+    }
+
+    li->pre = predecodeImage(li->image, li->funcs);
+    return li;
+}
+
+} // namespace zarf

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The immutable shared load artifact of the λ-machine.
+ *
+ * Campaign workloads (fault sweeps, refinement shards, benches) run
+ * thousands of machines over the *same* binary image. Header
+ * parsing, identifier-metadata resolution, and µop predecoding are
+ * pure functions of the image, so repeating them per machine buys
+ * nothing — a LoadedImage performs them exactly once and is then
+ * shared read-only (std::shared_ptr) by every Machine constructed
+ * from it, in the decode-once spirit of machine/predecode.hh.
+ *
+ * Loading *as modelled* is untouched: each Machine still charges the
+ * full load-stream cycles and re-surfaces the same structural
+ * diagnostics in the same order, so a Machine built from a
+ * LoadedImage is bit-identical — results, cycles, statistics,
+ * traces — to one built from the raw image (docs/PERF.md,
+ * "Campaign-scale execution").
+ */
+
+#ifndef ZARF_MACHINE_LOADED_IMAGE_HH
+#define ZARF_MACHINE_LOADED_IMAGE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/binary.hh"
+#include "machine/predecode.hh"
+
+namespace zarf
+{
+
+/** A validated, predecoded image shared across machines. */
+class LoadedImage
+{
+  public:
+    /** Identifier metadata (primitives + user declarations),
+     *  resolved once; indexed by function/constructor id. */
+    struct IdInfo
+    {
+        Word arity = 0;
+        bool isCons = false;
+        bool exists = false;
+    };
+
+    /**
+     * Build the artifact. Never fails on the host: structural
+     * problems are recorded (headerOk/headerError, pre.error) for
+     * Machine::load to surface with exactly the diagnostics a
+     * direct-image load would produce.
+     *
+     * @param image the binary image (copied into the artifact)
+     * @param predecode also build the µop streams and identifier
+     *        table (required by MachineConfig::usePredecode
+     *        machines; the word-walking reference path needs only
+     *        the header parse)
+     */
+    static std::shared_ptr<const LoadedImage>
+    load(const Image &image, bool predecode = true);
+
+    /** The owned image words. */
+    Image image;
+
+    /** Header parse outcome. When false, headerError carries the
+     *  diagnostic ("bad magic word", ...). */
+    bool headerOk = false;
+    std::string headerError;
+
+    /** Declaration metadata, one entry per declaration (possibly
+     *  partial when headerOk is false, mirroring a direct load). */
+    std::vector<PredecodedFunc> funcs;
+
+    /** Index of the zero-argument entry function. */
+    Word entry = 0;
+
+    /** True when the artifact was built with predecode support
+     *  (pre/idInfo populated; pre.ok may still be false on a
+     *  structurally invalid body). */
+    bool hasPredecode = false;
+
+    /** µop streams (machine/predecode.hh). */
+    Predecoded pre;
+
+    /** Identifier metadata table. */
+    std::vector<IdInfo> idInfo;
+};
+
+} // namespace zarf
+
+#endif // ZARF_MACHINE_LOADED_IMAGE_HH

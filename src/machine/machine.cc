@@ -7,6 +7,7 @@
 
 #include "isa/encoding.hh"
 #include "isa/prims.hh"
+#include "machine/loaded_image.hh"
 #include "machine/predecode.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -58,13 +59,30 @@ machineStatusName(MachineStatus st)
 class Machine::Impl
 {
   public:
-    Impl(const Image &image, IoBus &bus, MachineConfig config)
-        : image(image), bus(bus), cfg(config),
-          heap(config.semispaceWords, this->cfg.timing, machineStats)
+    friend class zarf::MachineSnapshot;
+
+    static const std::shared_ptr<const LoadedImage> &
+    requireLi(const std::shared_ptr<const LoadedImage> &p)
+    {
+        if (!p)
+            fatal("machine: null LoadedImage");
+        return p;
+    }
+
+    Impl(std::shared_ptr<const LoadedImage> loaded, IoBus &bus,
+         MachineConfig config)
+        : li(std::move(loaded)), image(requireLi(li)->image), bus(bus),
+          cfg(config),
+          heap(config.semispaceWords, this->cfg.timing, machineStats),
+          funcs(li->funcs), pre(li->pre), idInfo(li->idInfo)
     {
         if (cfg.semispaceWords < 2 * kGcSafeMargin) {
             fatal("semispace of %zu words is below the minimum %zu",
                   cfg.semispaceWords, 2 * kGcSafeMargin);
+        }
+        if (cfg.usePredecode && !li->hasPredecode) {
+            fatal("machine: predecode execution requested but the "
+                  "LoadedImage was built without predecode support");
         }
         // Resolve the observability hooks once: the hot path tests
         // one cached bool per category instead of consulting the
@@ -169,6 +187,10 @@ class Machine::Impl
                   });
         return out;
     }
+
+    // Defined after MachineSnapshot below.
+    std::shared_ptr<const MachineSnapshot> makeSnapshot() const;
+    void restoreFrom(const MachineSnapshot &s);
 
   private:
     // ------------------------------------------------------------
@@ -296,45 +318,17 @@ class Machine::Impl
                   static_cast<int64_t>(image.size()),
                   static_cast<int64_t>(machineStats.loadCycles));
 
-        if (image.size() < 2 || image[0] != kMagic) {
-            fail("bad magic word");
+        // Structural validation happened once, in LoadedImage::load;
+        // re-surface its verdict with the identical diagnostics a
+        // direct parse produced before the artifact existed.
+        if (!li->headerOk) {
+            fail(li->headerError);
             return;
         }
-        Word n = image[1];
-        size_t pos = 2;
-        for (Word i = 0; i < n; ++i) {
-            if (pos + 2 > image.size()) {
-                fail("truncated declaration header");
-                return;
-            }
-            InfoWord info = unpackInfo(image[pos]);
-            Word m = image[pos + 1];
-            pos += 2;
-            if (pos + m > image.size()) {
-                fail("declaration body overruns image");
-                return;
-            }
-            funcs.push_back(PredecodedFunc{ info.isCons, info.arity,
-                                            info.numLocals, pos,
-                                            pos + m });
-            pos += m;
-        }
-        entry = ~Word(0);
-        for (size_t i = 0; i < funcs.size(); ++i) {
-            if (!funcs[i].isCons) {
-                entry = Word(i);
-                break;
-            }
-        }
-        if (entry == ~Word(0) || funcs[entry].arity != 0) {
-            fail("no zero-argument entry function");
-            return;
-        }
+        entry = li->entry;
 
         if (cfg.usePredecode) {
-            buildIdInfo();
             callCounts.assign(funcs.size(), 0);
-            pre = predecodeImage(image, funcs);
             if (!pre.ok) {
                 fail("predecode: " + pre.error);
                 return;
@@ -428,6 +422,24 @@ class Machine::Impl
         bool empty() const { return n == 0; }
         size_t size() const { return n; }
         Frame &operator[](size_t i) { return store[i]; }
+
+        /** Copy the live frames (snapshot); stale pool slots above
+         *  size() are not part of the machine state. */
+        void
+        copyTo(std::vector<Frame> &out) const
+        {
+            out.assign(store.begin(),
+                       store.begin() +
+                           static_cast<std::ptrdiff_t>(n));
+        }
+
+        /** Adopt a frame vector captured by copyTo (restore). */
+        void
+        assignFrom(const std::vector<Frame> &in)
+        {
+            store.assign(in.begin(), in.end());
+            n = in.size();
+        }
 
       private:
         std::vector<Frame> store;
@@ -597,33 +609,8 @@ class Machine::Impl
     }
 
     // ------------------------------------------------------------
-    // Identifier metadata, resolved once at load
+    // Identifier metadata (resolved once, in the LoadedImage)
     // ------------------------------------------------------------
-
-    struct IdInfo
-    {
-        Word arity = 0;
-        bool isCons = false;
-        bool exists = false;
-    };
-
-    void
-    buildIdInfo()
-    {
-        idInfo.assign(kFirstUserFuncId + funcs.size(), IdInfo{});
-        for (const PrimInfo &p : primTable()) {
-            IdInfo &e = idInfo[static_cast<Word>(p.id)];
-            e.arity = p.arity;
-            e.isCons = p.isConstructor;
-            e.exists = true;
-        }
-        for (size_t i = 0; i < funcs.size(); ++i) {
-            IdInfo &e = idInfo[kFirstUserFuncId + i];
-            e.arity = funcs[i].arity;
-            e.isCons = funcs[i].isCons;
-            e.exists = true;
-        }
-    }
 
     Word
     arityOf(Word id) const
@@ -1979,18 +1966,23 @@ class Machine::Impl
         }
     }
 
-    const Image image;
+    // The shared load artifact; every per-image pure derivation
+    // (header parse, identifier metadata, µop streams) lives there
+    // and is referenced, not copied, here. Declared first: the
+    // reference members below alias into it.
+    std::shared_ptr<const LoadedImage> li;
+    const Image &image;
     IoBus &bus;
     MachineConfig cfg;
     mutable MachineStats machineStats;
     Heap heap;
 
-    std::vector<PredecodedFunc> funcs;
+    const std::vector<PredecodedFunc> &funcs;
     Word entry = 0;
 
     // µop path state.
-    Predecoded pre;
-    std::vector<IdInfo> idInfo;
+    const Predecoded &pre;
+    const std::vector<LoadedImage::IdInfo> &idInfo;
     mutable std::vector<uint64_t> callCounts;
     FrameStack conts;
 
@@ -2025,9 +2017,115 @@ class Machine::Impl
     std::vector<Word> appvScratch;
 };
 
+/**
+ * The complete architectural state of a machine at a step boundary:
+ * everything a cold run accumulated that subsequent execution can
+ * observe. Immutable once built, so one snapshot fans out to any
+ * number of forked machines concurrently (docs/PERF.md,
+ * "Campaign-scale execution"). Scratch buffers and cached trace
+ * plumbing are deliberately absent — they carry no machine state.
+ */
+class MachineSnapshot
+{
+  public:
+    std::shared_ptr<const LoadedImage> li;
+    size_t semispaceWords = 0;
+    bool usePredecode = false;
+    Heap::Snapshot heap;
+    MachineStats stats;
+    FsmTally tally;
+    std::vector<Machine::Impl::Frame> frames;    ///< µop conts
+    std::vector<Machine::Impl::Frame> framesRef; ///< reference conts
+    Machine::Impl::Activation act;
+    Word vreg = 0;
+    Machine::Impl::Mode mode = Machine::Impl::Mode::EvalVal;
+    Machine::Impl::InstrClass curClass =
+        Machine::Impl::InstrClass::None;
+    MachineStatus status = MachineStatus::Running;
+    std::string diagnostic;
+    Cycles total = 0;
+    Cycles lastGcAt = 0;
+};
+
+std::shared_ptr<const MachineSnapshot>
+Machine::Impl::makeSnapshot() const
+{
+    // Fold the flat call counters into the stats map first so the
+    // snapshot's stats (and the source's, from now on) carry the
+    // counts identically.
+    syncStats();
+    auto s = std::make_shared<MachineSnapshot>();
+    s->li = li;
+    s->semispaceWords = cfg.semispaceWords;
+    s->usePredecode = cfg.usePredecode;
+    heap.save(s->heap);
+    s->stats = machineStats;
+    s->tally = tally;
+    conts.copyTo(s->frames);
+    s->framesRef = contsV;
+    s->act = act;
+    s->vreg = vreg;
+    s->mode = mode;
+    s->curClass = curClass;
+    s->status = status;
+    s->diagnostic = diagnostic;
+    s->total = total;
+    s->lastGcAt = lastGcAt;
+    return s;
+}
+
+void
+Machine::Impl::restoreFrom(const MachineSnapshot &s)
+{
+    if (s.semispaceWords != cfg.semispaceWords) {
+        fatal("machine restore: semispace mismatch (%zu vs %zu "
+              "words)",
+              s.semispaceWords, cfg.semispaceWords);
+    }
+    if (s.usePredecode != cfg.usePredecode)
+        fatal("machine restore: predecode setting mismatch");
+    if (s.li != li && !(s.li && s.li->image == li->image))
+        fatal("machine restore: snapshot is from a different image");
+    heap.restore(s.heap);
+    machineStats = s.stats;
+    tally = s.tally;
+    // The snapshot's stats already hold the folded call counts;
+    // start the flat counters from zero so the next fold adds only
+    // post-restore activations.
+    std::fill(callCounts.begin(), callCounts.end(), 0);
+    conts.assignFrom(s.frames);
+    contsV = s.framesRef;
+    act = s.act;
+    vreg = s.vreg;
+    mode = s.mode;
+    curClass = s.curClass;
+    status = s.status;
+    diagnostic = s.diagnostic;
+    total = s.total;
+    lastGcAt = s.lastGcAt;
+}
+
 Machine::Machine(const Image &image, IoBus &bus, MachineConfig config)
-    : impl(std::make_unique<Impl>(image, bus, config))
+    : impl(std::make_unique<Impl>(
+          LoadedImage::load(image, config.usePredecode), bus, config))
 {}
+
+Machine::Machine(std::shared_ptr<const LoadedImage> li, IoBus &bus,
+                 MachineConfig config)
+    : impl(std::make_unique<Impl>(std::move(li), bus, config))
+{}
+
+std::shared_ptr<const MachineSnapshot>
+Machine::snapshot() const
+{
+    return impl->makeSnapshot();
+}
+
+void
+Machine::restore(const MachineSnapshot &snap)
+{
+    impl->restoreFrom(snap);
+}
 
 Machine::~Machine() = default;
 

@@ -38,6 +38,9 @@ class Recorder;
 namespace zarf
 {
 
+class LoadedImage;
+class MachineSnapshot;
+
 /** Machine configuration. */
 struct MachineConfig
 {
@@ -100,7 +103,35 @@ class Machine
      * @param config sizing and timing
      */
     Machine(const Image &image, IoBus &bus, MachineConfig config = {});
+
+    /**
+     * Construct from a shared load artifact (machine/loaded_image.hh)
+     * instead of a raw image: header parsing, identifier metadata,
+     * and µop predecoding are reused from the artifact rather than
+     * redone. Bit-identical to the raw-image constructor in results,
+     * cycles, statistics, and traces — modelled loading is still
+     * simulated and charged in full. The artifact must have been
+     * built with predecode support when config.usePredecode is set.
+     */
+    Machine(std::shared_ptr<const LoadedImage> li, IoBus &bus,
+            MachineConfig config = {});
     ~Machine();
+
+    /**
+     * Capture the complete architectural state (heap words, frame
+     * stack, registers, statistics, status) so an equally-configured
+     * machine over the same image can later restore() it. The
+     * snapshot is immutable and shareable: one snapshot can seed any
+     * number of forked machines, concurrently. Trace events are not
+     * replayed — a restored machine emits exactly the events the
+     * source had not yet emitted.
+     */
+    std::shared_ptr<const MachineSnapshot> snapshot() const;
+
+    /** Adopt a state captured by snapshot(). The receiver must have
+     *  the same semispace size, the same predecode setting, and the
+     *  same image as the snapshot's source (fatal otherwise). */
+    void restore(const MachineSnapshot &snap);
 
     /** Execute until the status changes or `budget` more cycles
      *  elapse. Returns the current status. */
@@ -181,6 +212,7 @@ class Machine
     std::vector<CensusEntry> heapCensus();
 
   private:
+    friend class MachineSnapshot; // needs Impl's state layout
     class Impl;
     std::unique_ptr<Impl> impl;
 };

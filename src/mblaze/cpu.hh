@@ -69,6 +69,23 @@ struct MbFaultInfo
     int64_t addr = 0;  ///< Faulting data address (load/store only).
 };
 
+/**
+ * The complete mutable state of an MbCpu (system snapshot/fork,
+ * docs/PERF.md "Campaign-scale execution"). The program, bus
+ * binding, timing, and trace attachment are construction-time
+ * configuration and are not part of the captured state.
+ */
+struct MbState
+{
+    std::array<SWord, kNumRegs> regs{};
+    std::vector<SWord> dmem;
+    size_t pc = 0;
+    MbStatus st = MbStatus::Running;
+    MbFaultInfo fault{};
+    Cycles total = 0;
+    uint64_t retired = 0;
+};
+
 /** The imperative core. */
 class MbCpu
 {
@@ -114,6 +131,34 @@ class MbCpu
      */
     void setTrace(obs::Recorder *r, Cycles tsDiv = 1,
                   Cycles tsBias = 0);
+
+    /** Capture the complete mutable state into `out`. */
+    void
+    save(MbState &out) const
+    {
+        out.regs = regs;
+        out.dmem = dmem;
+        out.pc = pc;
+        out.st = st;
+        out.fault = fault;
+        out.total = total;
+        out.retired = retired;
+    }
+
+    /** Adopt a state captured by save(). The receiver must run the
+     *  same program over the same memory size for the result to be
+     *  meaningful; data memory is sized by the snapshot. */
+    void
+    restore(const MbState &s)
+    {
+        regs = s.regs;
+        dmem = s.dmem;
+        pc = s.pc;
+        st = s.st;
+        fault = s.fault;
+        total = s.total;
+        retired = s.retired;
+    }
 
   private:
     void step();

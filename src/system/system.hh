@@ -42,12 +42,14 @@
 #define ZARF_SYSTEM_SYSTEM_HH
 
 #include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "ecg/synth.hh"
 #include "fault/plan.hh"
+#include "machine/loaded_image.hh"
 #include "machine/machine.hh"
 #include "mblaze/cpu.hh"
 #include "sem/io.hh"
@@ -145,6 +147,98 @@ struct SystemConfig
     bool lambdaFsmTally = false;
 };
 
+/**
+ * The complete mutable state of a TwoLayerSystem at a slice boundary
+ * (docs/PERF.md, "Campaign-scale execution"). Campaigns capture one
+ * snapshot at the end of the fault-free prefix of a golden run and
+ * fork every scenario from it instead of re-simulating the prefix.
+ * Immutable once built; shareable across threads.
+ *
+ * The heart is NOT part of the snapshot — it is external to the
+ * system (passed by reference) and must be cloned separately
+ * (ecg::Heart::clone) at the same instant the snapshot is taken.
+ */
+struct SystemSnapshot
+{
+    /** Identity of the λ image the snapshot was taken over. */
+    std::shared_ptr<const LoadedImage> li;
+
+    /** λ-machine state (null only if the λ-layer was already dead). */
+    std::shared_ptr<const MachineSnapshot> lambda;
+    mblaze::MbState monitor;
+    bool hasBaseline = false;
+    mblaze::MbState baseline;
+
+    // λ clock epoch machinery.
+    Cycles machineEpoch = 0;
+    Cycles degradedClock = 0;
+    Cycles wedgeUntil = 0;
+    bool degradedMode = false;
+    bool lambdaDead = false;
+
+    // Devices.
+    Cycles nextTickDue = 0;
+    uint64_t nTicks = 0;
+    Cycles maxLag = 0;
+    bool missedDeadline = false;
+    std::deque<SWord> channel;
+    std::deque<SWord> diagCmds;
+    std::deque<SWord> diagResps;
+    std::vector<ShockEvent> shockLog;
+    uint64_t nSamples = 0;
+    uint64_t nComm = 0;
+    Cycles lastSampleCycle = 0;
+    Cycles maxIterCycles = 0;
+    size_t maxChanDepth = 0;
+
+    // Persistent therapy state.
+    SWord persistLastPace = 0;
+    SWord persistEpisodes = 0;
+
+    // Watchdog state.
+    unsigned restarts = 0;
+    std::vector<WatchdogEvent> wdLog;
+    Cycles lastTickConsumed = 0;
+    Cycles lastRecoveryAt = 0;
+    Cycles steadyMaxLag = 0;
+    bool missedOutsideGrace = false;
+
+    // Sensor front-end integrity monitor.
+    std::vector<SensorAlert> sensorAlertLog;
+    SWord prevSample = 0;
+    bool haveSample = false;
+    unsigned flatRun = 0;
+    unsigned jumpRun = 0;
+
+    /** The source system's fault plan, with its cursor and RNG.
+     *  restore() adopts these only when the receiver runs the same
+     *  plan (round-trip fidelity); a forked system with a different
+     *  plan keeps its own fresh fault context, which is exactly the
+     *  state a cold run of that plan has at the end of a fault-free
+     *  prefix. */
+    fault::FaultPlan plan;
+    size_t planCursor = 0;
+    Rng faultRng;
+    fault::FaultKind sensorFaultKind =
+        fault::FaultKind::SensorDropout;
+    Cycles sensorFaultUntil = 0;
+    SWord sensorStuckValue = 0;
+    uint64_t sensorNoiseAmp = 0;
+    bool sensorNoiseFlip = false;
+    unsigned chanDropArmed = 0;
+    unsigned chanDupArmed = 0;
+    uint64_t chanOverflowCount = 0;
+    uint64_t chanFaultCount = 0;
+    uint64_t eccCorrected = 0;
+    uint64_t eccUncorrectable = 0;
+    uint64_t mbMemFlipCount = 0;
+    std::optional<mblaze::MbFaultInfo> monFault;
+
+    // Retired λ incarnation counters.
+    MachineStats retiredLambda{};
+    FsmTally retiredTally{};
+};
+
 /** Co-simulation of the two layers plus devices. */
 class TwoLayerSystem
 {
@@ -160,10 +254,46 @@ class TwoLayerSystem
                    const mblaze::MbProgram &monitor, ecg::Heart &heart,
                    SystemConfig config = SystemConfig());
 
+    /** Same, from a shared load artifact: header parsing and µop
+     *  predecoding are reused instead of redone, and watchdog
+     *  reloads re-use it too. Bit-identical to the raw-image
+     *  constructor (machine/loaded_image.hh). */
+    TwoLayerSystem(std::shared_ptr<const LoadedImage> li,
+                   const mblaze::MbProgram &monitor, ecg::Heart &heart,
+                   SystemConfig config = SystemConfig());
+
     /** Advance the whole system by `ms` milliseconds of λ time.
      *  Returns the λ-machine's status (Running while degraded: the
      *  system as a whole is still alive on the fallback). */
     MachineStatus runForMs(double ms);
+
+    /** Advance until the shared λ clock reaches `target` (absolute
+     *  cycles; no-op if already there). runForMs(ms) is exactly
+     *  runUntil(lambdaNow() + ms·kLambdaHz/1000) — campaigns use the
+     *  absolute form so a run split at a snapshot point replays the
+     *  identical slice sequence as an unsplit one. */
+    MachineStatus runUntil(Cycles target);
+
+    /**
+     * Capture the complete system state at the current slice
+     * boundary. The heart is not included — clone it at the same
+     * instant (ecg::Heart::clone) and give each fork its own clone.
+     */
+    std::shared_ptr<const SystemSnapshot> snapshot() const;
+
+    /**
+     * Adopt a state captured by snapshot(). The receiver must have
+     * been built from the same image with the same semispace size
+     * and the same monitor/fallback programs (the latter is the
+     * caller's responsibility; program identity is not checked).
+     * Fault context (plan cursor + RNG) transfers only when the
+     * receiver's FaultPlan equals the snapshot source's; otherwise
+     * the receiver keeps its own fresh context — precisely the state
+     * a cold run of its plan has after a fault-free prefix, which is
+     * what makes fork-from-snapshot bit-identical to cold runs in
+     * campaigns whose fault windows start after the snapshot point.
+     */
+    void restore(const SystemSnapshot &s);
 
     /** Send a diagnostic command and collect the response (runs the
      *  system a little to let the monitor answer). */
@@ -314,7 +444,10 @@ class TwoLayerSystem
 
     LambdaBus lambdaBus{ *this };
     MbBus mbBus{ *this };
-    const Image image; ///< Owned copy for watchdog reload.
+    /** Shared load artifact; watchdog reloads and snapshot identity
+     *  checks reuse it (was: an owned Image copy re-parsed per
+     *  incarnation). */
+    std::shared_ptr<const LoadedImage> li;
     std::optional<Machine> machine;
     mblaze::MbCpu cpu; ///< The monitor; never restarted.
     std::optional<mblaze::MbCpu> baselineCpu; ///< Degraded mode.

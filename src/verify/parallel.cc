@@ -1,6 +1,8 @@
 #include "verify/parallel.hh"
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 
 #include "support/logging.hh"
@@ -10,6 +12,115 @@
 
 namespace zarf::verify
 {
+
+namespace detail
+{
+
+namespace
+{
+
+/** True on threads owned by the pool: a nested poolRun from inside a
+ *  worker degrades to serial instead of deadlocking on the pool's
+ *  own capacity. */
+thread_local bool inPoolWorker = false;
+
+/**
+ * The process-wide worker pool. Threads are created lazily, grown to
+ * the largest concurrency ever requested, and parked on a condition
+ * variable between jobs, so repeated campaigns pay thread creation
+ * once instead of per invocation. One job runs at a time (run() is
+ * serialized); the submitting thread executes the body too, so a
+ * job with N-way concurrency occupies N-1 pool threads.
+ */
+class WorkerPool
+{
+  public:
+    static WorkerPool &
+    instance()
+    {
+        static WorkerPool pool;
+        return pool;
+    }
+
+    void
+    run(unsigned workers, const std::function<void()> &body)
+    {
+        if (workers <= 1 || inPoolWorker) {
+            body();
+            return;
+        }
+        std::lock_guard serial(submitMutex);
+        unsigned helpers = workers - 1;
+        {
+            std::lock_guard lk(m);
+            while (threads.size() < helpers) {
+                threads.emplace_back([this](std::stop_token st) {
+                    workerLoop(st);
+                });
+            }
+            job = &body;
+            claims = helpers;
+            ++generation;
+        }
+        wake.notify_all();
+        body(); // the submitter participates
+        std::unique_lock lk(m);
+        job = nullptr; // no further claims on this job
+        claims = 0;
+        idle.wait(lk, [&] { return running == 0; });
+    }
+
+  private:
+    void
+    workerLoop(std::stop_token st)
+    {
+        inPoolWorker = true;
+        std::unique_lock lk(m);
+        // Start at generation 0, not the current generation: a
+        // thread created for this very job blocks on the mutex while
+        // the submitter publishes the job and bumps the generation,
+        // and must still see that bump as "new" once it gets in.
+        uint64_t seen = 0;
+        for (;;) {
+            wake.wait(lk, st,
+                      [&] { return generation != seen; });
+            if (st.stop_requested())
+                return;
+            seen = generation;
+            if (!job || claims == 0)
+                continue;
+            --claims;
+            ++running;
+            const std::function<void()> *j = job;
+            lk.unlock();
+            (*j)();
+            lk.lock();
+            if (--running == 0)
+                idle.notify_all();
+        }
+    }
+
+    std::mutex submitMutex; ///< Serializes jobs from independent
+                            ///< submitters.
+    std::mutex m;
+    std::condition_variable_any wake;
+    std::condition_variable idle;
+    std::vector<std::jthread> threads;
+    const std::function<void()> *job = nullptr;
+    unsigned claims = 0;  ///< Helpers that may still join the job.
+    unsigned running = 0; ///< Helpers currently inside the job.
+    uint64_t generation = 0;
+};
+
+} // namespace
+
+void
+poolRun(unsigned workers, const std::function<void()> &body)
+{
+    WorkerPool::instance().run(workers, body);
+}
+
+} // namespace detail
 
 // The Rng constructor splitmixes its seed, so consecutive values
 // here still yield decorrelated streams.
@@ -87,17 +198,7 @@ runSharded(const ParallelConfig &cfg, const ShardFn &fn)
         }
     };
 
-    unsigned nWorkers = shardWorkerCount(cfg);
-    if (nWorkers <= 1) {
-        worker();
-        return report;
-    }
-    {
-        std::vector<std::jthread> pool;
-        pool.reserve(nWorkers);
-        for (unsigned t = 0; t < nWorkers; ++t)
-            pool.emplace_back(worker);
-    } // jthreads join here
+    detail::poolRun(shardWorkerCount(cfg), worker);
     return report;
 }
 

@@ -87,6 +87,25 @@ uint64_t shardSeed(uint64_t seedBase, size_t shard);
 /** Worker-pool size for a config (threads clamped to shards). */
 unsigned shardWorkerCount(const ParallelConfig &cfg);
 
+namespace detail
+{
+
+/**
+ * Run `body` concurrently on `workers` threads in total — the
+ * calling thread participates as one of them — against a process-
+ * wide, lazily grown worker pool. Campaigns that fan out repeatedly
+ * (bench sweeps, thread-count determinism tests) reuse the same OS
+ * threads instead of spawning and joining a fresh std::jthread pool
+ * per invocation. `body` must be a run-to-completion worker (all
+ * coordination, e.g. an atomic work counter, lives in the caller);
+ * poolRun returns once every participating thread has finished it.
+ * Calls from inside a pool worker (nested parallelism) and calls
+ * with workers <= 1 degrade to running `body` on the calling thread.
+ */
+void poolRun(unsigned workers, const std::function<void()> &body);
+
+} // namespace detail
+
 /**
  * Generic deterministic fan-out: run cfg.shards invocations of
  * `fn(shardIndex, derivedSeed)` across the worker pool and return
@@ -118,17 +137,7 @@ shardMap(const ParallelConfig &cfg, Fn &&fn)
             results[i] = fn(i, shardSeed(cfg.seedBase, i));
         }
     };
-    unsigned nWorkers = shardWorkerCount(cfg);
-    if (nWorkers <= 1) {
-        worker();
-        return results;
-    }
-    {
-        std::vector<std::jthread> pool;
-        pool.reserve(nWorkers);
-        for (unsigned t = 0; t < nWorkers; ++t)
-            pool.emplace_back(worker);
-    } // jthreads join here
+    detail::poolRun(shardWorkerCount(cfg), worker);
     return results;
 }
 
