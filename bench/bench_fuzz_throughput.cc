@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Differential-oracle throughput of the conformance fuzzer
+ * (docs/TESTING.md). One oracle execution runs a candidate through
+ * all four evaluators plus the snapshot replay, so this is the
+ * number that sizes nightly campaigns: candidates per wall-clock
+ * second across the verify worker pool.
+ *
+ *   bench_fuzz_throughput [--seed N] [--rounds N] [--per-round N]
+ *                         [--threads N] [--smoke]
+ *
+ * --smoke runs a small fixed-seed campaign and exits nonzero when
+ * throughput falls below the 1,000 execs/sec acceptance floor (or
+ * when the campaign finds a divergence, which would be a real bug).
+ * Under asan/ubsan the floor is informational only — the sanitize
+ * preset still runs the campaign (every candidate executes under
+ * the sanitizers) but an order-of-magnitude slowdown is expected.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "fuzz/fuzzer.hh"
+
+using namespace zarf;
+using namespace zarf::fuzz;
+
+#if defined(__SANITIZE_ADDRESS__)
+#define ZARF_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define ZARF_SANITIZED 1
+#endif
+#endif
+#ifndef ZARF_SANITIZED
+#define ZARF_SANITIZED 0
+#endif
+
+int
+main(int argc, char **argv)
+{
+    FuzzConfig cfg;
+    cfg.rounds = 16;
+    cfg.perRound = 128;
+    cfg.maxDivergences = 1;
+    bool smoke = false;
+
+    for (int i = 1; i < argc; ++i) {
+        if (!strcmp(argv[i], "--seed") && i + 1 < argc) {
+            cfg.seed = uint64_t(atoll(argv[++i]));
+        } else if (!strcmp(argv[i], "--rounds") && i + 1 < argc) {
+            cfg.rounds = size_t(atoll(argv[++i]));
+        } else if (!strcmp(argv[i], "--per-round") && i + 1 < argc) {
+            cfg.perRound = size_t(atoll(argv[++i]));
+        } else if (!strcmp(argv[i], "--threads") && i + 1 < argc) {
+            cfg.threads = unsigned(atoi(argv[++i]));
+        } else if (!strcmp(argv[i], "--smoke")) {
+            smoke = true;
+            cfg.rounds = 6;
+            cfg.perRound = 64;
+        } else {
+            fprintf(stderr,
+                    "usage: %s [--seed N] [--rounds N] "
+                    "[--per-round N] [--threads N] [--smoke]\n",
+                    argv[0]);
+            return 2;
+        }
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    FuzzResult res = runFuzz(cfg);
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    double rate = secs > 0 ? double(res.executed) / secs : 0;
+
+    printf("fuzz throughput: %zu execs in %.3f s = %.0f execs/sec\n",
+           res.executed, secs, rate);
+    printf("  %s\n", res.summary().c_str());
+
+    if (!res.clean()) {
+        for (const Finding &f : res.findings)
+            printf("  DIVERGENCE: %s\n", f.detail.c_str());
+        return 1;
+    }
+    if (smoke && rate < 1000.0) {
+        if (ZARF_SANITIZED) {
+            printf("  below the 1000 execs/sec floor "
+                   "(informational: sanitized build)\n");
+        } else {
+            printf("  FAIL: below the 1000 execs/sec floor\n");
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * zarf-fuzz — the standalone conformance-fuzzing campaign driver
+ * (docs/TESTING.md; the CI nightly job runs it time-boxed).
+ *
+ *   zarf-fuzz [--seed N] [--rounds N] [--per-round N] [--threads N]
+ *             [--corpus DIR] [--out DIR] [--max-seconds S]
+ *             [--replay HASH | --replay-file FILE] [--reduce]
+ *
+ * With --corpus, entries load as the seed corpus and newly retained
+ * coverage entries are written back to --out (default: the corpus
+ * dir). On a divergence the raw finding and — with --reduce — its
+ * minimized reproducer are written to --out and the exit status is
+ * 1. --replay runs exactly one corpus entry (by content hash)
+ * through the oracle and prints the verdict, which is how a finding
+ * from any host is reproduced locally.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "fuzz/corpus.hh"
+#include "fuzz/fuzzer.hh"
+#include "fuzz/reduce.hh"
+
+using namespace zarf;
+using namespace zarf::fuzz;
+
+namespace
+{
+
+uint64_t
+parseU64(const char *s)
+{
+    return std::strtoull(s, nullptr, 0);
+}
+
+int
+replayOne(const Image &img, const FuzzConfig &cfg)
+{
+    OracleResult o = replayImage(img, cfg);
+    std::printf("hash %s: %s%s%s\n",
+                hashName(imageHash(img)).c_str(),
+                verdictName(o.verdict), o.detail.empty() ? "" : " — ",
+                o.detail.c_str());
+    return o.verdict == Verdict::Divergence ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FuzzConfig cfg;
+    cfg.rounds = 8;
+    cfg.perRound = 64;
+    cfg.maxDivergences = 8;
+    std::string corpusDir, outDir, replayHash, replayFile;
+    double maxSeconds = 0;
+    bool reduce = false;
+
+    for (int i = 1; i < argc; ++i) {
+        auto val = [&](const char *) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", argv[i]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--seed"))
+            cfg.seed = parseU64(val("seed"));
+        else if (!std::strcmp(argv[i], "--rounds"))
+            cfg.rounds = size_t(parseU64(val("rounds")));
+        else if (!std::strcmp(argv[i], "--per-round"))
+            cfg.perRound = size_t(parseU64(val("per-round")));
+        else if (!std::strcmp(argv[i], "--threads"))
+            cfg.threads = unsigned(parseU64(val("threads")));
+        else if (!std::strcmp(argv[i], "--corpus"))
+            corpusDir = val("corpus");
+        else if (!std::strcmp(argv[i], "--out"))
+            outDir = val("out");
+        else if (!std::strcmp(argv[i], "--max-seconds"))
+            maxSeconds = std::strtod(val("max-seconds"), nullptr);
+        else if (!std::strcmp(argv[i], "--replay"))
+            replayHash = val("replay");
+        else if (!std::strcmp(argv[i], "--replay-file"))
+            replayFile = val("replay-file");
+        else if (!std::strcmp(argv[i], "--reduce"))
+            reduce = true;
+        else {
+            std::fprintf(stderr, "unknown option %s\n", argv[i]);
+            return 2;
+        }
+    }
+    if (outDir.empty())
+        outDir = corpusDir;
+
+    std::vector<Image> seedCorpus;
+    if (!corpusDir.empty()) {
+        CorpusLoad load = loadCorpusDir(corpusDir);
+        for (const auto &err : load.errors)
+            std::fprintf(stderr, "corpus: %s\n", err.c_str());
+        for (auto &e : load.entries) {
+            if (!replayHash.empty() &&
+                hashName(e.hash) == replayHash)
+                return replayOne(e.image, cfg);
+            seedCorpus.push_back(std::move(e.image));
+        }
+    }
+    if (!replayHash.empty()) {
+        std::fprintf(stderr, "hash %s not in corpus %s\n",
+                     replayHash.c_str(), corpusDir.c_str());
+        return 2;
+    }
+    if (!replayFile.empty()) {
+        std::FILE *f = std::fopen(replayFile.c_str(), "rb");
+        if (!f) {
+            std::fprintf(stderr, "cannot read %s\n",
+                         replayFile.c_str());
+            return 2;
+        }
+        std::string text;
+        char buf[4096];
+        size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            text.append(buf, n);
+        std::fclose(f);
+        ParsedImage parsed = imageFromText(text);
+        if (!parsed.ok) {
+            std::fprintf(stderr, "%s: %s\n", replayFile.c_str(),
+                         parsed.error.c_str());
+            return 2;
+        }
+        return replayOne(parsed.image, cfg);
+    }
+
+    // Campaign: repeat whole runs (advancing the seed) until the
+    // time budget is spent, or exactly once without one.
+    auto start = std::chrono::steady_clock::now();
+    auto elapsed = [&]() {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    };
+
+    size_t executed = 0, findings = 0;
+    uint64_t seed = cfg.seed;
+    for (;;) {
+        FuzzConfig round = cfg;
+        round.seed = seed;
+        FuzzResult res = runFuzz(round, seedCorpus);
+        executed += res.executed;
+        findings += res.findings.size();
+        std::printf("seed %llu: %s\n",
+                    static_cast<unsigned long long>(seed),
+                    res.summary().c_str());
+
+        if (!outDir.empty()) {
+            for (const Image &img : res.retained) {
+                std::string p = saveCorpusEntry(outDir, img);
+                std::printf("  retained %s\n", p.c_str());
+                seedCorpus.push_back(img);
+            }
+        }
+        for (const Finding &f : res.findings) {
+            std::printf("  DIVERGENCE %s: %s\n",
+                        hashName(f.hash).c_str(), f.detail.c_str());
+            if (!outDir.empty()) {
+                std::string p = saveCorpusEntry(
+                    outDir + "/findings", f.image);
+                std::printf("  finding written to %s\n", p.c_str());
+            }
+            if (reduce) {
+                ReduceResult rr = reduceDivergence(
+                    f.image, { cfg.oracle, 600 });
+                std::printf(
+                    "  reduced %zu -> %zu words in %zu evals\n",
+                    f.image.size(), rr.image.size(), rr.evals);
+                if (!outDir.empty() && rr.diverged) {
+                    std::string p = saveCorpusEntry(
+                        outDir + "/findings", rr.image);
+                    std::printf("  reproducer written to %s\n",
+                                p.c_str());
+                }
+            }
+        }
+        if (findings > 0 || maxSeconds <= 0 ||
+            elapsed() >= maxSeconds)
+            break;
+        seed += 0x9e3779b9u;
+    }
+
+    std::printf("total: %zu executed, %zu divergences\n", executed,
+                findings);
+    return findings ? 1 : 0;
+}

@@ -1,0 +1,126 @@
+#include "fuzz/corpus.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace zarf::fuzz
+{
+
+uint64_t
+imageHash(const Image &image)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (Word w : image) {
+        for (unsigned i = 0; i < 4; ++i) {
+            h ^= (w >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    }
+    return h;
+}
+
+std::string
+hashName(uint64_t hash)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+std::string
+imageToText(const Image &image)
+{
+    std::string out;
+    out.reserve(image.size() * 11 + 64);
+    out += "# zarf image, ";
+    out += std::to_string(image.size());
+    out += " words, hash ";
+    out += hashName(imageHash(image));
+    out += "\n";
+    char line[16];
+    for (Word w : image) {
+        std::snprintf(line, sizeof(line), "0x%08x\n", w);
+        out += line;
+    }
+    return out;
+}
+
+ParsedImage
+imageFromText(const std::string &text)
+{
+    ParsedImage r;
+    std::istringstream in(text);
+    std::string line;
+    size_t lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        size_t start = line.find_first_not_of(" \t\r");
+        if (start == std::string::npos || line[start] == '#')
+            continue;
+        unsigned long v = 0;
+        char extra;
+        if (std::sscanf(line.c_str() + start, "%lx %c", &v,
+                        &extra) != 1 ||
+            line.compare(start, 2, "0x") != 0 || v > 0xfffffffful) {
+            r.error = "line " + std::to_string(lineNo) +
+                      ": expected one 0x%08x word";
+            return r;
+        }
+        r.image.push_back(Word(v));
+    }
+    r.ok = true;
+    return r;
+}
+
+CorpusLoad
+loadCorpusDir(const std::string &dir)
+{
+    namespace fs = std::filesystem;
+    CorpusLoad out;
+    std::error_code ec;
+    std::vector<fs::path> files;
+    for (const auto &e : fs::directory_iterator(dir, ec)) {
+        if (e.path().extension() == ".zimg")
+            files.push_back(e.path());
+    }
+    if (ec) {
+        out.errors.push_back(dir + ": " + ec.message());
+        return out;
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto &p : files) {
+        std::ifstream in(p);
+        if (!in) {
+            out.errors.push_back(p.string() + ": unreadable");
+            continue;
+        }
+        std::stringstream buf;
+        buf << in.rdbuf();
+        ParsedImage parsed = imageFromText(buf.str());
+        if (!parsed.ok) {
+            out.errors.push_back(p.string() + ": " + parsed.error);
+            continue;
+        }
+        out.entries.push_back({ imageHash(parsed.image), p.string(),
+                                std::move(parsed.image) });
+    }
+    return out;
+}
+
+std::string
+saveCorpusEntry(const std::string &dir, const Image &image)
+{
+    namespace fs = std::filesystem;
+    fs::create_directories(dir);
+    fs::path p =
+        fs::path(dir) / (hashName(imageHash(image)) + ".zimg");
+    std::ofstream out(p);
+    out << imageToText(image);
+    return p.string();
+}
+
+} // namespace zarf::fuzz

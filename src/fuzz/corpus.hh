@@ -1,0 +1,70 @@
+/**
+ * @file
+ * On-disk corpus of Zarf binary images (docs/TESTING.md).
+ *
+ * Entries are content-addressed: the file name is the FNV-1a-64 hash
+ * of the image words, rendered as 16 lowercase hex digits plus a
+ * `.zimg` extension, so a corpus directory deduplicates itself and
+ * any finding can be replayed by hash alone. The format is text —
+ * one `0x%08x` word per line, `#` comments allowed — so corpus
+ * entries diff readably in review and survive git end-of-line
+ * normalization.
+ */
+
+#ifndef ZARF_FUZZ_CORPUS_HH
+#define ZARF_FUZZ_CORPUS_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/binary.hh"
+
+namespace zarf::fuzz
+{
+
+/** FNV-1a-64 over the image words (byte order independent). */
+uint64_t imageHash(const Image &image);
+
+/** "0123456789abcdef" — the content-address of an image. */
+std::string hashName(uint64_t hash);
+
+/** Render an image in the .zimg text format. */
+std::string imageToText(const Image &image);
+
+/** Parse the .zimg text format; nullopt on any malformed line. */
+struct ParsedImage
+{
+    bool ok = false;
+    Image image;
+    std::string error;
+};
+ParsedImage imageFromText(const std::string &text);
+
+/** One corpus entry as loaded from disk. */
+struct CorpusEntry
+{
+    uint64_t hash;
+    std::string path;
+    Image image;
+};
+
+/**
+ * Load every `*.zimg` under `dir`, sorted by file name (i.e. by
+ * hash), so corpus iteration order is host-independent. Unreadable
+ * or malformed entries are skipped with a note in `errors`.
+ */
+struct CorpusLoad
+{
+    std::vector<CorpusEntry> entries;
+    std::vector<std::string> errors;
+};
+CorpusLoad loadCorpusDir(const std::string &dir);
+
+/** Write an image into `dir` under its content-address; returns the
+ *  path (the file may already exist — identical by construction). */
+std::string saveCorpusEntry(const std::string &dir,
+                            const Image &image);
+
+} // namespace zarf::fuzz
+
+#endif // ZARF_FUZZ_CORPUS_HH

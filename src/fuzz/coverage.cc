@@ -1,0 +1,131 @@
+#include "fuzz/coverage.hh"
+
+#include <bit>
+
+#include "support/logging.hh"
+
+namespace zarf::fuzz
+{
+
+namespace
+{
+
+/** Bit index of a log2 bucket: 0 for zero, 1 + floor(log2 n) else,
+ *  clamped to `width` bits. */
+unsigned
+log2Bucket(uint64_t n, unsigned width)
+{
+    if (n == 0)
+        return 0;
+    unsigned b = 1 + unsigned(63 - std::countl_zero(n));
+    return b < width ? b : width - 1;
+}
+
+/** Index of an exec-class event in the 5×5 pair matrix; -1 for
+ *  non-exec kinds. */
+int
+execClass(obs::EventKind k)
+{
+    switch (k) {
+      case obs::EventKind::ExecLet:
+        return 0;
+      case obs::EventKind::ExecCase:
+        return 1;
+      case obs::EventKind::ExecResult:
+        return 2;
+      case obs::EventKind::EvalEnter:
+        return 3;
+      case obs::EventKind::PrimOp:
+        return 4;
+      default:
+        return -1;
+    }
+}
+
+} // namespace
+
+void
+CoverageSig::mergeFrom(const CoverageSig &other)
+{
+    states[0] |= other.states[0];
+    states[1] |= other.states[1];
+    prims |= other.prims;
+    execPairs |= other.execPairs;
+    gcBuckets |= other.gcBuckets;
+    outcome |= other.outcome;
+}
+
+unsigned
+CoverageSig::newBits(const CoverageSig &corpus) const
+{
+    unsigned n = 0;
+    n += unsigned(std::popcount(states[0] & ~corpus.states[0]));
+    n += unsigned(std::popcount(states[1] & ~corpus.states[1]));
+    n += unsigned(std::popcount(prims & ~corpus.prims));
+    n += unsigned(std::popcount(execPairs & ~corpus.execPairs));
+    n += unsigned(std::popcount(gcBuckets & ~corpus.gcBuckets));
+    n += unsigned(std::popcount(outcome & ~corpus.outcome));
+    return n;
+}
+
+unsigned
+CoverageSig::popcount() const
+{
+    return newBits(CoverageSig{});
+}
+
+std::string
+CoverageSig::summary() const
+{
+    unsigned nStates = unsigned(std::popcount(states[0])) +
+                       unsigned(std::popcount(states[1]));
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "states=%u prims=%u pairs=%u gc=%u outcome=%u",
+                  nStates, unsigned(std::popcount(prims)),
+                  unsigned(std::popcount(execPairs)),
+                  unsigned(std::popcount(gcBuckets)),
+                  unsigned(std::popcount(outcome)));
+    return buf;
+}
+
+CoverageSig
+collectCoverage(const FsmTally &tally, const obs::Recorder &trace,
+                const MachineStats &stats, MachineStatus status,
+                const ValuePtr &value)
+{
+    CoverageSig sig;
+
+    static_assert(kTotalStates <= 128,
+                  "states bitmap needs more words");
+    for (size_t s = 0; s < kTotalStates; ++s) {
+        if (tally.visits[s])
+            sig.states[s / 64] |= uint64_t(1) << (s % 64);
+    }
+
+    int prev = -1;
+    trace.forEach([&](const obs::Event &e) {
+        int c = execClass(e.kind);
+        if (c < 0)
+            return;
+        if (e.kind == obs::EventKind::PrimOp)
+            sig.prims |= uint64_t(1) << (uint64_t(e.a) & 63);
+        if (prev >= 0)
+            sig.execPairs |= uint32_t(1) << (prev * 5 + c);
+        prev = c;
+    });
+
+    sig.gcBuckets |= uint32_t(1) << log2Bucket(stats.gcRuns, 16);
+    sig.gcBuckets |=
+        uint32_t(1) << (16 + log2Bucket(stats.gcMaxPauseCycles, 16));
+
+    sig.outcome |= uint32_t(1) << unsigned(status);
+    if (value) {
+        sig.outcome |= uint32_t(1) << (8 + unsigned(value->kind()));
+        if (value->isError())
+            sig.outcome |= uint32_t(1) << 12;
+    }
+    return sig;
+}
+
+} // namespace zarf::fuzz

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Simulator-native coverage signatures for the conformance fuzzer.
+ *
+ * Host-compiler coverage (gcov, SanitizerCoverage) measures the
+ * *simulator's* branches, which saturate after a handful of inputs.
+ * What the fuzzer needs is coverage of the *modelled machine*: which
+ * control-FSM states the λ-machine visited, which primitives fired,
+ * which consecutive instruction-class transitions occurred, whether
+ * the collector ran and how hard, and how the program ended. All of
+ * those are already observable deterministically — the FSM tally
+ * (MachineConfig::fsmTally) and the structured event trace
+ * (obs::Recorder) exist precisely so execution is inspectable without
+ * perturbing modelled cycles — so a signature is a cheap pure
+ * function of one oracle run and is bit-stable across hosts, thread
+ * counts, and repetitions.
+ */
+
+#ifndef ZARF_FUZZ_COVERAGE_HH
+#define ZARF_FUZZ_COVERAGE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "machine/machine.hh"
+#include "machine/stats.hh"
+#include "obs/trace.hh"
+
+namespace zarf::fuzz
+{
+
+/**
+ * One run's coverage signature. Every field is a small bitset;
+ * corpus-level coverage is the union of retained signatures, and an
+ * input is interesting exactly when it contributes at least one new
+ * bit (newBits > 0).
+ */
+struct CoverageSig
+{
+    /** Visited control-FSM states (one bit per MState, 66 states). */
+    std::array<uint64_t, 2> states{};
+
+    /** Primitive identifiers executed (PrimOp events, id mod 64). */
+    uint64_t prims = 0;
+
+    /** Consecutive dynamic instruction-class pairs: 5×5 bits over
+     *  {let, case, result, eval-enter, prim}. Order sensitivity is
+     *  what distinguishes e.g. force-then-apply from apply-then-force
+     *  schedules that visit identical state sets. */
+    uint32_t execPairs = 0;
+
+    /** Collector pressure: log2 buckets of gcRuns (bits 0..15) and of
+     *  the longest single pause in cycles (bits 16..31). */
+    uint32_t gcBuckets = 0;
+
+    /** Terminal observation: MachineStatus (bits 0..7) and the kind
+     *  of the final value when Done (bits 8..11), plus bit 12 when
+     *  the value is the reserved Error constructor. */
+    uint32_t outcome = 0;
+
+    /** Union another signature into this one. */
+    void mergeFrom(const CoverageSig &other);
+
+    /** Bits set here that `corpus` does not have. */
+    unsigned newBits(const CoverageSig &corpus) const;
+
+    /** Total bits set. */
+    unsigned popcount() const;
+
+    /** Compact human-readable rendering for logs. */
+    std::string summary() const;
+};
+
+/**
+ * Build the signature of one machine run.
+ *
+ * @param tally the machine's FSM tally (fsmTally enabled)
+ * @param trace the MachineExec|MachineGc event recording of the run
+ * @param stats the machine's final statistics
+ * @param status the terminal status
+ * @param value the exported result value (null unless Done)
+ */
+CoverageSig collectCoverage(const FsmTally &tally,
+                            const obs::Recorder &trace,
+                            const MachineStats &stats,
+                            MachineStatus status,
+                            const ValuePtr &value);
+
+} // namespace zarf::fuzz
+
+#endif // ZARF_FUZZ_COVERAGE_HH

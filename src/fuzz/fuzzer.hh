@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The coverage-guided differential conformance fuzzer.
+ *
+ * One campaign is a fixed number of rounds. Each round derives a
+ * batch of candidate images deterministically from (seed, global
+ * candidate ordinal) alone — a fresh generated program
+ * (fuzz/genprog.hh), an AST-level or image-level mutant of a corpus
+ * entry (fuzz/mutate.hh), or a two-entry splice — then fans the
+ * batch across the verify worker pool (verify::shardMap) to run the
+ * oracle (fuzz/oracle.hh) on every candidate, and finally folds the
+ * results back in corpus order: a candidate whose coverage signature
+ * contributes at least one new bit joins the corpus; a Divergence is
+ * recorded as a finding.
+ *
+ * Determinism contract: candidate construction happens sequentially
+ * before the fan-out and depends only on the seed and the corpus
+ * (itself deterministic by induction), shardMap returns results in
+ * candidate order regardless of scheduling, and the oracle is a pure
+ * function of the image. A campaign with the same config and seed
+ * corpus therefore produces the same findings, the same retained
+ * corpus, and the same coverage on 1 thread and on 64.
+ */
+
+#ifndef ZARF_FUZZ_FUZZER_HH
+#define ZARF_FUZZ_FUZZER_HH
+
+#include "fuzz/genprog.hh"
+#include "fuzz/mutate.hh"
+#include "fuzz/oracle.hh"
+
+namespace zarf::fuzz
+{
+
+/** Campaign sizing. */
+struct FuzzConfig
+{
+    uint64_t seed = 1;
+    size_t rounds = 4;
+    size_t perRound = 64;
+    /** Worker threads for the oracle fan-out; 0 = hardware. */
+    unsigned threads = 0;
+    /** Stop the campaign once this many divergences are recorded. */
+    size_t maxDivergences = 1;
+    GenConfig gen{};
+    MutateConfig mutate{};
+    OracleConfig oracle{};
+    /** Candidate mix (remainder: freshly generated programs). */
+    double astMutateP = 0.35;
+    double imageMutateP = 0.20;
+    double spliceP = 0.10;
+};
+
+/** One recorded divergence. */
+struct Finding
+{
+    Image image;
+    uint64_t hash;
+    std::string detail;
+};
+
+/** Campaign result. */
+struct FuzzResult
+{
+    size_t executed = 0;
+    size_t agreed = 0;
+    size_t rejected = 0;
+    size_t skipped = 0;
+    std::vector<Finding> findings;
+    /** Union coverage of the retained corpus. */
+    CoverageSig coverage;
+    /** Entries retained for coverage (seed corpus not re-listed). */
+    std::vector<Image> retained;
+
+    bool
+    clean() const
+    {
+        return findings.empty();
+    }
+    std::string summary() const;
+};
+
+/**
+ * Run one campaign. `seedCorpus` entries are evaluated first (their
+ * coverage primes the map; a diverging seed entry is a finding like
+ * any other) and serve as mutation bases.
+ */
+FuzzResult runFuzz(const FuzzConfig &cfg,
+                   const std::vector<Image> &seedCorpus = {});
+
+/** Evaluate one image exactly as the campaign would — the
+ *  replay-by-hash entry point (docs/TESTING.md). */
+OracleResult replayImage(const Image &image, const FuzzConfig &cfg);
+
+} // namespace zarf::fuzz
+
+#endif // ZARF_FUZZ_FUZZER_HH

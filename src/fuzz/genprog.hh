@@ -1,19 +1,25 @@
 /**
  * @file
- * Random well-formed Zarf program generation for differential and
- * property tests.
+ * Random well-formed Zarf program generation — the structured input
+ * generator of the conformance fuzzer (docs/TESTING.md), promoted
+ * from the test tree so the differential suites, the fuzz campaigns,
+ * and the benches all draw candidates from one implementation.
  *
  * Generated programs are pure (no getint/putint) and terminating by
  * construction: the call graph is acyclic because a function may only
- * call functions with a strictly smaller declaration index. Every
- * other ISA feature is exercised: constructors of mixed arity,
- * partial application, higher-order calls through locals and args,
- * literal and constructor patterns, else fall-through, error-
- * producing operations (division by zero, applying integers).
+ * call functions with a strictly smaller declaration index. Purity
+ * matters for the oracle (fuzz/oracle.hh): the eager big-step
+ * reference would perform the I/O of bindings a lazy engine never
+ * forces, so I/O ordering is only comparable between the lazy
+ * engines — keeping generated programs pure lets all four evaluators
+ * participate. Every other ISA feature is exercised: constructors of
+ * mixed arity, partial application, higher-order calls through locals
+ * and args, literal and constructor patterns, else fall-through, and
+ * error-producing operations (division by zero, applying integers).
  */
 
-#ifndef ZARF_TESTS_COMMON_GENPROG_HH
-#define ZARF_TESTS_COMMON_GENPROG_HH
+#ifndef ZARF_FUZZ_GENPROG_HH
+#define ZARF_FUZZ_GENPROG_HH
 
 #include <string>
 #include <vector>
@@ -21,7 +27,7 @@
 #include "isa/builder.hh"
 #include "support/random.hh"
 
-namespace zarf::testing
+namespace zarf::fuzz
 {
 
 struct GenConfig
@@ -30,6 +36,11 @@ struct GenConfig
     unsigned numFuncs = 5;
     unsigned maxArity = 3;
     unsigned maxDepth = 4;
+    /** Case expressions carry 1..maxBranches branches plus else. */
+    unsigned maxBranches = 3;
+    /** Immediates and literal patterns are drawn from [-immRange,
+     *  immRange]. */
+    int immRange = 20;
     bool allowErrors = true; ///< Permit div/mod (may yield Error).
     /** Restrict to the WCET analyzer's domain: every callee is a
      *  global identifier applied to exactly its arity (no
@@ -107,6 +118,12 @@ class ProgramGenerator
         return strprintf("v%u", varCounter++);
     }
 
+    SWord
+    genLit()
+    {
+        return SWord(rng.range(-cfg.immRange, cfg.immRange));
+    }
+
     /** Pick an argument: an in-scope variable or a small literal. */
     NArg
     genArg()
@@ -114,7 +131,7 @@ class ProgramGenerator
         if (!scope.empty() && rng.chance(0.6)) {
             return nVar(scope[rng.below(scope.size())]);
         }
-        return nImm(SWord(rng.range(-20, 20)));
+        return nImm(genLit());
     }
 
     /** Pick a callee name and how many args to pass. */
@@ -197,7 +214,7 @@ class ProgramGenerator
         // case
         NArg scrut = genArg();
         std::vector<NBranch> branches;
-        unsigned nbr = 1 + unsigned(rng.below(3));
+        unsigned nbr = 1 + unsigned(rng.below(cfg.maxBranches));
         for (unsigned b = 0; b < nbr; ++b) {
             if (rng.chance(0.5) && !consArities.empty()) {
                 unsigned ci = unsigned(rng.below(consArities.size()));
@@ -214,8 +231,8 @@ class ProgramGenerator
                                               std::move(fields),
                                               std::move(body)));
             } else {
-                branches.push_back(litBranch(
-                    SWord(rng.range(-20, 20)), genExpr(depth - 1)));
+                branches.push_back(litBranch(genLit(),
+                                             genExpr(depth - 1)));
             }
         }
         NExprPtr eb = genExpr(depth - 1);
@@ -232,6 +249,6 @@ class ProgramGenerator
     unsigned varCounter = 0;
 };
 
-} // namespace zarf::testing
+} // namespace zarf::fuzz
 
-#endif // ZARF_TESTS_COMMON_GENPROG_HH
+#endif // ZARF_FUZZ_GENPROG_HH

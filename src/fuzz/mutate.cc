@@ -1,0 +1,448 @@
+#include "fuzz/mutate.hh"
+
+#include <algorithm>
+
+#include "isa/encoding.hh"
+
+namespace zarf::fuzz
+{
+
+namespace
+{
+
+/** Every node of an expression tree, preorder, mutable. */
+void
+collectNodes(Expr &e, std::vector<Expr *> &out)
+{
+    out.push_back(&e);
+    if (e.isLet()) {
+        collectNodes(*e.asLet().body, out);
+    } else if (e.isCase()) {
+        Case &c = e.asCase();
+        for (auto &br : c.branches)
+            collectNodes(*br.body, out);
+        collectNodes(*c.elseBody, out);
+    }
+}
+
+/** Is `id` a constructor-pattern-resolvable identifier in prog? */
+bool
+consIdResolves(Word id, const Program &prog)
+{
+    if (isPrimId(id)) {
+        auto p = primById(id);
+        return p && p->isConstructor;
+    }
+    return Program::indexOf(id) < prog.decls.size();
+}
+
+bool
+exprEncodable(const Expr &e, const Program &prog)
+{
+    auto operandOk = [](const Operand &op) {
+        if (op.src == Src::Imm)
+            return op.val >= kMinImm && op.val <= kMaxImm;
+        return op.val >= 0 && op.val <= SWord(kMaxSlotIndex);
+    };
+    if (e.isLet()) {
+        const Let &l = e.asLet();
+        if (l.args.size() > kMaxArgs || l.callee.id > kMaxSlotIndex)
+            return false;
+        for (const auto &a : l.args) {
+            if (!operandOk(a))
+                return false;
+        }
+        return exprEncodable(*l.body, prog);
+    }
+    if (e.isCase()) {
+        const Case &c = e.asCase();
+        if (!operandOk(c.scrut))
+            return false;
+        for (const auto &br : c.branches) {
+            if (exprWordCount(*br.body) > kMaxSkip)
+                return false;
+            if (br.isCons) {
+                if (br.consId > kMaxSlotIndex ||
+                    !consIdResolves(br.consId, prog))
+                    return false;
+            } else if (br.lit < kMinPatLit || br.lit > kMaxPatLit) {
+                return false;
+            }
+            if (!exprEncodable(*br.body, prog))
+                return false;
+        }
+        return exprEncodable(*c.elseBody, prog);
+    }
+    return operandOk(e.asResult().value);
+}
+
+/** The pure same-arity ALU swap pools. */
+const Prim kAlu2[] = { Prim::Add, Prim::Sub, Prim::Mul, Prim::Min,
+                       Prim::Max, Prim::Eq,  Prim::Ne,  Prim::Lt,
+                       Prim::Le,  Prim::Gt,  Prim::Ge,  Prim::BAnd,
+                       Prim::BOr, Prim::BXor, Prim::Shl, Prim::Shr,
+                       Prim::Sru, Prim::Div, Prim::Mod };
+const Prim kAlu1[] = { Prim::Neg, Prim::Abs, Prim::BNot };
+
+bool
+inPool(Word id, const Prim *pool, size_t n)
+{
+    for (size_t i = 0; i < n; ++i) {
+        if (id == static_cast<Word>(pool[i]))
+            return true;
+    }
+    return false;
+}
+
+/** One random tree mutation; true when anything changed. */
+bool
+mutateOnce(Program &prog, Rng &rng)
+{
+    // Function declarations only.
+    std::vector<size_t> fns;
+    for (size_t i = 0; i < prog.decls.size(); ++i) {
+        if (prog.decls[i].body)
+            fns.push_back(i);
+    }
+    if (fns.empty())
+        return false;
+    size_t di = fns[rng.below(fns.size())];
+    Decl &decl = prog.decls[di];
+
+    std::vector<Expr *> nodes;
+    collectNodes(*decl.body, nodes);
+    Expr &node = *nodes[rng.below(nodes.size())];
+
+    switch (rng.below(10)) {
+      case 9: { // Perturb a slot index. The mutant stays decodable
+                // (slot ranges are not an encoding property) but may
+                // reference a slot no path, or only *other* paths,
+                // ever bind — the class of defect only a
+                // cross-evaluator oracle can adjudicate, since every
+                // engine must agree on where execution gets stuck.
+        Operand *op = nullptr;
+        if (node.isLet()) {
+            Let &l = node.asLet();
+            if (!l.args.empty())
+                op = &l.args[rng.below(l.args.size())];
+        } else if (node.isCase()) {
+            op = &node.asCase().scrut;
+        } else {
+            op = &node.asResult().value;
+        }
+        if (!op || op->src == Src::Imm)
+            return false;
+        SWord delta = SWord(1 + rng.below(3));
+        op->val = rng.chance(0.7)
+                      ? op->val + delta
+                      : std::max<SWord>(0, op->val - delta);
+        return true;
+      }
+      case 0: { // Perturb an immediate operand.
+        Operand *op = nullptr;
+        if (node.isLet()) {
+            Let &l = node.asLet();
+            if (!l.args.empty())
+                op = &l.args[rng.below(l.args.size())];
+        } else if (node.isCase()) {
+            op = &node.asCase().scrut;
+        } else {
+            op = &node.asResult().value;
+        }
+        if (!op || op->src != Src::Imm)
+            return false;
+        op->val = SWord(
+            std::clamp<int64_t>(int64_t(op->val) + rng.range(-8, 8),
+                                kMinImm, kMaxImm));
+        return true;
+      }
+      case 1: { // Swap a pure ALU primitive for a same-arity one.
+        if (!node.isLet())
+            return false;
+        Let &l = node.asLet();
+        if (l.callee.kind != CalleeKind::Func)
+            return false;
+        if (inPool(l.callee.id, kAlu2, std::size(kAlu2))) {
+            l.callee.id = static_cast<Word>(
+                kAlu2[rng.below(std::size(kAlu2))]);
+            return true;
+        }
+        if (inPool(l.callee.id, kAlu1, std::size(kAlu1))) {
+            l.callee.id = static_cast<Word>(
+                kAlu1[rng.below(std::size(kAlu1))]);
+            return true;
+        }
+        return false;
+      }
+      case 2: { // Grow an argument list (partial → fuller apply).
+        if (!node.isLet())
+            return false;
+        node.asLet().args.push_back(opImm(rng.range(-20, 20)));
+        return true;
+      }
+      case 3: { // Shrink an argument list.
+        if (!node.isLet() || node.asLet().args.empty())
+            return false;
+        node.asLet().args.pop_back();
+        return true;
+      }
+      case 4: { // Wrap the node in a fresh let binding. Existing
+                // local references below shift by one slot — still
+                // scope-valid (one more local is bound on the path),
+                // but semantically a different program, which is the
+                // point.
+        Expr wrapped(Let{
+            calleeFunc(static_cast<Word>(
+                kAlu2[rng.below(std::size(kAlu2))])),
+            { opImm(rng.range(-20, 20)), opImm(rng.range(-20, 20)) },
+            nullptr });
+        Expr old = std::move(node);
+        wrapped.asLet().body = std::make_unique<Expr>(std::move(old));
+        node = std::move(wrapped);
+        return true;
+      }
+      case 5: { // Drop a case branch (falls through to later
+                // patterns or else).
+        if (!node.isCase())
+            return false;
+        Case &c = node.asCase();
+        if (c.branches.empty())
+            return false;
+        c.branches.erase(c.branches.begin() +
+                         ptrdiff_t(rng.below(c.branches.size())));
+        return true;
+      }
+      case 6: { // Duplicate a case branch (the clone is dead — the
+                // first copy shadows it — but widens the skip web).
+        if (!node.isCase())
+            return false;
+        Case &c = node.asCase();
+        if (c.branches.empty())
+            return false;
+        const CaseBranch &src = c.branches[rng.below(
+            c.branches.size())];
+        CaseBranch dup{ src.isCons, src.lit, src.consId,
+                        cloneExpr(*src.body) };
+        c.branches.push_back(std::move(dup));
+        return true;
+      }
+      case 7: { // Retarget a user-function callee to a strictly
+                // smaller declaration index, preserving the acyclic
+                // call graph (and so termination).
+        if (!node.isLet())
+            return false;
+        Let &l = node.asLet();
+        if (l.callee.kind != CalleeKind::Func ||
+            isPrimId(l.callee.id))
+            return false;
+        size_t idx = Program::indexOf(l.callee.id);
+        if (idx == 0 || idx >= prog.decls.size())
+            return false;
+        l.callee.id = Program::idOf(rng.below(idx));
+        return true;
+      }
+      default: { // Stub the subtree with a literal result.
+        node = Expr(Result{ opImm(rng.range(-20, 20)) });
+        return true;
+      }
+    }
+}
+
+/** Byte spans of one declaration in a structurally parsed image. */
+struct DeclSpan
+{
+    size_t infoPos;
+    size_t lenPos;
+    size_t bodyBegin;
+    size_t bodyEnd;
+};
+
+/** Walk the header structure; empty when the image is too broken to
+ *  span (mutations then fall back to blind flips). */
+std::vector<DeclSpan>
+declSpans(const Image &img)
+{
+    std::vector<DeclSpan> spans;
+    if (img.size() < 2 || img[0] != kMagic)
+        return spans;
+    size_t pos = 2;
+    for (Word i = 0; i < img[1]; ++i) {
+        if (pos + 2 > img.size())
+            break;
+        size_t len = img[pos + 1];
+        if (pos + 2 + len > img.size())
+            break;
+        spans.push_back({ pos, pos + 1, pos + 2, pos + 2 + len });
+        pos += 2 + len;
+    }
+    return spans;
+}
+
+/** One random raw-word mutation. */
+void
+mutateWordOnce(Image &img, Rng &rng)
+{
+    std::vector<DeclSpan> spans = declSpans(img);
+
+    auto randomBodyWord = [&](auto pred) -> size_t {
+        // Collect matching body-word positions; SIZE_MAX if none.
+        std::vector<size_t> hits;
+        for (const auto &s : spans) {
+            for (size_t p = s.bodyBegin; p < s.bodyEnd; ++p) {
+                if (pred(img[p]))
+                    hits.push_back(p);
+            }
+        }
+        if (hits.empty())
+            return size_t(-1);
+        return hits[rng.below(hits.size())];
+    };
+
+    switch (rng.below(7)) {
+      case 0: { // Corrupt a pattern skip field.
+        size_t p = randomBodyWord([](Word w) {
+            return opOf(w) == Op::PatLit || opOf(w) == Op::PatCons;
+        });
+        if (p == size_t(-1))
+            break;
+        Word skip = (img[p] >> 16) & 0xfff;
+        Word delta = Word(1 + rng.below(4));
+        skip = rng.chance(0.5) ? skip + delta
+                               : (skip >= delta ? skip - delta : 0);
+        img[p] = (img[p] & ~(0xfffu << 16)) | ((skip & 0xfff) << 16);
+        return;
+      }
+      case 1: { // Set the reserved operand-source bits ([27:26]=3).
+        size_t p = randomBodyWord([](Word w) {
+            Op o = opOf(w);
+            return o == Op::Arg || o == Op::Case || o == Op::Result;
+        });
+        if (p == size_t(-1))
+            break;
+        img[p] |= 0x3u << 26;
+        return;
+      }
+      case 2: { // Lengthen a let's declared argument count past its
+                // actual argument words (truncated-arg-list shape).
+        size_t p = randomBodyWord(
+            [](Word w) { return opOf(w) == Op::Let; });
+        if (p == size_t(-1))
+            break;
+        Word nargs = (img[p] >> 16) & 0x3ff;
+        nargs = (nargs + 1 + Word(rng.below(3))) & 0x3ff;
+        img[p] = (img[p] & ~(0x3ffu << 16)) | (nargs << 16);
+        return;
+      }
+      case 3: { // Push a slot index out of any plausible frame.
+        size_t p = randomBodyWord([](Word w) {
+            return opOf(w) == Op::Arg &&
+                   ((w >> 26) & 0x3) != Word(Src::Imm);
+        });
+        if (p == size_t(-1))
+            break;
+        Word payload = (img[p] & 0x03ffffffu) + 200;
+        img[p] = (img[p] & ~0x03ffffffu) | (payload & 0x03ffffffu);
+        return;
+      }
+      case 4: { // Perturb the declaration count.
+        if (img.size() < 2)
+            break;
+        img[1] += rng.chance(0.5) ? 1 : Word(-1);
+        return;
+      }
+      case 5: { // Clobber one word entirely.
+        if (img.empty())
+            break;
+        img[rng.below(img.size())] = Word(rng.next());
+        return;
+      }
+      default:
+        break;
+    }
+    // Fallback (and case 6): flip one random bit anywhere.
+    if (!img.empty()) {
+        size_t p = rng.below(img.size());
+        img[p] ^= Word(1) << rng.below(32);
+    }
+}
+
+} // namespace
+
+bool
+canEncode(const Program &program)
+{
+    if (program.decls.empty())
+        return false;
+    for (const auto &d : program.decls) {
+        if (d.arity > kMaxArity || d.numLocals > kMaxLocals)
+            return false;
+        if (!d.isCons && !d.body)
+            return false;
+        if (d.body && !exprEncodable(*d.body, program))
+            return false;
+    }
+    return true;
+}
+
+std::optional<Image>
+mutateAst(const Image &base, Rng &rng, const MutateConfig &cfg)
+{
+    DecodeResult dec = decodeProgram(base);
+    if (!dec.ok)
+        return std::nullopt;
+    Program prog = std::move(dec.program);
+
+    unsigned n = 1 + unsigned(rng.below(cfg.maxAstMutations));
+    bool changed = false;
+    for (unsigned i = 0; i < n; ++i)
+        changed |= mutateOnce(prog, rng);
+    if (!changed || !canEncode(prog))
+        return std::nullopt;
+
+    // Mutations change binding structure; the info words must agree
+    // with the bodies again (canEncode has already proven every
+    // constructor-pattern id resolves, which computeNumLocals needs).
+    for (auto &d : prog.decls) {
+        if (d.body)
+            d.numLocals = computeNumLocals(*d.body, prog);
+    }
+    if (!canEncode(prog)) // numLocals may now exceed its field
+        return std::nullopt;
+    return encodeProgram(prog);
+}
+
+Image
+mutateImage(const Image &base, Rng &rng, const MutateConfig &cfg)
+{
+    Image img = base;
+    unsigned n = 1 + unsigned(rng.below(cfg.maxImageMutations));
+    for (unsigned i = 0; i < n; ++i)
+        mutateWordOnce(img, rng);
+    return img;
+}
+
+std::optional<Image>
+spliceImages(const Image &base, const Image &donor, Rng &rng)
+{
+    DecodeResult a = decodeProgram(base);
+    DecodeResult b = decodeProgram(donor);
+    if (!a.ok || !b.ok || b.program.decls.empty())
+        return std::nullopt;
+    Program prog = std::move(a.program);
+    const Decl &d =
+        b.program.decls[rng.below(b.program.decls.size())];
+    Decl copy{ d.isCons, d.name + "_x", d.arity, d.numLocals,
+               d.body ? cloneExpr(*d.body) : nullptr };
+    prog.decls.push_back(std::move(copy));
+    if (!canEncode(prog))
+        return std::nullopt;
+    for (auto &decl : prog.decls) {
+        if (decl.body)
+            decl.numLocals = computeNumLocals(*decl.body, prog);
+    }
+    if (!canEncode(prog))
+        return std::nullopt;
+    return encodeProgram(prog);
+}
+
+} // namespace zarf::fuzz

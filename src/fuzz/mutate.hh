@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Structure-aware mutation of Zarf binary images.
+ *
+ * Two distinct mutation layers feed the conformance fuzzer:
+ *
+ *  - AST-level (`mutateAst`): decode, perturb the expression tree,
+ *    re-encode. Mutants stay decodable and mostly scope-valid, so
+ *    they exercise the *semantics* of all four evaluators. Every
+ *    mutation preserves the generator's termination guarantee (a
+ *    callee is only ever retargeted to a strictly smaller
+ *    declaration index, keeping the call graph acyclic) and is
+ *    checked against the encoder's field limits before re-encoding —
+ *    encodeProgram dies on overflow, which would kill the campaign.
+ *
+ *  - Image-level (`mutateImage`): perturb raw words under the
+ *    header/body-span structure (corrupt pattern skip fields, set
+ *    the reserved operand-source bits, lengthen a let's declared
+ *    argument count past its actual argument words, push slot
+ *    indices out of range, flip bits). Mutants are *near*-well-formed:
+ *    they exercise the loader's rejection paths and the machines'
+ *    runtime error latching, where the oracle only demands "reject
+ *    or latch an error, never crash".
+ */
+
+#ifndef ZARF_FUZZ_MUTATE_HH
+#define ZARF_FUZZ_MUTATE_HH
+
+#include <optional>
+
+#include "isa/binary.hh"
+#include "support/random.hh"
+
+namespace zarf::fuzz
+{
+
+/** Mutation intensity. */
+struct MutateConfig
+{
+    /** AST mutations applied per mutant (1..max). */
+    unsigned maxAstMutations = 3;
+    /** Raw-word mutations applied per mutant (1..max). */
+    unsigned maxImageMutations = 2;
+};
+
+/**
+ * Decode `base`, apply 1..maxAstMutations random tree mutations, and
+ * re-encode. Returns nullopt when the base does not decode or when
+ * the mutant would overflow an encoding field (caller retries with
+ * different randomness or falls back to mutateImage).
+ */
+std::optional<Image> mutateAst(const Image &base, Rng &rng,
+                               const MutateConfig &cfg = {});
+
+/**
+ * Apply 1..maxImageMutations structure-aware raw-word mutations.
+ * Always succeeds (worst case: blind bit flips); the result may be
+ * arbitrarily malformed by design.
+ */
+Image mutateImage(const Image &base, Rng &rng,
+                  const MutateConfig &cfg = {});
+
+/**
+ * Corpus crossover: append a cloned declaration of `donor` to
+ * `base`'s declaration table. Callee and constructor identifiers
+ * inside the grafted body re-resolve against the combined table, so
+ * the splice explores identifier-space interactions the generator
+ * never produces. Returns nullopt when either image does not decode
+ * or the splice is unencodable.
+ */
+std::optional<Image> spliceImages(const Image &base,
+                                  const Image &donor, Rng &rng);
+
+/** The encoder's field limits as a predicate (encodeProgram dies on
+ *  violation; the mutator must ask first). Also requires every
+ *  constructor-pattern identifier to resolve, which computeNumLocals
+ *  needs to terminate. */
+bool canEncode(const Program &program);
+
+} // namespace zarf::fuzz
+
+#endif // ZARF_FUZZ_MUTATE_HH

@@ -1,0 +1,333 @@
+#include "fuzz/oracle.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "isa/validate.hh"
+#include "sem/bigstep.hh"
+#include "sem/smallstep.hh"
+
+namespace zarf::fuzz
+{
+
+namespace
+{
+
+std::string
+fmt(const char *what, uint64_t a, uint64_t b)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%s: %" PRIu64 " vs %" PRIu64,
+                  what, a, b);
+    return buf;
+}
+
+bool
+valuesEqual(const ValuePtr &a, const ValuePtr &b)
+{
+    if (bool(a) != bool(b))
+        return false;
+    return !a || Value::equal(*a, *b);
+}
+
+std::string
+valueStr(const ValuePtr &v)
+{
+    return v ? v->toString() : "<none>";
+}
+
+bool
+exprUsesIo(const Expr &e)
+{
+    if (e.isLet()) {
+        const Let &l = e.asLet();
+        if (l.callee.kind == CalleeKind::Func &&
+            (l.callee.id == static_cast<Word>(Prim::GetInt) ||
+             l.callee.id == static_cast<Word>(Prim::PutInt)))
+            return true;
+        return exprUsesIo(*l.body);
+    }
+    if (e.isCase()) {
+        const Case &c = e.asCase();
+        for (const auto &br : c.branches) {
+            if (exprUsesIo(*br.body))
+                return true;
+        }
+        return exprUsesIo(*c.elseBody);
+    }
+    return false;
+}
+
+} // namespace
+
+const char *
+verdictName(Verdict v)
+{
+    switch (v) {
+      case Verdict::Agree:
+        return "Agree";
+      case Verdict::Rejected:
+        return "Rejected";
+      case Verdict::Skip:
+        return "Skip";
+      case Verdict::Divergence:
+        return "Divergence";
+    }
+    return "?";
+}
+
+bool
+usesIo(const Program &program)
+{
+    for (const auto &d : program.decls) {
+        if (d.body && exprUsesIo(*d.body))
+            return true;
+    }
+    return false;
+}
+
+std::string
+diffStats(const MachineStats &a, const MachineStats &b)
+{
+#define ZARF_STAT(field)                                              \
+    if (a.field != b.field)                                           \
+        return fmt(#field, uint64_t(a.field), uint64_t(b.field));
+    ZARF_STAT(let.count)
+    ZARF_STAT(let.cycles)
+    ZARF_STAT(caseInstr.count)
+    ZARF_STAT(caseInstr.cycles)
+    ZARF_STAT(result.count)
+    ZARF_STAT(result.cycles)
+    ZARF_STAT(branchHeads)
+    ZARF_STAT(letArgs)
+    ZARF_STAT(allocations)
+    ZARF_STAT(allocatedWords)
+    ZARF_STAT(forces)
+    ZARF_STAT(whnfHits)
+    ZARF_STAT(updates)
+    ZARF_STAT(errorsCreated)
+    ZARF_STAT(loadCycles)
+    ZARF_STAT(execCycles)
+    ZARF_STAT(gcRuns)
+    ZARF_STAT(gcCycles)
+    ZARF_STAT(gcObjectsCopied)
+    ZARF_STAT(gcWordsCopied)
+    ZARF_STAT(gcRefChecks)
+    ZARF_STAT(gcMaxLiveWords)
+    ZARF_STAT(gcMaxPauseCycles)
+#undef ZARF_STAT
+    if (a.callsPerFunc != b.callsPerFunc)
+        return "callsPerFunc profiles differ";
+    return "";
+}
+
+OracleResult
+runOracle(const Image &image, const OracleConfig &cfg)
+{
+    OracleResult r;
+
+    // µop-path machine: the instrumented run coverage comes from.
+    obs::Recorder uopTrace(
+        { 1u << 14, static_cast<uint32_t>(obs::Cat::MachineExec) |
+                        static_cast<uint32_t>(obs::Cat::MachineGc) });
+    RecordBus uopBus;
+    MachineConfig mc;
+    mc.semispaceWords = cfg.semispaceWords;
+    mc.usePredecode = true;
+    mc.trace = &uopTrace;
+    mc.fsmTally = true;
+    Machine uop(image, uopBus, mc);
+    Machine::Outcome uopOut = uop.run(cfg.maxCycles);
+    r.uopStatus = uopOut.status;
+    r.uopDiagnostic = uopOut.diagnostic;
+    r.coverage = collectCoverage(uop.fsmTally(), uopTrace,
+                                 uop.stats(), uopOut.status,
+                                 uopOut.value);
+
+    // Word-walking machine, identically configured but untraced.
+    RecordBus refBus;
+    MachineConfig rc = mc;
+    rc.usePredecode = false;
+    rc.trace = nullptr;
+    Machine ref(image, refBus, rc);
+    Machine::Outcome refOut = ref.run(cfg.maxCycles);
+
+    DecodeResult dec = decodeProgram(image);
+    r.decodeOk = dec.ok;
+    if (!dec.ok) {
+        // Both machines already took their bounded runs above; the
+        // assertion for undecodable images is only "no crash".
+        r.verdict = Verdict::Rejected;
+        r.detail = "decode: " + dec.error;
+        return r;
+    }
+
+    if (uopOut.status == MachineStatus::Stuck &&
+        uopOut.diagnostic.rfind("predecode:", 0) == 0) {
+        // Load-time vs run-time strictness (equivalence map).
+        r.verdict = Verdict::Rejected;
+        r.detail = uopOut.diagnostic;
+        return r;
+    }
+
+    // µop vs word-walking: bit-exact on everything observable.
+    auto machineDiff = [&]() -> std::string {
+        if (uopOut.status != refOut.status)
+            return std::string("machine status: ") +
+                   machineStatusName(uopOut.status) + " vs " +
+                   machineStatusName(refOut.status);
+        if (uopOut.diagnostic != refOut.diagnostic)
+            return "machine diagnostic: \"" + uopOut.diagnostic +
+                   "\" vs \"" + refOut.diagnostic + "\"";
+        if (uop.cycles() != ref.cycles())
+            return fmt("machine cycles", uop.cycles(), ref.cycles());
+        if (!valuesEqual(uopOut.value, refOut.value))
+            return "machine value: " + valueStr(uopOut.value) +
+                   " vs " + valueStr(refOut.value);
+        std::string sd = diffStats(uop.stats(), ref.stats());
+        if (!sd.empty())
+            return "machine stats " + sd;
+        if (!(uopBus.ops == refBus.ops))
+            return "machine io logs differ";
+        return "";
+    };
+    if (std::string d = machineDiff(); !d.empty()) {
+        r.verdict = Verdict::Divergence;
+        r.detail = "uop-vs-ref " + d;
+        return r;
+    }
+
+    // Fault-injection-only statuses must never latch spontaneously.
+    if (uopOut.status == MachineStatus::HeapCorrupt ||
+        uopOut.status == MachineStatus::MemFault) {
+        r.verdict = Verdict::Divergence;
+        r.detail = std::string("machine latched ") +
+                   machineStatusName(uopOut.status) +
+                   " without fault injection: " + uopOut.diagnostic;
+        return r;
+    }
+
+    // The lazy reference semantics.
+    RecordBus semBus;
+    SmallStep sem(dec.program, semBus, { cfg.semSteps });
+    RunResult semOut = sem.runMain();
+
+    if (uopOut.status == MachineStatus::Running) {
+        r.verdict = Verdict::Skip;
+        r.detail = "machine cycle budget exhausted";
+        return r;
+    }
+    if (uopOut.status == MachineStatus::OutOfMemory) {
+        r.verdict = Verdict::Skip;
+        r.detail = "machine out of memory";
+        return r;
+    }
+    if (semOut.status == RunResult::Status::OutOfFuel) {
+        r.verdict = Verdict::Skip;
+        r.detail = "small-step fuel exhausted";
+        return r;
+    }
+
+    if (uopOut.status == MachineStatus::Done &&
+        semOut.status == RunResult::Status::Done) {
+        if (!valuesEqual(uopOut.value, semOut.value)) {
+            r.verdict = Verdict::Divergence;
+            r.detail = "machine-vs-smallstep value: " +
+                       valueStr(uopOut.value) + " vs " +
+                       valueStr(semOut.value);
+            return r;
+        }
+        if (!(uopBus.ops == semBus.ops)) {
+            r.verdict = Verdict::Divergence;
+            r.detail = "machine-vs-smallstep io logs differ";
+            return r;
+        }
+    } else if (uopOut.status == MachineStatus::Stuck &&
+               semOut.status == RunResult::Status::Stuck) {
+        // Agreement; diagnostic texts are implementation-specific.
+    } else {
+        r.verdict = Verdict::Divergence;
+        r.detail = std::string("machine-vs-smallstep status: ") +
+                   machineStatusName(uopOut.status) + " (\"" +
+                   uopOut.diagnostic + "\") vs " +
+                   (semOut.status == RunResult::Status::Done
+                        ? "Done"
+                        : "Stuck") +
+                   " (\"" + semOut.where + "\")";
+        return r;
+    }
+
+    // The eager reference, where the equivalence map admits it.
+    if (cfg.compareBigStep && validateProgram(dec.program).ok() &&
+        !usesIo(dec.program)) {
+        NullBus nb;
+        BigStepConfig bc;
+        bc.maxSteps = cfg.bigSteps;
+        BigStep big(dec.program, nb, bc);
+        EvalResult bigOut = big.runMain();
+        if (bigOut.status == EvalResult::Status::Ok ||
+            bigOut.status == EvalResult::Status::Stuck) {
+            r.comparedBigStep = true;
+            bool bigDone = bigOut.status == EvalResult::Status::Ok;
+            bool machDone = uopOut.status == MachineStatus::Done;
+            if (bigDone != machDone ||
+                (bigDone &&
+                 !valuesEqual(uopOut.value, bigOut.value))) {
+                r.verdict = Verdict::Divergence;
+                r.detail = "machine-vs-bigstep: " +
+                           std::string(
+                               machineStatusName(uopOut.status)) +
+                           " " + valueStr(uopOut.value) + " vs " +
+                           (bigDone ? "Ok " : "Stuck ") +
+                           valueStr(bigOut.value) + " (\"" +
+                           bigOut.where + "\")";
+                return r;
+            }
+        }
+        // OutOfFuel/DepthExceeded skip only the eager comparison.
+    }
+
+    // Snapshot/restore replay of the µop run.
+    if (cfg.snapshotReplay) {
+        MachineConfig sc = mc;
+        sc.trace = nullptr;
+        sc.fsmTally = false;
+        RecordBus snapBus;
+        Machine src(image, snapBus, sc);
+        src.advance(uop.cycles() / 2);
+        auto snap = src.snapshot();
+        Machine fork(image, snapBus, sc);
+        fork.restore(*snap);
+        Machine::Outcome forkOut = fork.run(cfg.maxCycles);
+        r.snapshotChecked = true;
+        auto snapDiff = [&]() -> std::string {
+            if (forkOut.status != uopOut.status)
+                return std::string("status: ") +
+                       machineStatusName(forkOut.status) + " vs " +
+                       machineStatusName(uopOut.status);
+            if (forkOut.diagnostic != uopOut.diagnostic)
+                return "diagnostic differs";
+            if (fork.cycles() != uop.cycles())
+                return fmt("cycles", fork.cycles(), uop.cycles());
+            if (!valuesEqual(forkOut.value, uopOut.value))
+                return "value: " + valueStr(forkOut.value) + " vs " +
+                       valueStr(uopOut.value);
+            std::string sd = diffStats(fork.stats(), uop.stats());
+            if (!sd.empty())
+                return "stats " + sd;
+            if (!(snapBus.ops == uopBus.ops))
+                return "io logs differ";
+            return "";
+        };
+        if (std::string d = snapDiff(); !d.empty()) {
+            r.verdict = Verdict::Divergence;
+            r.detail = "snapshot replay " + d;
+            return r;
+        }
+    }
+
+    r.verdict = Verdict::Agree;
+    return r;
+}
+
+} // namespace zarf::fuzz

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * The differential conformance oracle: one candidate image, every
+ * evaluator, one verdict.
+ *
+ * A candidate binary image is run through the four Zarf evaluators —
+ * the eager big-step reference (sem/bigstep.hh), the lazy small-step
+ * reference (sem/smallstep.hh), the cycle-level machine walking raw
+ * image words, and the same machine executing predecoded µop streams
+ * — plus a snapshot/restore replay of the machine mid-run. The
+ * verdict says whether the implementations agree under the
+ * documented equivalence map below.
+ *
+ * Equivalence map (what may legitimately differ, and why):
+ *
+ *  - Undecodable images (decodeProgram rejects) are `Rejected`: the
+ *    reference interpreters need an AST, so only the machines run —
+ *    bounded, asserting nothing beyond "no crash, no UB" (the
+ *    sanitizer presets give that teeth).
+ *  - The µop loader validates structure and operand encodings at
+ *    load (machine/predecode.hh); the word-walking path only fails
+ *    when execution reaches the bad word. A µop-path Stuck whose
+ *    diagnostic begins with "predecode:" is therefore `Rejected`,
+ *    not a divergence — it is the documented load-time/run-time
+ *    strictness difference, and the other engines' behavior on such
+ *    images is not compared.
+ *  - On every decode-accepted, predecode-accepted image the two
+ *    machine paths must agree *bit-exactly*: status, diagnostic,
+ *    value, total cycles, the complete statistics block, and the I/O
+ *    log. Anything less is a `Divergence`.
+ *  - The lazy small-step engine is the semantic reference for every
+ *    decoded program: machine Done ⇔ small-step Done with
+ *    structurally equal values, machine Stuck ⇔ small-step Stuck
+ *    (diagnostic texts are not compared — the engines are
+ *    deliberately independent implementations). Resource exhaustion
+ *    on either side (machine out-of-memory or cycle budget,
+ *    small-step fuel) is `Skip`: the bounds are host artifacts, not
+ *    semantics.
+ *  - The eager big-step engine is compared only when the program
+ *    passes scope validation *and* references no I/O primitive:
+ *    eagerness forces bindings a lazy engine never touches, so on
+ *    scope-invalid or I/O-bearing programs the engines legitimately
+ *    observe different worlds (different I/O order, Stuck on a
+ *    lazily-unreachable bad reference). Its fuel/depth limits skip
+ *    only the big-step comparison.
+ *  - I/O values are deterministic (RecordBus): getint returns a pure
+ *    function of (port, call ordinal), so equal read *sequences*
+ *    imply equal read values, and the interleaved write logs of the
+ *    lazy engines must match when both complete.
+ *  - Snapshot replay: running the image straight through and
+ *    running it to roughly half its cycles, snapshotting, restoring
+ *    into a fresh machine on the same bus, and finishing must
+ *    produce bit-identical outcome, cycles, and statistics.
+ */
+
+#ifndef ZARF_FUZZ_ORACLE_HH
+#define ZARF_FUZZ_ORACLE_HH
+
+#include <string>
+
+#include "fuzz/coverage.hh"
+#include "isa/binary.hh"
+#include "machine/machine.hh"
+#include "sem/io.hh"
+
+namespace zarf::fuzz
+{
+
+/** Outcome class of one oracle evaluation. */
+enum class Verdict
+{
+    Agree,      ///< All comparable evaluators agreed.
+    Rejected,   ///< Rejected at decode or µop load; nothing to compare.
+    Skip,       ///< A resource bound fired before agreement was decidable.
+    Divergence, ///< Two evaluators observably disagreed. The finding.
+};
+
+/** Stable name of a verdict. */
+const char *verdictName(Verdict v);
+
+/** Oracle sizing. */
+struct OracleConfig
+{
+    /** Machine semispace; small enough that allocation-heavy
+     *  candidates exercise the collector. */
+    size_t semispaceWords = 1u << 15;
+    /** Machine cycle budget per run (Skip when exceeded). */
+    Cycles maxCycles = 1'000'000;
+    /** Small-step fuel (Skip when exhausted). */
+    uint64_t semSteps = 500'000;
+    /** Big-step fuel. */
+    uint64_t bigSteps = 500'000;
+    /** Compare the eager reference where the map allows it. */
+    bool compareBigStep = true;
+    /** Run the snapshot/restore replay check. */
+    bool snapshotReplay = true;
+};
+
+/** One candidate's oracle evaluation. */
+struct OracleResult
+{
+    Verdict verdict = Verdict::Skip;
+    /** Human-readable explanation: the divergence description, the
+     *  rejection reason, or the bound that fired. */
+    std::string detail;
+    /** Coverage signature of the µop-path machine run. */
+    CoverageSig coverage;
+
+    MachineStatus uopStatus = MachineStatus::Running;
+    std::string uopDiagnostic;
+    bool decodeOk = false;
+    bool comparedBigStep = false;
+    bool snapshotChecked = false;
+};
+
+/**
+ * Deterministic I/O fixture: getint returns a pure mix of the port
+ * and the per-bus call ordinal, and both directions are logged, so
+ * two engines that issue the same I/O sequence read the same values
+ * and produce comparable logs.
+ */
+class RecordBus : public IoBus
+{
+  public:
+    struct IoOp
+    {
+        bool isGet;
+        SWord port;
+        SWord value;
+
+        bool
+        operator==(const IoOp &o) const
+        {
+            return isGet == o.isGet && port == o.port &&
+                   value == o.value;
+        }
+    };
+
+    SWord
+    getInt(SWord port) override
+    {
+        SWord v = scripted(port, ordinal++);
+        ops.push_back({ true, port, v });
+        return v;
+    }
+
+    void
+    putInt(SWord port, SWord value) override
+    {
+        ops.push_back({ false, port, value });
+    }
+
+    /** The value read for (port, ordinal) — pure and host-stable. */
+    static SWord
+    scripted(SWord port, uint64_t ordinal)
+    {
+        uint64_t z = uint64_t(port) * 0x9e3779b97f4a7c15ull +
+                     ordinal * 0xbf58476d1ce4e5b9ull;
+        z ^= z >> 29;
+        return SWord(z & 0xffff) - 0x8000;
+    }
+
+    std::vector<IoOp> ops;
+
+  private:
+    uint64_t ordinal = 0;
+};
+
+/** Evaluate one candidate image under the equivalence map. */
+OracleResult runOracle(const Image &image,
+                       const OracleConfig &cfg = {});
+
+/** Does any let in the program call getint/putint (directly or as a
+ *  partial application)? Such programs exclude the eager engine. */
+bool usesIo(const Program &program);
+
+/** Bit-exact machine statistics comparison; returns an empty string
+ *  on equality, else the first differing field with both values. */
+std::string diffStats(const MachineStats &a, const MachineStats &b);
+
+} // namespace zarf::fuzz
+
+#endif // ZARF_FUZZ_ORACLE_HH

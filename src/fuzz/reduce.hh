@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Delta-debugging reducer for diverging images.
+ *
+ * Given an image the oracle flags as a Divergence, shrink it while
+ * the divergence persists: drop trailing declarations, stub whole
+ * function bodies to `result 0`, collapse cases to their else
+ * branches, strip lets, shrink argument lists, and zero immediates —
+ * each pass re-running the oracle as the predicate and keeping only
+ * shrinks that still diverge. Passes repeat until a fixpoint (no
+ * pass shrinks further) or the evaluation budget runs out.
+ *
+ * The reducer is deterministic: passes are ordered, candidates
+ * within a pass are ordered, and the oracle itself is a pure
+ * function of the image — so a reproducer reduces to the same
+ * minimal image on every host. Undecodable divergers (a decoded
+ * corpus should never produce one, but word-level findings exist)
+ * fall back to a word-span pass that deletes one declaration span at
+ * a time.
+ */
+
+#ifndef ZARF_FUZZ_REDUCE_HH
+#define ZARF_FUZZ_REDUCE_HH
+
+#include "fuzz/oracle.hh"
+
+namespace zarf::fuzz
+{
+
+/** Reducer bounds. */
+struct ReduceConfig
+{
+    OracleConfig oracle{};
+    /** Maximum oracle evaluations to spend. */
+    size_t maxEvals = 600;
+};
+
+/** Reduction outcome. */
+struct ReduceResult
+{
+    /** The smallest diverging image found (== input when the input
+     *  no longer diverges under cfg.oracle). */
+    Image image;
+    /** Oracle evaluations spent. */
+    size_t evals = 0;
+    /** Did the input actually diverge (reduction meaningful)? */
+    bool diverged = false;
+    /** The minimal image's divergence description. */
+    std::string detail;
+};
+
+ReduceResult reduceDivergence(const Image &image,
+                              const ReduceConfig &cfg = {});
+
+} // namespace zarf::fuzz
+
+#endif // ZARF_FUZZ_REDUCE_HH

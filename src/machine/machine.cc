@@ -9,12 +9,18 @@
 #include "isa/prims.hh"
 #include "machine/loaded_image.hh"
 #include "machine/predecode.hh"
+#include "machine/testhooks.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "support/logging.hh"
 
 namespace zarf
 {
+
+namespace testhooks
+{
+bool poisonedOperandDefect = false;
+} // namespace testhooks
 
 const char *
 machineStatusName(MachineStatus st)
@@ -808,12 +814,16 @@ class Machine::Impl
             return op.payload; // pre-tagged at predecode time
           case Src::Arg:
             if (op.payload >= act.args.size()) {
+                if (testhooks::poisonedOperandDefect)
+                    return mval::mkInt(0); // seeded PR-1 defect
                 fail("argument index out of range");
                 return kPoisonOperand;
             }
             return act.args[op.payload];
           case Src::Local:
             if (op.payload >= act.locals.size()) {
+                if (testhooks::poisonedOperandDefect)
+                    return mval::mkInt(0); // seeded PR-1 defect
                 fail("local index out of range");
                 return kPoisonOperand;
             }
@@ -1477,12 +1487,16 @@ class Machine::Impl
             return mval::mkInt(op.val);
           case Src::Arg:
             if (size_t(op.val) >= act.args.size()) {
+                if (testhooks::poisonedOperandDefect)
+                    return mval::mkInt(0); // seeded PR-1 defect
                 fail("argument index out of range");
                 return kPoisonOperand;
             }
             return act.args[size_t(op.val)];
           case Src::Local:
             if (size_t(op.val) >= act.locals.size()) {
+                if (testhooks::poisonedOperandDefect)
+                    return mval::mkInt(0); // seeded PR-1 defect
                 fail("local index out of range");
                 return kPoisonOperand;
             }

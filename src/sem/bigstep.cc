@@ -85,7 +85,10 @@ class BigStep::Impl
 
     bool failed() const { return failure != EvalResult::Status::Ok; }
 
-    /** ρ(arg) of Fig. 3. */
+    /** ρ(arg) of Fig. 3. Out-of-range slot references are undefined
+     *  by the semantics; they report Stuck so the engine is total
+     *  over every decodable program, not just scope-validated ones
+     *  (the conformance fuzzer feeds it near-well-formed mutants). */
     ValuePtr
     operand(const Operand &op, const Frame &frame)
     {
@@ -93,8 +96,14 @@ class BigStep::Impl
           case Src::Imm:
             return Value::makeInt(op.val);
           case Src::Arg:
+            if (size_t(op.val) >= frame.args.size())
+                return fail(EvalResult::Status::Stuck,
+                            "argument index out of range");
             return frame.args[size_t(op.val)];
           case Src::Local:
+            if (size_t(op.val) >= frame.locals.size())
+                return fail(EvalResult::Status::Stuck,
+                            "local index out of range");
             return frame.locals[size_t(op.val)];
         }
         return nullptr;
@@ -161,12 +170,27 @@ class BigStep::Impl
           case CalleeKind::Func:
             // (let-fun)/(let-con)/(let-prim)/(getint)/(putint):
             // a bare identifier denotes an empty closure over it.
+            // Decoded identifiers are unchecked: reject one that
+            // names neither a primitive nor a declaration before it
+            // can index the declaration table.
+            if (isPrimId(l.callee.id)
+                    ? !primById(l.callee.id).has_value()
+                    : Program::indexOf(l.callee.id) >=
+                          prog.decls.size())
+                return fail(EvalResult::Status::Stuck,
+                            "unknown callee id");
             callee = Value::makeClosure(l.callee.id, {});
             break;
           case CalleeKind::Local:
+            if (l.callee.id >= frame.locals.size())
+                return fail(EvalResult::Status::Stuck,
+                            "callee local out of range");
             callee = frame.locals[l.callee.id];
             break;
           case CalleeKind::Arg:
+            if (l.callee.id >= frame.args.size())
+                return fail(EvalResult::Status::Stuck,
+                            "callee arg out of range");
             callee = frame.args[l.callee.id];
             break;
         }

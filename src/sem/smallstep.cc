@@ -445,6 +445,11 @@ class SmallStep::Impl
     // Exec: run function-body instructions
     // ------------------------------------------------------------
 
+    /** Out-of-range slot references are undefined by the semantics;
+     *  they latch Stuck so the engine is total over every decodable
+     *  program, not just scope-validated ones (the conformance
+     *  fuzzer feeds it near-well-formed mutants). Callers must check
+     *  the mode before consuming the placeholder return. */
     RtVal
     resolveOperand(const Operand &op)
     {
@@ -452,8 +457,16 @@ class SmallStep::Impl
           case Src::Imm:
             return rtInt(op.val);
           case Src::Arg:
+            if (size_t(op.val) >= act.args.size()) {
+                setStuck("argument index out of range");
+                return rtInt(0);
+            }
             return act.args[size_t(op.val)];
           case Src::Local:
+            if (size_t(op.val) >= act.locals.size()) {
+                setStuck("local index out of range");
+                return rtInt(0);
+            }
             return act.locals[size_t(op.val)];
         }
         return rtInt(0);
@@ -476,6 +489,8 @@ class SmallStep::Impl
             f.kind = Frame::Kind::Case;
             f.act = act;
             RtVal scrut = resolveOperand(e.asCase().scrut);
+            if (mode == Mode::Stuck)
+                return;
             conts.push_back(std::move(f));
             cur = scrut;
             mode = Mode::EvalVal;
@@ -483,7 +498,10 @@ class SmallStep::Impl
         }
         // result: yield the (possibly unevaluated) value.
         ++stats.results;
-        cur = resolveOperand(e.asResult().value);
+        RtVal v = resolveOperand(e.asResult().value);
+        if (mode == Mode::Stuck)
+            return;
+        cur = v;
         mode = Mode::EvalVal;
     }
 
@@ -492,12 +510,24 @@ class SmallStep::Impl
     {
         std::vector<RtVal> args;
         args.reserve(l.args.size());
-        for (const auto &a : l.args)
+        for (const auto &a : l.args) {
             args.push_back(resolveOperand(a));
+            if (mode == Mode::Stuck)
+                return;
+        }
 
         RtVal bound;
         if (l.callee.kind == CalleeKind::Func) {
             Word fn = l.callee.id;
+            // The decoder accepts any 16-bit identifier; one that
+            // names neither a primitive nor a declaration must stop
+            // us here, before it can index the declaration table.
+            if (isPrimId(fn) ? !primById(fn).has_value()
+                             : Program::indexOf(fn) >=
+                                   prog.decls.size()) {
+                setStuck("unknown callee id");
+                return;
+            }
             if (isConsId(fn) && args.size() == arityOf(fn)) {
                 // A saturated constructor is a value immediately.
                 bound = rtRef(allocCons(fn, std::move(args)));
@@ -507,10 +537,16 @@ class SmallStep::Impl
                 bound = rtRef(allocApp(fn, std::move(args)));
             }
         } else {
-            RtVal callee =
-                l.callee.kind == CalleeKind::Local
-                    ? act.locals[l.callee.id]
-                    : act.args[l.callee.id];
+            const std::vector<RtVal> &slots =
+                l.callee.kind == CalleeKind::Local ? act.locals
+                                                   : act.args;
+            if (l.callee.id >= slots.size()) {
+                setStuck(l.callee.kind == CalleeKind::Local
+                             ? "callee local out of range"
+                             : "callee arg out of range");
+                return;
+            }
+            RtVal callee = slots[l.callee.id];
             if (args.empty()) {
                 // Pure aliasing; no allocation needed.
                 bound = callee;

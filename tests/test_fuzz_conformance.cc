@@ -1,0 +1,193 @@
+/**
+ * @file
+ * The conformance fuzzer testing itself (docs/TESTING.md):
+ *
+ *  - the checked-in seed corpus replays clean (no divergence) and
+ *    every entry's file name matches its content hash;
+ *  - a small guided campaign over all four evaluators finds no
+ *    divergence and is bit-deterministic across worker-thread counts;
+ *  - replay-by-hash is exact: text round-trip preserves the image
+ *    and the hash, and replaying an image yields the same verdict
+ *    every time;
+ *  - mutation-kill: re-introducing the poisoned-operand defect the
+ *    machine once shipped (machine/testhooks.hh) makes a bounded
+ *    campaign find a divergence — proof the oracle has teeth;
+ *  - the reducer shrinks a known diverging input with 14
+ *    declarations to at most 10 (in fact one) deterministically.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fuzz/corpus.hh"
+#include "fuzz/fuzzer.hh"
+#include "fuzz/reduce.hh"
+#include "isa/binary.hh"
+#include "isa/encoding.hh"
+#include "machine/testhooks.hh"
+
+namespace zarf::fuzz
+{
+namespace
+{
+
+/** Scoped re-introduction of the PR-1 poisoned-operand defect. The
+ *  flag is process-global; campaigns join their worker pool before
+ *  returning, so scoping around a runFuzz/runOracle call is safe. */
+struct DefectGuard
+{
+    DefectGuard() { testhooks::poisonedOperandDefect = true; }
+    ~DefectGuard() { testhooks::poisonedOperandDefect = false; }
+};
+
+/** A diverging program under the seeded defect: main results an
+ *  out-of-range local, which the poisoned machine silently reads as
+ *  0 (Done) while the small-step reference correctly goes Stuck.
+ *  Padded with `extra` trivial declarations for the reducer to eat. */
+Image
+poisonedImage(size_t extra)
+{
+    Program p;
+    Decl main{ false, "main", 0, 0,
+               std::make_unique<Expr>(Result{ opLocal(7) }) };
+    p.decls.push_back(std::move(main));
+    for (size_t i = 0; i < extra; ++i) {
+        Decl d{ false, "pad" + std::to_string(i), 0, 0,
+                std::make_unique<Expr>(Result{ opImm(SWord(i)) }) };
+        p.decls.push_back(std::move(d));
+    }
+    return encodeProgram(p);
+}
+
+TEST(FuzzCorpus, SeedCorpusRepaysClean)
+{
+    CorpusLoad load = loadCorpusDir(ZARF_FUZZ_CORPUS_DIR);
+    for (const auto &err : load.errors)
+        ADD_FAILURE() << err;
+    ASSERT_FALSE(load.entries.empty())
+        << "seed corpus missing at " ZARF_FUZZ_CORPUS_DIR;
+
+    FuzzConfig cfg;
+    for (const CorpusEntry &e : load.entries) {
+        EXPECT_EQ(imageHash(e.image), e.hash)
+            << e.path << ": file name does not match content";
+        OracleResult o = replayImage(e.image, cfg);
+        EXPECT_NE(o.verdict, Verdict::Divergence)
+            << e.path << ": " << o.detail;
+    }
+}
+
+TEST(FuzzCorpus, TextRoundTripPreservesHash)
+{
+    Image img = poisonedImage(3);
+    ParsedImage back = imageFromText(imageToText(img));
+    ASSERT_TRUE(back.ok) << back.error;
+    EXPECT_EQ(back.image, img);
+    EXPECT_EQ(imageHash(back.image), imageHash(img));
+    EXPECT_EQ(hashName(imageHash(img)).size(), 16u);
+}
+
+TEST(FuzzCampaign, GuidedCampaignIsClean)
+{
+    FuzzConfig cfg;
+    cfg.seed = 7;
+    cfg.rounds = 3;
+    cfg.perRound = 32;
+    cfg.threads = 2;
+    FuzzResult res = runFuzz(cfg);
+    EXPECT_TRUE(res.clean())
+        << (res.findings.empty() ? std::string()
+                                 : res.findings[0].detail);
+    EXPECT_EQ(res.executed, cfg.rounds * cfg.perRound);
+    EXPECT_GT(res.coverage.popcount(), 0u);
+    EXPECT_FALSE(res.retained.empty());
+}
+
+TEST(FuzzCampaign, DeterministicAcrossThreadCounts)
+{
+    FuzzConfig a;
+    a.seed = 11;
+    a.rounds = 3;
+    a.perRound = 24;
+    a.threads = 1;
+    FuzzConfig b = a;
+    b.threads = 4;
+
+    FuzzResult ra = runFuzz(a);
+    FuzzResult rb = runFuzz(b);
+    EXPECT_EQ(ra.summary(), rb.summary());
+    ASSERT_EQ(ra.retained.size(), rb.retained.size());
+    for (size_t i = 0; i < ra.retained.size(); ++i)
+        EXPECT_EQ(imageHash(ra.retained[i]),
+                  imageHash(rb.retained[i]))
+            << "retained entry " << i << " differs";
+    EXPECT_EQ(ra.coverage.summary(), rb.coverage.summary());
+}
+
+TEST(FuzzCampaign, ReplayIsExact)
+{
+    Image img = poisonedImage(0);
+    FuzzConfig cfg;
+    OracleResult first = replayImage(img, cfg);
+    OracleResult again = replayImage(img, cfg);
+    EXPECT_EQ(first.verdict, again.verdict);
+    EXPECT_EQ(first.detail, again.detail);
+    // Without the defect the out-of-range local is caught by every
+    // engine: machine Stuck ⇔ small-step Stuck is agreement.
+    EXPECT_EQ(first.verdict, Verdict::Agree) << first.detail;
+}
+
+TEST(FuzzMutationKill, SeededDefectIsFoundWithinBudget)
+{
+    DefectGuard defect;
+    FuzzConfig cfg;
+    cfg.seed = 1;
+    cfg.rounds = 40;
+    cfg.perRound = 48;
+    cfg.maxDivergences = 1;
+    FuzzResult res = runFuzz(cfg);
+    ASSERT_FALSE(res.findings.empty())
+        << "oracle failed to catch the seeded machine defect in "
+        << res.executed << " executions";
+    EXPECT_LE(res.executed, cfg.rounds * cfg.perRound);
+    EXPECT_NE(res.findings[0].detail.find("machine-vs-smallstep"),
+              std::string::npos)
+        << res.findings[0].detail;
+    EXPECT_EQ(res.findings[0].hash, imageHash(res.findings[0].image));
+}
+
+TEST(FuzzReducer, ShrinksSeededDivergenceToOneDecl)
+{
+    DefectGuard defect;
+    Image big = poisonedImage(13); // 14 declarations
+    {
+        DecodeResult d = decodeProgram(big);
+        ASSERT_TRUE(d.ok);
+        ASSERT_EQ(d.program.decls.size(), 14u);
+    }
+    ASSERT_EQ(runOracle(big).verdict, Verdict::Divergence);
+
+    ReduceResult rr = reduceDivergence(big);
+    EXPECT_TRUE(rr.diverged);
+    EXPECT_LT(rr.image.size(), big.size());
+    DecodeResult reduced = decodeProgram(rr.image);
+    ASSERT_TRUE(reduced.ok);
+    EXPECT_LE(reduced.program.decls.size(), 10u);
+    EXPECT_EQ(runOracle(rr.image).verdict, Verdict::Divergence);
+
+    // Deterministic: the same input reduces to the same image.
+    ReduceResult rr2 = reduceDivergence(big);
+    EXPECT_EQ(rr.image, rr2.image);
+    EXPECT_EQ(rr.evals, rr2.evals);
+}
+
+TEST(FuzzReducer, NonDivergingInputIsReturnedUnchanged)
+{
+    Image img = poisonedImage(2); // defect off: everyone agrees
+    ReduceResult rr = reduceDivergence(img);
+    EXPECT_FALSE(rr.diverged);
+    EXPECT_EQ(rr.image, img);
+    EXPECT_EQ(rr.evals, 1u);
+}
+
+} // namespace
+} // namespace zarf::fuzz

@@ -8,7 +8,7 @@
 
 #include <gtest/gtest.h>
 
-#include "common/genprog.hh"
+#include "fuzz/genprog.hh"
 #include "isa/binary.hh"
 #include "machine/machine.hh"
 #include "sem/bigstep.hh"
@@ -24,11 +24,11 @@ class MachineDifferential : public ::testing::TestWithParam<uint64_t>
 
 TEST_P(MachineDifferential, MachineAgreesWithOracles)
 {
-    testing::GenConfig cfg;
+    fuzz::GenConfig cfg;
     cfg.numCons = 4;
     cfg.numFuncs = 7;
     cfg.maxDepth = 5;
-    testing::ProgramGenerator gen(GetParam() * 2654435761u + 7, cfg);
+    fuzz::ProgramGenerator gen(GetParam() * 2654435761u + 7, cfg);
     ProgramBuilder pb = gen.generate();
     BuildResult b = pb.tryBuild();
     ASSERT_TRUE(b.ok) << b.error;
@@ -64,11 +64,11 @@ TEST_P(MachineGcDifferential, TinyHeapDoesNotChangeResults)
 {
     // The same random programs run with a heap small enough to force
     // many collections; results must be identical to the big heap.
-    testing::GenConfig cfg;
+    fuzz::GenConfig cfg;
     cfg.numCons = 4;
     cfg.numFuncs = 7;
     cfg.maxDepth = 5;
-    testing::ProgramGenerator gen(GetParam() * 2654435761u + 7, cfg);
+    fuzz::ProgramGenerator gen(GetParam() * 2654435761u + 7, cfg);
     BuildResult b = gen.generate().tryBuild();
     ASSERT_TRUE(b.ok) << b.error;
     Image img = encodeProgram(b.program);

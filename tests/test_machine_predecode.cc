@@ -10,7 +10,7 @@
 
 #include <gtest/gtest.h>
 
-#include "common/genprog.hh"
+#include "fuzz/genprog.hh"
 #include "ecg/synth.hh"
 #include "icd/zarf_icd.hh"
 #include "isa/binary.hh"
@@ -65,11 +65,11 @@ pathConfig(bool predecode, size_t semispaceWords = 1u << 20)
 void
 runDifferential(uint64_t seed, size_t semispaceWords)
 {
-    testing::GenConfig gcfg;
+    fuzz::GenConfig gcfg;
     gcfg.numCons = 4;
     gcfg.numFuncs = 7;
     gcfg.maxDepth = 5;
-    testing::ProgramGenerator gen(seed * 2654435761u + 7, gcfg);
+    fuzz::ProgramGenerator gen(seed * 2654435761u + 7, gcfg);
     BuildResult b = gen.generate().tryBuild();
     ASSERT_TRUE(b.ok) << b.error;
     Image img = encodeProgram(b.program);

@@ -11,7 +11,7 @@
 
 #include <gtest/gtest.h>
 
-#include "common/genprog.hh"
+#include "fuzz/genprog.hh"
 #include "ecg/synth.hh"
 #include "fault/campaign.hh"
 #include "fault/plan.hh"
@@ -130,11 +130,11 @@ snapConfig(size_t semispaceWords, obs::Recorder *rec)
 Image
 randomImage(uint64_t seed)
 {
-    testing::GenConfig gcfg;
+    fuzz::GenConfig gcfg;
     gcfg.numCons = 4;
     gcfg.numFuncs = 7;
     gcfg.maxDepth = 5;
-    testing::ProgramGenerator gen(seed * 2654435761u + 7, gcfg);
+    fuzz::ProgramGenerator gen(seed * 2654435761u + 7, gcfg);
     BuildResult b = gen.generate().tryBuild();
     EXPECT_TRUE(b.ok) << b.error;
     return encodeProgram(b.program);

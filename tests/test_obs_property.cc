@@ -11,7 +11,7 @@
 
 #include <gtest/gtest.h>
 
-#include "common/genprog.hh"
+#include "fuzz/genprog.hh"
 #include "common/testprogs.hh"
 #include "ecg/synth.hh"
 #include "fault/campaign.hh"
@@ -32,11 +32,11 @@ namespace
 Image
 randomImage(uint64_t seed)
 {
-    testing::GenConfig gcfg;
+    fuzz::GenConfig gcfg;
     gcfg.numCons = 4;
     gcfg.numFuncs = 6;
     gcfg.maxDepth = 5;
-    testing::ProgramGenerator gen(seed * 2654435761u + 11, gcfg);
+    fuzz::ProgramGenerator gen(seed * 2654435761u + 11, gcfg);
     BuildResult b = gen.generate().tryBuild();
     EXPECT_TRUE(b.ok) << b.error;
     return encodeProgram(b.program);

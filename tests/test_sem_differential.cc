@@ -3,14 +3,14 @@
  * Differential testing: the eager big-step oracle (Fig. 3) and the
  * lazy small-step machine must agree on the final value of every
  * pure, terminating program. Programs are generated randomly with
- * an acyclic call graph (see common/genprog.hh), covering partial
+ * an acyclic call graph (see fuzz/genprog.hh), covering partial
  * and over-application, higher-order calls, constructor matching,
  * and error values.
  */
 
 #include <gtest/gtest.h>
 
-#include "common/genprog.hh"
+#include "fuzz/genprog.hh"
 #include "isa/binary.hh"
 #include "isa/validate.hh"
 #include "sem/bigstep.hh"
@@ -26,7 +26,7 @@ class Differential : public ::testing::TestWithParam<uint64_t>
 
 TEST_P(Differential, BigStepAgreesWithSmallStep)
 {
-    testing::ProgramGenerator gen(GetParam());
+    fuzz::ProgramGenerator gen(GetParam());
     ProgramBuilder pb = gen.generate();
     BuildResult b = pb.tryBuild();
     ASSERT_TRUE(b.ok) << b.error;
@@ -61,11 +61,11 @@ class DifferentialDeep : public ::testing::TestWithParam<uint64_t>
 
 TEST_P(DifferentialDeep, LargerPrograms)
 {
-    testing::GenConfig cfg;
+    fuzz::GenConfig cfg;
     cfg.numCons = 5;
     cfg.numFuncs = 10;
     cfg.maxDepth = 6;
-    testing::ProgramGenerator gen(GetParam() * 7919 + 13, cfg);
+    fuzz::ProgramGenerator gen(GetParam() * 7919 + 13, cfg);
     ProgramBuilder pb = gen.generate();
     BuildResult b = pb.tryBuild();
     ASSERT_TRUE(b.ok) << b.error;

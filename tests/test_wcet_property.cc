@@ -8,7 +8,7 @@
 
 #include <gtest/gtest.h>
 
-#include "common/genprog.hh"
+#include "fuzz/genprog.hh"
 #include "isa/binary.hh"
 #include "machine/machine.hh"
 #include "verify/wcet.hh"
@@ -23,13 +23,13 @@ class WcetProperty : public ::testing::TestWithParam<uint64_t>
 
 TEST_P(WcetProperty, BoundDominatesMachine)
 {
-    testing::GenConfig gcfg;
+    fuzz::GenConfig gcfg;
     gcfg.firstOrder = true;
     gcfg.allowErrors = false;
     gcfg.numCons = 3;
     gcfg.numFuncs = 6;
     gcfg.maxDepth = 5;
-    testing::ProgramGenerator gen(GetParam() * 48271 + 11, gcfg);
+    fuzz::ProgramGenerator gen(GetParam() * 48271 + 11, gcfg);
     BuildResult b = gen.generate().tryBuild();
     ASSERT_TRUE(b.ok) << b.error;
 

@@ -7,7 +7,7 @@
 
 #include <gtest/gtest.h>
 
-#include "common/genprog.hh"
+#include "fuzz/genprog.hh"
 #include "isa/binary.hh"
 #include "zasm/zasm.hh"
 
@@ -21,11 +21,11 @@ class ZasmRoundTrip : public ::testing::TestWithParam<uint64_t>
 
 TEST_P(ZasmRoundTrip, PrintParseLowerIdentical)
 {
-    testing::GenConfig cfg;
+    fuzz::GenConfig cfg;
     cfg.numCons = 4;
     cfg.numFuncs = 6;
     cfg.maxDepth = 5;
-    testing::ProgramGenerator gen(GetParam() * 611953 + 41, cfg);
+    fuzz::ProgramGenerator gen(GetParam() * 611953 + 41, cfg);
     ProgramBuilder pb = gen.generate();
     BuildResult b1 = pb.tryBuild();
     ASSERT_TRUE(b1.ok) << b1.error;
