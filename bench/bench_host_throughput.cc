@@ -1,19 +1,23 @@
 /**
  * @file
  * Host-side throughput of the λ-machine simulator: simulated cycles
- * and dynamic instructions retired per host second, word-walking
- * path vs the predecoded µop path (machine/predecode.hh). This
- * tracks simulator performance only — both paths execute the same
- * modelled hardware cycle for cycle, which bench_sec6_cpi and the
- * differential suite check; here we measure how fast the host gets
- * through them.
+ * and dynamic instructions retired per host second, across the full
+ * dispatch-tier ladder (docs/PERF.md) — word-walk, predecoded µop,
+ * direct-threaded, and fast-functional. This tracks simulator
+ * performance only — the three cycle-accurate tiers execute the
+ * same modelled hardware cycle for cycle, which bench_sec6_cpi and
+ * the differential suite check; here we measure how fast the host
+ * gets through them. The fast-functional tier drops the cycle model
+ * entirely, so tiers are compared on dynamic instructions retired
+ * per host second, a tier-invariant measure of program progress.
  *
  * Timing covers execution only: machine construction — semispace
- * zeroing, image load, and (on the µop path) predecoding — happens
- * outside the timed region. Predecode is a once-per-load cost paid
- * to make every subsequent step cheaper, the same trade the paper's
- * hardware makes by latching decoded declaration metadata; a loaded
- * kernel then runs indefinitely (cf. the ICD workload).
+ * zeroing, image load, and (on the µop-walking tiers) predecoding —
+ * happens outside the timed region. Predecode is a once-per-load
+ * cost paid to make every subsequent step cheaper, the same trade
+ * the paper's hardware makes by latching decoded declaration
+ * metadata; a loaded kernel then runs indefinitely (cf. the ICD
+ * workload).
  *
  * Emits BENCH_host_throughput.json in the working directory. Pass
  * --smoke for a seconds-long CI canary run of the same matrix.
@@ -53,11 +57,11 @@ struct Sample
     uint64_t dynInstrs = 0;
 };
 
-/** One (workload, path) measurement. */
+/** One (workload, tier) measurement. */
 struct Row
 {
     std::string workload;
-    bool predecode = false;
+    DispatchTier tier = DispatchTier::Uop;
     Sample s;
 
     double cyclesPerSec() const { return s.simCycles / s.wallSec; }
@@ -287,14 +291,33 @@ main(int argc, char **argv)
         return runToCompletion(vmImg, cfg);
     } });
 
+    // The ICD kernel never finishes, so the cycle-accurate tiers
+    // run a fixed simulated-cycle budget. The fast tier has no
+    // cycle clock; drive it to the same dynamic-instruction count
+    // (measured once, untimed) so every tier does identical program
+    // work.
     Image icdImg = icd::buildKernelImage();
+    uint64_t icdInstrTarget = 0;
+    {
+        ecg::ScriptedHeart heart(
+            { { 20.0, 75.0 }, { 40.0, 190.0 } }, 42);
+        BusyRig rig(heart);
+        Machine m(icdImg, rig, MachineConfig{});
+        while (m.cycles() < icdCycles &&
+               m.advance(500'000) == MachineStatus::Running) {}
+        icdInstrTarget = m.stats().dynamicInstructions();
+    }
     workloads.push_back({ "icd-kernel", [&](MachineConfig cfg) {
         ecg::ScriptedHeart heart(
             { { 20.0, 75.0 }, { 40.0, 190.0 } }, 42);
         BusyRig rig(heart);
         Machine m(icdImg, rig, cfg);
+        bool byCycles = tierCycleAccurate(cfg.tier);
         double t0 = now();
-        while (m.cycles() < icdCycles &&
+        while ((byCycles
+                    ? m.cycles() < icdCycles
+                    : m.stats().dynamicInstructions() <
+                          icdInstrTarget) &&
                m.advance(500'000) == MachineStatus::Running) {}
         double t1 = now();
         Sample s;
@@ -304,38 +327,58 @@ main(int argc, char **argv)
         return s;
     } });
 
-    std::printf("=== host throughput: word-walking vs predecoded "
-                "uop path%s ===\n\n",
+    static const DispatchTier kTiers[] = {
+        DispatchTier::WordWalk,
+        DispatchTier::Uop,
+        DispatchTier::Threaded,
+        DispatchTier::FastFunctional,
+    };
+    constexpr size_t kNumTiers = 4;
+
+    std::printf("=== host throughput: the dispatch-tier ladder%s "
+                "===\n\n",
                 smoke ? " (smoke)" : "");
     std::printf("  %-12s %-10s %10s %14s %14s\n", "workload",
-                "path", "host s", "Mcycles/s", "Minstr/s");
+                "tier", "host s", "Mcycles/s", "Minstr/s");
 
     std::vector<Row> rows;
-    double logSpeedup = 0;
+    double logUop = 0, logThreaded = 0, logFast = 0;
     for (const Workload &w : workloads) {
-        for (bool predecode : { false, true }) {
+        for (DispatchTier tier : kTiers) {
             MachineConfig cfg;
-            cfg.usePredecode = predecode;
+            cfg.tier = tier;
             Row row;
             row.workload = w.name;
-            row.predecode = predecode;
+            row.tier = tier;
             row.s = measure([&] { return w.run(cfg); }, minWall);
             std::printf("  %-12s %-10s %10.3f %14.2f %14.2f\n",
                         row.workload.c_str(),
-                        predecode ? "uop" : "word-walk",
-                        row.s.wallSec, row.cyclesPerSec() / 1e6,
+                        dispatchTierName(tier), row.s.wallSec,
+                        row.cyclesPerSec() / 1e6,
                         row.instrsPerSec() / 1e6);
             rows.push_back(std::move(row));
         }
-        const Row &legacy = rows[rows.size() - 2];
-        const Row &uop = rows[rows.size() - 1];
-        double speedup = uop.instrsPerSec() / legacy.instrsPerSec();
-        logSpeedup += std::log(speedup);
-        std::printf("  %-12s speedup %.2fx\n\n", w.name.c_str(),
-                    speedup);
+        // Per-workload speedups, all relative to the adjacent rung
+        // below on the ladder's instrs/s (a tier-invariant measure
+        // of program progress).
+        const Row *base = &rows[rows.size() - kNumTiers];
+        double sUop = base[1].instrsPerSec() / base[0].instrsPerSec();
+        double sThr = base[2].instrsPerSec() / base[1].instrsPerSec();
+        double sFast =
+            base[3].instrsPerSec() / base[1].instrsPerSec();
+        logUop += std::log(sUop);
+        logThreaded += std::log(sThr);
+        logFast += std::log(sFast);
+        std::printf("  %-12s uop-vs-word-walk %.2fx, "
+                    "threaded-vs-uop %.2fx, fast-vs-uop %.2fx\n\n",
+                    w.name.c_str(), sUop, sThr, sFast);
     }
-    double geomean = std::exp(logSpeedup / workloads.size());
-    std::printf("  geomean speedup %.2fx\n\n", geomean);
+    double geomeanUop = std::exp(logUop / workloads.size());
+    double geomeanThreaded = std::exp(logThreaded / workloads.size());
+    double geomeanFast = std::exp(logFast / workloads.size());
+    std::printf("  geomean speedups: uop-vs-word-walk %.2fx, "
+                "threaded-vs-uop %.2fx, fast-vs-uop %.2fx\n\n",
+                geomeanUop, geomeanThreaded, geomeanFast);
 
     // Machine-readable results for trend tracking, at the repo root
     // so CI can archive them from a fixed location.
@@ -352,17 +395,20 @@ main(int argc, char **argv)
         const Row &r = rows[i];
         std::fprintf(
             f,
-            "    {\"workload\": \"%s\", \"path\": \"%s\", "
+            "    {\"workload\": \"%s\", \"tier\": \"%s\", "
             "\"wall_sec\": %.6f, \"sim_cycles\": %llu, "
             "\"dyn_instrs\": %llu, \"cycles_per_sec\": %.1f, "
             "\"instrs_per_sec\": %.1f}%s\n",
-            r.workload.c_str(), r.predecode ? "uop" : "word-walk",
+            r.workload.c_str(), dispatchTierName(r.tier),
             r.s.wallSec, (unsigned long long)r.s.simCycles,
             (unsigned long long)r.s.dynInstrs, r.cyclesPerSec(),
             r.instrsPerSec(), i + 1 < rows.size() ? "," : "");
     }
-    std::fprintf(f, "  ],\n  \"geomean_speedup\": %.3f\n}\n",
-                 geomean);
+    std::fprintf(f,
+                 "  ],\n  \"geomean_speedup\": %.3f,\n"
+                 "  \"geomean_threaded_vs_uop\": %.3f,\n"
+                 "  \"geomean_fast_vs_uop\": %.3f\n}\n",
+                 geomeanUop, geomeanThreaded, geomeanFast);
     std::fclose(f);
     std::printf("wrote %s\n", outPath.c_str());
     return 0;

@@ -84,6 +84,7 @@ goldenRun(const Image &image, const mblaze::MbProgram &monitor,
     auto heart = makeHeart(vtFlavor);
     sys::SystemConfig scfg;
     scfg.fallbackProgram = fallback;
+    scfg.lambdaTier = ccfg.lambdaTier;
     sys::TwoLayerSystem system(image, monitor, *heart, scfg);
     double seconds = vtFlavor ? ccfg.vtSeconds : ccfg.sinusSeconds;
     system.runForMs(seconds * 1000.0);
@@ -217,6 +218,7 @@ runScenario(const Image &image,
 
     sys::SystemConfig scfg;
     scfg.fallbackProgram = fallback;
+    scfg.lambdaTier = ccfg.lambdaTier;
     scfg.faultPlan = std::move(plan);
     double seconds = r.vtFlavor ? ccfg.vtSeconds : ccfg.sinusSeconds;
 

@@ -133,7 +133,7 @@ runOracle(const Image &image, const OracleConfig &cfg)
     RecordBus uopBus;
     MachineConfig mc;
     mc.semispaceWords = cfg.semispaceWords;
-    mc.usePredecode = true;
+    mc.tier = DispatchTier::Uop;
     mc.trace = &uopTrace;
     mc.fsmTally = true;
     Machine uop(image, uopBus, mc);
@@ -147,10 +147,33 @@ runOracle(const Image &image, const OracleConfig &cfg)
     // Word-walking machine, identically configured but untraced.
     RecordBus refBus;
     MachineConfig rc = mc;
-    rc.usePredecode = false;
+    rc.tier = DispatchTier::WordWalk;
     rc.trace = nullptr;
     Machine ref(image, refBus, rc);
     Machine::Outcome refOut = ref.run(cfg.maxCycles);
+
+    // The threaded and fast-functional tiers run even on images the
+    // oracle later classifies Rejected: like the two machines above,
+    // the assertion there is "no crash, no UB" under the sanitizer
+    // presets. Their comparisons happen after the rejection gates.
+    RecordBus thrBus;
+    MachineConfig tc = mc;
+    tc.tier = DispatchTier::Threaded;
+    tc.trace = nullptr;
+    Machine thr(image, thrBus, tc);
+    Machine::Outcome thrOut{ MachineStatus::Running, nullptr, "" };
+    if (cfg.compareThreaded)
+        thrOut = thr.run(cfg.maxCycles);
+
+    RecordBus fastBus;
+    MachineConfig fc = mc;
+    fc.tier = DispatchTier::FastFunctional;
+    fc.trace = nullptr;
+    fc.fsmTally = false;
+    Machine fast(image, fastBus, fc);
+    Machine::Outcome fastOut{ MachineStatus::Running, nullptr, "" };
+    if (cfg.compareFast)
+        fastOut = fast.run(cfg.maxCycles);
 
     DecodeResult dec = decodeProgram(image);
     r.decodeOk = dec.ok;
@@ -170,31 +193,79 @@ runOracle(const Image &image, const OracleConfig &cfg)
         return r;
     }
 
-    // µop vs word-walking: bit-exact on everything observable.
-    auto machineDiff = [&]() -> std::string {
-        if (uopOut.status != refOut.status)
+    // Cycle-accurate tiers vs the µop run: bit-exact on everything
+    // observable (status, diagnostic, total cycles, value, the full
+    // statistics block, the I/O log).
+    auto machineDiffVs = [&](Machine &m, const Machine::Outcome &out,
+                             RecordBus &bus) -> std::string {
+        if (uopOut.status != out.status)
             return std::string("machine status: ") +
                    machineStatusName(uopOut.status) + " vs " +
-                   machineStatusName(refOut.status);
-        if (uopOut.diagnostic != refOut.diagnostic)
+                   machineStatusName(out.status);
+        if (uopOut.diagnostic != out.diagnostic)
             return "machine diagnostic: \"" + uopOut.diagnostic +
-                   "\" vs \"" + refOut.diagnostic + "\"";
-        if (uop.cycles() != ref.cycles())
-            return fmt("machine cycles", uop.cycles(), ref.cycles());
-        if (!valuesEqual(uopOut.value, refOut.value))
+                   "\" vs \"" + out.diagnostic + "\"";
+        if (uop.cycles() != m.cycles())
+            return fmt("machine cycles", uop.cycles(), m.cycles());
+        if (!valuesEqual(uopOut.value, out.value))
             return "machine value: " + valueStr(uopOut.value) +
-                   " vs " + valueStr(refOut.value);
-        std::string sd = diffStats(uop.stats(), ref.stats());
+                   " vs " + valueStr(out.value);
+        std::string sd = diffStats(uop.stats(), m.stats());
         if (!sd.empty())
             return "machine stats " + sd;
-        if (!(uopBus.ops == refBus.ops))
+        if (!(uopBus.ops == bus.ops))
             return "machine io logs differ";
         return "";
     };
-    if (std::string d = machineDiff(); !d.empty()) {
+    if (std::string d = machineDiffVs(ref, refOut, refBus);
+        !d.empty()) {
         r.verdict = Verdict::Divergence;
         r.detail = "uop-vs-ref " + d;
         return r;
+    }
+    if (cfg.compareThreaded) {
+        if (std::string d = machineDiffVs(thr, thrOut, thrBus);
+            !d.empty()) {
+            r.verdict = Verdict::Divergence;
+            r.detail = "uop-vs-threaded " + d;
+            return r;
+        }
+    }
+
+    // Fast-functional tier: outcome equality only — status,
+    // diagnostic, value, and the I/O log — and only when both runs
+    // terminated. The fast tier has no cycle clock, so the resource
+    // bounds (cycle budget, out-of-memory under a different GC
+    // cadence) legitimately fire at different points; those runs
+    // compare nothing, like the Skip arm of the reference engines.
+    if (cfg.compareFast) {
+        auto terminal = [](MachineStatus st) {
+            return st == MachineStatus::Done ||
+                   st == MachineStatus::Stuck;
+        };
+        if (terminal(uopOut.status) && terminal(fastOut.status)) {
+            r.fastCompared = true;
+            auto fastDiff = [&]() -> std::string {
+                if (uopOut.status != fastOut.status)
+                    return std::string("status: ") +
+                           machineStatusName(uopOut.status) + " vs " +
+                           machineStatusName(fastOut.status);
+                if (uopOut.diagnostic != fastOut.diagnostic)
+                    return "diagnostic: \"" + uopOut.diagnostic +
+                           "\" vs \"" + fastOut.diagnostic + "\"";
+                if (!valuesEqual(uopOut.value, fastOut.value))
+                    return "value: " + valueStr(uopOut.value) +
+                           " vs " + valueStr(fastOut.value);
+                if (!(uopBus.ops == fastBus.ops))
+                    return "io logs differ";
+                return "";
+            };
+            if (std::string d = fastDiff(); !d.empty()) {
+                r.verdict = Verdict::Divergence;
+                r.detail = "uop-vs-fast " + d;
+                return r;
+            }
+        }
     }
 
     // Fault-injection-only statuses must never latch spontaneously.

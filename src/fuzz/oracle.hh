@@ -3,13 +3,15 @@
  * The differential conformance oracle: one candidate image, every
  * evaluator, one verdict.
  *
- * A candidate binary image is run through the four Zarf evaluators —
+ * A candidate binary image is run through the six Zarf evaluators —
  * the eager big-step reference (sem/bigstep.hh), the lazy small-step
- * reference (sem/smallstep.hh), the cycle-level machine walking raw
- * image words, and the same machine executing predecoded µop streams
- * — plus a snapshot/restore replay of the machine mid-run. The
- * verdict says whether the implementations agree under the
- * documented equivalence map below.
+ * reference (sem/smallstep.hh), and the cycle-level machine on every
+ * rung of its dispatch-tier ladder: walking raw image words,
+ * executing predecoded µop streams, direct-threaded dispatch, and
+ * the fast-functional mode (machine/threaded.hh) — plus a
+ * snapshot/restore replay of the machine mid-run. The verdict says
+ * whether the implementations agree under the documented equivalence
+ * map below.
  *
  * Equivalence map (what may legitimately differ, and why):
  *
@@ -24,10 +26,17 @@
  *    not a divergence — it is the documented load-time/run-time
  *    strictness difference, and the other engines' behavior on such
  *    images is not compared.
- *  - On every decode-accepted, predecode-accepted image the two
- *    machine paths must agree *bit-exactly*: status, diagnostic,
- *    value, total cycles, the complete statistics block, and the I/O
- *    log. Anything less is a `Divergence`.
+ *  - On every decode-accepted, predecode-accepted image the three
+ *    cycle-accurate machine tiers (word-walk, µop, threaded) must
+ *    agree *bit-exactly*: status, diagnostic, value, total cycles,
+ *    the complete statistics block, and the I/O log. Anything less
+ *    is a `Divergence`.
+ *  - The fast-functional tier abandons the cycle model, so it is
+ *    held to *outcome* equality with the µop run — status,
+ *    diagnostic, value, and the I/O log — and only when both runs
+ *    terminated (Done or Stuck). Resource bounds fire at different
+ *    points on a tier with no cycle clock, so runs where either
+ *    side hit its budget or ran out of memory compare nothing.
  *  - The lazy small-step engine is the semantic reference for every
  *    decoded program: machine Done ⇔ small-step Done with
  *    structurally equal values, machine Stuck ⇔ small-step Stuck
@@ -92,6 +101,10 @@ struct OracleConfig
     uint64_t bigSteps = 500'000;
     /** Compare the eager reference where the map allows it. */
     bool compareBigStep = true;
+    /** Run and bit-compare the direct-threaded tier. */
+    bool compareThreaded = true;
+    /** Run and outcome-compare the fast-functional tier. */
+    bool compareFast = true;
     /** Run the snapshot/restore replay check. */
     bool snapshotReplay = true;
 };
@@ -110,6 +123,9 @@ struct OracleResult
     std::string uopDiagnostic;
     bool decodeOk = false;
     bool comparedBigStep = false;
+    /** True when the fast-functional outcome comparison applied
+     *  (both the µop and fast runs terminated). */
+    bool fastCompared = false;
     bool snapshotChecked = false;
 };
 

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "support/logging.hh"
 #include "support/types.hh"
 
 namespace zarf
@@ -111,7 +112,58 @@ struct PrimResult
     SWord value;   ///< Valid when ok.
     SWord errCode; ///< Valid when !ok.
 };
-PrimResult evalAlu(Prim id, const std::vector<SWord> &args);
+inline PrimResult
+evalAlu(Prim id, const std::vector<SWord> &args)
+{
+    auto a = [&](size_t i) { return static_cast<int64_t>(args[i]); };
+    auto ok = [](int64_t v) {
+        return PrimResult{ true, wrapInt31(v), 0 };
+    };
+    switch (id) {
+      case Prim::Add: return ok(a(0) + a(1));
+      case Prim::Sub: return ok(a(0) - a(1));
+      case Prim::Mul: return ok(a(0) * a(1));
+      case Prim::Div:
+        if (a(1) == 0)
+            return { false, 0, kErrDivZero };
+        return ok(a(0) / a(1));
+      case Prim::Mod:
+        if (a(1) == 0)
+            return { false, 0, kErrDivZero };
+        return ok(a(0) % a(1));
+      case Prim::Neg: return ok(-a(0));
+      case Prim::Abs: return ok(a(0) < 0 ? -a(0) : a(0));
+      case Prim::Min: return ok(a(0) < a(1) ? a(0) : a(1));
+      case Prim::Max: return ok(a(0) > a(1) ? a(0) : a(1));
+      case Prim::Eq: return ok(a(0) == a(1) ? 1 : 0);
+      case Prim::Ne: return ok(a(0) != a(1) ? 1 : 0);
+      case Prim::Lt: return ok(a(0) < a(1) ? 1 : 0);
+      case Prim::Le: return ok(a(0) <= a(1) ? 1 : 0);
+      case Prim::Gt: return ok(a(0) > a(1) ? 1 : 0);
+      case Prim::Ge: return ok(a(0) >= a(1) ? 1 : 0);
+      case Prim::BAnd: return ok(a(0) & a(1));
+      case Prim::BOr: return ok(a(0) | a(1));
+      case Prim::BXor: return ok(a(0) ^ a(1));
+      case Prim::BNot: return ok(~a(0));
+      case Prim::Shl: {
+        unsigned sh = static_cast<unsigned>(a(1)) & 31u;
+        return ok(static_cast<int64_t>(
+            static_cast<uint64_t>(a(0)) << sh));
+      }
+      case Prim::Shr: {
+        unsigned sh = static_cast<unsigned>(a(1)) & 31u;
+        return ok(a(0) >> sh);
+      }
+      case Prim::Sru: {
+        unsigned sh = static_cast<unsigned>(a(1)) & 31u;
+        uint32_t payload = static_cast<uint32_t>(args[0]) & 0x7fffffffu;
+        return ok(static_cast<int64_t>(payload >> sh));
+      }
+      default:
+        panic("evalAlu: id 0x%x is not a pure ALU primitive",
+              static_cast<unsigned>(id));
+    }
+}
 
 } // namespace zarf
 

@@ -196,6 +196,11 @@ class Heap
      *  the machine can halt with HeapCorrupt instead of spinning.
      *  The common case — an integer, or a reference to a non-Ind
      *  object — is decided inline without entering the walk. */
+    /** A header address is valid iff it lies inside the two
+     *  semispaces (the trailing slack words are never object
+     *  bases). */
+    bool validAddr(Word addr) const { return addr < 2 * semiWords; }
+
     Word
     chase(Word value) const
     {
@@ -318,11 +323,6 @@ class Heap
     /** Evacuate tail for indirection chains. `h` is the (already
      *  charged and validated) header of `addr`, known to be Ind. */
     Word evacuateInd(Word addr, Word h);
-
-    /** A header address is valid iff it lies inside the two
-     *  semispaces (the trailing slack words are never object
-     *  bases). */
-    bool validAddr(Word addr) const { return addr < 2 * semiWords; }
 
     /** Latch the corruption flag (first reason wins). Const because
      *  detection can happen on read paths (chase). */

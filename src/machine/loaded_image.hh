@@ -52,9 +52,9 @@ class LoadedImage
      *
      * @param image the binary image (copied into the artifact)
      * @param predecode also build the µop streams and identifier
-     *        table (required by MachineConfig::usePredecode
-     *        machines; the word-walking reference path needs only
-     *        the header parse)
+     *        table (required by every µop-walking dispatch tier;
+     *        only the word-walking reference tier can run from a
+     *        header parse alone)
      */
     static std::shared_ptr<const LoadedImage>
     load(const Image &image, bool predecode = true);

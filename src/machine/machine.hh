@@ -41,6 +41,60 @@ namespace zarf
 class LoadedImage;
 class MachineSnapshot;
 
+/**
+ * How the host finds the next control-FSM state to visit — the
+ * dispatch-tier ladder (docs/PERF.md, "The dispatch-tier ladder").
+ * None of the cycle-accurate tiers changes a modelled cycle; the
+ * fast-functional tier abandons the cycle model entirely.
+ */
+enum class DispatchTier : uint8_t
+{
+    /** Re-fetch and re-decode raw image words every step — the
+     *  original reference machine, kept verbatim as the differential
+     *  baseline. Cycle-accurate. */
+    WordWalk,
+    /** Walk predecoded µop streams through a central switch on the
+     *  pooled hot path (PR 1). Cycle-accurate; the default. */
+    Uop,
+    /** Direct-threaded dispatch over the same µop streams: each
+     *  µop's handler is resolved once at predecode time into a
+     *  dispatch token, and handlers jump straight to the next
+     *  handler (computed goto where the compiler supports it, a
+     *  function-pointer table otherwise). Bit-identical to the µop
+     *  tier in results, cycles, statistics, and traces. */
+    Threaded,
+    /** Threaded dispatch with the cycle/FSM accounting and trace
+     *  hooks compiled out, plus outcome-preserving superinstruction
+     *  fusion. Only results, IO, and the final heap-observable
+     *  value are meaningful; cycles() counts fused *steps* (after
+     *  the still-modelled load), the per-instruction execution
+     *  cycle fields of stats() stop accumulating while the
+     *  instruction, allocation, and call counters stay exact (load
+     *  and GC accounting is shared machinery and still charged),
+     *  and the per-µop trace and FSM-tally hooks emit nothing. For campaign and fuzz
+     *  workloads only — never for timing. */
+    FastFunctional,
+};
+
+/** Name of a DispatchTier value, for reports and bench rows. */
+const char *dispatchTierName(DispatchTier t);
+
+/** True for the tiers that execute predecoded µop streams (every
+ *  tier except the word-walking reference path). */
+inline bool
+tierUsesPredecode(DispatchTier t)
+{
+    return t != DispatchTier::WordWalk;
+}
+
+/** True for the tiers held to the full cycle model (everything but
+ *  FastFunctional). */
+inline bool
+tierCycleAccurate(DispatchTier t)
+{
+    return t != DispatchTier::FastFunctional;
+}
+
 /** Machine configuration. */
 struct MachineConfig
 {
@@ -53,14 +107,25 @@ struct MachineConfig
     /** Collect every N cycles (0 disables) — the paper's
      *  "configured to run at specific intervals" policy. */
     Cycles gcIntervalCycles = 0;
-    /** Execute predecoded µop streams (machine/predecode.hh)
-     *  instead of re-fetching and re-decoding raw image words every
-     *  step. Bit-identical results, cycle counts, and statistics on
-     *  every well-formed image; structurally invalid bodies are
-     *  rejected at load instead of at first execution. The
-     *  word-walking path remains available (false) for one release
-     *  as the differential-testing reference. */
+    /** Host dispatch tier (see DispatchTier). Cycle-accurate tiers
+     *  are bit-identical to each other on every well-formed image.
+     *  When left at the default (Uop), the deprecated usePredecode
+     *  shim below still selects between Uop and WordWalk so code
+     *  predating the enum keeps its meaning; an explicit non-default
+     *  tier always wins. */
+    DispatchTier tier = DispatchTier::Uop;
+    /** Deprecated shim for the pre-tier bool: false selects the
+     *  word-walking reference path *if* `tier` was left at its
+     *  default. New code should set `tier` directly. */
     bool usePredecode = true;
+    /** The tier this configuration actually selects. */
+    DispatchTier
+    effectiveTier() const
+    {
+        if (tier == DispatchTier::Uop && !usePredecode)
+            return DispatchTier::WordWalk;
+        return tier;
+    }
     /** Event sink for lifecycle/exec/GC events (null = tracing off;
      *  docs/OBSERVABILITY.md). Not owned; must outlive the machine. */
     obs::Recorder *trace = nullptr;
@@ -111,7 +176,8 @@ class Machine
      * redone. Bit-identical to the raw-image constructor in results,
      * cycles, statistics, and traces — modelled loading is still
      * simulated and charged in full. The artifact must have been
-     * built with predecode support when config.usePredecode is set.
+     * built with predecode support when the configured dispatch
+     * tier executes µop streams (every tier but WordWalk).
      */
     Machine(std::shared_ptr<const LoadedImage> li, IoBus &bus,
             MachineConfig config = {});
@@ -129,8 +195,11 @@ class Machine
     std::shared_ptr<const MachineSnapshot> snapshot() const;
 
     /** Adopt a state captured by snapshot(). The receiver must have
-     *  the same semispace size, the same predecode setting, and the
-     *  same image as the snapshot's source (fatal otherwise). */
+     *  the same semispace size, a state-compatible dispatch tier
+     *  (the µop-walking cycle-accurate tiers {Uop, Threaded} are
+     *  interchangeable; WordWalk and FastFunctional only restore
+     *  within their own tier), and the same image as the snapshot's
+     *  source (fatal otherwise). */
     void restore(const MachineSnapshot &snap);
 
     /** Execute until the status changes or `budget` more cycles

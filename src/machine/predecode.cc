@@ -51,6 +51,30 @@ makeOperand(const Operand &op)
     return { op.src, static_cast<Word>(op.val) };
 }
 
+/** Resolve a let µop's direct-threaded dispatch token. Everything
+ *  the µop path re-branches on per execution — callee kind, callee
+ *  class, saturation vs over/under-application — is static, so the
+ *  handler choice is made exactly once, here. */
+uint8_t
+letToken(const Uop &u)
+{
+    if (u.calleeKind != CalleeKind::Func)
+        return u.nargs == 0 ? kTokLetAlias : kTokLetBind;
+    switch (u.calleeClass) {
+      case UCallee::Unknown:
+        return kTokLetUnknown;
+      case UCallee::Cons:
+        if (u.nargs == u.calleeArity)
+            return kTokLetConsSat;
+        if (u.nargs > u.calleeArity)
+            return kTokLetConsOver;
+        return kTokLetApp; // partial constructor: a thunk
+      case UCallee::Other:
+        return kTokLetApp;
+    }
+    return kTokLetUnknown;
+}
+
 } // namespace
 
 Predecoded
@@ -132,6 +156,7 @@ predecodeImage(const Image &image,
                     }
                     u.next =
                         static_cast<uint32_t>(pos + 1 + lw.nargs);
+                    u.tcode = letToken(u);
                     out.uops[pos] = u;
                     pos = u.next;
                     continue;
@@ -177,6 +202,7 @@ predecodeImage(const Image &image,
                     u.patCount =
                         static_cast<uint32_t>(out.patterns.size()) -
                         u.patBegin;
+                    u.tcode = kTokCase;
                     out.uops[pos] = u;
                     break; // block terminator
                   }
@@ -188,6 +214,7 @@ predecodeImage(const Image &image,
                     }
                     u.kind = UopKind::Result;
                     u.operand = makeOperand(unpackResult(w));
+                    u.tcode = kTokResult;
                     out.uops[pos] = u;
                     break; // block terminator
                   }

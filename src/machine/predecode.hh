@@ -82,10 +82,34 @@ enum class UCallee : uint8_t
     Other,   ///< A function or non-constructor primitive.
 };
 
+/**
+ * Direct-threaded dispatch tokens (machine/threaded.hh). Each
+ * executable µop's handler is resolved once, at predecode time, into
+ * one of these codes; the threaded tiers dispatch on the token
+ * instead of re-branching on kind/calleeKind/calleeClass/arity every
+ * execution. Token threading (an index into a per-translation-unit
+ * label or function table) rather than raw label addresses keeps the
+ * Predecoded artifact shareable across machines and processes.
+ */
+enum UTok : uint8_t
+{
+    kTokLetConsSat = 0, ///< Func callee, constructor, saturated.
+    kTokLetConsOver,    ///< Func callee, constructor, over-applied.
+    kTokLetApp,         ///< Func callee: thunk/partial-app alloc.
+    kTokLetUnknown,     ///< Func callee naming nothing (runtime fail).
+    kTokLetAlias,       ///< Local/Arg callee, zero arguments.
+    kTokLetBind,        ///< Local/Arg callee with arguments.
+    kTokCase,
+    kTokResult,
+    kTokInvalid,
+    kNumTok,
+};
+
 /** One predecoded instruction. */
 struct Uop
 {
     UopKind kind = UopKind::Invalid;
+    uint8_t tcode = kTokInvalid; ///< Dispatch token (UTok).
 
     // ---- Let ----
     CalleeKind calleeKind = CalleeKind::Func;

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The direct-threaded dispatch tiers of the λ-machine.
+ *
+ * The µop tier (machine/predecode.hh) already decodes each image
+ * word once, but still finds every handler through a central switch:
+ * one indirect branch for the machine mode, another for the µop
+ * kind, then a chain of data-dependent tests (callee kind, callee
+ * class, saturation). The threaded tiers resolve that whole decision
+ * tree once, at predecode time, into a dispatch token (UTok) stored
+ * in the µop, and each handler jumps straight to the next handler —
+ * a computed goto (`&&label`) where the compiler supports it, a
+ * per-token function table otherwise (ZARF_HAVE_COMPUTED_GOTO,
+ * feature-detected by CMake). Hot machine state (the value register,
+ * the cycle counter, the instruction-class cycle bucket) lives in
+ * locals across handlers instead of being reloaded from the Impl per
+ * step.
+ *
+ * Two tiers share this machinery (DispatchTier in machine.hh):
+ *
+ *  - Threaded: cycle-accurate. Every charge, statistic, trace event,
+ *    and GC trigger point is replicated exactly, so this tier is
+ *    bit-identical to the µop tier — results, cycles, MachineStats,
+ *    FSM tally, event streams, and snapshots are interchangeable
+ *    (tests/test_machine_threaded.cc holds it to that).
+ *
+ *  - FastFunctional: the cycle/FSM accounting and trace hooks are
+ *    compiled out and outcome-preserving superinstruction fusion is
+ *    applied (case-of-value skips the continuation frame; all-int
+ *    primitive application skips the operand-forcing round trips).
+ *    Only the outcome — status, IO stream, exported value — is
+ *    meaningful; cycles() counts fused steps. For campaign and fuzz
+ *    throughput only, never for timing (docs/PERF.md).
+ *
+ * Everything here is internal to src/machine: the tiers are selected
+ * through MachineConfig::tier and implemented as further member
+ * functions of Machine::Impl (machine/machine_impl.hh) in
+ * threaded.cc. This header exists for the documentation above and
+ * compile-time dispatch-capability reporting.
+ */
+
+#ifndef ZARF_MACHINE_THREADED_HH
+#define ZARF_MACHINE_THREADED_HH
+
+namespace zarf
+{
+
+/** True when the threaded tiers run on the computed-goto core in
+ *  this build (testhooks::forceTableDispatch can still select the
+ *  table core at runtime); false when only the portable table core
+ *  is compiled in. */
+bool threadedDispatchUsesComputedGoto();
+
+} // namespace zarf
+
+#endif // ZARF_MACHINE_THREADED_HH

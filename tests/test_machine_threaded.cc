@@ -1,0 +1,506 @@
+/**
+ * @file
+ * Differential testing of the direct-threaded dispatch tier and the
+ * fast-functional mode (machine/threaded.hh) against the µop tier.
+ *
+ * The threaded tier is cycle-accurate: it must be bit-identical to
+ * the µop tier in results, total cycle counts, and every statistic —
+ * on random programs, under GC pressure, under fault injection, and
+ * on the full ICD kernel — and its snapshots must be interchangeable
+ * with µop snapshots. The fast-functional tier abandons the cycle
+ * model, so it is held to outcome equality only: status, diagnostic,
+ * value, and the I/O log. Both tiers carry two dispatch cores
+ * (computed goto and a portable table); every differential here runs
+ * under both cores via testhooks::forceTableDispatch.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ecg/synth.hh"
+#include "fault/campaign.hh"
+#include "fuzz/genprog.hh"
+#include "icd/zarf_icd.hh"
+#include "isa/binary.hh"
+#include "isa/encoding.hh"
+#include "machine/machine.hh"
+#include "machine/testhooks.hh"
+#include "machine/threaded.hh"
+#include "system/ports.hh"
+
+namespace zarf
+{
+namespace
+{
+
+/** Require every statistic to be identical between two tiers. */
+void
+expectStatsEqual(const MachineStats &a, const MachineStats &b)
+{
+    EXPECT_EQ(a.let.count, b.let.count);
+    EXPECT_EQ(a.let.cycles, b.let.cycles);
+    EXPECT_EQ(a.caseInstr.count, b.caseInstr.count);
+    EXPECT_EQ(a.caseInstr.cycles, b.caseInstr.cycles);
+    EXPECT_EQ(a.result.count, b.result.count);
+    EXPECT_EQ(a.result.cycles, b.result.cycles);
+    EXPECT_EQ(a.branchHeads, b.branchHeads);
+    EXPECT_EQ(a.letArgs, b.letArgs);
+    EXPECT_EQ(a.allocations, b.allocations);
+    EXPECT_EQ(a.allocatedWords, b.allocatedWords);
+    EXPECT_EQ(a.forces, b.forces);
+    EXPECT_EQ(a.whnfHits, b.whnfHits);
+    EXPECT_EQ(a.updates, b.updates);
+    EXPECT_EQ(a.errorsCreated, b.errorsCreated);
+    EXPECT_EQ(a.loadCycles, b.loadCycles);
+    EXPECT_EQ(a.execCycles, b.execCycles);
+    EXPECT_EQ(a.callsPerFunc, b.callsPerFunc);
+    EXPECT_EQ(a.gcRuns, b.gcRuns);
+    EXPECT_EQ(a.gcCycles, b.gcCycles);
+    EXPECT_EQ(a.gcObjectsCopied, b.gcObjectsCopied);
+    EXPECT_EQ(a.gcWordsCopied, b.gcWordsCopied);
+    EXPECT_EQ(a.gcRefChecks, b.gcRefChecks);
+    EXPECT_EQ(a.gcMaxLiveWords, b.gcMaxLiveWords);
+    EXPECT_EQ(a.gcMaxPauseCycles, b.gcMaxPauseCycles);
+}
+
+MachineConfig
+tierConfig(DispatchTier tier, size_t semispaceWords = 1u << 20)
+{
+    MachineConfig cfg;
+    cfg.tier = tier;
+    cfg.semispaceWords = semispaceWords;
+    return cfg;
+}
+
+/** Run both dispatch cores of the tier under test. On builds
+ *  without computed goto both passes use the table core; that is
+ *  redundant but still correct, and keeps the parameter space
+ *  identical across platforms. */
+class TableForcer
+{
+  public:
+    explicit TableForcer(bool forceTable)
+    {
+        testhooks::forceTableDispatch = forceTable;
+    }
+    ~TableForcer() { testhooks::forceTableDispatch = false; }
+};
+
+Image
+randomImage(uint64_t seed)
+{
+    fuzz::GenConfig gcfg;
+    gcfg.numCons = 4;
+    gcfg.numFuncs = 7;
+    gcfg.maxDepth = 5;
+    fuzz::ProgramGenerator gen(seed * 2654435761u + 7, gcfg);
+    BuildResult b = gen.generate().tryBuild();
+    EXPECT_TRUE(b.ok) << b.error;
+    return encodeProgram(b.program);
+}
+
+/** Deterministic logging bus, so I/O-bearing generated programs
+ *  contribute comparable read values and write logs. */
+class LogBus : public IoBus
+{
+  public:
+    SWord
+    getInt(SWord port) override
+    {
+        SWord v = SWord(((uint64_t(port) * 0x9e3779b97f4a7c15ull +
+                          ordinal++ * 0xbf58476d1ce4e5b9ull) >>
+                         17) &
+                        0xffff) -
+                  0x8000;
+        ops.push_back({ true, port, v });
+        return v;
+    }
+
+    void
+    putInt(SWord port, SWord value) override
+    {
+        ops.push_back({ false, port, value });
+    }
+
+    struct Op
+    {
+        bool isGet;
+        SWord port;
+        SWord value;
+        bool
+        operator==(const Op &o) const
+        {
+            return isGet == o.isGet && port == o.port &&
+                   value == o.value;
+        }
+    };
+    std::vector<Op> ops;
+
+  private:
+    uint64_t ordinal = 0;
+};
+
+void
+runThreadedDifferential(uint64_t seed, size_t semispaceWords,
+                        bool forceTable)
+{
+    Image img = randomImage(seed);
+
+    LogBus busA;
+    Machine uop(img, busA, tierConfig(DispatchTier::Uop,
+                                      semispaceWords));
+    Machine::Outcome oa = uop.run();
+
+    TableForcer forcer(forceTable);
+    LogBus busB;
+    Machine thr(img, busB, tierConfig(DispatchTier::Threaded,
+                                      semispaceWords));
+    Machine::Outcome ob = thr.run();
+
+    ASSERT_EQ(oa.status, ob.status)
+        << "uop: " << oa.diagnostic
+        << "\nthreaded: " << ob.diagnostic;
+    EXPECT_EQ(oa.diagnostic, ob.diagnostic);
+    EXPECT_EQ(uop.cycles(), thr.cycles());
+    if (oa.status == MachineStatus::Done) {
+        ASSERT_TRUE(oa.value && ob.value);
+        EXPECT_TRUE(Value::equal(*oa.value, *ob.value))
+            << "uop:      " << oa.value->toString() << "\n"
+            << "threaded: " << ob.value->toString();
+    }
+    expectStatsEqual(uop.stats(), thr.stats());
+    EXPECT_EQ(busA.ops, busB.ops);
+}
+
+void
+runFastDifferential(uint64_t seed, size_t semispaceWords,
+                    bool forceTable)
+{
+    Image img = randomImage(seed);
+
+    LogBus busA;
+    Machine uop(img, busA, tierConfig(DispatchTier::Uop,
+                                      semispaceWords));
+    Machine::Outcome oa = uop.run();
+
+    TableForcer forcer(forceTable);
+    LogBus busB;
+    Machine fast(img, busB, tierConfig(DispatchTier::FastFunctional,
+                                       semispaceWords));
+    Machine::Outcome ob = fast.run();
+
+    // Outcome equality applies when both runs terminated; resource
+    // bounds fire at different points on a tier with no cycle clock
+    // (fuzz/oracle.hh's equivalence map).
+    auto terminal = [](MachineStatus st) {
+        return st == MachineStatus::Done || st == MachineStatus::Stuck;
+    };
+    if (!terminal(oa.status) || !terminal(ob.status))
+        return;
+    ASSERT_EQ(oa.status, ob.status)
+        << "uop: " << oa.diagnostic << "\nfast: " << ob.diagnostic;
+    EXPECT_EQ(oa.diagnostic, ob.diagnostic);
+    if (oa.status == MachineStatus::Done) {
+        ASSERT_TRUE(oa.value && ob.value);
+        EXPECT_TRUE(Value::equal(*oa.value, *ob.value))
+            << "uop:  " << oa.value->toString() << "\n"
+            << "fast: " << ob.value->toString();
+    }
+    EXPECT_EQ(busA.ops, busB.ops);
+}
+
+// seed, forceTable
+using TierParam = std::tuple<uint64_t, bool>;
+
+class ThreadedDifferential
+    : public ::testing::TestWithParam<TierParam>
+{};
+
+TEST_P(ThreadedDifferential, BitIdenticalOnRandomPrograms)
+{
+    auto [seed, forceTable] = GetParam();
+    runThreadedDifferential(seed, 1u << 20, forceTable);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ThreadedDifferential,
+    ::testing::Combine(::testing::Range(uint64_t(0), uint64_t(120)),
+                       ::testing::Bool()));
+
+class ThreadedGcDifferential
+    : public ::testing::TestWithParam<TierParam>
+{};
+
+TEST_P(ThreadedGcDifferential, BitIdenticalUnderGcPressure)
+{
+    // A heap barely above the safe-point margin forces frequent
+    // collections; the threaded tier's register-cached state must
+    // spill and reload around every GC so roots, copy order, and
+    // pause accounting match the µop tier exactly.
+    auto [seed, forceTable] = GetParam();
+    runThreadedDifferential(seed, 3 * 4096, forceTable);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ThreadedGcDifferential,
+    ::testing::Combine(::testing::Range(uint64_t(0), uint64_t(60)),
+                       ::testing::Bool()));
+
+class FastDifferential : public ::testing::TestWithParam<TierParam>
+{};
+
+TEST_P(FastDifferential, OutcomeEqualOnRandomPrograms)
+{
+    auto [seed, forceTable] = GetParam();
+    runFastDifferential(seed, 1u << 20, forceTable);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, FastDifferential,
+    ::testing::Combine(::testing::Range(uint64_t(0), uint64_t(120)),
+                       ::testing::Bool()));
+
+class FastGcDifferential : public ::testing::TestWithParam<TierParam>
+{};
+
+TEST_P(FastGcDifferential, OutcomeEqualUnderGcPressure)
+{
+    auto [seed, forceTable] = GetParam();
+    runFastDifferential(seed, 3 * 4096, forceTable);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, FastGcDifferential,
+    ::testing::Combine(::testing::Range(uint64_t(0), uint64_t(60)),
+                       ::testing::Bool()));
+
+// ----------------------------------------------------------------
+// Fault injection: the tiers must agree bit-for-bit on what a
+// physical upset does, including the detection diagnostics.
+// ----------------------------------------------------------------
+
+TEST(ThreadedFault, HeapBitFlipBitIdentical)
+{
+    for (uint64_t seed : { 3u, 11u, 27u, 44u }) {
+        Image img = randomImage(seed);
+        NullBus busA, busB;
+        Machine uop(img, busA, tierConfig(DispatchTier::Uop));
+        Machine thr(img, busB, tierConfig(DispatchTier::Threaded));
+
+        // Identical schedule on both machines: run a prefix, flip
+        // the same heap bit, then run out.
+        for (Machine *m : { &uop, &thr }) {
+            m->advance(2000);
+            m->injectHeapBitFlip(size_t(seed * 13 + 5),
+                                 unsigned(seed % 31));
+            m->run();
+        }
+        EXPECT_EQ(uop.status(), thr.status());
+        EXPECT_EQ(uop.diagnostic(), thr.diagnostic());
+        EXPECT_EQ(uop.cycles(), thr.cycles());
+        expectStatsEqual(uop.stats(), thr.stats());
+    }
+}
+
+TEST(ThreadedFault, OperandBitFlipBitIdentical)
+{
+    for (uint64_t seed : { 7u, 19u, 52u }) {
+        Image img = randomImage(seed);
+        NullBus busA, busB;
+        Machine uop(img, busA, tierConfig(DispatchTier::Uop));
+        Machine thr(img, busB, tierConfig(DispatchTier::Threaded));
+        for (Machine *m : { &uop, &thr }) {
+            m->advance(1500);
+            m->injectOperandBitFlip(unsigned(seed % 32));
+            m->run();
+        }
+        EXPECT_EQ(uop.status(), thr.status());
+        EXPECT_EQ(uop.diagnostic(), thr.diagnostic());
+        EXPECT_EQ(uop.cycles(), thr.cycles());
+        expectStatsEqual(uop.stats(), thr.stats());
+    }
+}
+
+// ----------------------------------------------------------------
+// Snapshot/restore: µop and threaded snapshots are interchangeable;
+// the fast tier round-trips within its own family.
+// ----------------------------------------------------------------
+
+TEST(ThreadedSnapshot, CrossTierRestoreBitIdentical)
+{
+    Image img = randomImage(23);
+    NullBus busA;
+    Machine uop(img, busA, tierConfig(DispatchTier::Uop));
+    Machine::Outcome straight = uop.run();
+
+    // µop snapshot mid-run -> threaded machine finishes it, and the
+    // other direction, both landing exactly where the straight µop
+    // run landed.
+    for (DispatchTier src : { DispatchTier::Uop,
+                              DispatchTier::Threaded }) {
+        DispatchTier dst = src == DispatchTier::Uop
+                               ? DispatchTier::Threaded
+                               : DispatchTier::Uop;
+        NullBus busS, busD;
+        Machine source(img, busS, tierConfig(src));
+        source.advance(uop.cycles() / 2);
+        auto snap = source.snapshot();
+        Machine fork(img, busD, tierConfig(dst));
+        fork.restore(*snap);
+        Machine::Outcome out = fork.run();
+        EXPECT_EQ(out.status, straight.status);
+        EXPECT_EQ(fork.cycles(), uop.cycles());
+        if (straight.status == MachineStatus::Done) {
+            ASSERT_TRUE(out.value && straight.value);
+            EXPECT_TRUE(Value::equal(*out.value, *straight.value));
+        }
+        expectStatsEqual(fork.stats(), uop.stats());
+    }
+}
+
+TEST(ThreadedSnapshot, FastRoundTripsWithinItsFamily)
+{
+    Image img = randomImage(31);
+    NullBus busA, busB;
+    Machine straight(img, busA,
+                     tierConfig(DispatchTier::FastFunctional));
+    Machine::Outcome whole = straight.run();
+
+    Machine rt(img, busB, tierConfig(DispatchTier::FastFunctional));
+    rt.advance(straight.cycles() / 2);
+    auto snap = rt.snapshot();
+    Machine fork(img, busB, tierConfig(DispatchTier::FastFunctional));
+    fork.restore(*snap);
+    Machine::Outcome out = fork.run();
+    EXPECT_EQ(out.status, whole.status);
+    EXPECT_EQ(fork.cycles(), straight.cycles());
+    if (whole.status == MachineStatus::Done) {
+        ASSERT_TRUE(out.value && whole.value);
+        EXPECT_TRUE(Value::equal(*out.value, *whole.value));
+    }
+}
+
+TEST(ThreadedSnapshotDeathTest, CrossFamilyRestoreIsFatal)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Image img = randomImage(5);
+    NullBus busA, busB;
+    Machine fast(img, busA, tierConfig(DispatchTier::FastFunctional));
+    fast.advance(1000);
+    auto snap = fast.snapshot();
+    Machine thr(img, busB, tierConfig(DispatchTier::Threaded));
+    EXPECT_DEATH(thr.restore(*snap), "dispatch tier mismatch");
+}
+
+// ----------------------------------------------------------------
+// ICD kernel workload
+// ----------------------------------------------------------------
+
+/** Back-to-back rig as in the Sec. 6 trace: the timer always
+ *  fires, ECG samples come from a scripted heart. */
+class BusyRig : public IoBus
+{
+  public:
+    explicit BusyRig(ecg::Heart &h) : heart(h) {}
+
+    SWord
+    getInt(SWord port) override
+    {
+        if (port == sys::kPortTimer)
+            return 1;
+        if (port == sys::kPortEcgIn)
+            return heart.nextSample();
+        return 0;
+    }
+
+    void
+    putInt(SWord port, SWord v) override
+    {
+        writes.push_back({ port, v });
+    }
+
+    ecg::Heart &heart;
+    std::vector<std::pair<SWord, SWord>> writes;
+};
+
+TEST(ThreadedIcd, KernelTraceBitIdentical)
+{
+    // Include a VT episode so therapy paths execute in both runs.
+    ecg::ScriptedHeart heartA({ { 20.0, 75.0 }, { 40.0, 190.0 } },
+                              42);
+    ecg::ScriptedHeart heartB({ { 20.0, 75.0 }, { 40.0, 190.0 } },
+                              42);
+    BusyRig rigA(heartA), rigB(heartB);
+    Image img = icd::buildKernelImage();
+    Machine uop(img, rigA, tierConfig(DispatchTier::Uop));
+    Machine thr(img, rigB, tierConfig(DispatchTier::Threaded));
+
+    while (uop.cycles() < 3'000'000 &&
+           uop.advance(500'000) == MachineStatus::Running) {}
+    while (thr.cycles() < 3'000'000 &&
+           thr.advance(500'000) == MachineStatus::Running) {}
+
+    EXPECT_EQ(uop.cycles(), thr.cycles());
+    EXPECT_EQ(rigA.writes, rigB.writes);
+    expectStatsEqual(uop.stats(), thr.stats());
+}
+
+TEST(ThreadedIcd, KernelOutputFastMatches)
+{
+    // The fast tier has no cycle clock, so drive both runs by I/O
+    // progress instead: the kernel's pacing decisions for the same
+    // sample stream must be identical.
+    ecg::ScriptedHeart heartA({ { 20.0, 75.0 }, { 40.0, 190.0 } },
+                              42);
+    ecg::ScriptedHeart heartB({ { 20.0, 75.0 }, { 40.0, 190.0 } },
+                              42);
+    BusyRig rigA(heartA), rigB(heartB);
+    Image img = icd::buildKernelImage();
+    Machine uop(img, rigA, tierConfig(DispatchTier::Uop));
+    Machine fast(img, rigB, tierConfig(DispatchTier::FastFunctional));
+
+    while (uop.cycles() < 3'000'000 &&
+           uop.advance(500'000) == MachineStatus::Running) {}
+    while (rigB.writes.size() < rigA.writes.size() &&
+           fast.advance(500'000) == MachineStatus::Running) {}
+
+    ASSERT_GE(rigB.writes.size(), rigA.writes.size());
+    rigB.writes.resize(rigA.writes.size());
+    EXPECT_EQ(rigA.writes, rigB.writes);
+}
+
+// ----------------------------------------------------------------
+// Campaign tier invariance: verdicts (and the JSON they render to)
+// must not depend on the dispatch tier.
+// ----------------------------------------------------------------
+
+TEST(ThreadedCampaign, VerdictsTierInvariant)
+{
+    fault::CampaignConfig base;
+    base.scenarios = 44; // one full pass over the scenario space
+    base.threads = 2;
+    base.sinusSeconds = 0.35;
+    base.vtSeconds = 0.35;
+
+    fault::CampaignConfig threaded = base;
+    threaded.lambdaTier = DispatchTier::Threaded;
+
+    fault::CampaignReport a = fault::runCampaign(base);
+    fault::CampaignReport b = fault::runCampaign(threaded);
+    EXPECT_EQ(a.toJson(), b.toJson());
+}
+
+// ----------------------------------------------------------------
+// Dispatch capability report
+// ----------------------------------------------------------------
+
+TEST(ThreadedDispatch, CapabilityMatchesBuildDefine)
+{
+#ifdef ZARF_HAVE_COMPUTED_GOTO
+    EXPECT_TRUE(threadedDispatchUsesComputedGoto());
+#else
+    EXPECT_FALSE(threadedDispatchUsesComputedGoto());
+#endif
+}
+
+} // namespace
+} // namespace zarf
