@@ -16,11 +16,24 @@
  *   bench_fault_campaign [--scenarios N] [--threads N] [--seed N]
  *                        [--json FILE] [--metrics-json FILE]
  *                        [--smoke]
+ *                        [--journal FILE] [--resume FILE]
+ *                        [--quarantine DIR] [--retries N]
+ *                        [--max-host-ms N] [--max-lambda-cycles N]
+ *                        [--max-heap-bytes N]
  *
  * --smoke runs one full 44-scenario cycle of the scenario space
  * (11 fault kinds x 2 rhythm flavors x 2 protection models) — the
  * CI gate. The process exits nonzero if any protected-memory
  * scenario silently corrupts output.
+ *
+ * Resilience (docs/RESILIENCE.md, "Harness resilience"): --journal
+ * appends each completed scenario verdict to a crash-safe log;
+ * --resume replays an earlier journal so a killed campaign restarts
+ * from where it stopped — the final JSON is byte-identical to an
+ * uninterrupted run at any --threads. The --max-* flags arm a
+ * per-scenario budget; scenarios that exhaust it after --retries
+ * attempts are quarantined into --quarantine and classified
+ * budget-exceeded while the campaign completes.
  */
 
 #include <cstdio>
@@ -52,11 +65,35 @@ main(int argc, char **argv)
         } else if (!strcmp(argv[i], "--smoke")) {
             // One full cycle of the scenario space.
             cfg.scenarios = 44;
+        } else if (!strcmp(argv[i], "--journal") && i + 1 < argc) {
+            cfg.journalPath = argv[++i];
+        } else if (!strcmp(argv[i], "--resume") && i + 1 < argc) {
+            cfg.resumePath = argv[++i];
+        } else if (!strcmp(argv[i], "--quarantine") && i + 1 < argc) {
+            cfg.quarantineDir = argv[++i];
+        } else if (!strcmp(argv[i], "--retries") && i + 1 < argc) {
+            cfg.retry.maxAttempts = unsigned(atoi(argv[++i])) + 1;
+        } else if (!strcmp(argv[i], "--max-host-ms") &&
+                   i + 1 < argc) {
+            cfg.scenarioBudget.maxHostMillis =
+                uint64_t(atoll(argv[++i]));
+        } else if (!strcmp(argv[i], "--max-lambda-cycles") &&
+                   i + 1 < argc) {
+            cfg.scenarioBudget.maxLambdaCycles =
+                uint64_t(atoll(argv[++i]));
+        } else if (!strcmp(argv[i], "--max-heap-bytes") &&
+                   i + 1 < argc) {
+            cfg.scenarioBudget.maxHeapBytes =
+                uint64_t(atoll(argv[++i]));
         } else {
             fprintf(stderr,
                     "usage: %s [--scenarios N] [--threads N] "
                     "[--seed N] [--json FILE] "
-                    "[--metrics-json FILE] [--smoke]\n",
+                    "[--metrics-json FILE] [--smoke] "
+                    "[--journal FILE] [--resume FILE] "
+                    "[--quarantine DIR] [--retries N] "
+                    "[--max-host-ms N] [--max-lambda-cycles N] "
+                    "[--max-heap-bytes N]\n",
                     argv[0]);
             return 2;
         }
@@ -71,6 +108,9 @@ main(int argc, char **argv)
         printf("  %-20s %zu\n", fault::outcomeName(oc),
                report.count(oc));
     }
+    if (report.resumedFromJournal)
+        printf("  resumed from journal: %zu scenarios\n",
+               report.resumedFromJournal);
     size_t silentProtected = report.protectedSilentCorruptions();
     printf("  protected silent corruptions: %zu (gate: 0)\n",
            silentProtected);

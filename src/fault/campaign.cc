@@ -1,5 +1,7 @@
 #include "fault/campaign.hh"
 
+#include <atomic>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -12,7 +14,9 @@
 #include "obs/metrics.hh"
 #include "support/logging.hh"
 #include "system/system.hh"
+#include "verify/journal.hh"
 #include "verify/parallel.hh"
+#include "verify/quarantine.hh"
 
 namespace zarf::fault
 {
@@ -200,7 +204,8 @@ runScenario(const Image &image,
             const std::shared_ptr<const LoadedImage> &li,
             const mblaze::MbProgram &monitor,
             const mblaze::MbProgram &fallback, const Golden &golden,
-            size_t index, uint64_t seed, const CampaignConfig &ccfg)
+            size_t index, uint64_t seed, const CampaignConfig &ccfg,
+            verify::Budget *budget)
 {
     ScenarioResult r;
     r.index = index;
@@ -220,6 +225,7 @@ runScenario(const Image &image,
     scfg.fallbackProgram = fallback;
     scfg.lambdaTier = ccfg.lambdaTier;
     scfg.faultPlan = std::move(plan);
+    scfg.budget = budget;
     double seconds = r.vtFlavor ? ccfg.vtSeconds : ccfg.sinusSeconds;
 
     std::unique_ptr<ecg::Heart> heart;
@@ -304,7 +310,52 @@ runScenario(const Image &image,
         r.outcome = Outcome::DetectedRecovered;
     else
         r.outcome = Outcome::Masked;
+
+    // A tripped budget overrides the classification: the run was cut
+    // short, so the bit-diff and detector observations above are
+    // partial — recorded, but not a verdict.
+    if (budget) {
+        verify::BudgetTrip t = budget->tripped();
+        if (t != verify::BudgetTrip::None) {
+            r.budgetTrip = uint8_t(t);
+            r.outcome = Outcome::BudgetExceeded;
+        }
+    }
     return r;
+}
+
+/** Quarantine descriptor for a scenario whose budget tripped
+ *  terminally: enough to re-derive and replay the scenario by hand
+ *  (the campaign's inputs are (index, seed) — there is no input
+ *  file to capture). */
+std::string
+scenarioDescriptor(const ScenarioResult &r)
+{
+    return strprintf("zarf campaign scenario\n"
+                     "index %llu\nseed %llu\nkind %s\nvt %d\n"
+                     "protected %d\n",
+                     (unsigned long long)r.index,
+                     (unsigned long long)r.seed,
+                     faultKindName(r.kind), int(r.vtFlavor),
+                     int(r.protectedMemory));
+}
+
+/** Structured verdict sidecar for a quarantined scenario. */
+std::string
+scenarioVerdict(const ScenarioResult &r)
+{
+    return strprintf("{ \"type\": \"campaign-scenario\", "
+                     "\"index\": %llu, \"seed\": %llu, "
+                     "\"kind\": \"%s\", \"vt\": %d, "
+                     "\"protected\": %d, \"trip\": \"%s\", "
+                     "\"attempts\": %u }\n",
+                     (unsigned long long)r.index,
+                     (unsigned long long)r.seed,
+                     faultKindName(r.kind), int(r.vtFlavor),
+                     int(r.protectedMemory),
+                     verify::budgetTripName(
+                         verify::BudgetTrip(r.budgetTrip)),
+                     r.attempts);
 }
 
 } // namespace
@@ -321,6 +372,8 @@ outcomeName(Outcome o)
         return "missed-deadline";
       case Outcome::SilentCorruption:
         return "silent-corruption";
+      case Outcome::BudgetExceeded:
+        return "budget-exceeded";
     }
     return "?";
 }
@@ -395,7 +448,9 @@ CampaignReport::toJson() const
             "\"missedDeadline\": %d, \"eccCorrected\": %llu, "
             "\"eccUncorrectable\": %llu, \"chanOverflows\": %llu, "
             "\"chanFaults\": %llu, \"sensorAlerts\": %llu, "
-            "\"episodes\": %lld, \"shockEvents\": %llu }%s\n",
+            "\"episodes\": %lld, \"shockEvents\": %llu, "
+            "\"budgetTrip\": %u, \"attempts\": %u, "
+            "\"quarantined\": %d }%s\n",
             (unsigned long long)r.index, (unsigned long long)r.seed,
             faultKindName(r.kind), int(r.vtFlavor),
             int(r.protectedMemory), outcomeName(r.outcome),
@@ -410,6 +465,7 @@ CampaignReport::toJson() const
             (unsigned long long)r.sensorAlerts,
             (long long)r.episodes,
             (unsigned long long)r.shockEvents,
+            unsigned(r.budgetTrip), r.attempts, int(r.quarantined),
             i + 1 < results.size() ? "," : "");
     }
     s += "  ]\n";
@@ -463,6 +519,14 @@ CampaignReport::metricsJson() const
     m.setCounter("campaign.sensor-alerts", alerts);
     m.setCounter("campaign.shock-events", shocks);
 
+    uint64_t retries = 0, quarantined = 0;
+    for (const ScenarioResult &r : results) {
+        retries += r.attempts > 1 ? r.attempts - 1 : 0;
+        quarantined += r.quarantined ? 1 : 0;
+    }
+    m.setCounter("campaign.retries", retries);
+    m.setCounter("campaign.quarantined", quarantined);
+
     // One histogram per outcome, bucketed by fault kind (kind order).
     for (size_t o = 0; o < kNumOutcomes; ++o) {
         std::string hist =
@@ -477,6 +541,117 @@ CampaignReport::metricsJson() const
         }
     }
     return m.toJson();
+}
+
+// ----------------------------------------------------------------
+// Journal codec. Field-by-field little-endian u64s (no struct
+// memcpy/padding); a leading format-version word lets the decoder
+// reject records written by a different encoder.
+// ----------------------------------------------------------------
+
+namespace
+{
+/** Bump when the record layout changes; old journals then decode to
+ *  nothing instead of to garbage. */
+constexpr uint64_t kRecordVersion = 1;
+/** Version word + 25 payload fields. */
+constexpr size_t kRecordWords = 26;
+} // namespace
+
+std::string
+campaignFingerprint(const CampaignConfig &cfg)
+{
+    std::string s = "zarf-campaign-v1";
+    verify::journalPutU64(s, kRecordVersion);
+    verify::journalPutU64(s, cfg.scenarios);
+    verify::journalPutU64(s, cfg.seedBase);
+    uint64_t sinusBits, vtBits;
+    static_assert(sizeof(double) == sizeof(uint64_t));
+    std::memcpy(&sinusBits, &cfg.sinusSeconds, sizeof(sinusBits));
+    std::memcpy(&vtBits, &cfg.vtSeconds, sizeof(vtBits));
+    verify::journalPutU64(s, sinusBits);
+    verify::journalPutU64(s, vtBits);
+    return s;
+}
+
+std::string
+encodeScenarioRecord(const ScenarioResult &r)
+{
+    std::string s;
+    s.reserve(kRecordWords * 8);
+    verify::journalPutU64(s, kRecordVersion);
+    verify::journalPutU64(s, r.index);
+    verify::journalPutU64(s, r.seed);
+    verify::journalPutU64(s, uint64_t(r.kind));
+    verify::journalPutU64(s, r.vtFlavor);
+    verify::journalPutU64(s, r.protectedMemory);
+    verify::journalPutU64(s, uint64_t(r.outcome));
+    verify::journalPutU64(s, r.outputMatchesGolden);
+    verify::journalPutU64(s, r.detected);
+    verify::journalPutU64(s, r.restarts);
+    verify::journalPutU64(s, r.degraded);
+    verify::journalPutU64(s, r.lambdaDown);
+    verify::journalPutU64(s, r.monitorFaulted);
+    verify::journalPutU64(s, r.countMismatch);
+    verify::journalPutU64(s, r.resyncRepaired);
+    verify::journalPutU64(s, r.missedDeadline);
+    verify::journalPutU64(s, r.eccCorrected);
+    verify::journalPutU64(s, r.eccUncorrectable);
+    verify::journalPutU64(s, r.chanOverflows);
+    verify::journalPutU64(s, r.chanFaults);
+    verify::journalPutU64(s, r.sensorAlerts);
+    verify::journalPutU64(s, uint64_t(r.episodes));
+    verify::journalPutU64(s, r.shockEvents);
+    verify::journalPutU64(s, r.budgetTrip);
+    verify::journalPutU64(s, r.attempts);
+    verify::journalPutU64(s, r.quarantined);
+    return s;
+}
+
+bool
+decodeScenarioRecord(const std::string &rec, ScenarioResult &out)
+{
+    if (rec.size() != kRecordWords * 8)
+        return false;
+    size_t off = 0;
+    uint64_t v[kRecordWords];
+    for (size_t i = 0; i < kRecordWords; ++i)
+        if (!verify::journalGetU64(rec, off, v[i]))
+            return false;
+    if (v[0] != kRecordVersion)
+        return false;
+    ScenarioResult r;
+    r.index = size_t(v[1]);
+    r.seed = v[2];
+    if (v[3] >= kNumFaultKinds)
+        return false;
+    r.kind = FaultKind(v[3]);
+    r.vtFlavor = v[4] != 0;
+    r.protectedMemory = v[5] != 0;
+    if (v[6] >= kNumOutcomes)
+        return false;
+    r.outcome = Outcome(v[6]);
+    r.outputMatchesGolden = v[7] != 0;
+    r.detected = v[8] != 0;
+    r.restarts = unsigned(v[9]);
+    r.degraded = v[10] != 0;
+    r.lambdaDown = v[11] != 0;
+    r.monitorFaulted = v[12] != 0;
+    r.countMismatch = v[13] != 0;
+    r.resyncRepaired = v[14] != 0;
+    r.missedDeadline = v[15] != 0;
+    r.eccCorrected = v[16];
+    r.eccUncorrectable = v[17];
+    r.chanOverflows = v[18];
+    r.chanFaults = v[19];
+    r.sensorAlerts = v[20];
+    r.episodes = int64_t(v[21]);
+    r.shockEvents = v[22];
+    r.budgetTrip = uint8_t(v[23]);
+    r.attempts = unsigned(v[24]);
+    r.quarantined = v[25] != 0;
+    out = r;
+    return true;
 }
 
 CampaignReport
@@ -510,6 +685,53 @@ runCampaign(const CampaignConfig &cfg)
     if (!goldenVt)
         goldenVt = std::make_shared<const Golden>();
 
+    // ---- Resume: adopt journaled verdicts verbatim. ----
+    std::map<size_t, ScenarioResult> journaled;
+    bool resumeUsable = false;
+    uint64_t resumeIntactBytes = 0;
+    if (!cfg.resumePath.empty()) {
+        verify::JournalRead jr = verify::readJournal(cfg.resumePath);
+        if (jr.ok && !jr.records.empty()) {
+            if (jr.records[0] == campaignFingerprint(cfg)) {
+                resumeUsable = true;
+                resumeIntactBytes = jr.intactBytes;
+                for (size_t k = 1; k < jr.records.size(); ++k) {
+                    ScenarioResult r;
+                    if (decodeScenarioRecord(jr.records[k], r) &&
+                        r.index < cfg.scenarios)
+                        journaled[r.index] = r;
+                }
+            } else {
+                warn("campaign resume: %s was written by a different "
+                     "campaign configuration; ignoring it",
+                     cfg.resumePath.c_str());
+            }
+        }
+    }
+
+    // ---- Journal writer. Appends are fsynced per record, under a
+    // mutex (shard completion order — harmless, the decoder indexes
+    // by scenario). Resuming into the same file keeps its intact
+    // prefix; any other case starts a fresh journal. ----
+    std::optional<verify::JournalWriter> journal;
+    const bool sameFile =
+        resumeUsable && cfg.journalPath == cfg.resumePath;
+    if (!cfg.journalPath.empty()) {
+        if (sameFile) {
+            journal.emplace(cfg.journalPath,
+                            verify::JournalWriter::Mode::Resume,
+                            resumeIntactBytes);
+        } else {
+            journal.emplace(cfg.journalPath,
+                            verify::JournalWriter::Mode::Truncate);
+            journal->append(campaignFingerprint(cfg));
+        }
+    }
+    std::mutex journalMu;
+
+    const bool budgeted = cfg.scenarioBudget.any();
+    std::atomic<size_t> resumedCount{ 0 };
+
     verify::ParallelConfig pcfg;
     pcfg.threads = cfg.threads;
     pcfg.seedBase = cfg.seedBase;
@@ -519,11 +741,53 @@ runCampaign(const CampaignConfig &cfg)
     report.config = cfg;
     report.results =
         verify::shardMap(pcfg, [&](size_t i, uint64_t seed) {
+            if (auto it = journaled.find(i); it != journaled.end()) {
+                // Adopt the journaled verdict verbatim — this is
+                // what makes a resumed report byte-identical to an
+                // uninterrupted one. Re-journal it only into a
+                // *fresh* journal (the same-file case already holds
+                // the record).
+                resumedCount.fetch_add(1, std::memory_order_relaxed);
+                if (journal && !sameFile) {
+                    std::lock_guard lk(journalMu);
+                    journal->append(encodeScenarioRecord(it->second));
+                }
+                return it->second;
+            }
             bool vt = (i / kNumFaultKinds) % 2 == 1;
-            return runScenario(image, li, monitor, fallback,
-                               vt ? *goldenVt : *goldenSinus, i,
-                               seed, cfg);
+            const Golden &golden = vt ? *goldenVt : *goldenSinus;
+            ScenarioResult r;
+            if (!budgeted) {
+                r = runScenario(image, li, monitor, fallback, golden,
+                                i, seed, cfg, nullptr);
+            } else {
+                // Supervised: transient (host-time/cancel) trips
+                // retry with backoff under a fresh Budget; a
+                // deterministic trip or exhausted retries is
+                // terminal — record the partial observations as
+                // BudgetExceeded and quarantine the descriptor so
+                // the campaign completes without the scenario.
+                verify::SupervisedRun sr = verify::superviseTask(
+                    cfg.scenarioBudget, cfg.retry,
+                    [&](verify::Budget &b, unsigned) {
+                        r = runScenario(image, li, monitor, fallback,
+                                        golden, i, seed, cfg, &b);
+                    });
+                r.attempts = sr.attempts;
+                if (sr.wedged && !cfg.quarantineDir.empty()) {
+                    verify::QuarantineEntry q = verify::quarantineStore(
+                        cfg.quarantineDir, scenarioDescriptor(r),
+                        ".scenario", scenarioVerdict(r));
+                    r.quarantined = q.ok;
+                }
+            }
+            if (journal) {
+                std::lock_guard lk(journalMu);
+                journal->append(encodeScenarioRecord(r));
+            }
+            return r;
         });
+    report.resumedFromJournal = resumedCount.load();
     return report;
 }
 

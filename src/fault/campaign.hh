@@ -34,6 +34,8 @@
 
 #include "fault/plan.hh"
 #include "machine/machine.hh"
+#include "verify/budget.hh"
+#include "verify/supervise.hh"
 
 namespace zarf::fault
 {
@@ -45,9 +47,14 @@ enum class Outcome : uint8_t
     DetectedRecovered,
     MissedDeadline,
     SilentCorruption,
+    /** The scenario's verify::Budget tripped terminally (λ-cycle or
+     *  heap ceiling, or a host-time/cancel trip that exhausted its
+     *  retries) before the run completed. The partial observations
+     *  are kept; the verdict is this, not a guess. */
+    BudgetExceeded,
 };
 
-constexpr size_t kNumOutcomes = 4;
+constexpr size_t kNumOutcomes = 5;
 
 /** Stable display name (JSON keys). */
 const char *outcomeName(Outcome o);
@@ -106,6 +113,32 @@ struct CampaignConfig
      *  tier just sweeps faster). FastFunctional is rejected by the
      *  co-simulation (it has no λ cycle clock to schedule by). */
     DispatchTier lambdaTier = DispatchTier::Uop;
+
+    // ---- Resilience (docs/RESILIENCE.md, "Harness resilience") ----
+
+    /** Per-scenario budget. Inactive by default. λ-cycle and heap
+     *  ceilings are deterministic (functions of simulated state):
+     *  they trip on the same slice for every tier and thread count,
+     *  so the report stays byte-identical. Host-time ceilings are
+     *  transient by nature and go through the retry policy. */
+    verify::BudgetSpec scenarioBudget{};
+    /** Retry discipline for transient (host-time/cancel) trips. */
+    verify::RetryPolicy retry{};
+    /** Append-only verdict journal (verify/journal.hh); empty
+     *  disables journaling. Each completed scenario's verdict is
+     *  fsynced before the campaign moves on, so a killed campaign
+     *  resumes from here. */
+    std::string journalPath;
+    /** Journal to resume from (typically == journalPath). Verdicts
+     *  found here — under a matching campaign fingerprint — are
+     *  adopted verbatim instead of re-run, which is what makes a
+     *  resumed report byte-identical to an uninterrupted one. */
+    std::string resumePath;
+    /** Directory for quarantined scenario descriptors (empty
+     *  disables). A scenario whose budget trips terminally is
+     *  recorded here (content-addressed, with a structured verdict
+     *  sidecar) while the campaign completes without it. */
+    std::string quarantineDir;
 };
 
 /** One scenario's derivation plus everything observed. */
@@ -136,6 +169,14 @@ struct ScenarioResult
     uint64_t sensorAlerts = 0;
     int64_t episodes = 0;         ///< Therapy episodes delivered.
     uint64_t shockEvents = 0;
+
+    // Resilience bookkeeping (all zero with the default, unbudgeted
+    // CampaignConfig, so pre-resilience reports are unchanged in
+    // substance).
+    uint8_t budgetTrip = 0;  ///< verify::BudgetTrip code at the stop
+                             ///< (0 = ran to completion).
+    unsigned attempts = 1;   ///< Supervision attempts consumed.
+    bool quarantined = false; ///< Descriptor written to quarantine.
 };
 
 /** Full campaign result. */
@@ -143,6 +184,11 @@ struct CampaignReport
 {
     CampaignConfig config;
     std::vector<ScenarioResult> results; ///< In scenario order.
+
+    /** Scenarios adopted verbatim from the resume journal. NOT part
+     *  of the JSON renderings: a resumed report must be
+     *  byte-identical to an uninterrupted one. */
+    size_t resumedFromJournal = 0;
 
     size_t count(Outcome o) const;
     /** Silent corruptions among protected-memory scenarios. The
@@ -165,6 +211,26 @@ struct CampaignReport
 /** Run a campaign (builds the kernel image, monitor, fallback, and
  *  golden runs internally). */
 CampaignReport runCampaign(const CampaignConfig &cfg);
+
+// ----------------------------------------------------------------
+// Journal codec (exposed for tests and external tooling). Records
+// are encoded field-by-field as little-endian u64s — no struct
+// memcpy, so layout/padding changes can't silently corrupt old
+// journals; a size change is caught by the decoder instead.
+// ----------------------------------------------------------------
+
+/** Record 0 of every campaign journal: the campaign identity the
+ *  verdicts were computed under. A resume whose fingerprint differs
+ *  ignores the journal (with a warning) rather than adopting
+ *  verdicts from a different campaign. */
+std::string campaignFingerprint(const CampaignConfig &cfg);
+
+/** Serialize one scenario verdict for the journal. */
+std::string encodeScenarioRecord(const ScenarioResult &r);
+
+/** Decode a journal record; false (and an untouched `out`) on any
+ *  size or version mismatch. */
+bool decodeScenarioRecord(const std::string &rec, ScenarioResult &out);
 
 } // namespace zarf::fault
 

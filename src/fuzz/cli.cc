@@ -6,6 +6,9 @@
  *   zarf-fuzz [--seed N] [--rounds N] [--per-round N] [--threads N]
  *             [--corpus DIR] [--out DIR] [--max-seconds S]
  *             [--replay HASH | --replay-file FILE] [--reduce]
+ *             [--max-oracle-ms N] [--max-oracle-cycles N]
+ *             [--max-oracle-heap BYTES] [--retries N]
+ *             [--quarantine DIR] [--journal FILE] [--resume FILE]
  *
  * With --corpus, entries load as the seed corpus and newly retained
  * coverage entries are written back to --out (default: the corpus
@@ -14,16 +17,30 @@
  * 1. --replay runs exactly one corpus entry (by content hash)
  * through the oracle and prints the verdict, which is how a finding
  * from any host is reproduced locally.
+ *
+ * Resilience (docs/RESILIENCE.md, "Harness resilience"): the
+ * --max-oracle-* flags arm a per-candidate budget — transient
+ * (host-time) trips retry up to --retries attempts with capped
+ * backoff, terminal trips skip the candidate and (with --quarantine)
+ * store it content-addressed with a structured verdict. --journal
+ * records each completed seed-iteration (fsynced) so a killed
+ * time-boxed run restarted with --resume skips the iterations that
+ * already finished; retained coverage lives in the corpus directory,
+ * so the restarted campaign picks up where the dead one left off.
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <map>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "fuzz/corpus.hh"
 #include "fuzz/fuzzer.hh"
 #include "fuzz/reduce.hh"
+#include "verify/journal.hh"
 
 using namespace zarf;
 using namespace zarf::fuzz;
@@ -35,6 +52,42 @@ uint64_t
 parseU64(const char *s)
 {
     return std::strtoull(s, nullptr, 0);
+}
+
+/** Record 0 of the seed-iteration journal: the campaign shape the
+ *  iterations were run under. */
+std::string
+fuzzFingerprint(const FuzzConfig &cfg)
+{
+    std::string s = "zarf-fuzz-journal-v1";
+    verify::journalPutU64(s, cfg.seed);
+    verify::journalPutU64(s, cfg.rounds);
+    verify::journalPutU64(s, cfg.perRound);
+    return s;
+}
+
+/** One completed seed-iteration: seed, candidates executed,
+ *  divergences found. */
+std::string
+encodeIteration(uint64_t seed, uint64_t executed, uint64_t findings)
+{
+    std::string s;
+    verify::journalPutU64(s, seed);
+    verify::journalPutU64(s, executed);
+    verify::journalPutU64(s, findings);
+    return s;
+}
+
+bool
+decodeIteration(const std::string &rec, uint64_t &seed,
+                uint64_t &executed, uint64_t &findings)
+{
+    if (rec.size() != 3 * 8)
+        return false;
+    size_t off = 0;
+    return verify::journalGetU64(rec, off, seed) &&
+           verify::journalGetU64(rec, off, executed) &&
+           verify::journalGetU64(rec, off, findings);
 }
 
 int
@@ -58,6 +111,7 @@ main(int argc, char **argv)
     cfg.perRound = 64;
     cfg.maxDivergences = 8;
     std::string corpusDir, outDir, replayHash, replayFile;
+    std::string journalPath, resumePath;
     double maxSeconds = 0;
     bool reduce = false;
 
@@ -89,6 +143,24 @@ main(int argc, char **argv)
             replayFile = val("replay-file");
         else if (!std::strcmp(argv[i], "--reduce"))
             reduce = true;
+        else if (!std::strcmp(argv[i], "--max-oracle-ms"))
+            cfg.oracleBudget.maxHostMillis =
+                parseU64(val("max-oracle-ms"));
+        else if (!std::strcmp(argv[i], "--max-oracle-cycles"))
+            cfg.oracleBudget.maxLambdaCycles =
+                parseU64(val("max-oracle-cycles"));
+        else if (!std::strcmp(argv[i], "--max-oracle-heap"))
+            cfg.oracleBudget.maxHeapBytes =
+                parseU64(val("max-oracle-heap"));
+        else if (!std::strcmp(argv[i], "--retries"))
+            cfg.retry.maxAttempts =
+                unsigned(parseU64(val("retries"))) + 1;
+        else if (!std::strcmp(argv[i], "--quarantine"))
+            cfg.quarantineDir = val("quarantine");
+        else if (!std::strcmp(argv[i], "--journal"))
+            journalPath = val("journal");
+        else if (!std::strcmp(argv[i], "--resume"))
+            resumePath = val("resume");
         else {
             std::fprintf(stderr, "unknown option %s\n", argv[i]);
             return 2;
@@ -145,22 +217,86 @@ main(int argc, char **argv)
             .count();
     };
 
-    size_t executed = 0, findings = 0;
+    // Resume: collect the seed-iterations a previous (killed) run
+    // already completed; their counters fold into the totals and
+    // their seeds are skipped below. Retained coverage entries were
+    // written to the corpus dir as they were found, so the reloaded
+    // seed corpus carries the dead run's progress.
+    std::map<uint64_t, std::pair<uint64_t, uint64_t>> doneSeeds;
+    bool resumeUsable = false;
+    uint64_t resumeIntactBytes = 0;
+    if (!resumePath.empty()) {
+        verify::JournalRead jr = verify::readJournal(resumePath);
+        if (jr.ok && !jr.records.empty()) {
+            if (jr.records[0] == fuzzFingerprint(cfg)) {
+                resumeUsable = true;
+                resumeIntactBytes = jr.intactBytes;
+                for (size_t k = 1; k < jr.records.size(); ++k) {
+                    uint64_t s, e, f;
+                    if (decodeIteration(jr.records[k], s, e, f))
+                        doneSeeds[s] = { e, f };
+                }
+            } else {
+                std::fprintf(stderr,
+                             "resume: %s was written by a different "
+                             "campaign configuration; ignoring it\n",
+                             resumePath.c_str());
+            }
+        }
+    }
+    std::optional<verify::JournalWriter> journal;
+    if (!journalPath.empty()) {
+        if (resumeUsable && journalPath == resumePath) {
+            journal.emplace(journalPath,
+                            verify::JournalWriter::Mode::Resume,
+                            resumeIntactBytes);
+        } else {
+            journal.emplace(journalPath,
+                            verify::JournalWriter::Mode::Truncate);
+            journal->append(fuzzFingerprint(cfg));
+        }
+    }
+
+    size_t executed = 0, findings = 0, retries = 0, quarantined = 0;
     uint64_t seed = cfg.seed;
     for (;;) {
+        if (auto it = doneSeeds.find(seed); it != doneSeeds.end()) {
+            executed += it->second.first;
+            findings += it->second.second;
+            std::printf("seed %llu: journaled (%llu executed, %llu "
+                        "divergences) — skipped\n",
+                        static_cast<unsigned long long>(seed),
+                        static_cast<unsigned long long>(
+                            it->second.first),
+                        static_cast<unsigned long long>(
+                            it->second.second));
+            if (findings > 0 || maxSeconds <= 0 ||
+                elapsed() >= maxSeconds)
+                break;
+            seed += 0x9e3779b9u;
+            continue;
+        }
         FuzzConfig round = cfg;
         round.seed = seed;
         FuzzResult res = runFuzz(round, seedCorpus);
         executed += res.executed;
         findings += res.findings.size();
+        retries += res.retries;
+        quarantined += res.quarantined;
         std::printf("seed %llu: %s\n",
                     static_cast<unsigned long long>(seed),
                     res.summary().c_str());
+        if (journal)
+            journal->append(encodeIteration(seed, res.executed,
+                                            res.findings.size()));
 
         if (!outDir.empty()) {
             for (const Image &img : res.retained) {
+                // Save failures warn and return "" — the in-memory
+                // corpus still grows, the campaign never aborts.
                 std::string p = saveCorpusEntry(outDir, img);
-                std::printf("  retained %s\n", p.c_str());
+                if (!p.empty())
+                    std::printf("  retained %s\n", p.c_str());
                 seedCorpus.push_back(img);
             }
         }
@@ -170,7 +306,9 @@ main(int argc, char **argv)
             if (!outDir.empty()) {
                 std::string p = saveCorpusEntry(
                     outDir + "/findings", f.image);
-                std::printf("  finding written to %s\n", p.c_str());
+                if (!p.empty())
+                    std::printf("  finding written to %s\n",
+                                p.c_str());
             }
             if (reduce) {
                 ReduceResult rr = reduceDivergence(
@@ -181,8 +319,9 @@ main(int argc, char **argv)
                 if (!outDir.empty() && rr.diverged) {
                     std::string p = saveCorpusEntry(
                         outDir + "/findings", rr.image);
-                    std::printf("  reproducer written to %s\n",
-                                p.c_str());
+                    if (!p.empty())
+                        std::printf("  reproducer written to %s\n",
+                                    p.c_str());
                 }
             }
         }
@@ -192,7 +331,12 @@ main(int argc, char **argv)
         seed += 0x9e3779b9u;
     }
 
-    std::printf("total: %zu executed, %zu divergences\n", executed,
-                findings);
+    if (retries || quarantined)
+        std::printf("total: %zu executed, %zu divergences, "
+                    "%zu retries, %zu quarantined\n",
+                    executed, findings, retries, quarantined);
+    else
+        std::printf("total: %zu executed, %zu divergences\n",
+                    executed, findings);
     return findings ? 1 : 0;
 }

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "support/logging.hh"
+
 namespace zarf::fuzz
 {
 
@@ -115,11 +117,28 @@ std::string
 saveCorpusEntry(const std::string &dir, const Image &image)
 {
     namespace fs = std::filesystem;
-    fs::create_directories(dir);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        warn("corpus: cannot create %s: %s — entry not saved",
+             dir.c_str(), ec.message().c_str());
+        return "";
+    }
     fs::path p =
         fs::path(dir) / (hashName(imageHash(image)) + ".zimg");
     std::ofstream out(p);
+    if (!out) {
+        warn("corpus: cannot open %s for writing — entry not saved",
+             p.string().c_str());
+        return "";
+    }
     out << imageToText(image);
+    out.flush();
+    if (!out) {
+        warn("corpus: short write to %s — entry not saved",
+             p.string().c_str());
+        return "";
+    }
     return p.string();
 }
 

@@ -61,7 +61,10 @@ struct CorpusLoad
 CorpusLoad loadCorpusDir(const std::string &dir);
 
 /** Write an image into `dir` under its content-address; returns the
- *  path (the file may already exist — identical by construction). */
+ *  path (the file may already exist — identical by construction).
+ *  Best-effort: an uncreatable directory or a failed write warns
+ *  and returns "" — a full disk or bad --corpus flag must never
+ *  abort a campaign that is otherwise producing results. */
 std::string saveCorpusEntry(const std::string &dir,
                             const Image &image);
 

@@ -3,7 +3,9 @@
 #include <cstdio>
 
 #include "fuzz/corpus.hh"
+#include "support/logging.hh"
 #include "verify/parallel.hh"
+#include "verify/quarantine.hh"
 
 namespace zarf::fuzz
 {
@@ -42,6 +44,54 @@ makeCandidate(uint64_t seed, const FuzzConfig &cfg,
     }
     ProgramGenerator gen(rng.next(), cfg.gen);
     return encodeProgram(gen.generate().build());
+}
+
+/** One candidate's supervised oracle evaluation. */
+struct SupervisedOracle
+{
+    OracleResult o;
+    unsigned attempts = 1;
+    bool quarantined = false;
+};
+
+/**
+ * Run the oracle, supervised when FuzzConfig::oracleBudget is armed:
+ * each attempt gets a fresh Budget (host deadline watched by the
+ * Supervisor), transient trips retry with backoff, and a terminal
+ * trip quarantines the candidate image — the campaign then proceeds
+ * without it, counting it as Skip.
+ */
+SupervisedOracle
+runOracleSupervised(const Image &img, const FuzzConfig &cfg)
+{
+    SupervisedOracle s;
+    if (!cfg.oracleBudget.any()) {
+        s.o = runOracle(img, cfg.oracle);
+        return s;
+    }
+    verify::SupervisedRun sr = verify::superviseTask(
+        cfg.oracleBudget, cfg.retry,
+        [&](verify::Budget &b, unsigned) {
+            OracleConfig oc = cfg.oracle;
+            oc.budget = &b;
+            s.o = runOracle(img, oc);
+        });
+    s.attempts = sr.attempts;
+    if (sr.wedged && !cfg.quarantineDir.empty()) {
+        std::string verdict = strprintf(
+            "{ \"type\": \"fuzz-candidate\", \"hash\": "
+            "\"%016llx\", \"trip\": \"%s\", \"attempts\": %u, "
+            "\"detail\": \"%s\" }\n",
+            (unsigned long long)imageHash(img),
+            verify::budgetTripName(sr.trip), sr.attempts,
+            s.o.detail.c_str());
+        s.quarantined =
+            verify::quarantineStore(cfg.quarantineDir,
+                                    imageToText(img), ".zimg",
+                                    verdict)
+                .ok;
+    }
+    return s;
 }
 
 /** Fold one oracle result into the campaign state. */
@@ -85,7 +135,14 @@ FuzzResult::summary() const
                   executed, agreed, rejected, skipped,
                   findings.size(), retained.size(),
                   coverage.summary().c_str());
-    return buf;
+    std::string s = buf;
+    if (retries || quarantined) {
+        std::snprintf(buf, sizeof(buf),
+                      "; %zu retries, %zu quarantined", retries,
+                      quarantined);
+        s += buf;
+    }
+    return s;
 }
 
 FuzzResult
@@ -96,9 +153,11 @@ runFuzz(const FuzzConfig &cfg, const std::vector<Image> &seedCorpus)
 
     // Seed entries first: prime coverage, surface stale findings.
     for (const Image &img : seedCorpus) {
-        OracleResult o = runOracle(img, cfg.oracle);
+        SupervisedOracle s = runOracleSupervised(img, cfg);
+        out.retries += s.attempts > 1 ? s.attempts - 1 : 0;
+        out.quarantined += s.quarantined ? 1 : 0;
         Image copy = img;
-        fold(out, corpus, std::move(copy), o, true);
+        fold(out, corpus, std::move(copy), s.o, true);
         if (out.findings.size() >= cfg.maxDivergences)
             return out;
     }
@@ -119,13 +178,16 @@ runFuzz(const FuzzConfig &cfg, const std::vector<Image> &seedCorpus)
         pc.threads = cfg.threads;
         pc.seedBase = cfg.seed;
         pc.shards = batch.size();
-        std::vector<OracleResult> results = verify::shardMap(
+        std::vector<SupervisedOracle> results = verify::shardMap(
             pc, [&](size_t i, uint64_t) {
-                return runOracle(batch[i], cfg.oracle);
+                return runOracleSupervised(batch[i], cfg);
             });
 
         for (size_t i = 0; i < batch.size(); ++i) {
-            fold(out, corpus, std::move(batch[i]), results[i],
+            out.retries +=
+                results[i].attempts > 1 ? results[i].attempts - 1 : 0;
+            out.quarantined += results[i].quarantined ? 1 : 0;
+            fold(out, corpus, std::move(batch[i]), results[i].o,
                  false);
             if (out.findings.size() >= cfg.maxDivergences)
                 return out;

@@ -28,6 +28,8 @@
 #include "fuzz/genprog.hh"
 #include "fuzz/mutate.hh"
 #include "fuzz/oracle.hh"
+#include "verify/budget.hh"
+#include "verify/supervise.hh"
 
 namespace zarf::fuzz
 {
@@ -49,6 +51,23 @@ struct FuzzConfig
     double astMutateP = 0.35;
     double imageMutateP = 0.20;
     double spliceP = 0.10;
+
+    // ---- Resilience (docs/RESILIENCE.md, "Harness resilience") ----
+
+    /** Per-candidate oracle budget. Inactive by default. When any
+     *  limit is set, each oracle evaluation runs supervised
+     *  (verify/supervise.hh): transient trips retry with backoff, a
+     *  terminal trip skips the candidate. Deterministic limits
+     *  (λ-cycles/heap) preserve the campaign's thread-count
+     *  determinism; host-time limits trade it for liveness. */
+    verify::BudgetSpec oracleBudget{};
+    /** Retry discipline for transient (host-time/cancel) trips. */
+    verify::RetryPolicy retry{};
+    /** Directory for wedging candidate images (empty disables).
+     *  Quarantined candidates are stored content-addressed in the
+     *  corpus text format with a structured verdict sidecar, and
+     *  the campaign continues without them. */
+    std::string quarantineDir;
 };
 
 /** One recorded divergence. */
@@ -66,6 +85,10 @@ struct FuzzResult
     size_t agreed = 0;
     size_t rejected = 0;
     size_t skipped = 0;
+    /** Supervised-oracle retries consumed (transient trips). */
+    size_t retries = 0;
+    /** Candidates quarantined after a terminal budget trip. */
+    size_t quarantined = 0;
     std::vector<Finding> findings;
     /** Union coverage of the retained corpus. */
     CoverageSig coverage;

@@ -6,6 +6,7 @@
 #include "isa/validate.hh"
 #include "sem/bigstep.hh"
 #include "sem/smallstep.hh"
+#include "verify/budget.hh"
 
 namespace zarf::fuzz
 {
@@ -136,6 +137,9 @@ runOracle(const Image &image, const OracleConfig &cfg)
     mc.tier = DispatchTier::Uop;
     mc.trace = &uopTrace;
     mc.fsmTally = true;
+    // Every machine below inherits the budget token via the copied
+    // config, so a cancel reels in whichever evaluator is running.
+    mc.budget = cfg.budget;
     Machine uop(image, uopBus, mc);
     Machine::Outcome uopOut = uop.run(cfg.maxCycles);
     r.uopStatus = uopOut.status;
@@ -174,6 +178,18 @@ runOracle(const Image &image, const OracleConfig &cfg)
     Machine::Outcome fastOut{ MachineStatus::Running, nullptr, "" };
     if (cfg.compareFast)
         fastOut = fast.run(cfg.maxCycles);
+
+    // Budget trip anywhere above => Skip before any comparison: a
+    // latched token stops the *other* machines at cycle 0, and a
+    // host-time trip lands at a tier-dependent point, so none of the
+    // bit-exact claims apply to these runs.
+    if (cfg.budget &&
+        cfg.budget->tripped() != verify::BudgetTrip::None) {
+        r.verdict = Verdict::Skip;
+        r.detail = std::string("budget: ") +
+                   verify::budgetTripName(cfg.budget->tripped());
+        return r;
+    }
 
     DecodeResult dec = decodeProgram(image);
     r.decodeOk = dec.ok;
@@ -391,6 +407,16 @@ runOracle(const Image &image, const OracleConfig &cfg)
             return "";
         };
         if (std::string d = snapDiff(); !d.empty()) {
+            // A budget trip mid-replay is a host abort, not a
+            // divergence.
+            if (cfg.budget && cfg.budget->tripped() !=
+                                  verify::BudgetTrip::None) {
+                r.verdict = Verdict::Skip;
+                r.detail =
+                    std::string("budget: ") +
+                    verify::budgetTripName(cfg.budget->tripped());
+                return r;
+            }
             r.verdict = Verdict::Divergence;
             r.detail = "snapshot replay " + d;
             return r;

@@ -107,6 +107,13 @@ struct OracleConfig
     bool compareFast = true;
     /** Run the snapshot/restore replay check. */
     bool snapshotReplay = true;
+    /** Cooperative cancellation/budget token (verify/budget.hh),
+     *  shared by every machine the oracle builds. A trip — observed
+     *  by any of them, or latched externally — makes the verdict
+     *  `Skip` (host bounds are not semantics, and host-time trips
+     *  are not tier-invariant, so nothing is compared). Null =
+     *  unlimited. Not owned. */
+    verify::Budget *budget = nullptr;
 };
 
 /** One candidate's oracle evaluation. */

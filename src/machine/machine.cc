@@ -41,6 +41,8 @@ machineStatusName(MachineStatus st)
         return "HeapCorrupt";
       case MachineStatus::MemFault:
         return "MemFault";
+      case MachineStatus::BudgetExceeded:
+        return "BudgetExceeded";
     }
     return "?";
 }

@@ -35,6 +35,11 @@ class Metrics;
 class Recorder;
 } // namespace zarf::obs
 
+namespace zarf::verify
+{
+class Budget;
+} // namespace zarf::verify
+
 namespace zarf
 {
 
@@ -136,6 +141,16 @@ struct MachineConfig
     /** Maintain the per-FSM-state visit/cycle tally (fsmTally()).
      *  Off by default: the hot path stays branch-only-on-a-bool. */
     bool fsmTally = false;
+    /** Cooperative cancellation/budget token (verify/budget.hh).
+     *  When set, advance() runs in bounded chunks and consults the
+     *  token between them — at a step boundary every dispatch tier
+     *  reaches identically — latching MachineStatus::BudgetExceeded
+     *  on a trip. λ-cycle and heap trips land on the same cycle for
+     *  every cycle-accurate tier; the fast-functional tier checks
+     *  its own fused-step clock. Null = unlimited (the default; the
+     *  hot path pays nothing). Not owned; must outlive the machine
+     *  and may be cancelled from any thread. */
+    verify::Budget *budget = nullptr;
 };
 
 /** Current condition of the machine. */
@@ -150,6 +165,11 @@ enum class MachineStatus
                  ///< Recoverable by a system-level restart.
     MemFault,    ///< Uncorrectable memory fault signalled by the
                  ///< ECC/parity machinery (fault injection).
+    BudgetExceeded, ///< The configured verify::Budget tripped — a
+                    ///< host-side abort, not a machine fault. Latched
+                    ///< like the failure statuses; the machine state
+                    ///< at the trip point is consistent and
+                    ///< snapshottable.
 };
 
 /** Name of a MachineStatus value, for diagnostics and reports. */

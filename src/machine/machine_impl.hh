@@ -29,6 +29,7 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "support/logging.hh"
+#include "verify/budget.hh"
 
 namespace zarf
 {
@@ -106,7 +107,19 @@ class Machine::Impl
     MachineStatus
     advance(Cycles budget)
     {
-        Cycles target = total + budget;
+        if (cfg.budget)
+            return advanceBudgeted(budget);
+        advanceTo(total + budget);
+        return status;
+    }
+
+    /** The per-tier advance loops, shared by the budgeted and
+     *  unbudgeted paths. Every tier stops at the first step boundary
+     *  with total >= target, so targets are tier-invariant cut
+     *  points for the cycle-accurate tiers. */
+    void
+    advanceTo(Cycles target)
+    {
         switch (tier) {
           case DispatchTier::Uop:
             while (status == MachineStatus::Running && total < target)
@@ -123,7 +136,73 @@ class Machine::Impl
             advanceFast(target);
             break;
         }
+    }
+
+    /** Budget-enforcement chunk: between chunks the budget token is
+     *  consulted, so a cancel or host-time blowout is observed
+     *  within this many λ cycles of simulated progress. Small enough
+     *  for sub-millisecond host reaction, large enough that the
+     *  check (one clock read) vanishes in the noise. */
+    static constexpr Cycles kBudgetCheckCycles = 65536;
+
+    /**
+     * Budgeted advance (MachineConfig::budget): run the normal tier
+     * loop in bounded chunks and consult the token at the chunk
+     * boundaries — step boundaries every tier reaches identically.
+     * The λ-cycle limit additionally clamps the chunk target, so a
+     * cycle trip latches at the first step boundary at/after the
+     * limit on every cycle-accurate tier — the same cycle, the same
+     * machine state, whatever the tier or the caller's advance()
+     * slicing.
+     */
+    MachineStatus
+    advanceBudgeted(Cycles budget)
+    {
+        verify::Budget &bud = *cfg.budget;
+        Cycles target = total + budget;
+        while (status == MachineStatus::Running && total < target) {
+            verify::BudgetTrip t = bud.check(
+                total, heap.usedWords() * sizeof(Word));
+            if (t != verify::BudgetTrip::None) {
+                tripBudget(t);
+                break;
+            }
+            Cycles chunkEnd =
+                std::min(target, total + kBudgetCheckCycles);
+            Cycles limit = bud.spec().maxLambdaCycles;
+            if (limit > total && limit < chunkEnd)
+                chunkEnd = limit;
+            advanceTo(chunkEnd);
+        }
+        // A budget armed mid-run may already be tripped on entry, or
+        // the loop may have ended exactly on the cycle limit: latch
+        // before reporting so the caller never spins.
+        if (status == MachineStatus::Running) {
+            verify::BudgetTrip t = bud.check(
+                total, heap.usedWords() * sizeof(Word));
+            if (t != verify::BudgetTrip::None)
+                tripBudget(t);
+        }
         return status;
+    }
+
+    /** Latch a budget trip (once, like the failure statuses). The
+     *  machine state is a consistent step boundary: snapshots taken
+     *  here restore, and stats()/cycles() stay coherent. */
+    void
+    tripBudget(verify::BudgetTrip t)
+    {
+        if (status != MachineStatus::Running)
+            return;
+        noteStatus(MachineStatus::BudgetExceeded);
+        if (traceLife)
+            emitT(obs::EventKind::BudgetTrip,
+                  static_cast<int64_t>(t),
+                  static_cast<int64_t>(total));
+        status = MachineStatus::BudgetExceeded;
+        if (diagnostic.empty())
+            diagnostic = std::string("budget exceeded: ") +
+                         verify::budgetTripName(t);
     }
 
     Machine::Outcome

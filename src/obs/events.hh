@@ -95,6 +95,13 @@ enum class EventKind : uint8_t
     MbIn,            ///< a = port, b = value read.
     MbOut,           ///< a = port, b = value written.
 
+    // Harness resilience (verify/budget.hh, verify/supervise.hh).
+    // Appended after the Mblaze block so every pre-existing kind
+    // keeps its ordinal and golden traces stay stable.
+    BudgetTrip,      ///< a = verify::BudgetTrip code, b = λ cycles.
+    TaskRetry,       ///< a = attempt number, b = trip code retried.
+    Quarantine,      ///< a = payload hash (truncated to int64).
+
     NumKinds,
 };
 

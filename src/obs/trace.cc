@@ -54,6 +54,10 @@ constexpr KindInfo kKinds[kNumEventKinds] = {
     { "mb.halt", Cat::Mblaze, Track::Mblaze, 'i' },
     { "mb.in", Cat::Mblaze, Track::Mblaze, 'i' },
     { "mb.out", Cat::Mblaze, Track::Mblaze, 'i' },
+    // Harness resilience (appended; ordinals above must not move).
+    { "budget.trip", Cat::MachineLife, Track::Lambda, 'i' },
+    { "task.retry", Cat::System, Track::System, 'i' },
+    { "quarantine", Cat::System, Track::System, 'i' },
 };
 
 constexpr const char *kTrackNames[] = {

@@ -5,6 +5,7 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "support/logging.hh"
+#include "verify/budget.hh"
 
 namespace zarf::sys
 {
@@ -473,8 +474,10 @@ TwoLayerSystem::triggerRestart(MachineStatus st)
         // fallback detector on the same device rig, or — with no
         // fallback configured — mark the λ-layer dead and keep the
         // monitor/diagnostics alive.
-        ev.blackoutCycles = cfg.restartLatencyCycles;
-        machineEpoch = tripAt + cfg.restartLatencyCycles;
+        Cycles blackout = watchdogBlackoutPenalty(
+            cfg.restartLatencyCycles, 0, cfg.maxBlackoutCycles);
+        ev.blackoutCycles = blackout;
+        machineEpoch = tripAt + blackout;
         degradedClock = 0;
         wedgeUntil = 0;
         if (cfg.fallbackProgram.code.empty()) {
@@ -495,9 +498,13 @@ TwoLayerSystem::triggerRestart(MachineStatus st)
         ev.degraded = degradedMode;
     } else {
         // Bounded-blackout restart: exponential backoff penalty,
-        // image reload, state replay to the monitor.
+        // image reload, state replay to the monitor. The doubling
+        // saturates at maxBlackoutCycles: the pre-shift overflow
+        // test keeps a large restartLatencyCycles from shifting
+        // past 2^64 and wrapping to a near-zero blackout.
         unsigned shift = std::min(restarts - 1, 16u);
-        Cycles penalty = cfg.restartLatencyCycles << shift;
+        Cycles penalty = watchdogBlackoutPenalty(
+            cfg.restartLatencyCycles, shift, cfg.maxBlackoutCycles);
         // Retire the dying incarnation's counters before the reload
         // replaces it — aggregatedLambdaStats() keeps the full
         // history where lambdaStats() alone would silently reset.
@@ -603,6 +610,35 @@ MachineStatus
 TwoLayerSystem::runUntil(Cycles target)
 {
     while (lambdaNow() < target) {
+        // Budget/cancellation between slices: every slice is a
+        // consistent boundary (snapshot-able, observers coherent),
+        // and a slice bounds the host work between checks. The λ
+        // clock is the shared epoch-based one, so deterministic
+        // trips land on the same boundary whatever the dispatch
+        // tier.
+        if (cfg.budget) {
+            // A tripped budget stays tripped: later runUntil calls
+            // (queryTreatments, resync settling) return immediately
+            // instead of resuming the simulation.
+            if (budgetStopped)
+                break;
+            uint64_t heapBytes =
+                (degradedMode || lambdaDead)
+                    ? 0
+                    : machine->heapUsedWords() * sizeof(Word);
+            verify::BudgetTrip t =
+                cfg.budget->check(lambdaNow(), heapBytes);
+            if (t != verify::BudgetTrip::None) {
+                budgetStopped = true;
+                // Once-per-run event; the recorder's own category
+                // mask filters it (BudgetTrip is MachineLife, not
+                // System, so don't gate on the cached traceSys).
+                if (cfg.trace)
+                    emitSys(obs::EventKind::BudgetTrip, int64_t(t),
+                            int64_t(lambdaNow()));
+                break;
+            }
+        }
         applyDueFaults();
         if (degradedMode || lambdaDead) {
             degradedClock += cfg.sliceCycles;

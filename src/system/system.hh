@@ -61,8 +61,33 @@ namespace zarf::obs
 enum class EventKind : uint8_t;
 } // namespace zarf::obs
 
+namespace zarf::verify
+{
+class Budget;
+} // namespace zarf::verify
+
 namespace zarf::sys
 {
+
+/**
+ * The watchdog's backed-off blackout penalty: `latency << shift`,
+ * saturating at `ceiling` (SystemConfig::maxBlackoutCycles). The
+ * overflow test happens *before* the shift — `latency << shift` on
+ * a large configured latency can exceed 2^64 and wrap Cycles to a
+ * near-zero blackout, silently defeating the backoff — so the
+ * result is exact below the ceiling and exactly the ceiling at or
+ * above it. Exposed as a free function so the arithmetic is
+ * unit-testable without engineering a 17-restart scenario.
+ */
+inline Cycles
+watchdogBlackoutPenalty(Cycles latency, unsigned shift, Cycles ceiling)
+{
+    if (latency >= ceiling)
+        return ceiling;
+    if (shift >= 64 || latency > (ceiling >> shift))
+        return ceiling;
+    return latency << shift;
+}
 
 /** One recorded pacing-port write. */
 struct ShockEvent
@@ -132,6 +157,15 @@ struct SystemConfig
     Cycles restartLatencyCycles = kTickCycles / 5; // 1 ms
     /** Restarts beyond this engage the fallback (or give up). */
     unsigned watchdogMaxRestarts = 3;
+    /** Ceiling on the exponentially backed-off blackout penalty.
+     *  The doubling in triggerRestart() is a left shift of
+     *  restartLatencyCycles; without a ceiling a large configured
+     *  latency (or a raised watchdogMaxRestarts) can shift the
+     *  penalty past 2^64 and wrap Cycles to a *tiny* blackout —
+     *  exactly the wrong failure mode. The penalty saturates here
+     *  instead (default: one simulated second, far above any real
+     *  recovery but finite). */
+    Cycles maxBlackoutCycles = kLambdaHz; // 1 s
     /** Tick lag inside this window after a recovery is attributed
      *  to the blackout backlog, not a steady-state deadline miss. */
     Cycles recoveryGraceCycles = 10 * kTickCycles; // 50 ms
@@ -149,6 +183,17 @@ struct SystemConfig
      *  incarnation lands on one timeline (docs/OBSERVABILITY.md).
      *  Not owned; must outlive the system. */
     obs::Recorder *trace = nullptr;
+    /** Cooperative cancellation/budget token (verify/budget.hh) for
+     *  the whole co-simulation. Checked between slices in runUntil()
+     *  against the shared λ clock and the live machine's heap, so a
+     *  trip is observed within one slice (sliceCycles) of simulated
+     *  progress. The machine's own MachineConfig::budget stays null —
+     *  arming it there would surface the trip as a machine failure
+     *  and spuriously engage the watchdog. Deterministic trips
+     *  (λ-cycles, heap) land on the same slice boundary for every
+     *  cycle-accurate tier and thread count. Not owned; may be
+     *  cancelled from any thread. */
+    verify::Budget *budget = nullptr;
     /** Maintain the λ-machine's per-FSM-state tally (it survives
      *  watchdog restarts via aggregatedLambdaTally()). */
     bool lambdaFsmTally = false;
@@ -340,6 +385,11 @@ class TwoLayerSystem
     bool degraded() const { return degradedMode; }
     /** True if the λ-layer is permanently down with no fallback. */
     bool lambdaDown() const { return lambdaDead; }
+    /** True once SystemConfig::budget has tripped and stopped the
+     *  co-simulation (runUntil returned early). The system state is
+     *  a consistent slice boundary: snapshot(), the observers, and
+     *  queryTreatments() all remain usable. */
+    bool budgetTripped() const { return budgetStopped; }
     const std::vector<SensorAlert> &sensorAlerts() const
     {
         return sensorAlertLog;
@@ -519,6 +569,9 @@ class TwoLayerSystem
 
     // Observability (SystemConfig::trace / lambdaFsmTally).
     bool traceSys = false; ///< Cached trace->wants(Cat::System).
+    /** Latched once SystemConfig::budget trips (BudgetTrip event is
+     *  emitted exactly once). */
+    bool budgetStopped = false;
     /** Counters retired from machine incarnations the watchdog has
      *  replaced; aggregatedLambdaStats() adds the live machine's. */
     MachineStats retiredLambda{};

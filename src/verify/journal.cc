@@ -1,0 +1,180 @@
+#include "verify/journal.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "support/logging.hh"
+
+namespace zarf::verify
+{
+
+uint64_t
+journalChecksum(const std::string &payload)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : payload) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+void
+journalPutU64(std::string &out, uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        out.push_back(char((v >> (8 * i)) & 0xff));
+}
+
+bool
+journalGetU64(const std::string &in, size_t &off, uint64_t &v)
+{
+    if (off + 8 > in.size())
+        return false;
+    v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= uint64_t(uint8_t(in[off + i])) << (8 * i);
+    off += 8;
+    return true;
+}
+
+namespace
+{
+
+uint32_t
+getU32(const std::string &in, size_t off)
+{
+    uint32_t v = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        v |= uint32_t(uint8_t(in[off + i])) << (8 * i);
+    return v;
+}
+
+uint64_t
+getU64(const std::string &in, size_t off)
+{
+    uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= uint64_t(uint8_t(in[off + i])) << (8 * i);
+    return v;
+}
+
+constexpr size_t kFrameBytes = 4 + 8; // length + checksum
+
+} // namespace
+
+JournalRead
+readJournal(const std::string &path)
+{
+    JournalRead out;
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+        out.error = path + ": " + std::strerror(errno);
+        return out;
+    }
+    std::string data;
+    char buf[1 << 16];
+    ssize_t n;
+    while ((n = ::read(fd, buf, sizeof(buf))) > 0)
+        data.append(buf, size_t(n));
+    ::close(fd);
+    if (n < 0) {
+        out.error = path + ": " + std::strerror(errno);
+        return out;
+    }
+
+    out.ok = true;
+    size_t off = 0;
+    while (off + kFrameBytes <= data.size()) {
+        uint32_t len = getU32(data, off);
+        uint64_t sum = getU64(data, off + 4);
+        if (off + kFrameBytes + len > data.size())
+            break; // torn tail: record body never hit the disk
+        std::string payload = data.substr(off + kFrameBytes, len);
+        if (journalChecksum(payload) != sum)
+            break; // corrupt tail: stop at the last good record
+        out.records.push_back(std::move(payload));
+        off += kFrameBytes + len;
+    }
+    out.intactBytes = off;
+    out.truncatedTail = off != data.size();
+    return out;
+}
+
+JournalWriter::JournalWriter(const std::string &path, Mode mode,
+                             uint64_t keepBytes)
+    : path(path)
+{
+    int flags = O_WRONLY | O_CREAT | O_CLOEXEC;
+    fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+        failOnce(std::strerror(errno));
+        return;
+    }
+    // Drop everything past the resume point (the whole file for a
+    // fresh journal): a torn tail must not precede new appends.
+    uint64_t keep = mode == Mode::Resume ? keepBytes : 0;
+    if (::ftruncate(fd, off_t(keep)) != 0 ||
+        ::lseek(fd, off_t(keep), SEEK_SET) < 0) {
+        failOnce(std::strerror(errno));
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+JournalWriter::~JournalWriter()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+void
+JournalWriter::failOnce(const std::string &why)
+{
+    if (warned)
+        return;
+    warned = true;
+    warn("journal %s: %s; continuing without checkpointing",
+         path.c_str(), why.c_str());
+}
+
+bool
+JournalWriter::append(const std::string &payload)
+{
+    if (fd < 0)
+        return false;
+    std::string frame;
+    frame.reserve(kFrameBytes + payload.size());
+    uint32_t len = uint32_t(payload.size());
+    for (unsigned i = 0; i < 4; ++i)
+        frame.push_back(char((len >> (8 * i)) & 0xff));
+    journalPutU64(frame, journalChecksum(payload));
+    frame += payload;
+
+    size_t done = 0;
+    while (done < frame.size()) {
+        ssize_t n =
+            ::write(fd, frame.data() + done, frame.size() - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            failOnce(std::strerror(errno));
+            ::close(fd);
+            fd = -1;
+            return false;
+        }
+        done += size_t(n);
+    }
+    if (::fsync(fd) != 0) {
+        failOnce(std::strerror(errno));
+        ::close(fd);
+        fd = -1;
+        return false;
+    }
+    return true;
+}
+
+} // namespace zarf::verify

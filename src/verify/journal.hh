@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Crash-safe append-only verdict journal (docs/RESILIENCE.md,
+ * "Harness resilience").
+ *
+ * Campaign runners journal each completed scenario verdict so a
+ * killed run resumes instead of restarting: on `--resume`, verdicts
+ * already in the journal are served verbatim and only the missing
+ * scenarios re-execute, making the resumed final report byte-
+ * identical to an uninterrupted run.
+ *
+ * Record format (all integers little-endian):
+ *
+ *     [u32 payload length][u64 FNV-1a-64 of payload][payload bytes]
+ *
+ * Every append is fsync'd before returning, so a record is either
+ * durably complete or absent. A reader that hits a short or
+ * checksum-failing tail — the torn last record of a run killed
+ * mid-write — stops there, keeps every earlier record, and flags
+ * `truncatedTail`; the writer then reopens in append mode positioned
+ * after the last good record, so the torn bytes are overwritten by
+ * the next append.
+ *
+ * By convention record 0 is a *fingerprint* of the campaign
+ * configuration that determines the report; a resume against a
+ * journal whose fingerprint differs ignores the journal (with a
+ * warning) rather than mixing incompatible verdicts.
+ */
+
+#ifndef ZARF_VERIFY_JOURNAL_HH
+#define ZARF_VERIFY_JOURNAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zarf::verify
+{
+
+/** FNV-1a-64 over a byte string (the record checksum). */
+uint64_t journalChecksum(const std::string &payload);
+
+/** Everything readJournal recovered. */
+struct JournalRead
+{
+    bool ok = false;       ///< File existed and was readable.
+    std::string error;     ///< Why not, when !ok.
+    bool truncatedTail = false; ///< A torn/corrupt tail was dropped.
+    /** Offset of the first byte past the last intact record — where
+     *  an appending writer must resume. */
+    uint64_t intactBytes = 0;
+    std::vector<std::string> records; ///< Intact records, in order.
+};
+
+/** Read every intact record of `path` (see file comment for the
+ *  torn-tail contract). A missing file is !ok — the caller decides
+ *  whether that means "fresh run" or an error. */
+JournalRead readJournal(const std::string &path);
+
+/**
+ * The appender. Opens the file at construction; every append()
+ * writes one framed record and fsyncs. Write failures latch !ok()
+ * and are reported once via warn() — a full disk degrades the run
+ * to journal-less (it still completes), never aborts it.
+ */
+class JournalWriter
+{
+  public:
+    /** Truncate: start a fresh journal. Resume: keep the first
+     *  `keepBytes` bytes (JournalRead::intactBytes) and append after
+     *  them, discarding any torn tail. */
+    enum class Mode
+    {
+        Truncate,
+        Resume
+    };
+
+    JournalWriter(const std::string &path, Mode mode,
+                  uint64_t keepBytes = 0);
+    ~JournalWriter();
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
+
+    bool ok() const { return fd >= 0; }
+
+    /** Append one record durably (length + checksum + payload, then
+     *  fsync). Returns false — and latches !ok() — on any failure. */
+    bool append(const std::string &payload);
+
+  private:
+    void failOnce(const std::string &why);
+
+    std::string path;
+    int fd = -1;
+    bool warned = false;
+};
+
+/**
+ * Little-endian u64 field codec for journal payloads. Records encode
+ * every field explicitly — never a struct memcpy — so payloads carry
+ * no padding bytes and are byte-identical across compilers.
+ */
+void journalPutU64(std::string &out, uint64_t v);
+/** Reads the u64 at `*off`, advancing it; false on a short buffer. */
+bool journalGetU64(const std::string &in, size_t &off, uint64_t &v);
+
+} // namespace zarf::verify
+
+#endif // ZARF_VERIFY_JOURNAL_HH

@@ -1,0 +1,75 @@
+#include "verify/quarantine.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "support/logging.hh"
+
+namespace zarf::verify
+{
+
+uint64_t
+quarantineHash(const std::string &payload)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : payload) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::string
+quarantineName(const std::string &payload)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  (unsigned long long)quarantineHash(payload));
+    return buf;
+}
+
+namespace
+{
+
+bool
+writeWhole(const std::string &path, const std::string &body)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out << body;
+    out.flush();
+    return bool(out);
+}
+
+} // namespace
+
+QuarantineEntry
+quarantineStore(const std::string &dir, const std::string &payload,
+                const std::string &ext, const std::string &verdict)
+{
+    namespace fs = std::filesystem;
+    QuarantineEntry e;
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        warn("quarantine: cannot create %s: %s", dir.c_str(),
+             ec.message().c_str());
+        return e;
+    }
+    std::string stem = (fs::path(dir) / quarantineName(payload))
+                           .string();
+    e.inputPath = stem + ext;
+    e.verdictPath = stem + ".verdict";
+    if (!writeWhole(e.inputPath, payload) ||
+        !writeWhole(e.verdictPath, verdict)) {
+        warn("quarantine: cannot write %s", stem.c_str());
+        e = QuarantineEntry{};
+        return e;
+    }
+    e.ok = true;
+    return e;
+}
+
+} // namespace zarf::verify

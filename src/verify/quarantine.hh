@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Content-addressed quarantine store for wedging inputs
+ * (docs/RESILIENCE.md, "Harness resilience").
+ *
+ * When supervision (verify/supervise.hh) classifies an input as
+ * deterministically wedging — it trips a simulated-state budget, or
+ * exhausts its transient retries — the runner quarantines it here so
+ * the campaign terminates with a complete report and the input is
+ * preserved for offline replay.
+ *
+ * The store mirrors the fuzz corpus format (fuzz/corpus.hh): each
+ * entry is written under the FNV-1a-64 hash of its payload, 16
+ * lowercase hex digits plus a caller-chosen extension (".zimg" for
+ * fuzz images, ".scenario" for campaign scenario descriptors), so
+ * the directory deduplicates itself. Alongside the payload a
+ * `<hash>.verdict` sidecar records the structured verdict (trip
+ * cause, attempts, budget) in readable `key value` lines.
+ *
+ * Quarantining is best-effort: an unwritable directory warns once
+ * and returns empty paths — resilience machinery must never be the
+ * thing that aborts a run.
+ */
+
+#ifndef ZARF_VERIFY_QUARANTINE_HH
+#define ZARF_VERIFY_QUARANTINE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace zarf::verify
+{
+
+/** FNV-1a-64 over payload bytes — matches fuzz::imageHash on a
+ *  .zimg rendering's source image words only by coincidence; the
+ *  address is a pure function of the stored payload bytes. */
+uint64_t quarantineHash(const std::string &payload);
+
+/** "0123456789abcdef" content-address of a payload. */
+std::string quarantineName(const std::string &payload);
+
+/** Where one quarantined entry landed ("" on failure). */
+struct QuarantineEntry
+{
+    std::string inputPath;   ///< dir/<hash><ext>
+    std::string verdictPath; ///< dir/<hash>.verdict
+    bool ok = false;
+};
+
+/**
+ * Write `payload` under its content-address in `dir` (created if
+ * missing) with extension `ext`, plus the `verdict` sidecar text.
+ * Best-effort: failures warn and return ok == false.
+ */
+QuarantineEntry quarantineStore(const std::string &dir,
+                                const std::string &payload,
+                                const std::string &ext,
+                                const std::string &verdict);
+
+} // namespace zarf::verify
+
+#endif // ZARF_VERIFY_QUARANTINE_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Per-task supervision for the worker pool (docs/RESILIENCE.md,
+ * "Harness resilience").
+ *
+ * Tasks fanned across verify::detail::poolRun are cooperative: they
+ * check their Budget (verify/budget.hh) at SYNC points and abort
+ * with a latched trip. Supervision adds the two pieces cooperation
+ * alone cannot provide:
+ *
+ *  - a process-wide *monitor thread* (Supervisor) that watches every
+ *    registered task's host-time deadline and raises the task's
+ *    cancel flag when it blows through — so a task wedged between
+ *    check points (one enormous GC, a pathological host stall) is
+ *    still reeled in at its next observable point instead of holding
+ *    a pool worker forever;
+ *
+ *  - a *retry policy* with capped exponential backoff: transient
+ *    trips (host time, cancellation — functions of host load, not of
+ *    the input) are retried with a fresh Budget; deterministic trips
+ *    (λ-cycle or heap limits — the same input trips them every time)
+ *    and retry exhaustion classify the input as wedging, which the
+ *    runner quarantines (verify/quarantine.hh) so the campaign
+ *    terminates with a complete report.
+ */
+
+#ifndef ZARF_VERIFY_SUPERVISE_HH
+#define ZARF_VERIFY_SUPERVISE_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "verify/budget.hh"
+
+namespace zarf::verify
+{
+
+/** Capped exponential backoff between retries of a transient trip. */
+struct RetryPolicy
+{
+    /** Total attempts (first run included); minimum 1. */
+    unsigned maxAttempts = 3;
+    /** Backoff before the second attempt; doubles per retry. 0
+     *  disables sleeping (tests). */
+    uint64_t backoffBaseMs = 10;
+    /** Backoff ceiling — the documented cap on the doubling. */
+    uint64_t backoffCapMs = 2000;
+
+    /** Milliseconds to sleep before attempt `attempt` (2-based: the
+     *  first retry is attempt 2). Saturating, never overflows. */
+    uint64_t delayBeforeAttemptMs(unsigned attempt) const;
+};
+
+/** Sleep for the policy's backoff before `attempt` (no-op for the
+ *  first attempt or a zero base). */
+void backoffSleep(const RetryPolicy &policy, unsigned attempt);
+
+/**
+ * The process-wide monitor. One lazily started thread sweeps the
+ * registered watches a few times per second; a watch whose host
+ * deadline has passed gets its Budget cancelled (once). Watches are
+ * registered RAII-style around a supervised attempt.
+ */
+class Supervisor
+{
+  public:
+    static Supervisor &instance();
+
+    /** Register `budget` for cancellation `hostMillis` from now;
+     *  deregisters on destruction. A watch with hostMillis == 0 is
+     *  a no-op. The budget must outlive the watch. */
+    class Watch
+    {
+      public:
+        Watch(Budget &budget, uint64_t hostMillis);
+        ~Watch();
+        Watch(const Watch &) = delete;
+        Watch &operator=(const Watch &) = delete;
+
+      private:
+        uint64_t id = 0; ///< 0 = inactive.
+    };
+
+    /** Tasks the monitor has cancelled since process start. */
+    uint64_t cancellations() const;
+
+  private:
+    Supervisor() = default;
+    friend class Watch;
+};
+
+/**
+ * Run one task under budget + retry supervision.
+ *
+ * `attempt(budget, attemptNo)` runs the task against a fresh Budget
+ * built from `spec` (host deadline armed, monitor watch registered)
+ * and returns when the task completes or aborts on a trip. The
+ * attempt's trip cause decides what happens next:
+ *
+ *   None                  -> done, ok;
+ *   transient trip        -> backoff, retry (up to maxAttempts);
+ *   deterministic trip    -> done, wedged (no retry: same input,
+ *                            same trip);
+ *   retries exhausted     -> done, wedged.
+ *
+ * Returns the final attempt's trip plus the attempt count; `wedged`
+ * is the caller's cue to quarantine the input.
+ */
+struct SupervisedRun
+{
+    BudgetTrip trip = BudgetTrip::None;
+    unsigned attempts = 0;
+    bool wedged = false; ///< Deterministic trip or retries exhausted.
+    unsigned retries() const { return attempts ? attempts - 1 : 0; }
+};
+SupervisedRun
+superviseTask(const BudgetSpec &spec, const RetryPolicy &policy,
+              const std::function<void(Budget &, unsigned)> &attempt);
+
+} // namespace zarf::verify
+
+#endif // ZARF_VERIFY_SUPERVISE_HH

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Crash-safe campaign checkpoint/resume (docs/RESILIENCE.md,
+ * "Harness resilience"): a fault campaign journals every completed
+ * scenario verdict, a killed campaign resumed from that journal
+ * produces a byte-identical report on any thread count, a journal
+ * from a different campaign configuration is ignored, and scenarios
+ * that trip a deterministic budget are quarantined with a structured
+ * verdict while the campaign completes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "fault/campaign.hh"
+#include "verify/journal.hh"
+#include "verify/quarantine.hh"
+
+namespace zarf::fault
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+fs::path
+scratchDir(const char *name)
+{
+    fs::path dir = fs::path(::testing::TempDir()) / name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+/** Small but kind-diverse campaign — fast enough to run several
+ *  times per test. */
+CampaignConfig
+smallCampaign(uint64_t seedBase)
+{
+    CampaignConfig cfg;
+    cfg.scenarios = 12;
+    cfg.seedBase = seedBase;
+    cfg.threads = 2;
+    return cfg;
+}
+
+/** Re-create `path` holding only the first `keep` records of the
+ *  journal at `from` — the on-disk state of a campaign that was
+ *  SIGKILLed after completing `keep - 1` scenarios (record 0 is the
+ *  fingerprint). */
+void
+truncateJournal(const std::string &from, const std::string &path,
+                size_t keep)
+{
+    verify::JournalRead rd = verify::readJournal(from);
+    ASSERT_TRUE(rd.ok) << rd.error;
+    ASSERT_GE(rd.records.size(), keep);
+    verify::JournalWriter w(path,
+                            verify::JournalWriter::Mode::Truncate);
+    ASSERT_TRUE(w.ok());
+    for (size_t i = 0; i < keep; ++i)
+        ASSERT_TRUE(w.append(rd.records[i]));
+}
+
+TEST(ScenarioRecord, CodecRoundTripsEveryField)
+{
+    ScenarioResult r;
+    r.index = 17;
+    r.seed = 0xfeedface12345678ull;
+    r.kind = FaultKind::LambdaWedge;
+    r.vtFlavor = true;
+    r.protectedMemory = false;
+    r.outcome = Outcome::DetectedRecovered;
+    r.outputMatchesGolden = false;
+    r.detected = true;
+    r.restarts = 2;
+    r.degraded = true;
+    r.lambdaDown = false;
+    r.monitorFaulted = true;
+    r.countMismatch = true;
+    r.resyncRepaired = true;
+    r.missedDeadline = false;
+    r.eccCorrected = 3;
+    r.eccUncorrectable = 1;
+    r.chanOverflows = 40;
+    r.chanFaults = 2;
+    r.sensorAlerts = 5;
+    r.episodes = -7;
+    r.shockEvents = 9;
+    r.budgetTrip = 1;
+    r.attempts = 4;
+    r.quarantined = true;
+
+    std::string rec = encodeScenarioRecord(r);
+    ScenarioResult d;
+    ASSERT_TRUE(decodeScenarioRecord(rec, d));
+    EXPECT_EQ(d.index, r.index);
+    EXPECT_EQ(d.seed, r.seed);
+    EXPECT_EQ(d.kind, r.kind);
+    EXPECT_EQ(d.vtFlavor, r.vtFlavor);
+    EXPECT_EQ(d.protectedMemory, r.protectedMemory);
+    EXPECT_EQ(d.outcome, r.outcome);
+    EXPECT_EQ(d.outputMatchesGolden, r.outputMatchesGolden);
+    EXPECT_EQ(d.detected, r.detected);
+    EXPECT_EQ(d.restarts, r.restarts);
+    EXPECT_EQ(d.degraded, r.degraded);
+    EXPECT_EQ(d.lambdaDown, r.lambdaDown);
+    EXPECT_EQ(d.monitorFaulted, r.monitorFaulted);
+    EXPECT_EQ(d.countMismatch, r.countMismatch);
+    EXPECT_EQ(d.resyncRepaired, r.resyncRepaired);
+    EXPECT_EQ(d.missedDeadline, r.missedDeadline);
+    EXPECT_EQ(d.eccCorrected, r.eccCorrected);
+    EXPECT_EQ(d.eccUncorrectable, r.eccUncorrectable);
+    EXPECT_EQ(d.chanOverflows, r.chanOverflows);
+    EXPECT_EQ(d.chanFaults, r.chanFaults);
+    EXPECT_EQ(d.sensorAlerts, r.sensorAlerts);
+    EXPECT_EQ(d.episodes, r.episodes);
+    EXPECT_EQ(d.shockEvents, r.shockEvents);
+    EXPECT_EQ(d.budgetTrip, r.budgetTrip);
+    EXPECT_EQ(d.attempts, r.attempts);
+    EXPECT_EQ(d.quarantined, r.quarantined);
+}
+
+TEST(ScenarioRecord, DecoderRejectsMalformedRecords)
+{
+    ScenarioResult r;
+    std::string rec = encodeScenarioRecord(r);
+    ScenarioResult out;
+    // Wrong size.
+    EXPECT_FALSE(decodeScenarioRecord(rec.substr(1), out));
+    EXPECT_FALSE(decodeScenarioRecord(rec + "x", out));
+    EXPECT_FALSE(decodeScenarioRecord("", out));
+    // Wrong version (field 0).
+    std::string bad = rec;
+    bad[0] = char(0x7f);
+    EXPECT_FALSE(decodeScenarioRecord(bad, out));
+}
+
+TEST(CampaignFingerprint, BindsTheConfigThatShapesTheReport)
+{
+    CampaignConfig a = smallCampaign(7);
+    CampaignConfig b = a;
+    EXPECT_EQ(campaignFingerprint(a), campaignFingerprint(b));
+    // Execution-only knobs don't change the identity.
+    b.threads = 16;
+    b.strategy = LoadStrategy::Cold;
+    EXPECT_EQ(campaignFingerprint(a), campaignFingerprint(b));
+    // Report-shaping knobs do.
+    b = a;
+    b.seedBase = 8;
+    EXPECT_NE(campaignFingerprint(a), campaignFingerprint(b));
+    b = a;
+    b.scenarios = 13;
+    EXPECT_NE(campaignFingerprint(a), campaignFingerprint(b));
+    b = a;
+    b.vtSeconds = a.vtSeconds + 1.0;
+    EXPECT_NE(campaignFingerprint(a), campaignFingerprint(b));
+}
+
+TEST(CampaignResume, KilledCampaignResumesByteIdentical)
+{
+    fs::path dir = scratchDir("campaign-resume");
+    CampaignConfig base = smallCampaign(7);
+
+    // The uninterrupted reference, no journaling at all.
+    CampaignReport full = runCampaign(base);
+    std::string fullJson = full.toJson();
+    std::string fullMetrics = full.metricsJson();
+
+    // A journaled run to completion gives us the record stream a
+    // killed run would have left behind.
+    CampaignConfig jcfg = base;
+    jcfg.journalPath = (dir / "complete.bin").string();
+    CampaignReport journaled = runCampaign(jcfg);
+    EXPECT_EQ(journaled.toJson(), fullJson);
+    verify::JournalRead rd = verify::readJournal(jcfg.journalPath);
+    ASSERT_TRUE(rd.ok);
+    // Fingerprint + one record per scenario.
+    ASSERT_EQ(rd.records.size(), base.scenarios + 1);
+    EXPECT_EQ(rd.records[0], campaignFingerprint(base));
+
+    // Simulate SIGKILL after 5 completed scenarios, then resume on
+    // several thread counts: every resumed report must be
+    // byte-identical to the uninterrupted one.
+    for (unsigned threads : { 1u, 4u }) {
+        std::string killed =
+            (dir / ("killed-" + std::to_string(threads) + ".bin"))
+                .string();
+        truncateJournal(jcfg.journalPath, killed, 1 + 5);
+
+        CampaignConfig rcfg = base;
+        rcfg.threads = threads;
+        rcfg.journalPath = killed;
+        rcfg.resumePath = killed;
+        CampaignReport resumed = runCampaign(rcfg);
+        EXPECT_EQ(resumed.resumedFromJournal, 5u);
+        EXPECT_EQ(resumed.toJson(), fullJson) << threads;
+        EXPECT_EQ(resumed.metricsJson(), fullMetrics) << threads;
+
+        // The journal was completed in place: resuming again adopts
+        // every scenario and re-runs nothing.
+        CampaignReport again = runCampaign(rcfg);
+        EXPECT_EQ(again.resumedFromJournal, base.scenarios);
+        EXPECT_EQ(again.toJson(), fullJson) << threads;
+    }
+}
+
+TEST(CampaignResume, TornJournalTailIsDiscarded)
+{
+    fs::path dir = scratchDir("campaign-torn");
+    CampaignConfig base = smallCampaign(11);
+    base.scenarios = 8;
+
+    CampaignConfig jcfg = base;
+    jcfg.journalPath = (dir / "j.bin").string();
+    CampaignReport full = runCampaign(jcfg);
+    std::string fullJson = full.toJson();
+
+    // A kill mid-append leaves a torn frame at the tail.
+    std::string killed = (dir / "torn.bin").string();
+    truncateJournal(jcfg.journalPath, killed, 1 + 3);
+    {
+        std::ofstream out(killed,
+                          std::ios::binary | std::ios::app);
+        out.write("\x80\x00\x00\x00\x01\x02", 6);
+    }
+
+    CampaignConfig rcfg = base;
+    rcfg.journalPath = killed;
+    rcfg.resumePath = killed;
+    CampaignReport resumed = runCampaign(rcfg);
+    EXPECT_EQ(resumed.resumedFromJournal, 3u);
+    EXPECT_EQ(resumed.toJson(), fullJson);
+}
+
+TEST(CampaignResume, ForeignFingerprintIsIgnored)
+{
+    fs::path dir = scratchDir("campaign-foreign");
+
+    CampaignConfig other = smallCampaign(7);
+    other.scenarios = 8;
+    CampaignConfig ocfg = other;
+    ocfg.journalPath = (dir / "other.bin").string();
+    runCampaign(ocfg);
+
+    // Resume a *different* campaign from that journal: the verdicts
+    // must not be adopted, and the report must equal a fresh run.
+    CampaignConfig mine = smallCampaign(9);
+    mine.scenarios = 8;
+    CampaignReport fresh = runCampaign(mine);
+
+    CampaignConfig rcfg = mine;
+    rcfg.journalPath = (dir / "mine.bin").string();
+    rcfg.resumePath = ocfg.journalPath;
+    CampaignReport resumed = runCampaign(rcfg);
+    EXPECT_EQ(resumed.resumedFromJournal, 0u);
+    EXPECT_EQ(resumed.toJson(), fresh.toJson());
+
+    // And the fresh journal it wrote carries *its* fingerprint.
+    verify::JournalRead rd = verify::readJournal(rcfg.journalPath);
+    ASSERT_TRUE(rd.ok);
+    ASSERT_GE(rd.records.size(), 1u);
+    EXPECT_EQ(rd.records[0], campaignFingerprint(mine));
+}
+
+TEST(CampaignBudget, WedgedScenariosAreQuarantinedAndTheRestFinish)
+{
+    fs::path dir = scratchDir("campaign-quarantine");
+    CampaignConfig cfg = smallCampaign(5);
+    cfg.scenarios = 8;
+    // Far below what any scenario needs (sinus scenarios simulate
+    // 2 s = 100M λ cycles): every scenario trips deterministically.
+    cfg.scenarioBudget.maxLambdaCycles = 2'000'000;
+    cfg.quarantineDir = (dir / "quarantine").string();
+
+    CampaignReport report = runCampaign(cfg);
+    ASSERT_EQ(report.results.size(), cfg.scenarios);
+    EXPECT_EQ(report.count(Outcome::BudgetExceeded), cfg.scenarios);
+    for (const ScenarioResult &r : report.results) {
+        EXPECT_EQ(r.outcome, Outcome::BudgetExceeded);
+        EXPECT_EQ(verify::BudgetTrip(r.budgetTrip),
+                  verify::BudgetTrip::Cycles);
+        // Deterministic trips never retry.
+        EXPECT_EQ(r.attempts, 1u);
+        EXPECT_TRUE(r.quarantined);
+    }
+    // The gate ignores budget stops; the campaign still reports.
+    EXPECT_EQ(report.protectedSilentCorruptions(), 0u);
+
+    // One content-addressed descriptor + verdict sidecar per
+    // distinct scenario.
+    size_t scenarios = 0, verdicts = 0;
+    for (const auto &e : fs::directory_iterator(cfg.quarantineDir)) {
+        if (e.path().extension() == ".scenario")
+            ++scenarios;
+        else if (e.path().extension() == ".verdict")
+            ++verdicts;
+    }
+    EXPECT_EQ(scenarios, cfg.scenarios);
+    EXPECT_EQ(verdicts, cfg.scenarios);
+
+    // The JSON carries the structured outcome.
+    std::string json = report.toJson();
+    EXPECT_NE(json.find("budget-exceeded"), std::string::npos);
+
+    // Deterministic trips are thread-invariant like any verdict.
+    CampaignConfig cfg1 = cfg;
+    cfg1.threads = 1;
+    cfg1.quarantineDir = (dir / "quarantine1").string();
+    EXPECT_EQ(runCampaign(cfg1).toJson(), json);
+}
+
+} // namespace
+} // namespace zarf::fault

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Corpus robustness (docs/RESILIENCE.md, "Harness resilience"): a
+ * truncated or corrupt on-disk .zimg seed is warned about and
+ * skipped — never aborts a campaign — and saving into an unwritable
+ * corpus directory degrades to a warning with an empty path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "fuzz/corpus.hh"
+#include "fuzz/genprog.hh"
+
+namespace zarf::fuzz
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+fs::path
+scratchDir(const char *name)
+{
+    fs::path dir = fs::path(::testing::TempDir()) / name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+Image
+smallImage(uint64_t seed)
+{
+    GenConfig gcfg;
+    gcfg.numCons = 3;
+    gcfg.numFuncs = 4;
+    gcfg.maxDepth = 4;
+    ProgramGenerator gen(seed, gcfg);
+    BuildResult b = gen.generate().tryBuild();
+    EXPECT_TRUE(b.ok) << b.error;
+    return encodeProgram(b.program);
+}
+
+void
+writeFile(const fs::path &p, const std::string &text)
+{
+    std::ofstream out(p, std::ios::binary);
+    out.write(text.data(), std::streamsize(text.size()));
+}
+
+TEST(Corpus, TextRoundTripIsExact)
+{
+    Image img = smallImage(42);
+    ParsedImage parsed = imageFromText(imageToText(img));
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.image, img);
+    EXPECT_EQ(imageHash(parsed.image), imageHash(img));
+}
+
+TEST(Corpus, TruncatedAndCorruptSeedsAreSkippedNotFatal)
+{
+    fs::path dir = scratchDir("corpus-damaged");
+    Image img = smallImage(7);
+    std::string text = imageToText(img);
+
+    // One good entry.
+    writeFile(dir / (hashName(imageHash(img)) + ".zimg"), text);
+
+    // A byte-truncated copy: cut inside a "0x" prefix so the last
+    // line is no longer a word. (The rendering is one "0x%08x\n"
+    // per line, so backing up 10 bytes from the end lands mid-line.)
+    ASSERT_GT(text.size(), 12u);
+    std::string truncated = text.substr(0, text.size() - 10);
+    ASSERT_EQ(truncated.back(), '0');
+    writeFile(dir / "1111111111111111.zimg", truncated);
+
+    // Outright corrupt content.
+    writeFile(dir / "2222222222222222.zimg", "0xZZZZZZZZ\n");
+
+    CorpusLoad load = loadCorpusDir(dir.string());
+    // The damage is reported, the good entry survives, nothing
+    // threw or aborted.
+    ASSERT_EQ(load.entries.size(), 1u);
+    EXPECT_EQ(load.entries[0].hash, imageHash(img));
+    EXPECT_EQ(load.entries[0].image, img);
+    ASSERT_EQ(load.errors.size(), 2u);
+    for (const std::string &e : load.errors)
+        EXPECT_NE(e.find("expected one 0x"), std::string::npos) << e;
+}
+
+TEST(Corpus, MissingDirectoryIsAnErrorNotACrash)
+{
+    fs::path dir = scratchDir("corpus-missing");
+    CorpusLoad load =
+        loadCorpusDir((dir / "never-created").string());
+    EXPECT_TRUE(load.entries.empty());
+    // Either reported as an error or silently empty, but alive.
+}
+
+TEST(Corpus, SaveIntoUnwritableDirectoryWarnsAndReturnsEmpty)
+{
+    fs::path dir = scratchDir("corpus-unwritable");
+    fs::path blocker = dir / "file.txt";
+    writeFile(blocker, "a regular file where a directory is needed");
+
+    Image img = smallImage(3);
+    // The parent of the corpus dir is a regular file: directory
+    // creation must fail, the save must degrade to "" — the fuzz
+    // CLI then skips recording the path and keeps running.
+    std::string saved =
+        saveCorpusEntry((blocker / "corpus").string(), img);
+    EXPECT_EQ(saved, "");
+
+    // The corpus dir itself being a regular file fails the same way.
+    EXPECT_EQ(saveCorpusEntry(blocker.string(), img), "");
+}
+
+TEST(Corpus, SaveThenLoadRoundTrips)
+{
+    fs::path dir = scratchDir("corpus-save");
+    Image img = smallImage(12);
+    std::string path = saveCorpusEntry(dir.string(), img);
+    ASSERT_NE(path, "");
+    EXPECT_TRUE(fs::exists(path));
+    // Idempotent: same content, same address.
+    EXPECT_EQ(saveCorpusEntry(dir.string(), img), path);
+
+    CorpusLoad load = loadCorpusDir(dir.string());
+    ASSERT_EQ(load.entries.size(), 1u);
+    EXPECT_TRUE(load.errors.empty());
+    EXPECT_EQ(load.entries[0].image, img);
+}
+
+} // namespace
+} // namespace zarf::fuzz

@@ -412,6 +412,58 @@ TEST(WatchdogTrace, AggregatedStatsSurviveRestart)
     EXPECT_EQ(tally.gcCycles(), agg.gcCycles);
 }
 
+// Satellite (b) of the resilience PR: the watchdog's exponential
+// blackout backoff is computed through watchdogBlackoutPenalty,
+// which saturates at SystemConfig::maxBlackoutCycles instead of
+// overflowing Cycles however many restarts have accumulated.
+TEST(Watchdog, BlackoutPenaltyClampsAtTheDocumentedCeiling)
+{
+    const Cycles ceiling = SystemConfig{}.maxBlackoutCycles;
+    ASSERT_EQ(ceiling, kLambdaHz); // one simulated second
+    const Cycles base = SystemConfig{}.restartLatencyCycles;
+
+    // Exact doubling below the ceiling.
+    EXPECT_EQ(watchdogBlackoutPenalty(base, 0, ceiling), base);
+    EXPECT_EQ(watchdogBlackoutPenalty(base, 1, ceiling), base * 2);
+    EXPECT_EQ(watchdogBlackoutPenalty(base, 3, ceiling), base * 8);
+
+    // Saturates exactly at the ceiling — never one cycle above.
+    EXPECT_EQ(watchdogBlackoutPenalty(base, 10, ceiling), ceiling);
+    EXPECT_EQ(watchdogBlackoutPenalty(base, 16, ceiling), ceiling);
+    EXPECT_EQ(watchdogBlackoutPenalty(ceiling, 0, ceiling), ceiling);
+    EXPECT_EQ(watchdogBlackoutPenalty(ceiling + 1, 0, ceiling),
+              ceiling);
+
+    // Arguments that would wrap a 64-bit shift saturate instead.
+    EXPECT_EQ(watchdogBlackoutPenalty(1, 63, ceiling), ceiling);
+    EXPECT_EQ(watchdogBlackoutPenalty(1, 64, ceiling), ceiling);
+    EXPECT_EQ(watchdogBlackoutPenalty(1, 1000, ceiling), ceiling);
+    EXPECT_EQ(watchdogBlackoutPenalty(~Cycles(0), 16, ceiling),
+              ceiling);
+
+    // Zero latency stays zero whatever the shift.
+    EXPECT_EQ(watchdogBlackoutPenalty(0, 62, ceiling), 0u);
+}
+
+TEST(Watchdog, RepeatedRestartBlackoutsStayBounded)
+{
+    // End-to-end: every recorded blackout, whatever the restart
+    // count that produced it, respects the configured ceiling.
+    ecg::ScriptedHeart heart({ { 600.0, 75.0 } }, 42);
+    SystemConfig cfg = resilientConfig();
+    cfg.watchdogMaxRestarts = 6;
+    cfg.maxBlackoutCycles = kTickCycles; // a tight custom ceiling
+    for (Cycles c = 25'000'000; c <= 175'000'000; c += 25'000'000)
+        cfg.faultPlan.events.push_back(memFaultAt(c));
+    TwoLayerSystem sys(kernelImage(), icd::monitorProgram(), heart,
+                       cfg);
+
+    sys.runForMs(5000.0);
+    ASSERT_GE(sys.watchdogRestarts(), 4u);
+    for (const WatchdogEvent &ev : sys.watchdogLog())
+        EXPECT_LE(ev.blackoutCycles, cfg.maxBlackoutCycles);
+}
+
 TEST(Deadlines, ResilienceMachineryIsTransparentOnCleanRuns)
 {
     // The empty-plan guarantee: a system with the full resilience
