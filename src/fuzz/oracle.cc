@@ -144,6 +144,9 @@ runOracle(const Image &image, const OracleConfig &cfg)
     Machine::Outcome uopOut = uop.run(cfg.maxCycles);
     r.uopStatus = uopOut.status;
     r.uopDiagnostic = uopOut.diagnostic;
+    r.uopCycles = uop.cycles();
+    r.uopValue = uopOut.value;
+    r.uopIo = uopBus.ops;
     r.coverage = collectCoverage(uop.fsmTally(), uopTrace,
                                  uop.stats(), uopOut.status,
                                  uopOut.value);

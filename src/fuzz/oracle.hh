@@ -116,26 +116,6 @@ struct OracleConfig
     verify::Budget *budget = nullptr;
 };
 
-/** One candidate's oracle evaluation. */
-struct OracleResult
-{
-    Verdict verdict = Verdict::Skip;
-    /** Human-readable explanation: the divergence description, the
-     *  rejection reason, or the bound that fired. */
-    std::string detail;
-    /** Coverage signature of the µop-path machine run. */
-    CoverageSig coverage;
-
-    MachineStatus uopStatus = MachineStatus::Running;
-    std::string uopDiagnostic;
-    bool decodeOk = false;
-    bool comparedBigStep = false;
-    /** True when the fast-functional outcome comparison applied
-     *  (both the µop and fast runs terminated). */
-    bool fastCompared = false;
-    bool snapshotChecked = false;
-};
-
 /**
  * Deterministic I/O fixture: getint returns a pure mix of the port
  * and the per-bus call ordinal, and both directions are logged, so
@@ -187,6 +167,37 @@ class RecordBus : public IoBus
 
   private:
     uint64_t ordinal = 0;
+};
+
+/** One candidate's oracle evaluation. */
+struct OracleResult
+{
+    Verdict verdict = Verdict::Skip;
+    /** Human-readable explanation: the divergence description, the
+     *  rejection reason, or the bound that fired. */
+    std::string detail;
+    /** Coverage signature of the µop-path machine run. */
+    CoverageSig coverage;
+
+    MachineStatus uopStatus = MachineStatus::Running;
+    std::string uopDiagnostic;
+    bool decodeOk = false;
+    bool comparedBigStep = false;
+    /** True when the fast-functional outcome comparison applied
+     *  (both the µop and fast runs terminated). */
+    bool fastCompared = false;
+    bool snapshotChecked = false;
+
+    // Observables of the µop-path run, recorded before any verdict
+    // gate: external validators (the concolic harness, sym/) compare
+    // per-path predictions against the machine without rerunning it.
+    /** Total µop-machine cycles (load + execution; GC excluded, as
+     *  in Machine::cycles()). */
+    Cycles uopCycles = 0;
+    /** Final value of the µop run (null unless Done). */
+    ValuePtr uopValue;
+    /** Complete I/O log of the µop run, in issue order. */
+    std::vector<RecordBus::IoOp> uopIo;
 };
 
 /** Evaluate one candidate image under the equivalence map. */

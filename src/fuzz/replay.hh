@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Stable library entry point for single-image oracle replay.
+ *
+ * `zarf-fuzz replay <file>` and external validators (the concolic
+ * harness in sym/, CI reproducer jobs) all need the same operation:
+ * evaluate exactly one image under the full differential oracle,
+ * with no campaign machinery around it. This header is that
+ * operation's contract; the CLI replay path and replayImage()
+ * (fuzz/fuzzer.hh) are thin wrappers over the same call, and
+ * tests/test_sym_concolic.cc pins the equivalence.
+ */
+
+#ifndef ZARF_FUZZ_REPLAY_HH
+#define ZARF_FUZZ_REPLAY_HH
+
+#include "fuzz/oracle.hh"
+
+namespace zarf::fuzz
+{
+
+/**
+ * Evaluate one image under the differential oracle.
+ *
+ * Preconditions:
+ *  - `image` is any word sequence; it need not decode (undecodable
+ *    images yield Verdict::Rejected, never a crash);
+ *  - `cfg.budget`, when set, outlives the call.
+ *
+ * Postconditions:
+ *  - the result is a pure function of (image, cfg): no corpus, no
+ *    coverage map, no journal, and no other global or hidden state
+ *    is read or written;
+ *  - two calls with equal arguments (and no external budget latch)
+ *    produce identical results — I/O is scripted by RecordBus, so
+ *    there is no environment dependence;
+ *  - the µop-run observables (uopStatus, uopCycles, uopValue, uopIo)
+ *    are populated even when the verdict short-circuits to Rejected
+ *    or Skip.
+ */
+OracleResult replaySingle(const Image &image,
+                          const OracleConfig &cfg = {});
+
+} // namespace zarf::fuzz
+
+#endif // ZARF_FUZZ_REPLAY_HH

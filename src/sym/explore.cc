@@ -1,0 +1,75 @@
+#include "sym/explore.hh"
+
+#include <deque>
+
+namespace zarf::sym
+{
+
+ExploreResult
+explorePaths(SymEval &eval, const ExploreConfig &cfg)
+{
+    ExploreResult res;
+    std::deque<Script> frontier;
+    frontier.push_back({});
+
+    while (!frontier.empty()) {
+        if (res.paths.size() >= cfg.maxPaths) {
+            res.exhaustive = false;
+            break;
+        }
+        Script script;
+        if (cfg.breadthFirst) {
+            script = std::move(frontier.front());
+            frontier.pop_front();
+        } else {
+            script = std::move(frontier.back());
+            frontier.pop_back();
+        }
+
+        PathRun run = eval.runPath(script);
+
+        // Children: one per consistent sibling at every choice point
+        // beyond the scripted prefix, shallow choice first.
+        std::vector<Script> children;
+        Script base = script;
+        for (size_t i = script.size(); i < run.choices.size(); ++i) {
+            for (unsigned alt : run.choices[i].siblings) {
+                Script child = base;
+                child.push_back(alt);
+                children.push_back(std::move(child));
+            }
+            base.push_back(run.choices[i].taken);
+        }
+        if (cfg.breadthFirst) {
+            for (auto &c : children)
+                frontier.push_back(std::move(c));
+        } else {
+            // Reverse push so the shallowest sibling pops first.
+            for (auto it = children.rbegin(); it != children.rend();
+                 ++it)
+                frontier.push_back(std::move(*it));
+        }
+
+        switch (run.status) {
+          case PathRun::Status::Done:
+            res.donePaths++;
+            break;
+          case PathRun::Status::Stuck:
+            res.stuckPaths++;
+            break;
+          case PathRun::Status::Truncated:
+            res.truncatedPaths++;
+            res.boundComplete = false;
+            break;
+        }
+        if (run.cycleBound > res.maxCycleBound)
+            res.maxCycleBound = run.cycleBound;
+        res.paths.push_back({ std::move(script), std::move(run) });
+    }
+
+    if (!res.exhaustive)
+        res.boundComplete = false;
+    return res;
+}
+
+} // namespace zarf::sym

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Bounded path exploration over the symbolic evaluator.
+ *
+ * The explorer enumerates decision scripts (sym/eval.hh): it starts
+ * from the empty script, runs each frontier script through the
+ * evaluator, and for every choice point *beyond* the scripted prefix
+ * schedules one child script per recorded consistent sibling —
+ * `taken[0..i) + [sibling]`. Every schedulable script is scheduled at
+ * exactly one parent (choice points inside a scripted prefix record
+ * no siblings), so no path is enumerated twice, and the whole walk is
+ * deterministic: single-threaded, seed-free, order fixed by the
+ * traversal discipline (depth-first by default, breadth-first on
+ * request).
+ *
+ * The per-path cycle bounds returned here exclude image load; WCET
+ * consumers add `image.size() * timing.loadWord` (the machine's
+ * loadCycles term) on top of the maximum.
+ */
+
+#ifndef ZARF_SYM_EXPLORE_HH
+#define ZARF_SYM_EXPLORE_HH
+
+#include <vector>
+
+#include "sym/eval.hh"
+
+namespace zarf::sym
+{
+
+/** Exploration bounds. */
+struct ExploreConfig
+{
+    /** Paths run before the walk stops (exhaustive=false if the
+     *  frontier was nonempty at the cap). */
+    uint64_t maxPaths = 256;
+    /** Breadth-first instead of depth-first frontier order. */
+    bool breadthFirst = false;
+};
+
+/** One explored path: the script that selects it and its run. */
+struct ExploredPath
+{
+    Script script;
+    PathRun run;
+};
+
+struct ExploreResult
+{
+    /** Paths in traversal order. */
+    std::vector<ExploredPath> paths;
+    /** True iff the frontier drained before maxPaths. */
+    bool exhaustive = true;
+    uint64_t donePaths = 0;
+    uint64_t stuckPaths = 0;
+    uint64_t truncatedPaths = 0;
+    /** Maximum per-path execution-cycle bound (load excluded). */
+    Cycles maxCycleBound = 0;
+    /** True iff maxCycleBound covers *every* program path: the walk
+     *  was exhaustive and no path was truncated. Only then is it a
+     *  WCET claim. */
+    bool boundComplete = true;
+};
+
+/** Enumerate paths of `eval` under the bounds. */
+ExploreResult explorePaths(SymEval &eval,
+                           const ExploreConfig &cfg = {});
+
+} // namespace zarf::sym
+
+#endif // ZARF_SYM_EXPLORE_HH

@@ -1,0 +1,540 @@
+#include "sym/solver.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+
+#include "isa/encoding.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace zarf::sym
+{
+
+std::string
+atomToString(const TermArena &arena, const Atom &a)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " %s %d", a.eq ? "==" : "!=",
+                  a.lit);
+    return arena.toString(a.t) + buf;
+}
+
+const char *
+solveStatusName(SolveStatus s)
+{
+    switch (s) {
+      case SolveStatus::Sat:
+        return "Sat";
+      case SolveStatus::Unsat:
+        return "Unsat";
+      case SolveStatus::Unknown:
+        return "Unknown";
+    }
+    return "?";
+}
+
+// ----------------------------------------------------------------
+// PathCond
+// ----------------------------------------------------------------
+
+int
+PathCond::findFacts(TermId t) const
+{
+    for (size_t i = 0; i < facts.size(); ++i) {
+        if (facts[i].first == t)
+            return int(i);
+    }
+    return -1;
+}
+
+bool
+PathCond::consistent(const TermArena &arena, const Atom &a) const
+{
+    if (arena.isConst(a.t)) {
+        SWord v = arena.constValue(a.t);
+        return a.eq ? v == a.lit : v != a.lit;
+    }
+    int i = findFacts(a.t);
+    if (i < 0)
+        return true;
+    const TermFacts &f = facts[size_t(i)].second;
+    if (a.eq) {
+        if (f.pinned && f.pin != a.lit)
+            return false;
+        return std::find(f.excluded.begin(), f.excluded.end(),
+                         a.lit) == f.excluded.end();
+    }
+    return !(f.pinned && f.pin == a.lit);
+}
+
+bool
+PathCond::add(const TermArena &arena, const Atom &a)
+{
+    if (!consistent(arena, a))
+        return false;
+    if (arena.isConst(a.t))
+        return true; // decided true; nothing to record
+    int i = findFacts(a.t);
+    if (i < 0) {
+        facts.push_back({ a.t, {} });
+        i = int(facts.size()) - 1;
+    }
+    TermFacts &f = facts[size_t(i)].second;
+    if (a.eq) {
+        if (f.pinned)
+            return true; // same pin; duplicate
+        f.pinned = true;
+        f.pin = a.lit;
+    } else {
+        if (std::find(f.excluded.begin(), f.excluded.end(), a.lit) !=
+            f.excluded.end())
+            return true; // duplicate exclusion
+        f.excluded.push_back(a.lit);
+    }
+    list.push_back(a);
+    return true;
+}
+
+uint64_t
+PathCond::support(const TermArena &arena) const
+{
+    uint64_t s = 0;
+    for (const Atom &a : list)
+        s |= arena.support(a.t);
+    return s;
+}
+
+// ----------------------------------------------------------------
+// solveAtoms
+// ----------------------------------------------------------------
+
+namespace
+{
+
+/** Per-variable knowledge derived from the atoms. */
+struct VarFacts
+{
+    bool pinned = false;
+    SWord pin = 0;
+    std::vector<SWord> excluded;
+    SWord lo = kMinImm;
+    SWord hi = kMaxImm;
+    /** Congruence hint: var ≡ residue (mod modulus); 0 = none.
+     *  Guides candidate sampling only — never used for Unsat. */
+    SWord modulus = 0;
+    SWord residue = 0;
+    std::vector<SWord> hints;
+};
+
+bool
+isCmp(Prim op)
+{
+    switch (op) {
+      case Prim::Eq:
+      case Prim::Ne:
+      case Prim::Lt:
+      case Prim::Le:
+      case Prim::Gt:
+      case Prim::Ge:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/**
+ * Invert `lit` through a chain of exact ring bijections down to a
+ * variable: add/sub/neg/bxor/bnot with constant co-operands are
+ * bijections of the 31-bit wrap ring, so "chain(x) == lit" holds iff
+ * "x == inverted lit". Returns the variable index, or -1 when the
+ * chain breaks (non-bijective op, two symbolic operands).
+ */
+int
+invertToVar(const TermArena &arena, TermId t, SWord lit, SWord &out)
+{
+    int64_t v = lit;
+    for (;;) {
+        const TermNode &n = arena.node(t);
+        if (n.kind == TermNode::Kind::Var) {
+            out = wrapInt31(v);
+            return int(n.var);
+        }
+        if (n.kind != TermNode::Kind::Op)
+            return -1;
+        TermId sym = kNoTerm;
+        bool constOnLeft = false;
+        SWord c = 0;
+        if (n.b == kNoTerm) {
+            sym = n.a;
+        } else if (arena.isConst(n.a)) {
+            sym = n.b;
+            c = arena.constValue(n.a);
+            constOnLeft = true;
+        } else if (arena.isConst(n.b)) {
+            sym = n.a;
+            c = arena.constValue(n.b);
+        } else {
+            return -1;
+        }
+        switch (n.op) {
+          case Prim::Add:
+            v = wrapInt31(v - c);
+            break;
+          case Prim::Sub:
+            // constOnLeft: c - x == v  =>  x == c - v
+            v = constOnLeft ? wrapInt31(int64_t(c) - v)
+                            : wrapInt31(v + int64_t(c));
+            break;
+          case Prim::Neg:
+            v = wrapInt31(-v);
+            break;
+          case Prim::BXor:
+            v = wrapInt31(v ^ int64_t(c));
+            break;
+          case Prim::BNot:
+            v = wrapInt31(~v);
+            break;
+          default:
+            return -1;
+        }
+        t = sym;
+    }
+}
+
+/** Is the term a bare variable? */
+int
+asVar(const TermArena &arena, TermId t)
+{
+    const TermNode &n = arena.node(t);
+    return n.kind == TermNode::Kind::Var ? int(n.var) : -1;
+}
+
+struct DerivedUnsat
+{
+    bool unsat = false;
+    std::string why;
+};
+
+void
+narrowCmp(VarFacts &f, Prim op, bool varOnLeft, SWord c, bool truth)
+{
+    // Normalize to the variable on the left.
+    if (!varOnLeft) {
+        switch (op) {
+          case Prim::Lt: op = Prim::Gt; break;
+          case Prim::Le: op = Prim::Ge; break;
+          case Prim::Gt: op = Prim::Lt; break;
+          case Prim::Ge: op = Prim::Le; break;
+          default: break; // Eq/Ne symmetric
+        }
+    }
+    // Negate the relation when the comparison result is pinned to 0.
+    if (!truth) {
+        switch (op) {
+          case Prim::Lt: op = Prim::Ge; break;
+          case Prim::Le: op = Prim::Gt; break;
+          case Prim::Gt: op = Prim::Le; break;
+          case Prim::Ge: op = Prim::Lt; break;
+          case Prim::Eq: op = Prim::Ne; break;
+          case Prim::Ne: op = Prim::Eq; break;
+          default: break;
+        }
+    }
+    switch (op) {
+      case Prim::Lt:
+        if (c > kMinImm) {
+            f.hi = std::min<int64_t>(f.hi, int64_t(c) - 1);
+        } else {
+            f.lo = 1; // v < domain minimum: empty
+            f.hi = 0;
+        }
+        break;
+      case Prim::Le:
+        f.hi = std::min(f.hi, c);
+        break;
+      case Prim::Gt:
+        if (c < kMaxImm)
+            f.lo = std::max<int64_t>(f.lo, int64_t(c) + 1);
+        else {
+            f.lo = 1;
+            f.hi = 0;
+        }
+        break;
+      case Prim::Ge:
+        f.lo = std::max(f.lo, c);
+        break;
+      case Prim::Eq:
+        if (!f.pinned) {
+            f.pinned = true;
+            f.pin = c;
+        } else if (f.pin != c) {
+            f.lo = 1;
+            f.hi = 0;
+        }
+        break;
+      case Prim::Ne:
+        f.excluded.push_back(c);
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace
+
+SolveResult
+solveAtoms(const TermArena &arena, const std::vector<Atom> &atoms,
+           unsigned numVars, const std::vector<SWord> &seedAssign,
+           const SolverConfig &cfg)
+{
+    SolveResult res;
+    std::vector<SWord> seed(numVars, 0);
+    for (unsigned i = 0; i < numVars && i < seedAssign.size(); ++i)
+        seed[i] = seedAssign[i];
+
+    // Phase 0: drop decided atoms; a false constant atom is Unsat.
+    std::vector<Atom> live;
+    for (const Atom &a : atoms) {
+        if (arena.isConst(a.t)) {
+            SWord v = arena.constValue(a.t);
+            bool holds = a.eq ? v == a.lit : v != a.lit;
+            if (!holds) {
+                res.status = SolveStatus::Unsat;
+                res.note = "constant atom is false: " +
+                           atomToString(arena, a);
+                return res;
+            }
+            continue;
+        }
+        if (std::find(live.begin(), live.end(), a) == live.end())
+            live.push_back(a);
+    }
+    if (live.empty()) {
+        res.status = SolveStatus::Sat;
+        res.model = seed;
+        return res;
+    }
+
+    // Phase 1: derive per-variable facts — pins through bijective
+    // chains, intervals from comparison-result atoms, congruence and
+    // candidate hints. All derivations are necessary conditions, so
+    // a conflict here is a sound Unsat.
+    std::vector<VarFacts> vf(numVars);
+    auto unsat = [&](std::string why) {
+        res.status = SolveStatus::Unsat;
+        res.note = std::move(why);
+        return res;
+    };
+    for (const Atom &a : live) {
+        SWord inv = 0;
+        int v = invertToVar(arena, a.t, a.lit, inv);
+        if (v >= 0) {
+            VarFacts &f = vf[size_t(v)];
+            if (a.eq) {
+                if (inv < kMinImm || inv > kMaxImm)
+                    return unsat("pin outside immediate domain: " +
+                                 atomToString(arena, a));
+                if (f.pinned && f.pin != inv)
+                    return unsat("conflicting pins on v" +
+                                 std::to_string(v));
+                f.pinned = true;
+                f.pin = inv;
+            } else {
+                f.excluded.push_back(inv);
+                f.hints.push_back(wrapInt31(int64_t(inv) + 1));
+                f.hints.push_back(wrapInt31(int64_t(inv) - 1));
+            }
+            continue;
+        }
+        // Comparison-result atoms: (cmp X Y) pinned to 0 or 1. A
+        // comparison only ever yields 0/1, so "!= 1" means "== 0"
+        // and "!= 0" means "== 1"; any other != is a tautology.
+        const TermNode &n = arena.node(a.t);
+        if (n.kind == TermNode::Kind::Op && isCmp(n.op) &&
+            n.b != kNoTerm) {
+            bool truth;
+            if (a.eq && a.lit == 1)
+                truth = true;
+            else if (a.eq && a.lit == 0)
+                truth = false;
+            else if (!a.eq && a.lit == 0)
+                truth = true;
+            else if (!a.eq && a.lit == 1)
+                truth = false;
+            else if (a.eq)
+                return unsat("comparison pinned to non-boolean: " +
+                             atomToString(arena, a));
+            else
+                continue; // != non-boolean: always true
+            int lv = asVar(arena, n.a), rv = asVar(arena, n.b);
+            if (lv >= 0 && arena.isConst(n.b))
+                narrowCmp(vf[size_t(lv)], n.op, true,
+                          arena.constValue(n.b), truth);
+            else if (rv >= 0 && arena.isConst(n.a))
+                narrowCmp(vf[size_t(rv)], n.op, false,
+                          arena.constValue(n.a), truth);
+            continue;
+        }
+        // Congruence hint: (mod X const) == r guides sampling.
+        if (n.kind == TermNode::Kind::Op && n.op == Prim::Mod &&
+            a.eq && n.b != kNoTerm && arena.isConst(n.b)) {
+            int v2 = asVar(arena, n.a);
+            SWord m = arena.constValue(n.b);
+            if (v2 >= 0 && m > 1) {
+                vf[size_t(v2)].modulus = m;
+                vf[size_t(v2)].residue = a.lit;
+            }
+        }
+    }
+    for (unsigned v = 0; v < numVars; ++v) {
+        VarFacts &f = vf[v];
+        if (f.pinned) {
+            if (f.pin < f.lo || f.pin > f.hi)
+                return unsat("pin outside derived interval on v" +
+                             std::to_string(v));
+            if (std::find(f.excluded.begin(), f.excluded.end(),
+                          f.pin) != f.excluded.end())
+                return unsat("pin is excluded on v" +
+                             std::to_string(v));
+        }
+        if (f.lo > f.hi)
+            return unsat("empty interval on v" + std::to_string(v));
+    }
+
+    // Phase 2: bounded model enumeration. Constrained variables get
+    // an ordered candidate list; the DFS product is verified atom by
+    // atom through aluGround as soon as an atom's support is fully
+    // assigned. The first fully verified assignment wins.
+    uint64_t constrained = 0;
+    for (const Atom &a : live)
+        constrained |= arena.support(a.t);
+    std::vector<unsigned> order;
+    for (unsigned v = 0; v < numVars; ++v) {
+        if (constrained & (uint64_t(1) << v))
+            order.push_back(v);
+    }
+
+    Rng rng(cfg.seed ^ 0x5eed5eedull);
+    bool allPinned = true;
+    std::vector<std::vector<SWord>> cands(order.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+        VarFacts &f = vf[order[i]];
+        std::vector<SWord> &c = cands[i];
+        auto push = [&](int64_t raw) {
+            if (c.size() >= cfg.maxCandidatesPerVar)
+                return;
+            if (raw < f.lo || raw > f.hi)
+                return;
+            SWord v = SWord(raw);
+            if (std::find(f.excluded.begin(), f.excluded.end(), v) !=
+                f.excluded.end())
+                return;
+            if (std::find(c.begin(), c.end(), v) == c.end())
+                c.push_back(v);
+        };
+        if (f.pinned) {
+            push(f.pin);
+            if (c.empty())
+                return unsat("pinned candidate filtered on v" +
+                             std::to_string(order[i]));
+            continue;
+        }
+        allPinned = false;
+        auto snap = [&](int64_t raw) {
+            // Snap a value to the congruence class when one is known.
+            if (f.modulus > 1) {
+                int64_t r = raw % f.modulus;
+                raw += int64_t(f.residue) - r;
+            }
+            push(raw);
+            if (f.modulus > 1)
+                push(raw + f.modulus);
+        };
+        snap(seed[order[i]]);
+        for (SWord h : f.hints)
+            snap(h);
+        snap(0);
+        snap(1);
+        snap(-1);
+        snap(2);
+        snap(-2);
+        snap(f.lo);
+        snap(f.hi);
+        snap(int64_t(f.lo) + (int64_t(f.hi) - f.lo) / 2);
+        while (c.size() < cfg.maxCandidatesPerVar) {
+            int64_t span = int64_t(f.hi) - f.lo + 1;
+            int64_t raw = f.lo + int64_t(rng.below(uint64_t(span)));
+            size_t before = c.size();
+            snap(raw);
+            if (c.size() == before)
+                break; // saturated or repeatedly filtered
+        }
+        if (c.empty())
+            return unsat("no candidate survives the interval and "
+                         "exclusions on v" +
+                         std::to_string(order[i]));
+    }
+
+    // Atoms become checkable once the deepest variable of their
+    // support is assigned (variables assign in `order`).
+    std::vector<std::vector<const Atom *>> checkAt(order.size() + 1);
+    for (const Atom &a : live) {
+        uint64_t s = arena.support(a.t);
+        size_t depth = 0;
+        for (size_t i = 0; i < order.size(); ++i) {
+            if (s & (uint64_t(1) << order[i]))
+                depth = i + 1;
+        }
+        checkAt[depth].push_back(&a);
+    }
+
+    std::vector<SWord> assign = seed;
+    bool found = false;
+    std::function<bool(size_t)> dfs = [&](size_t i) -> bool {
+        if (res.evals >= cfg.maxEvals)
+            return true; // abort search
+        if (i == order.size())
+            ++res.evals;
+        for (const Atom *a : checkAt[i]) {
+            TermEvalResult e = arena.evalUnder(a->t, assign);
+            bool holds = e.ok && (a->eq ? e.value == a->lit
+                                        : e.value != a->lit);
+            if (!holds)
+                return false;
+        }
+        if (i == order.size()) {
+            found = true;
+            return true;
+        }
+        for (SWord v : cands[i]) {
+            assign[order[i]] = v;
+            if (dfs(i + 1) && found)
+                return true;
+            if (res.evals >= cfg.maxEvals)
+                return true;
+        }
+        return false;
+    };
+    dfs(0);
+
+    if (found) {
+        res.status = SolveStatus::Sat;
+        res.model = assign;
+        return res;
+    }
+    if (allPinned) {
+        // Every constrained variable was pinned by necessary
+        // conditions; the unique candidate assignment was refuted.
+        res.status = SolveStatus::Unsat;
+        res.note = "pinned assignment refuted by verification";
+        return res;
+    }
+    res.status = SolveStatus::Unknown;
+    res.note = res.evals >= cfg.maxEvals
+                   ? "eval budget exhausted"
+                   : "candidate pool exhausted";
+    return res;
+}
+
+} // namespace zarf::sym

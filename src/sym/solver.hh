@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Path-condition store and bitvector model finder for the symbolic
+ * evaluator — interval/congruence reasoning plus bounded model
+ * enumeration, no external SMT dependency (docs/SYMBOLIC.md).
+ *
+ * A path condition is a conjunction of *atoms*, each pinning or
+ * excluding one concrete value of one term:
+ *
+ *     t == lit      or      t != lit
+ *
+ * which is exactly the shape the evaluator's choice points produce —
+ * case dispatch on a symbolic integer, the division-by-zero fork,
+ * and getint port concretization all decide "is this term equal to
+ * this literal".
+ *
+ * The solver is asymmetric by design:
+ *
+ *  - `Sat` is **sound unconditionally**: every returned model has
+ *    been verified by evaluating every atom's term under it through
+ *    aluGround (the concrete evalAlu), so a Sat answer can never
+ *    assert a path the machine would not take.
+ *  - `Unsat` is claimed only from proofs that need no search: pin
+ *    conflicts on one term, pins propagated through exact ring
+ *    bijections (add/sub/neg/bxor/bnot with constant operands are
+ *    bijections of the 31-bit wrap ring, so inversion is exact),
+ *    pins falling outside the encodable immediate domain, and empty
+ *    intervals derived from comparison-result atoms.
+ *  - Everything else is `Unknown` — the explorer treats such paths
+ *    as possibly-feasible (their cycle bounds still count toward
+ *    WCET) but cannot replay them.
+ *
+ * Variables range over the encodable immediate domain
+ * [kMinImm, kMaxImm] (isa/encoding.hh): a model is only useful if
+ * the concretized image can be re-encoded, and the restriction makes
+ * out-of-domain pins a sound Unsat.
+ */
+
+#ifndef ZARF_SYM_SOLVER_HH
+#define ZARF_SYM_SOLVER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sym/term.hh"
+
+namespace zarf::sym
+{
+
+/** One conjunct of a path condition: t == lit or t != lit. */
+struct Atom
+{
+    TermId t = kNoTerm;
+    bool eq = true;
+    SWord lit = 0;
+
+    bool
+    operator==(const Atom &o) const
+    {
+        return t == o.t && eq == o.eq && lit == o.lit;
+    }
+};
+
+/** Render one atom for diagnostics. */
+std::string atomToString(const TermArena &arena, const Atom &a);
+
+enum class SolveStatus
+{
+    Sat,     ///< model holds a verified satisfying assignment.
+    Unsat,   ///< proven infeasible (see header for the proof forms).
+    Unknown, ///< search exhausted without a model or a proof.
+};
+
+const char *solveStatusName(SolveStatus s);
+
+struct SolverConfig
+{
+    /** Total full-assignment verifications before giving up. */
+    uint64_t maxEvals = 8192;
+    /** Candidate values tried per variable. */
+    unsigned maxCandidatesPerVar = 24;
+    /** Seed of the deterministic sampling stream. */
+    uint64_t seed = 1;
+};
+
+struct SolveResult
+{
+    SolveStatus status = SolveStatus::Unknown;
+    /** Verified assignment, one value per variable (status Sat).
+     *  Variables outside every atom's support keep their seed
+     *  value. All values lie in [kMinImm, kMaxImm]. */
+    std::vector<SWord> model;
+    /** Full-assignment verifications consumed. */
+    uint64_t evals = 0;
+    /** Unsat proof description / Unknown context. */
+    std::string note;
+};
+
+/**
+ * Decide a conjunction of atoms over `numVars` variables.
+ *
+ * @param arena the term arena the atoms' terms live in
+ * @param atoms the path condition (conjunction)
+ * @param numVars number of symbolic variables
+ * @param seedAssign preferred value per variable (the original
+ *        immediates) — tried first, and kept for variables no atom
+ *        constrains, so models stay close to the concrete seed
+ * @param cfg search bounds
+ */
+SolveResult solveAtoms(const TermArena &arena,
+                       const std::vector<Atom> &atoms,
+                       unsigned numVars,
+                       const std::vector<SWord> &seedAssign,
+                       const SolverConfig &cfg = {});
+
+/**
+ * Incremental syntactic consistency filter the evaluator uses at
+ * choice points: tracks, per term, the pinned value and the excluded
+ * set, and rejects an atom that contradicts them. Rejection is a
+ * sound (term-local) Unsat; acceptance proves nothing.
+ */
+class PathCond
+{
+  public:
+    /** Add an atom; false iff it term-locally contradicts the
+     *  condition (the atom is then NOT added). Duplicates are
+     *  absorbed. */
+    bool add(const TermArena &arena, const Atom &a);
+
+    /** Would add() accept, without mutating? */
+    bool consistent(const TermArena &arena, const Atom &a) const;
+
+    const std::vector<Atom> &atoms() const { return list; }
+
+    /** Union variable support of every atom. */
+    uint64_t support(const TermArena &arena) const;
+
+  private:
+    struct TermFacts
+    {
+        bool pinned = false;
+        SWord pin = 0;
+        std::vector<SWord> excluded;
+    };
+    int findFacts(TermId t) const;
+
+    std::vector<Atom> list;
+    std::vector<std::pair<TermId, TermFacts>> facts;
+};
+
+} // namespace zarf::sym
+
+#endif // ZARF_SYM_SOLVER_HH

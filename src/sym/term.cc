@@ -1,0 +1,208 @@
+#include "sym/term.hh"
+
+#include <cstdio>
+
+#include "support/logging.hh"
+#include "sym/testhooks.hh"
+
+namespace zarf::sym
+{
+
+PrimResult
+aluGround(Prim op, const std::vector<SWord> &args)
+{
+    PrimResult r = evalAlu(op, args);
+    if (testhooks::symBrokenMulTransfer && op == Prim::Mul && r.ok)
+        r.value = wrapInt31(int64_t(r.value) + 1);
+    return r;
+}
+
+namespace
+{
+
+uint64_t
+nodeKey(const TermNode &n)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ull;
+    };
+    mix(uint64_t(n.kind));
+    switch (n.kind) {
+      case TermNode::Kind::Const:
+        mix(uint64_t(uint32_t(n.cval)));
+        break;
+      case TermNode::Kind::Var:
+        mix(n.var);
+        break;
+      case TermNode::Kind::Op:
+        mix(uint64_t(n.op));
+        mix(n.a);
+        mix(uint64_t(n.b) + 1);
+        break;
+    }
+    return h;
+}
+
+bool
+sameNode(const TermNode &a, const TermNode &b)
+{
+    if (a.kind != b.kind)
+        return false;
+    switch (a.kind) {
+      case TermNode::Kind::Const:
+        return a.cval == b.cval;
+      case TermNode::Kind::Var:
+        return a.var == b.var;
+      case TermNode::Kind::Op:
+        return a.op == b.op && a.a == b.a && a.b == b.b;
+    }
+    return false;
+}
+
+unsigned
+aluArity(Prim op)
+{
+    switch (op) {
+      case Prim::Neg:
+      case Prim::Abs:
+      case Prim::BNot:
+        return 1;
+      default:
+        return 2;
+    }
+}
+
+} // namespace
+
+TermId
+TermArena::intern(TermNode n)
+{
+    uint64_t key = nodeKey(n);
+    auto &bucket = table[key];
+    for (TermId t : bucket) {
+        if (sameNode(nodes[t], n))
+            return t;
+    }
+    TermId t = TermId(nodes.size());
+    nodes.push_back(n);
+    bucket.push_back(t);
+    return t;
+}
+
+TermId
+TermArena::constant(SWord v)
+{
+    TermNode n;
+    n.kind = TermNode::Kind::Const;
+    n.cval = wrapInt31(v);
+    return intern(n);
+}
+
+TermId
+TermArena::variable(unsigned var)
+{
+    if (var >= kMaxSymVars)
+        panic("sym: variable index %u exceeds kMaxSymVars", var);
+    TermNode n;
+    n.kind = TermNode::Kind::Var;
+    n.var = var;
+    n.support = uint64_t(1) << var;
+    return intern(n);
+}
+
+TermId
+TermArena::apply(Prim op, TermId a, TermId b)
+{
+    unsigned arity = aluArity(op);
+    if ((arity == 1) != (b == kNoTerm))
+        panic("sym: arity mismatch applying prim 0x%x",
+              unsigned(op));
+    // Fold when every operand is constant.
+    if (isConst(a) && (b == kNoTerm || isConst(b))) {
+        std::vector<SWord> args{ constValue(a) };
+        if (b != kNoTerm)
+            args.push_back(constValue(b));
+        PrimResult r = aluGround(op, args);
+        if (!r.ok)
+            panic("sym: folded an error-producing application "
+                  "(prim 0x%x) — the evaluator must fork "
+                  "division-by-zero before building the term",
+                  unsigned(op));
+        return constant(r.value);
+    }
+    TermNode n;
+    n.kind = TermNode::Kind::Op;
+    n.op = op;
+    n.a = a;
+    n.b = b;
+    n.support = nodes[a].support |
+                (b == kNoTerm ? 0 : nodes[b].support);
+    return intern(n);
+}
+
+SWord
+TermArena::constValue(TermId t) const
+{
+    const TermNode &n = nodes[t];
+    if (n.kind != TermNode::Kind::Const)
+        panic("sym: constValue on a non-constant term");
+    return n.cval;
+}
+
+TermEvalResult
+TermArena::evalUnder(TermId t, const std::vector<SWord> &assign) const
+{
+    const TermNode &n = nodes[t];
+    switch (n.kind) {
+      case TermNode::Kind::Const:
+        return { true, n.cval, 0 };
+      case TermNode::Kind::Var:
+        if (n.var >= assign.size())
+            panic("sym: assignment has no value for v%u", n.var);
+        return { true, wrapInt31(assign[n.var]), 0 };
+      case TermNode::Kind::Op: {
+        TermEvalResult a = evalUnder(n.a, assign);
+        if (!a.ok)
+            return a;
+        std::vector<SWord> args{ a.value };
+        if (n.b != kNoTerm) {
+            TermEvalResult b = evalUnder(n.b, assign);
+            if (!b.ok)
+                return b;
+            args.push_back(b.value);
+        }
+        PrimResult r = aluGround(n.op, args);
+        return { r.ok, r.value, r.errCode };
+      }
+    }
+    return { true, 0, 0 };
+}
+
+std::string
+TermArena::toString(TermId t) const
+{
+    const TermNode &n = nodes[t];
+    char buf[32];
+    switch (n.kind) {
+      case TermNode::Kind::Const:
+        std::snprintf(buf, sizeof(buf), "%d", n.cval);
+        return buf;
+      case TermNode::Kind::Var:
+        std::snprintf(buf, sizeof(buf), "v%u", n.var);
+        return buf;
+      case TermNode::Kind::Op: {
+        auto p = primById(Word(n.op));
+        std::string s = "(";
+        s += p ? p->name : "?";
+        s += " " + toString(n.a);
+        if (n.b != kNoTerm)
+            s += " " + toString(n.b);
+        return s + ")";
+      }
+    }
+    return "?";
+}
+
+} // namespace zarf::sym

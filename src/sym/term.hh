@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Symbolic machine integers for the Zarf symbolic evaluator
+ * (docs/SYMBOLIC.md).
+ *
+ * A term is a 31-bit machine integer whose value may depend on the
+ * designated symbolic input slots of an image: a constant, an input
+ * variable, or an ALU primitive applied to sub-terms. Terms live in a
+ * hash-consed arena, so structurally equal terms share one identifier
+ * and every term carries a precomputed variable-support bitmask (used
+ * by the taint/non-interference analysis).
+ *
+ * There is exactly one ground-truth evaluation rule: every operator
+ * node is evaluated with `isa/prims.hh::evalAlu`, the same inline
+ * function the cycle-level machine and both reference interpreters
+ * execute. The symbolic layer therefore cannot drift from the
+ * concrete ISA semantics by re-implementing an operation — constant
+ * folding, solver model checking, and concolic value prediction all
+ * bottom out in the identical transfer function. (The deliberate
+ * exception is the mutation-kill test hook in sym/testhooks.hh,
+ * which corrupts this single choke point to prove the concolic
+ * replay suite would catch a wrong transfer rule.)
+ *
+ * Division and modulo by zero are *representable* inputs, so term
+ * evaluation returns the same ok/errCode shape as evalAlu; the
+ * evaluator forks the path on a symbolic divisor before ever
+ * building a Div/Mod node on the non-zero side.
+ */
+
+#ifndef ZARF_SYM_TERM_HH
+#define ZARF_SYM_TERM_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/prims.hh"
+#include "support/types.hh"
+
+namespace zarf::sym
+{
+
+/** Index of a term in its arena. */
+using TermId = uint32_t;
+constexpr TermId kNoTerm = 0xffffffffu;
+
+/** Support masks are 64-bit, capping symbolic inputs per image. */
+constexpr unsigned kMaxSymVars = 64;
+
+/** One arena node. */
+struct TermNode
+{
+    enum class Kind : uint8_t { Const, Var, Op };
+
+    Kind kind = Kind::Const;
+    Prim op = Prim::Add; ///< Kind::Op only.
+    SWord cval = 0;      ///< Kind::Const only.
+    unsigned var = 0;    ///< Kind::Var only.
+    TermId a = kNoTerm;  ///< First operand (Kind::Op).
+    TermId b = kNoTerm;  ///< Second operand, kNoTerm for unary ops.
+    /** Union of the input variables this term depends on. */
+    uint64_t support = 0;
+};
+
+/** Outcome of evaluating one term under a concrete assignment —
+ *  mirrors PrimResult so error latching flows through unchanged. */
+struct TermEvalResult
+{
+    bool ok = true;
+    SWord value = 0;   ///< Valid when ok.
+    SWord errCode = 0; ///< Valid when !ok (kErrDivZero).
+};
+
+/**
+ * Hash-consed term arena. One arena serves a whole exploration
+ * session over one image, so path conditions recorded on different
+ * paths share structure and remain comparable by TermId.
+ */
+class TermArena
+{
+  public:
+    /** Intern a constant (wrapped to the 31-bit machine range). */
+    TermId constant(SWord v);
+
+    /** Intern input variable `var` (< kMaxSymVars). */
+    TermId variable(unsigned var);
+
+    /**
+     * Intern the application of a pure ALU primitive. When every
+     * operand is constant the node folds immediately through
+     * evalAlu; the caller must have excluded foldable
+     * division-by-zero first (checked fatal here, because a folded
+     * error has no integer representation).
+     *
+     * @param op a pure ALU primitive (not I/O, not InvokeGc)
+     * @param a first operand
+     * @param b second operand; kNoTerm for unary primitives
+     */
+    TermId apply(Prim op, TermId a, TermId b = kNoTerm);
+
+    const TermNode &node(TermId t) const { return nodes[t]; }
+    size_t size() const { return nodes.size(); }
+
+    /** True when the term has no variable dependence. */
+    bool
+    isConst(TermId t) const
+    {
+        return nodes[t].kind == TermNode::Kind::Const;
+    }
+
+    /** Constant value of a Kind::Const term (checked fatal else). */
+    SWord constValue(TermId t) const;
+
+    uint64_t support(TermId t) const { return nodes[t].support; }
+
+    /**
+     * Evaluate under a concrete assignment (`assign[var]` for every
+     * variable in the term's support). Every operator node is
+     * computed by evalAlu — the concrete ground truth — so a model
+     * accepted here is exactly a model the machine agrees with.
+     */
+    TermEvalResult evalUnder(TermId t,
+                             const std::vector<SWord> &assign) const;
+
+    /** Render for diagnostics: "(add v0 3)". */
+    std::string toString(TermId t) const;
+
+  private:
+    TermId intern(TermNode n);
+
+    std::vector<TermNode> nodes;
+    std::unordered_map<uint64_t, std::vector<TermId>> table;
+};
+
+/**
+ * The single concrete ALU choke point of the symbolic layer: exactly
+ * evalAlu, except when the mutation-kill hook
+ * (sym/testhooks.hh::symBrokenMulTransfer) deliberately corrupts the
+ * Mul rule so tests can prove the concolic replay detects it.
+ */
+PrimResult aluGround(Prim op, const std::vector<SWord> &args);
+
+} // namespace zarf::sym
+
+#endif // ZARF_SYM_TERM_HH

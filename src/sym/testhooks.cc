@@ -1,0 +1,8 @@
+#include "sym/testhooks.hh"
+
+namespace zarf::sym::testhooks
+{
+
+bool symBrokenMulTransfer = false;
+
+} // namespace zarf::sym::testhooks

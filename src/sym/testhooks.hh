@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Hidden, test-only switches of the symbolic evaluator.
+ *
+ * Pattern of machine/testhooks.hh: each switch deliberately
+ * reintroduces a defect so the concolic replay suite can demonstrate
+ * its own detection power (docs/SYMBOLIC.md, "Self-testing"). Nothing
+ * outside tests may ever set one; production paths read them as
+ * constants (false).
+ */
+
+#ifndef ZARF_SYM_TESTHOOKS_HH
+#define ZARF_SYM_TESTHOOKS_HH
+
+namespace zarf::sym::testhooks
+{
+
+/**
+ * Corrupts the symbolic Mul transfer function: aluGround (the single
+ * ALU choke point every constant fold, solver model check, and value
+ * prediction routes through) returns the true product plus one. A
+ * symbolic run over any image whose executed path multiplies is then
+ * wrong about the path's result value — and because every feasible
+ * path is concretized and replayed through the concrete oracle, the
+ * concolic cross-check must report the mismatch as a divergence
+ * within a bounded path budget.
+ *
+ * Not thread-safe against concurrent exploration: set it before the
+ * run and clear it after (the concolic fan-out joins before
+ * returning).
+ */
+extern bool symBrokenMulTransfer;
+
+} // namespace zarf::sym::testhooks
+
+#endif // ZARF_SYM_TESTHOOKS_HH
