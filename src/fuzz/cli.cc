@@ -9,6 +9,11 @@
  *             [--max-oracle-ms N] [--max-oracle-cycles N]
  *             [--max-oracle-heap BYTES] [--retries N]
  *             [--quarantine DIR] [--journal FILE] [--resume FILE]
+ *             [--no-compare-ir]
+ *
+ * The lifted-IR evaluator (fuzz/oracle.hh, compareIr) is on by
+ * default — nightly rotation runs therefore prove lift soundness on
+ * every candidate; --no-compare-ir switches it off for A/B timing.
  *
  * With --corpus, entries load as the seed corpus and newly retained
  * coverage entries are written back to --out (default: the corpus
@@ -157,6 +162,8 @@ main(int argc, char **argv)
                 unsigned(parseU64(val("retries"))) + 1;
         else if (!std::strcmp(argv[i], "--quarantine"))
             cfg.quarantineDir = val("quarantine");
+        else if (!std::strcmp(argv[i], "--no-compare-ir"))
+            cfg.oracle.compareIr = false;
         else if (!std::strcmp(argv[i], "--journal"))
             journalPath = val("journal");
         else if (!std::strcmp(argv[i], "--resume"))

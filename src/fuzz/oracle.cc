@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "ir/eval.hh"
+#include "ir/lift.hh"
 #include "isa/validate.hh"
 #include "sem/bigstep.hh"
 #include "sem/smallstep.hh"
@@ -345,6 +347,55 @@ runOracle(const Image &image, const OracleConfig &cfg)
                         : "Stuck") +
                    " (\"" + semOut.where + "\")";
         return r;
+    }
+
+    // The lifted-IR reference evaluator — the fifth evaluator
+    // family. The µop run terminated (Done or Stuck) inside its
+    // bounds at this point, so lifting must succeed and the IR
+    // evaluation must match it bit-exactly: outcome class, value,
+    // I/O log, and the full λ-cycle ledger including load and the
+    // deep-force export. The machine's final cycle count doubles as
+    // the evaluator's hard stop: a correct lift ends at exactly that
+    // total, so the bound never fires except on a lifting bug.
+    if (cfg.compareIr) {
+        ir::LiftResult lift = ir::liftImage(image);
+        if (!lift.ok) {
+            r.verdict = Verdict::Divergence;
+            r.detail =
+                "uop-vs-ir lift rejected a machine-accepted image: " +
+                lift.error;
+            return r;
+        }
+        RecordBus irBus;
+        ir::EvalConfig ic;
+        ic.maxCycles = cfg.maxCycles;
+        ic.hardStopCycles = r.uopCycles;
+        ir::Outcome irOut = ir::evalModule(lift.module, irBus, ic);
+        r.irCompared = true;
+        auto irDiff = [&]() -> std::string {
+            bool wantDone = uopOut.status == MachineStatus::Done;
+            bool isDone = irOut.status == ir::Outcome::Status::Done;
+            bool isStuck =
+                irOut.status == ir::Outcome::Status::Stuck;
+            if (wantDone != isDone || (!wantDone && !isStuck))
+                return std::string("status: ") +
+                       machineStatusName(uopOut.status) + " vs " +
+                       ir::outcomeStatusName(irOut.status) + " (\"" +
+                       irOut.diagnostic + "\")";
+            if (irOut.cycles != r.uopCycles)
+                return fmt("cycles", r.uopCycles, irOut.cycles);
+            if (wantDone && !valuesEqual(uopOut.value, irOut.value))
+                return "value: " + valueStr(uopOut.value) + " vs " +
+                       valueStr(irOut.value);
+            if (!(uopBus.ops == irBus.ops))
+                return "io logs differ";
+            return "";
+        };
+        if (std::string d = irDiff(); !d.empty()) {
+            r.verdict = Verdict::Divergence;
+            r.detail = "uop-vs-ir " + d;
+            return r;
+        }
     }
 
     // The eager reference, where the equivalence map admits it.

@@ -52,6 +52,20 @@
  *    observe different worlds (different I/O order, Stuck on a
  *    lazily-unreachable bad reference). Its fuel/depth limits skip
  *    only the big-step comparison.
+ *  - The lifted-IR evaluator (ir/lift.hh + ir/eval.hh, the fifth
+ *    evaluator family) runs whenever `compareIr` is set and the µop
+ *    run terminated (Done or Stuck) within its bounds. Lifting must
+ *    *succeed* on every image the machine accepted — a lift
+ *    rejection here is itself a divergence (lift soundness) — and
+ *    the evaluation must match the µop run exactly: outcome class,
+ *    value, I/O log, and the complete λ-cycle ledger including load
+ *    and the deep-force export (Machine::cycles() equality, for
+ *    Done and Stuck alike). Diagnostic texts are not compared (the
+ *    IR evaluator is an independent implementation, like the
+ *    small-step engine). The IR evaluator's heap is host-side and
+ *    unbounded, so machine out-of-memory runs were already skipped
+ *    before this comparison; GC never touches Machine::cycles(), so
+ *    a collector-free evaluator can still match it exactly.
  *  - I/O values are deterministic (RecordBus): getint returns a pure
  *    function of (port, call ordinal), so equal read *sequences*
  *    imply equal read values, and the interleaved write logs of the
@@ -107,6 +121,11 @@ struct OracleConfig
     bool compareFast = true;
     /** Run the snapshot/restore replay check. */
     bool snapshotReplay = true;
+    /** Lift the image to analysis IR and compare the reference IR
+     *  evaluation bit-exactly (outcome/value/IO/cycles) against the
+     *  µop run. Default-on everywhere, including the nightly fuzz
+     *  rotation; `--no-compare-ir` switches it off in the CLI. */
+    bool compareIr = true;
     /** Cooperative cancellation/budget token (verify/budget.hh),
      *  shared by every machine the oracle builds. A trip — observed
      *  by any of them, or latched externally — makes the verdict
@@ -187,6 +206,9 @@ struct OracleResult
      *  (both the µop and fast runs terminated). */
     bool fastCompared = false;
     bool snapshotChecked = false;
+    /** True when the lifted-IR comparison applied (compareIr set and
+     *  the µop run terminated within bounds). */
+    bool irCompared = false;
 
     // Observables of the µop-path run, recorded before any verdict
     // gate: external validators (the concolic harness, sym/) compare

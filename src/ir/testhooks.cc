@@ -1,0 +1,9 @@
+#include "ir/testhooks.hh"
+
+namespace zarf::ir::testhooks
+{
+
+bool irBrokenAllocCharge = false;
+bool irBrokenCaseFieldOrder = false;
+
+} // namespace zarf::ir::testhooks

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The canonical operand-site walk over Zarf expression trees.
+ *
+ * Several consumers enumerate the data-reference sites of a function
+ * body in a fixed order: the symbolic engine claims immediate
+ * operands as symbolic input variables and later writes solver
+ * models back through them (sym/eval.cc, sym/concolic.cc), and the
+ * analysis-IR lifter records the same sites as the entry function's
+ * immediate-site table (ir/lift.cc). The two enumerations must agree
+ * byte-for-byte — a model patched into site k by the concolic
+ * harness must be the value the lifter reports at site k — so the
+ * walk lives here, once, instead of being re-derived per consumer.
+ *
+ * Order contract (stable; regression-tested by tests/test_ir_lift.cc):
+ *   let    — arguments left to right, then the body;
+ *   case   — the scrutinee, then each branch body in declaration
+ *            order, then the else body;
+ *   result — the value operand.
+ *
+ * Pattern literals are not operand sites: they are matched against,
+ * never read as data.
+ */
+
+#ifndef ZARF_ISA_SITES_HH
+#define ZARF_ISA_SITES_HH
+
+#include "isa/ast.hh"
+
+namespace zarf
+{
+
+/** Visit every operand site of `e` in the canonical order, calling
+ *  `f(Operand &)` on each. The mutable overload is what writeback
+ *  consumers (sym's model concretization) use. */
+template <typename F>
+void
+forEachOperandSite(Expr &e, F &&f)
+{
+    if (e.isLet()) {
+        Let &l = e.asLet();
+        for (Operand &a : l.args)
+            f(a);
+        forEachOperandSite(*l.body, f);
+        return;
+    }
+    if (e.isCase()) {
+        Case &c = e.asCase();
+        f(c.scrut);
+        for (auto &br : c.branches)
+            forEachOperandSite(*br.body, f);
+        forEachOperandSite(*c.elseBody, f);
+        return;
+    }
+    f(e.asResult().value);
+}
+
+/** Read-only overload of the same walk, same order. */
+template <typename F>
+void
+forEachOperandSite(const Expr &e, F &&f)
+{
+    if (e.isLet()) {
+        const Let &l = e.asLet();
+        for (const Operand &a : l.args)
+            f(a);
+        forEachOperandSite(*l.body, f);
+        return;
+    }
+    if (e.isCase()) {
+        const Case &c = e.asCase();
+        f(c.scrut);
+        for (const auto &br : c.branches)
+            forEachOperandSite(*br.body, f);
+        forEachOperandSite(*c.elseBody, f);
+        return;
+    }
+    f(e.asResult().value);
+}
+
+} // namespace zarf
+
+#endif // ZARF_ISA_SITES_HH

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "fuzz/oracle.hh" // RecordBus::scripted — the I/O fixture
+#include "ir/lift.hh"
 #include "support/logging.hh"
 
 namespace zarf::sym
@@ -79,45 +80,21 @@ PathRun::observableSupport(const TermArena &arena) const
 // Symbolic input sites
 // ----------------------------------------------------------------
 
-namespace
-{
-
-void
-walkSites(Expr &e, unsigned maxVars, std::vector<Operand *> &out)
-{
-    auto claim = [&](Operand &op) {
-        if (op.src == Src::Imm && out.size() < maxVars)
-            out.push_back(&op);
-    };
-    if (e.isLet()) {
-        Let &l = e.asLet();
-        for (Operand &a : l.args)
-            claim(a);
-        walkSites(*l.body, maxVars, out);
-        return;
-    }
-    if (e.isCase()) {
-        Case &c = e.asCase();
-        claim(c.scrut);
-        for (auto &br : c.branches)
-            walkSites(*br.body, maxVars, out);
-        walkSites(*c.elseBody, maxVars, out);
-        return;
-    }
-    claim(e.asResult().value);
-}
-
-} // namespace
-
 std::vector<Operand *>
 collectSymSites(Program &program, unsigned maxVars)
 {
-    std::vector<Operand *> out;
+    // The sites come from the lifted IR: the lifter enumerates the
+    // entry body's immediate operands with the canonical walk
+    // (isa/sites.hh), which is the same order this function's local
+    // walk used to produce — regression-locked by test_ir_lift.cc —
+    // so solver models written through these pointers land on the
+    // sites the IR (and every other consumer) calls input k.
     if (maxVars > kMaxSymVars)
         maxVars = kMaxSymVars;
-    int entry = program.entryIndex();
-    if (entry >= 0 && program.decls[size_t(entry)].body)
-        walkSites(*program.decls[size_t(entry)].body, maxVars, out);
+    ir::LiftResult lift = ir::liftProgram(program);
+    std::vector<Operand *> out = std::move(lift.entrySitePtrs);
+    if (out.size() > maxVars)
+        out.resize(maxVars);
     return out;
 }
 

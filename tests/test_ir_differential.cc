@@ -1,0 +1,217 @@
+/**
+ * @file
+ * The lifted-IR evaluator proved against the differential oracle
+ * (docs/TESTING.md, "The fifth evaluator"):
+ *
+ *  - every checked-in corpus entry replays clean with the IR
+ *    comparison on, and the comparison actually applied wherever the
+ *    oracle reached agreement;
+ *  - a 500-program generated sweep shows zero divergences, and a
+ *    direct machine-vs-IR run over the same programs agrees on
+ *    outcome, value, I/O log, and the exact λ-cycle count;
+ *  - campaign reports are byte-identical across repeated runs and
+ *    across worker-thread counts with the IR evaluator in rotation;
+ *  - mutation-kill: corrupting an IR transfer rule (ir/testhooks.hh)
+ *    makes a bounded campaign — or a single crafted oracle run —
+ *    report an `uop-vs-ir` divergence, proof the fifth evaluator has
+ *    teeth on both the cycle ledger and the value semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/testprogs.hh"
+#include "fuzz/corpus.hh"
+#include "fuzz/fuzzer.hh"
+#include "fuzz/genprog.hh"
+#include "ir/eval.hh"
+#include "ir/lift.hh"
+#include "ir/testhooks.hh"
+#include "isa/encoding.hh"
+#include "machine/machine.hh"
+#include "zasm/zasm.hh"
+
+namespace zarf::fuzz
+{
+namespace
+{
+
+/** Scoped corruption of one IR transfer rule. The flags are
+ *  process-global; campaigns join their worker pool before
+ *  returning, so scoping around runFuzz/runOracle is safe. */
+struct IrDefectGuard
+{
+    explicit IrDefectGuard(bool &flag) : f(flag) { f = true; }
+    ~IrDefectGuard() { f = false; }
+    bool &f;
+};
+
+TEST(IrCorpus, EveryCorpusEntryAgreesWithIr)
+{
+    CorpusLoad load = loadCorpusDir(ZARF_FUZZ_CORPUS_DIR);
+    for (const auto &err : load.errors)
+        ADD_FAILURE() << err;
+    ASSERT_FALSE(load.entries.empty())
+        << "seed corpus missing at " ZARF_FUZZ_CORPUS_DIR;
+
+    FuzzConfig cfg; // compareIr defaults on
+    size_t compared = 0;
+    for (const CorpusEntry &e : load.entries) {
+        OracleResult o = replayImage(e.image, cfg);
+        EXPECT_NE(o.verdict, Verdict::Divergence)
+            << e.path << ": " << o.detail;
+        if (o.verdict == Verdict::Agree) {
+            EXPECT_TRUE(o.irCompared)
+                << e.path << ": agreement without the IR evaluator";
+            ++compared;
+        }
+    }
+    EXPECT_GT(compared, 0u);
+}
+
+TEST(IrSweep, FiveHundredGeneratedProgramsAgree)
+{
+    size_t built = 0, compared = 0;
+    for (uint64_t seed = 0; built < 500; ++seed) {
+        ASSERT_LT(seed, 4000u) << "generator starved the sweep";
+        ProgramGenerator gen(seed);
+        BuildResult b = gen.generate().tryBuild();
+        if (!b.ok)
+            continue;
+        ++built;
+        OracleResult o = runOracle(encodeProgram(b.program));
+        EXPECT_NE(o.verdict, Verdict::Divergence)
+            << "seed " << seed << ": " << o.detail;
+        compared += o.irCompared;
+    }
+    EXPECT_GT(compared, 250u)
+        << "IR comparison applied too rarely to prove anything";
+}
+
+/** The oracle compares through its own lens; this test holds the
+ *  raw artifacts side by side — status class, deep-forced value,
+ *  I/O log, and Machine::cycles() — with no oracle in between. */
+TEST(IrSweep, DirectMachineVsIrIsBitExact)
+{
+    size_t checked = 0;
+    for (uint64_t seed = 0; checked < 150; ++seed) {
+        ASSERT_LT(seed, 2000u);
+        ProgramGenerator gen(seed);
+        BuildResult b = gen.generate().tryBuild();
+        if (!b.ok)
+            continue;
+        Image img = encodeProgram(b.program);
+
+        RecordBus mBus;
+        MachineConfig mc;
+        mc.semispaceWords = 1u << 15;
+        Machine m(img, mBus, mc);
+        Machine::Outcome mo = m.run(1'000'000);
+        if (mo.status != MachineStatus::Done &&
+            mo.status != MachineStatus::Stuck)
+            continue; // budget/OOM runs are outside the contract
+        ++checked;
+
+        ir::LiftResult lift = ir::liftImage(img);
+        ASSERT_TRUE(lift.ok) << "seed " << seed << ": " << lift.error;
+        RecordBus iBus;
+        ir::EvalConfig ic;
+        ic.maxCycles = 1'000'000;
+        ir::Outcome io = ir::evalModule(lift.module, iBus, ic);
+
+        bool mDone = mo.status == MachineStatus::Done;
+        bool iDone = io.status == ir::Outcome::Status::Done;
+        EXPECT_EQ(mDone, iDone)
+            << "seed " << seed << ": " << mo.diagnostic << " vs "
+            << io.diagnostic;
+        EXPECT_EQ(m.cycles(), io.cycles) << "seed " << seed;
+        EXPECT_TRUE(mBus.ops == iBus.ops) << "seed " << seed;
+        if (mDone && iDone) {
+            ASSERT_TRUE(mo.value && io.value) << "seed " << seed;
+            EXPECT_TRUE(Value::equal(*mo.value, *io.value))
+                << "seed " << seed << ": " << mo.value->toString()
+                << " vs " << io.value->toString();
+        }
+    }
+}
+
+TEST(IrDeterminism, ReportsByteIdenticalAcrossRunsAndThreads)
+{
+    FuzzConfig a;
+    a.seed = 23;
+    a.rounds = 3;
+    a.perRound = 24;
+    a.threads = 1;
+    ASSERT_TRUE(a.oracle.compareIr);
+    FuzzConfig b = a;
+    b.threads = 4;
+
+    FuzzResult ra = runFuzz(a);
+    FuzzResult ra2 = runFuzz(a);
+    FuzzResult rb = runFuzz(b);
+    EXPECT_TRUE(ra.clean())
+        << (ra.findings.empty() ? std::string()
+                                : ra.findings[0].detail);
+    EXPECT_EQ(ra.summary(), ra2.summary());
+    EXPECT_EQ(ra.summary(), rb.summary());
+    ASSERT_EQ(ra.retained.size(), rb.retained.size());
+    for (size_t i = 0; i < ra.retained.size(); ++i)
+        EXPECT_EQ(imageHash(ra.retained[i]),
+                  imageHash(rb.retained[i]))
+            << "retained entry " << i << " differs";
+    EXPECT_EQ(ra.coverage.summary(), rb.coverage.summary());
+}
+
+TEST(IrMutationKill, BrokenAllocChargeIsCaughtByCampaign)
+{
+    IrDefectGuard defect(ir::testhooks::irBrokenAllocCharge);
+    FuzzConfig cfg;
+    cfg.seed = 3;
+    cfg.rounds = 10;
+    cfg.perRound = 32;
+    cfg.maxDivergences = 1;
+    FuzzResult res = runFuzz(cfg);
+    ASSERT_FALSE(res.findings.empty())
+        << "oracle failed to catch the seeded IR ledger defect in "
+        << res.executed << " executions";
+    EXPECT_LE(res.executed, cfg.rounds * cfg.perRound);
+    EXPECT_NE(res.findings[0].detail.find("uop-vs-ir"),
+              std::string::npos)
+        << res.findings[0].detail;
+    EXPECT_EQ(res.findings[0].hash,
+              imageHash(res.findings[0].image));
+}
+
+/** A two-field constructor whose case branch is order-sensitive:
+ *  reversing the field pushes swaps which field `result` yields. */
+Image
+pairImage()
+{
+    Program p = assembleOrDie(R"(
+con Pair first second
+
+fun main =
+  let p = Pair 1 2
+  case p of
+    Pair a b =>
+      result a
+  else
+    result 9
+)");
+    return encodeProgram(p);
+}
+
+TEST(IrMutationKill, BrokenCaseFieldOrderIsCaughtByOracle)
+{
+    Image img = pairImage();
+    ASSERT_EQ(runOracle(img).verdict, Verdict::Agree);
+
+    IrDefectGuard defect(ir::testhooks::irBrokenCaseFieldOrder);
+    OracleResult o = runOracle(img);
+    ASSERT_EQ(o.verdict, Verdict::Divergence)
+        << "reversed field order survived the oracle";
+    EXPECT_NE(o.detail.find("uop-vs-ir"), std::string::npos)
+        << o.detail;
+}
+
+} // namespace
+} // namespace zarf::fuzz
